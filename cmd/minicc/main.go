@@ -1,0 +1,130 @@
+// Minicc compiles MiniC source to SimRISC-32: to assembly text, to a
+// program image, or straight into execution (natively or under the SDT).
+//
+// Usage:
+//
+//	minicc prog.mc                 write prog.s
+//	minicc -o prog.img prog.mc     compile and assemble to an image
+//	minicc -run prog.mc            compile and execute natively
+//	minicc -run -mech ibtc:4096 -arch sparc prog.mc   execute under the SDT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/machine"
+	"sdt/internal/minic"
+	"sdt/internal/program"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (.s for assembly, .img for an image)")
+	run := flag.Bool("run", false, "compile and execute")
+	mech := flag.String("mech", "", "run under the SDT with this mechanism spec (implies -run)")
+	arch := flag.String("arch", "x86", "host cost model for -run")
+	limit := flag.Uint64("limit", 0, "instruction budget for -run")
+	noOpt := flag.Bool("O0", false, "disable the AST optimizer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-o out] [-run] [-mech spec] prog.mc")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	compile := func() (string, error) {
+		return minic.CompileWith(string(src), minic.CompileOptions{Optimize: !*noOpt})
+	}
+	buildImage := func() (*program.Image, error) {
+		asmText, err := compile()
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(path, asmText)
+	}
+
+	if *run || *mech != "" {
+		img, err := buildImage()
+		if err != nil {
+			fatal(err)
+		}
+		model, err := hostarch.ByName(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		var res machine.Result
+		var values []uint32
+		if *mech != "" {
+			cfg, err := ib.Parse(*mech)
+			if err != nil {
+				fatal(err)
+			}
+			vm, err := core.New(img, cfg.Options(model))
+			if err != nil {
+				fatal(err)
+			}
+			if err := vm.Run(*limit); err != nil {
+				fatal(err)
+			}
+			res, values = vm.Result(), vm.State.Out.Values
+		} else {
+			m, err := machine.New(img, model)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.Run(*limit); err != nil {
+				fatal(err)
+			}
+			res, values = m.Result(), m.State.Out.Values
+		}
+		for _, v := range values {
+			fmt.Println(int32(v))
+		}
+		fmt.Fprintf(os.Stderr, "exit=%d instructions=%d cycles=%d\n", res.ExitCode, res.Instret, res.Cycles)
+		os.Exit(int(res.ExitCode) & 0x7f)
+	}
+
+	asmText, err := compile()
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, ".mc") + ".s"
+	}
+	if strings.HasSuffix(dst, ".img") {
+		img, err := buildImage()
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if _, err := img.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d instructions\n", dst, len(img.Code))
+		return
+	}
+	if err := os.WriteFile(dst, []byte(asmText), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d lines\n", dst, strings.Count(asmText, "\n"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Sdtasm assembles SimRISC-32 source into a loadable program image.
+//
+// Usage:
+//
+//	sdtasm [-o out.img] [-d] [-s] prog.s
+//
+//	-o file   write the image to file (default: input with .img extension)
+//	-d        print a disassembly listing to stdout instead of writing
+//	-s        print the symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sdt/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (default: source with .img extension)")
+	disasm := flag.Bool("d", false, "print disassembly instead of writing an image")
+	syms := flag.Bool("s", false, "print the symbol table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdtasm [-o out.img] [-d] [-s] prog.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *syms {
+		names := make([]string, 0, len(img.Symbols))
+		for n := range img.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return img.Symbols[names[i]] < img.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Printf("%08x %s\n", img.Symbols[n], n)
+		}
+	}
+	if *disasm {
+		if err := img.Disassemble(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, ".s") + ".img"
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := img.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, %d data bytes, %d bytes written\n",
+		dst, len(img.Code), len(img.Data), n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdtasm:", err)
+	os.Exit(1)
+}

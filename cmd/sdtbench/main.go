@@ -1,0 +1,121 @@
+// Sdtbench regenerates the paper's evaluation: every table and figure
+// plus the extension experiments (E1..E15, indexed in EXPERIMENTS.md) over
+// the synthetic SPEC CPU2000 suite on both host cost models.
+//
+// Usage:
+//
+//	sdtbench                 run everything
+//	sdtbench -e E3,E8        run selected experiments
+//	sdtbench -scale 2000     override every workload's scale
+//	sdtbench -w gcc,perlbmk  restrict the suite
+//	sdtbench -list           list experiments
+//	sdtbench -csv out.csv    also dump every measurement as CSV
+//	sdtbench -v              log each run as it happens (stderr)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"sdt/internal/bench"
+)
+
+func main() {
+	exps := flag.String("e", "", "comma-separated experiment IDs (default: all)")
+	scale := flag.Int("scale", 0, "override workload scale (0 = workload defaults)")
+	wls := flag.String("w", "", "comma-separated workload subset (default: SPEC suite)")
+	list := flag.Bool("list", false, "list experiments")
+	verbose := flag.Bool("v", false, "log each run to stderr")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "experiments to run concurrently (output stays ordered)")
+	csvPath := flag.String("csv", "", "also dump every measurement as CSV to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-4s %-40s paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	r := bench.NewRunner()
+	r.Scale = *scale
+	r.Verbose = *verbose
+	r.Log = os.Stderr
+	if *wls != "" {
+		r.Workloads = strings.Split(*wls, ",")
+	}
+
+	selected := bench.Experiments
+	if *exps != "" {
+		selected = nil
+		for _, id := range strings.Split(*exps, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if err := runOrdered(r, selected, *par); err != nil {
+		fatal(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := r.ExportCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+// runOrdered executes experiments up to par at a time (they share the
+// runner's memoized measurements) while printing results in order.
+func runOrdered(r *bench.Runner, selected []bench.Experiment, par int) error {
+	if par < 1 {
+		par = 1
+	}
+	type slot struct {
+		buf bytes.Buffer
+		err error
+		ok  chan struct{}
+	}
+	slots := make([]*slot, len(selected))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		s := &slot{ok: make(chan struct{})}
+		slots[i] = s
+		wg.Add(1)
+		go func(e bench.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s.err = bench.RunOne(r, &s.buf, e)
+			close(s.ok)
+		}(e)
+	}
+	for _, s := range slots {
+		<-s.ok
+		os.Stdout.Write(s.buf.Bytes())
+		if s.err != nil {
+			wg.Wait()
+			return s.err
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdtbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+package sdt_test
+
+import (
+	"fmt"
+	"log"
+
+	"sdt"
+)
+
+// Example runs a small assembly program natively and under the SDT and
+// verifies they agree.
+func Example() {
+	img, err := sdt.Assemble("loop.s", `
+	main:
+		li r10, 0
+		li r11, 1000
+	loop:
+		call bump
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	bump:
+		addi r12, r12, 2
+		ret
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	native, err := sdt.RunNative(img, "x86", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := sdt.Run(img, "x86", "ibtc:4096", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("outputs agree:", vm.Result().Checksum == native.Result().Checksum)
+	fmt.Println("value:", vm.State.Out.Values[0])
+	// Output:
+	// outputs agree: true
+	// value: 2000
+}
+
+// ExampleSlowdown measures the overhead of two mechanisms on a built-in
+// workload.
+func ExampleSlowdown() {
+	w, err := sdt.Workload("micro.ret")
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := w.Image(2000) // small scale for the example
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := sdt.Slowdown(img, "x86", "translator", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := sdt.Slowdown(img, "x86", "fastret+ibtc:4096", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("naive dispatch costs more:", naive > tuned)
+	// Output:
+	// naive dispatch costs more: true
+}
+
+// ExampleCompileMiniC compiles a high-level guest program and runs it
+// under the SDT.
+func ExampleCompileMiniC() {
+	img, err := sdt.CompileMiniC("fib.mc", `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n-1) + fib(n-2);
+		}
+		func main() { out fib(12); }
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := sdt.Run(img, "sparc", "sieve:1024", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fib(12) =", vm.State.Out.Values[0])
+	// Output:
+	// fib(12) = 144
+}
+
+// ExampleConfigure builds VM options with translation policies and a
+// custom fragment-cache size.
+func ExampleConfigure() {
+	opts, err := sdt.Configure("x86", "trace+fastret+ibtc:16384")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.CacheBytes = 1 << 20
+	img, err := sdt.CompileMiniC("t.mc", `func main() { out 42; }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := sdt.NewVM(img, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(vm.State.Out.Values[0], vm.Options().Traces, vm.Options().FastReturns)
+	// Output:
+	// 42 true true
+}

@@ -1,0 +1,115 @@
+// Instrument: the program-instrumentation use-case from the paper's
+// introduction. The SDT observes every indirect branch without modifying
+// the guest binary, so per-site behavioural profiles fall out of a thin
+// handler wrapper: this example builds an indirect-branch census (target
+// sets, polymorphism, hottest sites) for any built-in workload and prints
+// the mechanism-relevant diagnosis — exactly the data a Strata user would
+// gather before choosing an IB configuration.
+//
+//	go run ./examples/instrument [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"sdt"
+)
+
+// censusHandler wraps a mechanism and records per-site target histograms.
+type censusHandler struct {
+	inner sdt.Handler
+	sites map[uint32]*siteInfo
+}
+
+type siteInfo struct {
+	kind    sdt.IBKind
+	execs   uint64
+	targets map[uint32]uint64
+}
+
+func (c *censusHandler) Name() string                   { return "census(" + c.inner.Name() + ")" }
+func (c *censusHandler) Init(vm *sdt.VM)                { c.inner.Init(vm) }
+func (c *censusHandler) Flush(vm *sdt.VM)               { c.inner.Flush(vm) }
+func (c *censusHandler) Attach(vm *sdt.VM, s *sdt.Site) { c.inner.Attach(vm, s) }
+
+func (c *censusHandler) Resolve(vm *sdt.VM, site *sdt.Site, target uint32) (*sdt.Fragment, error) {
+	info := c.sites[site.GuestPC]
+	if info == nil {
+		info = &siteInfo{kind: site.Kind, targets: map[uint32]uint64{}}
+		c.sites[site.GuestPC] = info
+	}
+	info.execs++
+	info.targets[target]++
+	return c.inner.Resolve(vm, site, target)
+}
+
+func main() {
+	name := "gcc"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := sdt.Workload(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := w.Image(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inner, _, err := sdt.Mechanism("ibtc:16384")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sdt.Arch("x86")
+	if err != nil {
+		log.Fatal(err)
+	}
+	census := &censusHandler{inner: inner, sites: map[uint32]*siteInfo{}}
+	vm, err := sdt.NewVM(img, sdt.Options{Model: model, Handler: census})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d instructions under instrumentation, %d IB sites observed\n\n",
+		name, vm.Result().Instret, len(census.sites))
+
+	type row struct {
+		pc   uint32
+		info *siteInfo
+	}
+	rows := make([]row, 0, len(census.sites))
+	for pc, info := range census.sites {
+		rows = append(rows, row{pc, info})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].info.execs > rows[j].info.execs })
+
+	fmt.Println("site        kind     execs     targets  diagnosis")
+	fmt.Println("--------------------------------------------------------------")
+	shown := 0
+	for _, r := range rows {
+		if shown == 12 {
+			break
+		}
+		shown++
+		diag := "monomorphic: inline cache wins"
+		switch n := len(r.info.targets); {
+		case n > 16:
+			diag = "megamorphic: needs IBTC/sieve capacity"
+		case n > 2:
+			diag = "polymorphic: shallow inline caches miss"
+		}
+		fmt.Printf("%#-10x  %-7s  %8d  %7d  %s\n",
+			r.pc, r.info.kind, r.info.execs, len(r.info.targets), diag)
+	}
+
+	fmt.Printf("\nmechanism view: fast-path hit rate %.2f%%, %d translator entries\n",
+		100*vm.Prof.HitRate(), vm.Prof.TranslatorEntries)
+	fmt.Println("(the guest binary was not modified; the SDT's IB path did the counting)")
+}

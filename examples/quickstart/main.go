@@ -1,0 +1,82 @@
+// Quickstart: assemble a small guest program, run it natively and under
+// the SDT with two indirect-branch mechanisms, and compare costs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sdt"
+)
+
+const src = `
+; compute fib(1..15) through a recursive function pointer, so the program
+; executes all three indirect-branch kinds: icalls, returns and a switch.
+main:
+	li r16, 1          ; n
+	li r17, 16
+loop:
+	la r1, fib
+	mov a0, r16
+	callr r1           ; indirect call
+	out rv
+	addi r16, r16, 1
+	blt r16, r17, loop
+	halt
+
+fib:                       ; rv = fib(a0), recursive
+	li r1, 2
+	blt a0, r1, base
+	push ra
+	push a0
+	subi a0, a0, 1
+	call fib
+	pop a0
+	push rv
+	subi a0, a0, 2
+	call fib
+	pop r3
+	add rv, rv, r3
+	pop ra
+	ret
+base:
+	mov rv, a0
+	ret
+`
+
+func main() {
+	img, err := sdt.Assemble("fib.s", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	native, err := sdt.RunNative(img, "x86", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nr := native.Result()
+	fmt.Printf("native:            %8d instructions, %8d cycles\n", nr.Instret, nr.Cycles)
+
+	for _, mech := range []string{"translator", "ibtc:4096", "fastret+ibtc:4096"} {
+		vm, err := sdt.Run(img, "x86", mech, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr := vm.Result()
+		if sr.Checksum != nr.Checksum {
+			log.Fatalf("%s: output diverged!", mech)
+		}
+		fmt.Printf("sdt %-18s %8d cycles  -> %.2fx slowdown\n",
+			mech+":", sr.Cycles, float64(sr.Cycles)/float64(nr.Cycles))
+	}
+
+	fmt.Println("\nprofile under ibtc:4096:")
+	vm, err := sdt.Run(img, "x86", "ibtc:4096", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm.Prof.Dump(os.Stdout, vm.Result().Cycles)
+}

@@ -1,0 +1,135 @@
+// Sandbox: the security use-case from the paper's introduction. An SDT
+// sees every indirect control transfer before it happens, which makes it a
+// natural control-flow-integrity monitor: this example wraps the IBTC in a
+// policy handler that (a) only admits indirect-call targets that are known
+// function entry points and (b) checks every return against a shadow
+// stack. A guest "exploit" that overwrites its saved return address is
+// caught at the moment of the hijacked return — while the same binary runs
+// to completion unprotected.
+//
+//	go run ./examples/sandbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdt"
+)
+
+// The victim program: fn saves ra on the stack; the "exploit" path
+// overwrites that slot with the address of evil() before returning.
+const victim = `
+main:
+	li a0, 0           ; run 1: benign
+	call fn
+	out rv
+	li a0, 1           ; run 2: exploited
+	call fn
+	out rv
+	halt
+fn:
+	push ra
+	li rv, 7
+	beqz a0, clean
+	la r1, evil
+	sw r1, (sp)        ; smash the saved return address
+clean:
+	pop ra
+	ret
+evil:
+	li r1, 666         ; attacker payload
+	out r1
+	halt
+`
+
+// cfiHandler enforces the policy around an inner mechanism.
+type cfiHandler struct {
+	inner       sdt.Handler
+	entryPoints map[uint32]bool
+	shadow      []uint32
+	violations  []string
+}
+
+func (c *cfiHandler) Name() string     { return "cfi(" + c.inner.Name() + ")" }
+func (c *cfiHandler) Init(vm *sdt.VM)  { c.inner.Init(vm) }
+func (c *cfiHandler) Flush(vm *sdt.VM) { c.inner.Flush(vm) }
+func (c *cfiHandler) Attach(vm *sdt.VM, site *sdt.Site) {
+	c.inner.Attach(vm, site)
+}
+
+// OnCall maintains the shadow stack (sdt.VM reports every executed call
+// with its guest return address).
+func (c *cfiHandler) OnCall(vm *sdt.VM, guestRet uint32) {
+	c.shadow = append(c.shadow, guestRet)
+}
+
+func (c *cfiHandler) Resolve(vm *sdt.VM, site *sdt.Site, target uint32) (*sdt.Fragment, error) {
+	switch site.Kind {
+	case sdt.IBCall:
+		// Indirect call: target must be a known function entry. (The
+		// shadow-stack push happens in OnCall, which the VM fires for
+		// direct and indirect calls alike.)
+		if !c.entryPoints[target] {
+			c.violations = append(c.violations,
+				fmt.Sprintf("icall at %#x to non-entry %#x", site.GuestPC, target))
+		}
+	case sdt.IBReturn:
+		if n := len(c.shadow); n == 0 || c.shadow[n-1] != target {
+			c.violations = append(c.violations,
+				fmt.Sprintf("hijacked return at %#x to %#x", site.GuestPC, target))
+		} else {
+			c.shadow = c.shadow[:n-1]
+		}
+	}
+	return c.inner.Resolve(vm, site, target)
+}
+
+func main() {
+	img, err := sdt.Assemble("victim.s", victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Unprotected: the exploit "succeeds" (payload output 666 appears).
+	plain, err := sdt.Run(img, "x86", "ibtc:1024", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unprotected run: %d outputs, exit=%d (payload ran)\n",
+		plain.Result().OutCount, plain.Result().ExitCode)
+
+	// Protected: same binary under the CFI handler.
+	inner, _, err := sdt.Mechanism("ibtc:1024")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sdt.Arch("x86")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfi := &cfiHandler{inner: inner, entryPoints: map[uint32]bool{}}
+	for name, addr := range img.Symbols {
+		// Admit labeled function entries; a real deployment derives this
+		// set from the binary's symbol/relocation information.
+		if name == "fn" || name == "main" {
+			cfi.entryPoints[addr] = true
+		}
+	}
+	vm, err := sdt.NewVM(img, sdt.Options{Model: model, Handler: cfi})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protected run:   %d control-flow violations detected\n", len(cfi.violations))
+	for _, v := range cfi.violations {
+		fmt.Println("  *", v)
+	}
+	if len(cfi.violations) == 0 {
+		log.Fatal("sandbox failed to detect the hijack")
+	}
+	fmt.Println("\nThe monitor costs only the IB-handling path it rides on — the same")
+	fmt.Println("place Strata-style systems hook intrusion detection.")
+}

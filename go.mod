@@ -1,0 +1,3 @@
+module sdt
+
+go 1.22

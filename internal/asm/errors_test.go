@@ -1,0 +1,96 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdt/internal/asm"
+)
+
+// Error-path coverage for directives and operand forms not exercised by
+// the main test file.
+func TestDirectiveErrorPaths(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"bad name string", `.name unquoted` + "\nmain: halt\n", "quoted string"},
+		{"bad entry", `.entry 9bad` + "\nmain: halt\n", ".entry wants a label"},
+		{"bad mem", `.mem lots` + "\nmain: halt\n", "bad integer"},
+		{"mem zero", `.mem 0` + "\nmain: halt\n", "out of range"},
+		{"mem huge", `.mem 0x80000000` + "\nmain: halt\n", "out of range"},
+		{"byte range", "main: halt\n.data\n.byte 300\n", "out of range"},
+		{"byte bad", "main: halt\n.data\n.byte x\n", "bad integer"},
+		{"space negative", "main: halt\n.data\n.space -1\n", "out of range"},
+		{"space huge", "main: halt\n.data\n.space 999999999\n", "out of range"},
+		{"ascii unquoted", "main: halt\n.data\n.ascii hi\n", "quoted string"},
+		{"align zero", "main: halt\n.data\n.align 0\n", "power of two"},
+		{"align odd", "main: halt\n.data\n.align 3\n", "power of two"},
+		{"byte outside data", "main: halt\n.byte 1\n", "only allowed in .data"},
+		{"space outside data", "main: halt\n.space 4\n", "only allowed in .data"},
+		{"ascii outside data", "main: halt\n.ascii \"x\"\n", "only allowed in .data"},
+		{"align outside data", "main: halt\n.align 4\n", "only allowed in .data"},
+		{"word bad operand", "main: halt\n.data\n.word 1+2\n", "bad .word operand"},
+		{"word undefined label", "main: halt\n.data\n.word nowhere\n", "undefined label"},
+		{"label expr bad offset", "main: halt\n.data\n.word main+x\n", "bad .word operand"},
+		{"jump misaligned literal", "main: jmp 0x1002\n", "not word aligned"},
+		{"bad jmp target", "main: jmp 1x\n", "bad jump target"},
+		{"mem operand missing paren", "main: lw r1, 4[r2]\n", "memory operand"},
+		{"mem offset range", "main: lw r1, 99999(r2)\n", "bad memory offset"},
+		{"store imm range", "main: sw r1, 99999(r2)\n", "bad memory offset"},
+		{"lui negative", "main: lui r1, -1\n", "out of range"},
+		{"li too big", "main: li r1, 0x1ffffffff\n", "does not fit"},
+		{"li garbage", "main: li r1, @@\n", "bad li operand"},
+		{"branch imm overflow", "main: beq r1, r2, 99999\n", ""},
+		{"out needs operand", "main: out\n", "wants 1 operands"},
+		{"jr needs operand", "main: jr\n", "wants 1 operands"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := asm.Assemble("t.s", tt.src)
+			if tt.wantSub == "" {
+				return // only checking it does not panic
+			}
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestBranchRangeEnforced(t *testing.T) {
+	// A branch across >32767 words must be rejected at assembly.
+	var b strings.Builder
+	b.WriteString("main: beq r1, r2, far\n")
+	for i := 0; i < 33000; i++ {
+		b.WriteString("\tnop\n")
+	}
+	b.WriteString("far: halt\n")
+	_, err := asm.Assemble("t.s", b.String())
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v, want branch-range error", err)
+	}
+}
+
+func TestImageValidationSurfaced(t *testing.T) {
+	// An image whose code+data exceed .mem must fail at the final check.
+	src := ".mem 0x2000\nmain: halt\n.data\n.space 0x3000\n"
+	_, err := asm.Assemble("t.s", src)
+	if err == nil || !strings.Contains(err.Error(), "invalid image") {
+		t.Errorf("err = %v, want invalid image", err)
+	}
+}
+
+func TestErrorTypeFields(t *testing.T) {
+	_, err := asm.Assemble("file.s", "main: frob\n")
+	el, ok := err.(asm.ErrorList)
+	if !ok || len(el) != 1 {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if el[0].File != "file.s" || el[0].Line != 1 {
+		t.Errorf("error position = %s:%d", el[0].File, el[0].Line)
+	}
+	if !strings.Contains(el.Error(), "file.s:1:") {
+		t.Errorf("formatted error = %q", el.Error())
+	}
+}

@@ -1,0 +1,90 @@
+package asm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/randprog"
+	"sdt/internal/workload"
+)
+
+// TestDisassemblyReassembles is the encoder/decoder/assembler coherence
+// property: disassembling any program and feeding the instruction text
+// back through the assembler must reproduce the original code words
+// exactly. (Numeric jump targets, branch offsets and immediates all
+// round-trip through the textual syntax.)
+func TestDisassemblyReassembles(t *testing.T) {
+	var sources []string
+	for _, name := range workload.Names() {
+		s, _ := workload.Get(name)
+		sources = append(sources, s.Generate(2))
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		sources = append(sources, randprog.Generate(randprog.Default(seed)))
+	}
+	for i, src := range sources {
+		img, err := asm.Assemble("orig.s", src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		var listing bytes.Buffer
+		if err := img.Disassemble(&listing); err != nil {
+			t.Fatal(err)
+		}
+		// Extract the instruction column: "  %08x:  %08x  <asm>".
+		var re strings.Builder
+		for _, line := range strings.Split(listing.String(), "\n") {
+			if !strings.Contains(line, ":  ") {
+				continue // label lines
+			}
+			parts := strings.SplitN(line, "  ", 4)
+			if len(parts) == 4 {
+				re.WriteString(parts[3])
+				re.WriteByte('\n')
+			}
+		}
+		back, err := asm.Assemble("reassembled.s", re.String())
+		if err != nil {
+			t.Fatalf("source %d: reassembly failed: %v\nfirst lines:\n%s",
+				i, err, head(re.String(), 5))
+		}
+		if len(back.Code) != len(img.Code) {
+			t.Fatalf("source %d: %d words reassembled, want %d", i, len(back.Code), len(img.Code))
+		}
+		for j := range img.Code {
+			if back.Code[j] != img.Code[j] {
+				t.Fatalf("source %d: word %d = %#x, want %#x", i, j, back.Code[j], img.Code[j])
+			}
+		}
+	}
+}
+
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// FuzzAssemble: the assembler must reject or accept arbitrary input
+// without panicking, and anything it accepts must produce a valid image.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main: halt\n")
+	f.Add("main:\n\tadd r1, r2, r3\n\tbeq r1, r2, main\n\thalt\n")
+	f.Add(".data\nx: .word 1, 2, main+4\n.text\nmain: la r1, x\n jr r1\n")
+	f.Add("main: li r1, 0xdeadbeef\n push r1\n pop r2\n ret\n")
+	f.Add(".mem 99999\n.entry foo\nfoo: out zero\n halt\n")
+	f.Add("label: label2: .ascii \"x;y\"\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		img, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		if err := img.Validate(); err != nil {
+			t.Errorf("accepted program fails Validate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,349 @@
+// Package bench is the experiment harness: it re-runs every table and
+// figure of the paper's evaluation — plus three extension experiments —
+// (E1..E15, indexed in DESIGN.md and EXPERIMENTS.md) against the synthetic
+// SPEC CPU2000 suite, on both host cost models, and renders them as text
+// tables and charts. Runner methods are safe for concurrent use.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/machine"
+	"sdt/internal/profile"
+	"sdt/internal/program"
+	"sdt/internal/workload"
+)
+
+// runLimit bounds any single simulated run.
+const runLimit = 2_000_000_000
+
+// Canonical mechanism configurations used by the comparison experiments.
+// The sweep experiments (E3/E5/E6) locate the knees these sit on.
+const (
+	SpecNaive    = "translator"
+	SpecIBTC     = "ibtc:16384"
+	SpecInline   = "inline:2+ibtc:16384"
+	SpecSieve    = "sieve:16384"
+	SpecFastRet  = "fastret+ibtc:16384"
+	SpecRetCache = "retcache:16384+ibtc:16384"
+)
+
+// BestSpecs are the per-mechanism configurations compared head-to-head in
+// E8/E9, in display order.
+var BestSpecs = []string{SpecNaive, SpecIBTC, SpecInline, SpecSieve, SpecFastRet, SpecRetCache}
+
+// Result is one (workload, arch, mechanism) measurement.
+type Result struct {
+	Workload string
+	Arch     string
+	Spec     string // "" for native
+
+	Native machine.Result
+	SDT    machine.Result
+	Prof   profile.Profile
+	Counts machine.Counts // native dynamic counts
+
+	// BTBMissRate and RASMissRate are the SDT run's predictor miss
+	// fractions (E12 reports them).
+	BTBMissRate float64
+	RASMissRate float64
+}
+
+// Slowdown is SDT cycles over native cycles.
+func (r *Result) Slowdown() float64 {
+	if r.Native.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SDT.Cycles) / float64(r.Native.Cycles)
+}
+
+// Runner executes and memoizes measurements.
+type Runner struct {
+	// Scale overrides every workload's default scale when nonzero.
+	Scale int
+	// ScaleDivisor divides each workload's default scale when Scale is
+	// zero — proportional shrinking for quick runs (benchmarks use it).
+	ScaleDivisor int
+	// Workloads lists the suite used by the whole-suite experiments;
+	// empty selects the twelve SPEC-shaped workloads.
+	Workloads []string
+	// Verbose, when set, logs each run to Log as it happens.
+	Verbose bool
+	Log     io.Writer
+
+	// mu guards the caches and the log; Runner methods are safe for
+	// concurrent use, and concurrent requests for the same measurement
+	// are deduplicated (the second caller waits for the first).
+	mu       sync.Mutex
+	inflight map[string]chan struct{}
+	images   map[string]*program.Image
+	natives  map[string]*Result // keyed by workload|arch
+	runs     map[string]*Result // keyed by workload|arch|spec
+}
+
+// NewRunner returns a Runner with empty caches.
+func NewRunner() *Runner {
+	return &Runner{
+		inflight: map[string]chan struct{}{},
+		images:   map[string]*program.Image{},
+		natives:  map[string]*Result{},
+		runs:     map[string]*Result{},
+	}
+}
+
+// once memoizes compute under key in cache, deduplicating concurrent
+// computations of the same key.
+func (r *Runner) once(key string, cache map[string]*Result, compute func() (*Result, error)) (*Result, error) {
+	r.mu.Lock()
+	for {
+		if res, ok := cache[key]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		ch, busy := r.inflight[key]
+		if !busy {
+			break
+		}
+		r.mu.Unlock()
+		<-ch
+		r.mu.Lock()
+	}
+	ch := make(chan struct{})
+	r.inflight[key] = ch
+	r.mu.Unlock()
+
+	res, err := compute()
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if err == nil {
+		cache[key] = res
+	}
+	close(ch)
+	r.mu.Unlock()
+	return res, err
+}
+
+func (r *Runner) suite() []string {
+	if len(r.Workloads) > 0 {
+		return r.Workloads
+	}
+	return workload.SPECNames()
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Verbose && r.Log != nil {
+		r.mu.Lock()
+		fmt.Fprintf(r.Log, format, args...)
+		r.mu.Unlock()
+	}
+}
+
+func (r *Runner) image(name string) (*program.Image, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if img, ok := r.images[name]; ok {
+		return img, nil
+	}
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	scale := r.Scale
+	if scale == 0 && r.ScaleDivisor > 1 {
+		scale = spec.DefaultScale / r.ScaleDivisor
+		if scale < 2 {
+			scale = 2
+		}
+	}
+	img, err := spec.Image(scale)
+	if err != nil {
+		return nil, err
+	}
+	r.images[name] = img
+	return img, nil
+}
+
+// Native measures (and memoizes) the native baseline for a workload on an
+// architecture.
+func (r *Runner) Native(wl, arch string) (*Result, error) {
+	return r.once(wl+"|"+arch, r.natives, func() (*Result, error) {
+		img, err := r.image(wl)
+		if err != nil {
+			return nil, err
+		}
+		model, err := hostarch.ByName(arch)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("native   %-10s %-6s ...\n", wl, arch)
+		m, err := machine.RunImage(img, model, runLimit)
+		if err != nil {
+			return nil, fmt.Errorf("bench: native %s on %s: %w", wl, arch, err)
+		}
+		return &Result{Workload: wl, Arch: arch, Native: m.Result(), Counts: m.Counts}, nil
+	})
+}
+
+// Run measures (and memoizes) one workload under one mechanism spec on one
+// architecture, verifying output equivalence against the native run.
+func (r *Runner) Run(wl, arch, spec string) (*Result, error) {
+	return r.once(wl+"|"+arch+"|"+spec, r.runs, func() (*Result, error) {
+		native, err := r.Native(wl, arch)
+		if err != nil {
+			return nil, err
+		}
+		img, err := r.image(wl)
+		if err != nil {
+			return nil, err
+		}
+		model, err := hostarch.ByName(arch)
+		if err != nil {
+			return nil, err
+		}
+		return r.measure(img, wl, arch, spec, model, native)
+	})
+}
+
+// RunWithOptions measures one workload under spec with caller-mutated VM
+// options (fragment cache size, superblocks, linking, block length).
+// Results are not memoized.
+func (r *Runner) RunWithOptions(wl, arch, spec string, mutate func(*core.Options)) (*Result, error) {
+	native, err := r.Native(wl, arch)
+	if err != nil {
+		return nil, err
+	}
+	img, err := r.image(wl)
+	if err != nil {
+		return nil, err
+	}
+	model, err := hostarch.ByName(arch)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.Options(model)
+	if mutate != nil {
+		mutate(&opts)
+	}
+	vm, err := core.New(img, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.Run(runLimit); err != nil {
+		return nil, fmt.Errorf("bench: %s under %s on %s: %w", wl, spec, arch, err)
+	}
+	res := &Result{
+		Workload: wl, Arch: arch, Spec: spec,
+		Native: native.Native, SDT: vm.Result(), Prof: vm.Prof, Counts: native.Counts,
+	}
+	if res.SDT.Checksum != res.Native.Checksum || res.SDT.Instret != res.Native.Instret {
+		return nil, fmt.Errorf("bench: %s under %s on %s diverged from native execution", wl, spec, arch)
+	}
+	r.logf("sdt      %-10s %-6s %-28s %.2fx\n", wl, arch, spec, res.Slowdown())
+	return res, nil
+}
+
+// RunWithHandler measures one workload under a caller-constructed handler
+// (for mechanism combinations the spec grammar cannot express). mk must
+// build a fresh handler per call. Results are memoized under name.
+func (r *Runner) RunWithHandler(wl, arch, name string, mk func() core.IBHandler, fastReturns bool) (*Result, error) {
+	return r.once(wl+"|"+arch+"|handler:"+name, r.runs, func() (*Result, error) {
+		native, err := r.Native(wl, arch)
+		if err != nil {
+			return nil, err
+		}
+		img, err := r.image(wl)
+		if err != nil {
+			return nil, err
+		}
+		model, err := hostarch.ByName(arch)
+		if err != nil {
+			return nil, err
+		}
+		vm, err := core.New(img, core.Options{Model: model, Handler: mk(), FastReturns: fastReturns})
+		if err != nil {
+			return nil, err
+		}
+		if err := vm.Run(runLimit); err != nil {
+			return nil, fmt.Errorf("bench: %s under %s on %s: %w", wl, name, arch, err)
+		}
+		res := &Result{
+			Workload: wl, Arch: arch, Spec: name,
+			Native: native.Native, SDT: vm.Result(), Prof: vm.Prof, Counts: native.Counts,
+		}
+		if res.SDT.Checksum != res.Native.Checksum || res.SDT.Instret != res.Native.Instret {
+			return nil, fmt.Errorf("bench: %s under %s on %s diverged from native execution", wl, name, arch)
+		}
+		r.logf("sdt      %-10s %-6s %-28s %.2fx\n", wl, arch, name, res.Slowdown())
+		return res, nil
+	})
+}
+
+// RunWithModel measures one workload under a caller-supplied (possibly
+// ablated) cost model. Results are not memoized.
+func (r *Runner) RunWithModel(wl, spec string, model *hostarch.Model) (*Result, error) {
+	img, err := r.image(wl)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.RunImage(img, model, runLimit)
+	if err != nil {
+		return nil, fmt.Errorf("bench: native %s on %s: %w", wl, model.Name, err)
+	}
+	native := &Result{Workload: wl, Arch: model.Name, Native: m.Result(), Counts: m.Counts}
+	return r.measure(img, wl, model.Name, spec, model, native)
+}
+
+func (r *Runner) measure(img *program.Image, wl, arch, spec string, model *hostarch.Model, native *Result) (*Result, error) {
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := core.New(img, cfg.Options(model))
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.Run(runLimit); err != nil {
+		return nil, fmt.Errorf("bench: %s under %s on %s: %w", wl, spec, arch, err)
+	}
+	res := &Result{
+		Workload: wl, Arch: arch, Spec: spec,
+		Native: native.Native, SDT: vm.Result(), Prof: vm.Prof, Counts: native.Counts,
+	}
+	if h, m := vm.Env.BTB.Stats(); h+m > 0 {
+		res.BTBMissRate = float64(m) / float64(h+m)
+	}
+	if h, m := vm.Env.RAS.Stats(); h+m > 0 {
+		res.RASMissRate = float64(m) / float64(h+m)
+	}
+	if res.SDT.Checksum != res.Native.Checksum || res.SDT.Instret != res.Native.Instret {
+		return nil, fmt.Errorf("bench: %s under %s on %s diverged from native execution", wl, spec, arch)
+	}
+	r.logf("sdt      %-10s %-6s %-28s %.2fx\n", wl, arch, spec, res.Slowdown())
+	return res, nil
+}
+
+// Geomean returns the geometric mean of vs (0 for empty input).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

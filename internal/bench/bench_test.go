@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdt/internal/hostarch"
+)
+
+// testRunner shrinks workloads hard so harness tests stay fast.
+func testRunner() *Runner {
+	r := NewRunner()
+	r.ScaleDivisor = 50
+	r.Workloads = []string{"gzip", "perlbmk", "vortex"}
+	return r
+}
+
+func TestGeomean(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2}, 2},
+		{[]float64{1, 4}, 2},
+		{[]float64{2, 0, 8}, 0}, // nonpositive input
+		{[]float64{2, 2, 2}, 2},
+	}
+	for _, tt := range tests {
+		if got := Geomean(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNativeMemoized(t *testing.T) {
+	r := testRunner()
+	a, err := r.Native("gzip", "x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Native("gzip", "x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Native is not memoized")
+	}
+	c, err := r.Native("gzip", "sparc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("memoization key must include the architecture")
+	}
+}
+
+func TestRunVerifiesEquivalence(t *testing.T) {
+	r := testRunner()
+	res, err := r.Run("perlbmk", "x86", "ibtc:1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown() <= 1 {
+		t.Errorf("slowdown = %v, want > 1", res.Slowdown())
+	}
+	if res.SDT.Checksum != res.Native.Checksum {
+		t.Error("Run returned diverged result")
+	}
+	again, err := r.Run("perlbmk", "x86", "ibtc:1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Error("Run is not memoized")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	r := testRunner()
+	if _, err := r.Run("nope", "x86", "ibtc:1024"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := r.Run("gzip", "vax", "ibtc:1024"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if _, err := r.Run("gzip", "x86", "warp"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestRunWithModel(t *testing.T) {
+	r := testRunner()
+	m := hostarch.X86()
+	m.Name = "x86-noflags"
+	m.FlagsSave, m.FlagsRestore = 0, 0
+	ablated, err := r.RunWithModel("perlbmk", "ibtc:1024", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stock, err := r.Run("perlbmk", "x86", "ibtc:1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Slowdown() >= stock.Slowdown() {
+		t.Errorf("free flags (%.3f) should beat stock (%.3f)", ablated.Slowdown(), stock.Slowdown())
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range Experiments {
+		got, err := ByID(e.ID)
+		if err != nil || got.Title != e.Title {
+			t.Errorf("ByID(%s) = %v, %v", e.ID, got.Title, err)
+		}
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s is incomplete", e.ID)
+		}
+	}
+}
+
+func TestEveryExperimentRunsOnSubset(t *testing.T) {
+	// End-to-end: every experiment must complete and produce output on a
+	// shrunken suite. Sweeps touch only their own subsets, so results are
+	// small but the code paths are exercised.
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			r := NewRunner()
+			r.ScaleDivisor = 60
+			r.Workloads = []string{"gzip", "perlbmk", "vortex"}
+			var sb strings.Builder
+			if err := RunOne(r, &sb, e); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(sb.String()) < 80 {
+				t.Errorf("%s produced almost no output:\n%s", e.ID, sb.String())
+			}
+		})
+	}
+}
+
+func TestScaleDivisorShrinksWork(t *testing.T) {
+	big := NewRunner()
+	big.Workloads = []string{"gzip"}
+	big.ScaleDivisor = 10
+	small := NewRunner()
+	small.Workloads = []string{"gzip"}
+	small.ScaleDivisor = 60
+	rb, err := big.Native("gzip", "x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := small.Native("gzip", "x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Native.Instret >= rb.Native.Instret {
+		t.Error("larger divisor should mean less work")
+	}
+}
+
+func TestRunnerConcurrentDedup(t *testing.T) {
+	// Concurrent requests for one measurement must produce one
+	// computation and share the result.
+	r := testRunner()
+	const n = 8
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run("perlbmk", "x86", "ibtc:1024")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers received different result objects")
+		}
+	}
+}
+
+func TestRunnerConcurrentDistinctKeys(t *testing.T) {
+	r := testRunner()
+	specs := []string{"ibtc:64", "ibtc:256", "sieve:64", "translator"}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec string) {
+			defer wg.Done()
+			_, errs[i] = r.Run("gzip", "x86", spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("%s: %v", specs[i], err)
+		}
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	r := testRunner()
+	if _, err := r.Run("gzip", "x86", "ibtc:64"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("gzip", "sparc", "ibtc:64"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.ExportCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header + 2 natives + 2 runs
+	if len(lines) != 5 {
+		t.Fatalf("got %d CSV lines:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,arch,mechanism") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, want := range []string{"gzip,sparc,ibtc:64", "gzip,x86,native"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("CSV missing row %q", want)
+		}
+	}
+	// Stable ordering: exporting twice gives identical bytes.
+	var sb2 strings.Builder
+	if err := r.ExportCSV(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("CSV export is not deterministic")
+	}
+}
+
+func TestBestSpecsParse(t *testing.T) {
+	r := testRunner()
+	for _, spec := range BestSpecs {
+		if _, err := r.Run("gzip", "x86", spec); err != nil {
+			t.Errorf("BestSpec %q failed: %v", spec, err)
+		}
+	}
+}

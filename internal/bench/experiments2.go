@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sdt/internal/core"
+	"sdt/internal/ib"
+	"sdt/internal/textplot"
+)
+
+// Extension experiments beyond the paper's figures: the configuration
+// dimensions the abstract's "appropriate choice and configuration" framing
+// opens, exercised on the same apparatus. Registered after E12.
+
+func init() {
+	Experiments = append(Experiments,
+		Experiment{"E13", "Fragment cache pressure", "flush-policy discussion (extension)", runE13},
+		Experiment{"E14", "Superblock formation", "fragment-linking/layout discussion (extension)", runE14},
+		Experiment{"E15", "IBTC organization: associativity & hash", "IBTC configuration discussion (extension)", runE15},
+		Experiment{"E16", "Trace formation with IB guards", "Dynamo/Strata trace mode (extension)", runE16},
+		Experiment{"E17", "Per-kind cost attribution", "which IB kind buys what (extension)", runE17},
+	)
+}
+
+// ---- E17: per-kind attribution ----------------------------------------------
+
+// runE17 fixes the naive translator on all indirect-branch kinds except
+// one, which gets the full IBTC: the slowdown recovered by each column
+// attributes the naive overhead to that kind. The rightmost columns are
+// the all-naive and all-IBTC anchors.
+func runE17(r *Runner, w io.Writer) error {
+	type column struct {
+		name string
+		mk   func() core.IBHandler
+	}
+	fast := func() core.IBHandler { return ib.NewIBTC(ib.IBTCConfig{Entries: 16384}) }
+	slow := func() core.IBHandler { return ib.NewTranslator() }
+	cols := []column{
+		{"returns-only", func() core.IBHandler { return ib.NewPerKind(fast(), slow(), slow()) }},
+		{"ijumps-only", func() core.IBHandler { return ib.NewPerKind(slow(), fast(), slow()) }},
+		{"icalls-only", func() core.IBHandler { return ib.NewPerKind(slow(), slow(), fast()) }},
+	}
+	headers := []string{"workload", "naive"}
+	for _, c := range cols {
+		headers = append(headers, c.name)
+	}
+	headers = append(headers, "all-ibtc")
+	var rows [][]string
+	geos := make([][]float64, len(cols)+2)
+	for _, wl := range r.suite() {
+		naive, err := r.Run(wl, "x86", SpecNaive)
+		if err != nil {
+			return err
+		}
+		row := []string{wl, fmtF(naive.Slowdown()) + "x"}
+		geos[0] = append(geos[0], naive.Slowdown())
+		for i, c := range cols {
+			res, err := r.RunWithHandler(wl, "x86", c.name, c.mk, false)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmtF(res.Slowdown())+"x")
+			geos[i+1] = append(geos[i+1], res.Slowdown())
+		}
+		all, err := r.Run(wl, "x86", SpecIBTC)
+		if err != nil {
+			return err
+		}
+		row = append(row, fmtF(all.Slowdown())+"x")
+		geos[len(cols)+1] = append(geos[len(cols)+1], all.Slowdown())
+		rows = append(rows, row)
+	}
+	grow := []string{"geomean"}
+	for _, g := range geos {
+		grow = append(grow, fmtF(Geomean(g))+"x")
+	}
+	rows = append(rows, grow)
+	fmt.Fprintln(w, "slowdown when only ONE IB kind gets the IBTC (others stay naive), x86:")
+	textplot.Table(w, headers, rows)
+	fmt.Fprintln(w, "\n(the kind whose column recovers most of the naive gap is the kind that\n was costing the program — returns, for most of the suite)")
+	return nil
+}
+
+// ---- E16: traces ---------------------------------------------------------------
+
+func runE16(r *Runner, w io.Writer) error {
+	headers := []string{"workload", "ibtc", "trace+ibtc", "fastret+ibtc", "guard hit%", "traces"}
+	var rows [][]string
+	var plain, traced, fast []float64
+	for _, wl := range r.suite() {
+		p, err := r.Run(wl, "x86", SpecIBTC)
+		if err != nil {
+			return err
+		}
+		tr, err := r.Run(wl, "x86", "trace+"+SpecIBTC)
+		if err != nil {
+			return err
+		}
+		fr, err := r.Run(wl, "x86", SpecFastRet)
+		if err != nil {
+			return err
+		}
+		plain = append(plain, p.Slowdown())
+		traced = append(traced, tr.Slowdown())
+		fast = append(fast, fr.Slowdown())
+		guardRate := 0.0
+		if tot := tr.Prof.TraceGuardHits + tr.Prof.TraceGuardMisses; tot > 0 {
+			guardRate = 100 * float64(tr.Prof.TraceGuardHits) / float64(tot)
+		}
+		rows = append(rows, []string{
+			wl,
+			fmtF(p.Slowdown()) + "x",
+			fmtF(tr.Slowdown()) + "x",
+			fmtF(fr.Slowdown()) + "x",
+			fmt.Sprintf("%.1f", guardRate),
+			fmt.Sprintf("%d", tr.Prof.TracesFormed),
+		})
+	}
+	rows = append(rows, []string{"geomean",
+		fmtF(Geomean(plain)) + "x", fmtF(Geomean(traced)) + "x", fmtF(Geomean(fast)) + "x", "-", "-"})
+	fmt.Fprintln(w, "NET-style traces with speculative IB guards (x86):")
+	textplot.Table(w, headers, rows)
+	fmt.Fprintln(w, "\n(a trace guard turns an on-trace monomorphic IB into one compare,\n buying part of fast returns' win without sacrificing transparency)")
+	return nil
+}
+
+// ---- E13: fragment cache size sweep -----------------------------------------
+
+var cacheSizes = []uint32{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 1 << 20}
+
+func runE13(r *Runner, w io.Writer) error {
+	// micro.bigcode's ~40 KiB translated footprint does not fit small
+	// caches, forcing repeated flushes that also discard all mechanism
+	// state; the SPEC-shaped workloads fit comfortably (their static
+	// code is small), which is itself a finding worth a row.
+	wls := []string{"micro.bigcode", "gcc"}
+	xs := make([]string, len(cacheSizes))
+	for i, n := range cacheSizes {
+		xs[i] = fmt.Sprintf("%dK", n>>10)
+	}
+	var series []textplot.NamedSeries
+	for _, wl := range wls {
+		vals := make([]float64, len(cacheSizes))
+		flushes := make([]uint64, len(cacheSizes))
+		for i, n := range cacheSizes {
+			n := n
+			res, err := r.RunWithOptions(wl, "x86", SpecIBTC, func(o *core.Options) {
+				o.CacheBytes = n
+			})
+			if err != nil {
+				return err
+			}
+			vals[i] = res.Slowdown()
+			flushes[i] = res.Prof.Flushes
+		}
+		series = append(series, textplot.NamedSeries{Name: wl, Values: vals})
+		fmt.Fprintf(w, "%s flushes per run: %v\n", wl, flushes)
+	}
+	fmt.Fprintln(w)
+	textplot.Series(w, "slowdown vs fragment cache capacity (ibtc:16384, x86)", "capacity", xs, series, "x")
+	fmt.Fprintln(w, "\n(each flush discards fragments, links and all mechanism state)")
+	return nil
+}
+
+// ---- E14: superblock formation ------------------------------------------------
+
+func runE14(r *Runner, w io.Writer) error {
+	headers := []string{"workload", "plain", "superblocks", "fragments plain", "fragments super"}
+	var rows [][]string
+	var plainVals, superVals []float64
+	for _, wl := range r.suite() {
+		plain, err := r.Run(wl, "x86", SpecIBTC)
+		if err != nil {
+			return err
+		}
+		super, err := r.RunWithOptions(wl, "x86", SpecIBTC, func(o *core.Options) {
+			o.Superblocks = true
+		})
+		if err != nil {
+			return err
+		}
+		plainVals = append(plainVals, plain.Slowdown())
+		superVals = append(superVals, super.Slowdown())
+		rows = append(rows, []string{
+			wl,
+			fmtF(plain.Slowdown()) + "x",
+			fmtF(super.Slowdown()) + "x",
+			fmt.Sprintf("%d", plain.Prof.Translations),
+			fmt.Sprintf("%d", super.Prof.Translations),
+		})
+	}
+	rows = append(rows, []string{"geomean",
+		fmtF(Geomean(plainVals)) + "x", fmtF(Geomean(superVals)) + "x", "-", "-"})
+	fmt.Fprintln(w, "superblock formation (follow forward direct jumps at translation), ibtc:16384, x86:")
+	textplot.Table(w, headers, rows)
+	fmt.Fprintln(w, "\n(elided jumps shorten fragment chains; IB handling is untouched, so the\n effect is bounded by each workload's direct-jump density)")
+	return nil
+}
+
+// ---- E15: IBTC organization ----------------------------------------------------
+
+func runE15(r *Runner, w io.Writer) error {
+	specs := []string{"ibtc:16", "ibtc:16:4way", "ibtc:16:fib", "ibtc:256", "ibtc:256:4way", "ibtc:16384"}
+	headers := append([]string{"workload"}, specs...)
+	var rows [][]string
+	geo := make([][]float64, len(specs))
+	for _, wl := range ibHeavy {
+		row := []string{wl}
+		for i, spec := range specs {
+			res, err := r.Run(wl, "x86", spec)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmtF(res.Slowdown())+"x")
+			geo[i] = append(geo[i], res.Slowdown())
+		}
+		rows = append(rows, row)
+	}
+	grow := []string{"geomean"}
+	for i := range specs {
+		grow = append(grow, fmtF(Geomean(geo[i]))+"x")
+	}
+	rows = append(rows, grow)
+	fmt.Fprintln(w, "IBTC organization at fixed capacity (x86, IB-heavy subset):")
+	textplot.Table(w, headers, rows)
+	fmt.Fprintln(w, "\n(associativity and hash quality matter only near the capacity knee;\n a big direct-mapped table dominates both, which is why SDTs ship one)")
+	return nil
+}

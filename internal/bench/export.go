@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"sdt/internal/isa"
+)
+
+// ExportCSV writes every measurement the runner has memoized (native
+// baselines and SDT runs) as CSV, one row per run, for plotting outside
+// the text harness. Rows are sorted by (workload, arch, spec) so exports
+// are stable.
+func (r *Runner) ExportCSV(w io.Writer) error {
+	r.mu.Lock()
+	rows := make([]*Result, 0, len(r.runs)+len(r.natives))
+	for _, res := range r.natives {
+		rows = append(rows, res)
+	}
+	for _, res := range r.runs {
+		rows = append(rows, res)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Arch != b.Arch {
+			return a.Arch < b.Arch
+		}
+		return a.Spec < b.Spec
+	})
+
+	cw := csv.NewWriter(w)
+	header := []string{
+		"workload", "arch", "mechanism",
+		"native_cycles", "sdt_cycles", "slowdown",
+		"instructions", "ib_total", "ib_returns", "ib_ijumps", "ib_icalls",
+		"mech_hit_rate", "translator_entries", "translations", "flushes",
+		"btb_miss_rate", "ras_miss_rate",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.6f", v) }
+	u := func(v uint64) string { return fmt.Sprintf("%d", v) }
+	for _, res := range rows {
+		spec := res.Spec
+		if spec == "" {
+			spec = "native"
+		}
+		c := res.Counts
+		row := []string{
+			res.Workload, res.Arch, spec,
+			u(res.Native.Cycles), u(res.SDT.Cycles), f(res.Slowdown()),
+			u(res.Native.Instret),
+			u(c.IBTotal()), u(c.IB[isa.IBReturn]), u(c.IB[isa.IBJump]), u(c.IB[isa.IBCall]),
+			f(res.Prof.HitRate()), u(res.Prof.TranslatorEntries),
+			u(res.Prof.Translations), u(res.Prof.Flushes),
+			f(res.BTBMissRate), f(res.RASMissRate),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,129 @@
+// Package cache implements a set-associative L1 cache simulator with LRU
+// replacement. The SDT study uses two instances per run: an I-cache fed with
+// the addresses of executed code (guest addresses natively, fragment-cache
+// addresses under the SDT — the sieve's stub chains live here) and a D-cache
+// fed with guest data accesses plus the SDT's own table probes (the IBTC
+// lives here).
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size (power of two)
+	Ways      int // associativity; 1 = direct-mapped
+}
+
+// Validate reports whether the geometry is realizable.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: nonpositive geometry %+v", c)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*ways=%d", c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+type line struct {
+	tag   uint32
+	valid bool
+	lru   uint64 // last-touched tick; larger = more recent
+}
+
+// Cache is one simulated cache. The zero value is not usable; call New.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint32
+	sets      [][]line
+	tick      uint64
+	hits      uint64
+	misses    uint64
+}
+
+// New builds a cache for the given geometry. It panics if the geometry is
+// invalid; validate configs from external input with Config.Validate first.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, lineShift: shift, setMask: uint32(nsets - 1)}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates a reference to addr and reports whether it hit. Misses
+// install the line (allocate-on-miss, for both reads and writes).
+func (c *Cache) Access(addr uint32) bool {
+	c.tick++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(popcount(c.setMask))
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			c.hits++
+			return true
+		}
+		if set[i].lru < set[victim].lru || !set[i].valid && set[victim].valid {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.tick}
+	c.misses++
+	return false
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

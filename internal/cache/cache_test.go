@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 1},
+		{SizeBytes: 64, LineBytes: 16, Ways: 4}, // fully associative (1 set)
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{},
+		{SizeBytes: -1, LineBytes: 64, Ways: 1},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 1},  // line not power of two
+		{SizeBytes: 1000, LineBytes: 64, Ways: 1},  // not divisible
+		{SizeBytes: 3072, LineBytes: 64, Ways: 16}, // 3 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on invalid config")
+		}
+	}()
+	New(Config{})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	if c.Access(0x100) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x13c) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(0x140) {
+		t.Error("next line should miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats = %d hits %d misses, want 2/2", hits, misses)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 4 sets of 1 way, 64B lines: addresses 64*4=256 apart conflict.
+	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 1})
+	c.Access(0)
+	c.Access(256)
+	if c.Access(0) {
+		t.Error("conflicting line should have evicted address 0")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// One set, 2 ways.
+	c := New(Config{SizeBytes: 128, LineBytes: 64, Ways: 2})
+	c.Access(0)       // miss, install A
+	c.Access(64)      // miss, install B (same set: only 1 set)
+	c.Access(0)       // hit A, making B the LRU
+	c.Access(128)     // miss, must evict B
+	if !c.Access(0) { // A must survive
+		t.Error("LRU evicted the most recently used line")
+	}
+	if c.Access(64) {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 4}) // 1 set
+	for i := uint32(0); i < 4; i++ {
+		c.Access(i * 64)
+	}
+	for i := uint32(0); i < 4; i++ {
+		if !c.Access(i * 64) {
+			t.Errorf("line %d should be resident", i)
+		}
+	}
+	c.Access(4 * 64) // evicts line 0 (LRU)
+	if c.Access(0) {
+		t.Error("line 0 should have been evicted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if c.Access(0) {
+		t.Error("Reset did not invalidate lines")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	if c.MissRate() != 0 {
+		t.Error("empty cache MissRate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %v, want 0.25", got)
+	}
+}
+
+func TestWorkingSetFitsAlwaysHits(t *testing.T) {
+	// Property: after a warm-up pass, re-touching a working set that fits
+	// in the cache never misses.
+	f := func(seed int64) bool {
+		c := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+		rng := rand.New(rand.NewSource(seed))
+		// 64 lines total capacity; use 32 distinct lines spread evenly
+		// across sets (sequential lines map to distinct sets).
+		addrs := make([]uint32, 32)
+		for i := range addrs {
+			addrs[i] = uint32(i * 64)
+		}
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		for i := 0; i < 1000; i++ {
+			if !c.Access(addrs[rng.Intn(len(addrs))]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsConserved(t *testing.T) {
+	// Property: hits + misses == accesses for any access pattern.
+	f := func(addrs []uint32) bool {
+		c := New(Config{SizeBytes: 512, LineBytes: 32, Ways: 2})
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		h, m := c.Stats()
+		return h+m == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

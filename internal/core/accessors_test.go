@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+)
+
+func newVM(t *testing.T, src, spec string, mutate func(*core.Options)) *core.VM {
+	t.Helper()
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cfg.Options(hostarch.X86())
+	if mutate != nil {
+		mutate(&opts)
+	}
+	vm, err := core.New(assemble(t, src), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestOptionsDefaulted(t *testing.T) {
+	vm := newVM(t, "main: halt\n", "ibtc:64", nil)
+	o := vm.Options()
+	if o.MaxBlockInsts != 128 || o.CacheBytes != 8<<20 || o.TraceThreshold != 64 || o.MaxTraceFrags != 8 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	if vm.Handler() == nil || vm.Handler().Name() != "ibtc(shared,64)" {
+		t.Errorf("Handler() = %v", vm.Handler())
+	}
+	if vm.Image() == nil {
+		t.Error("Image() nil")
+	}
+}
+
+func TestAllocatorsMonotonic(t *testing.T) {
+	vm := newVM(t, "main: halt\n", "translator", nil)
+	a := vm.AllocCode(64)
+	b := vm.AllocCode(32)
+	if b != a+64 {
+		t.Errorf("AllocCode not contiguous: %#x then %#x", a, b)
+	}
+	if a < core.FragBase {
+		t.Errorf("code alloc %#x below FragBase", a)
+	}
+	d1 := vm.AllocData(128)
+	d2 := vm.AllocData(8)
+	if d2 != d1+128 {
+		t.Errorf("AllocData not contiguous: %#x then %#x", d1, d2)
+	}
+	if d1 < core.TableBase {
+		t.Errorf("data alloc %#x below TableBase", d1)
+	}
+}
+
+func TestLookupAndByHost(t *testing.T) {
+	vm := newVM(t, `
+	main:
+		call fn
+		halt
+	fn:	ret
+	`, "ibtc:64", nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	entry := vm.Image().Entry
+	f := vm.Lookup(entry)
+	if f == nil || f.GuestPC != entry {
+		t.Fatalf("Lookup(entry) = %v", f)
+	}
+	if got := vm.FragmentByHost(f.HostAddr); got != f {
+		t.Error("FragmentByHost disagrees with Lookup")
+	}
+	if vm.FragmentByHost(0xdeadbeef) != nil {
+		t.Error("FragmentByHost invented a fragment")
+	}
+	if vm.Lookup(0x42) != nil {
+		t.Error("Lookup invented a fragment")
+	}
+	if f.Terminator().Op.String() != "jal" {
+		t.Errorf("entry fragment terminator = %v", f.Terminator())
+	}
+}
+
+func TestGuestOfHostRet(t *testing.T) {
+	vm := newVM(t, `
+	main:
+		call fn
+		halt
+	fn:	ret
+	`, "fastret+ibtc:64", nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// The call's return point (main+4) was hostized; find its record.
+	retGuest := vm.Image().Entry + 4
+	rf := vm.Lookup(retGuest)
+	if rf == nil {
+		t.Fatal("return-point fragment missing")
+	}
+	g, ok := vm.GuestOfHostRet(rf.HostAddr)
+	if !ok || g != retGuest {
+		t.Errorf("GuestOfHostRet = %#x,%v want %#x", g, ok, retGuest)
+	}
+	if _, ok := vm.GuestOfHostRet(12345); ok {
+		t.Error("GuestOfHostRet invented a mapping")
+	}
+}
+
+func TestEpochAdvancesOnFlush(t *testing.T) {
+	vm := newVM(t, testPrograms["mutual"], "ibtc:64", func(o *core.Options) {
+		o.CacheBytes = 200
+	})
+	before := vm.Epoch()
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Prof.Flushes == 0 {
+		t.Fatal("expected flushes")
+	}
+	if vm.Epoch() == before {
+		t.Error("Epoch did not advance across flushes")
+	}
+	if vm.Epoch() != before+vm.Prof.Flushes {
+		t.Errorf("Epoch = %d, want %d", vm.Epoch(), before+vm.Prof.Flushes)
+	}
+}

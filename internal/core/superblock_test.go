@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/randprog"
+)
+
+// jumpChainProg hops through a chain of forward direct jumps each
+// iteration — the best case for superblock formation.
+const jumpChainProg = `
+main:
+	li r10, 0
+	li r11, 5000
+loop:
+	addi r10, r10, 1
+	jmp hop1
+hop1:
+	addi r12, r12, 3
+	jmp hop2
+hop2:
+	xor r12, r12, r10
+	jmp hop3
+hop3:
+	addi r12, r12, 7
+	blt r10, r11, loop
+	out r12
+	halt
+`
+
+func TestSuperblocksElideDirectJumps(t *testing.T) {
+	img := assemble(t, jumpChainProg)
+	native := runNative(t, img)
+	plain := runSDT(t, img, "ibtc:1024", nil)
+	super := runSDT(t, img, "ibtc:1024", func(o *core.Options) { o.Superblocks = true })
+
+	if super.Result().Checksum != native.Result().Checksum {
+		t.Fatal("superblocks changed program output")
+	}
+	if super.Result().Instret != native.Result().Instret {
+		t.Fatal("superblocks changed instruction count")
+	}
+	if super.Env.Cycles >= plain.Env.Cycles {
+		t.Errorf("superblocks (%d cycles) should beat plain fragments (%d cycles) on a jump chain",
+			super.Env.Cycles, plain.Env.Cycles)
+	}
+	if super.Prof.Translations >= plain.Prof.Translations {
+		t.Errorf("superblocks should produce fewer, longer fragments: %d vs %d",
+			super.Prof.Translations, plain.Prof.Translations)
+	}
+}
+
+func TestSuperblocksNeverFollowBackwardJumps(t *testing.T) {
+	// A backward jmp (the loop) must still end the fragment, or
+	// translation would loop forever.
+	src := `
+	main:
+		li r10, 10
+	top:
+		subi r10, r10, 1
+		bnez r10, top
+		out r10
+		halt
+	`
+	img := assemble(t, src)
+	vm := runSDT(t, img, "ibtc:64", func(o *core.Options) { o.Superblocks = true })
+	if vm.Result().OutCount != 1 {
+		t.Fatal("backward-jump program misbehaved under superblocks")
+	}
+}
+
+func TestSuperblocksAllPrograms(t *testing.T) {
+	// Equivalence across the shared test programs and random programs.
+	for name, src := range testPrograms {
+		img := assemble(t, src)
+		native := runNative(t, img)
+		vm := runSDT(t, img, "fastret+ibtc:1024", func(o *core.Options) { o.Superblocks = true })
+		if vm.Result().Checksum != native.Result().Checksum {
+			t.Errorf("%s: superblocks diverged", name)
+		}
+	}
+	for seed := int64(50); seed < 60; seed++ {
+		src := randprog.Generate(randprog.Default(seed))
+		img := assemble(t, src)
+		native := runNative(t, img)
+		vm := runSDT(t, img, "ibtc:1024", func(o *core.Options) { o.Superblocks = true })
+		if vm.Result().Checksum != native.Result().Checksum {
+			t.Errorf("seed %d: superblocks diverged", seed)
+		}
+	}
+}
+
+func TestSuperblocksSiteAddressCorrect(t *testing.T) {
+	// With elided jumps the IB site's guest pc is no longer
+	// fragment-start + offset; verify the recorded site matches the
+	// actual ret location.
+	src := `
+	main:
+		jmp stepa
+	stepa:
+		jmp stepb
+	stepb:
+		call fn
+		halt
+	fn:
+		ret
+	`
+	img := assemble(t, src)
+	cfg, _ := ib.Parse("ibtc:64")
+	var siteAt uint32
+	probe := &siteProbe{inner: cfg.Handler, sawSite: &siteAt}
+	vm, err := core.New(img, core.Options{Model: hostarch.X86(), Handler: probe, Superblocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if want := img.Symbols["fn"]; siteAt != want {
+		t.Errorf("ret site recorded at %#x, want %#x", siteAt, want)
+	}
+}
+
+// siteProbe records the guest pc of the return site it resolves.
+type siteProbe struct {
+	inner   core.IBHandler
+	sawSite *uint32
+}
+
+func (p *siteProbe) Name() string                       { return "probe" }
+func (p *siteProbe) Init(vm *core.VM)                   { p.inner.Init(vm) }
+func (p *siteProbe) Flush(vm *core.VM)                  { p.inner.Flush(vm) }
+func (p *siteProbe) Attach(vm *core.VM, s *core.IBSite) { p.inner.Attach(vm, s) }
+func (p *siteProbe) Resolve(vm *core.VM, s *core.IBSite, target uint32) (*core.Fragment, error) {
+	*p.sawSite = s.GuestPC
+	return p.inner.Resolve(vm, s, target)
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sdt/internal/isa"
+	"sdt/internal/machine"
+)
+
+// Trace is a materialized hot path: a sequence of fragments copied into a
+// contiguous stretch of the fragment cache (NET-style, after Dynamo and
+// Strata's trace mode). Direct transfers between consecutive parts execute
+// as in linked fragments; indirect branches whose recorded continuation is
+// the next part are guarded by one inline compare — a speculative inline
+// cache costing a flag spill and a compare while the branch stays
+// monomorphic along the trace, with the configured mechanism as the miss
+// path.
+type Trace struct {
+	Parts    []*Fragment
+	HostAddr uint32 // contiguous trace layout in the fragment cache
+	Bytes    uint32
+
+	// guards holds per-part guard statistics. A guard that keeps missing
+	// is patched out (off) — speculating on a polymorphic indirect branch
+	// only adds a wasted compare to every execution.
+	guards []guardStat
+}
+
+type guardStat struct {
+	hits   uint32
+	misses uint32
+	off    bool
+}
+
+// guardSample records one guard outcome and disables the guard once it has
+// proven unprofitable: at least guardProbation samples with under 50% hits.
+const guardProbation = 32
+
+func (g *guardStat) sample(hit bool) {
+	if hit {
+		g.hits++
+	} else {
+		g.misses++
+	}
+	if g.hits+g.misses >= guardProbation && g.misses >= g.hits {
+		g.off = true
+	}
+}
+
+// traceRec is an in-progress recording.
+type traceRec struct {
+	head  *Fragment
+	parts []*Fragment
+}
+
+// traceStep is one iteration of the Run loop under Options.Traces: execute
+// a trace if one starts here, otherwise count hotness, possibly start or
+// extend a recording, and execute the fragment normally.
+func (vm *VM) traceStep(f *Fragment) (*Fragment, error) {
+	if tr := f.Trace; tr != nil {
+		vm.rec = nil // never record across a trace execution
+		return vm.execTrace(tr)
+	}
+	f.Hits++
+	if vm.rec == nil && f.Hits == uint64(vm.opts.TraceThreshold) {
+		vm.rec = &traceRec{head: f}
+	}
+	next, err := vm.execFragment(f)
+	if err != nil {
+		return nil, err
+	}
+	if vm.rec != nil {
+		vm.recordStep(f, next)
+	}
+	return next, nil
+}
+
+// recordStep appends the just-executed fragment to the active recording
+// and decides whether the trace is complete.
+func (vm *VM) recordStep(f *Fragment, next *Fragment) {
+	rec := vm.rec
+	if len(rec.parts) == 0 && f != rec.head {
+		// Recording armed but execution never came back through the
+		// head (e.g. the head exited the program); abandon.
+		vm.rec = nil
+		return
+	}
+	rec.parts = append(rec.parts, f)
+	switch {
+	case next == nil:
+		vm.rec = nil
+	case next == rec.head, len(rec.parts) >= vm.opts.MaxTraceFrags, next.Trace != nil:
+		vm.materializeTrace(rec)
+		vm.rec = nil
+	}
+}
+
+// materializeTrace copies the recorded path into the fragment cache and
+// installs it at the head. Recordings of fewer than two parts are not
+// worth a trace; a full fragment cache stops trace formation rather than
+// forcing flush churn.
+func (vm *VM) materializeTrace(rec *traceRec) {
+	if len(rec.parts) < 2 {
+		return
+	}
+	m := vm.Env.Model
+	totalInsts := 0
+	for _, p := range rec.parts {
+		totalInsts += len(p.Insts)
+	}
+	bytes := uint32(totalInsts*m.CodeBytesPerInst + m.StubBytes)
+	if vm.cacheUsed+bytes > vm.opts.CacheBytes {
+		return
+	}
+	start := vm.Env.Cycles
+	vm.Env.Charge(m.TransBase/2 + m.TransPerInst*totalInsts/2) // code copying
+	vm.Prof.CyclesTrans += vm.Env.Cycles - start
+	tr := &Trace{
+		Parts:    append([]*Fragment(nil), rec.parts...),
+		HostAddr: vm.AllocCode(bytes),
+		Bytes:    bytes,
+		guards:   make([]guardStat, len(rec.parts)),
+	}
+	rec.head.Trace = tr
+	vm.Prof.TracesFormed++
+}
+
+// execTrace runs a trace from its head, leaving it at the first off-trace
+// transfer. It returns the next fragment to execute (nil after HALT).
+func (vm *VM) execTrace(tr *Trace) (*Fragment, error) {
+	env := vm.Env
+	m := env.Model
+	cb := uint32(m.CodeBytesPerInst)
+	off := uint32(0)
+	for idx, part := range tr.Parts {
+		out, err := vm.execBody(part, tr.HostAddr+off)
+		if err != nil {
+			return nil, err
+		}
+		off += uint32(len(part.Insts)) * cb
+		// The tail speculates loop closure back to the trace head — the
+		// NET shape: most traces are loop bodies whose last transfer
+		// returns to the top.
+		last := idx+1 == len(tr.Parts)
+		next := tr.Parts[(idx+1)%len(tr.Parts)]
+
+		if out.Kind == machine.OutIndirect {
+			// Speculative guard against the recorded continuation. Fast
+			// returns make the comparison useless for returns (the live
+			// value is a fragment-cache address) and unsound to shortcut
+			// for calls (the emitted host call must still run), so those
+			// combinations go straight to the normal path — as do guards
+			// that proved polymorphic and were patched out.
+			g := &tr.guards[idx]
+			useGuard := (!vm.opts.FastReturns || out.IB == isa.IBJump) && !g.off
+			if useGuard {
+				env.Charge(m.FlagsSave + m.CompareBranch + m.FlagsRestore)
+				hit := out.Target == next.GuestPC
+				g.sample(hit)
+				if hit {
+					vm.Prof.IBExec[out.IB]++
+					vm.Prof.TraceGuardHits++
+					if out.IB == isa.IBCall && vm.callObs != nil {
+						vm.callObs.OnCall(vm, vm.State.Regs[isa.RegRA])
+					}
+					if !last {
+						continue
+					}
+					// Loop closure: a predicted direct branch to the top.
+					env.Charge(m.BranchTaken)
+					return next, nil
+				}
+				vm.Prof.TraceGuardMisses++
+			}
+			vm.Prof.TraceExits++
+			return vm.indirect(part, out)
+		}
+
+		// Direct transfer: resolve through the normal exit (linking,
+		// fast-call fixups); staying on trace means the resolved target
+		// is the recorded next part.
+		nf, err := vm.exit(part, out)
+		if err != nil {
+			return nil, err
+		}
+		if last {
+			return nf, nil
+		}
+		if nf != next {
+			vm.Prof.TraceExits++
+			return nf, nil
+		}
+	}
+	panic("core: trace fell off its tail")
+}

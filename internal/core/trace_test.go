@@ -1,0 +1,277 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/randprog"
+)
+
+func withTraces(o *core.Options) { o.Traces = true }
+
+func TestTracesEquivalentOnAllPrograms(t *testing.T) {
+	for name, src := range testPrograms {
+		img := assemble(t, src)
+		native := runNative(t, img)
+		for _, spec := range []string{"ibtc:1024", "sieve:256", "fastret+ibtc:1024"} {
+			vm := runSDT(t, img, spec, withTraces)
+			if vm.Result().Checksum != native.Result().Checksum {
+				t.Errorf("%s under %s: traces diverged", name, spec)
+			}
+			if vm.Result().Instret != native.Result().Instret {
+				t.Errorf("%s under %s: traces changed instret", name, spec)
+			}
+		}
+	}
+}
+
+func TestTracesEquivalentOnRandomPrograms(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		src := randprog.Generate(randprog.Default(seed))
+		img := assemble(t, src)
+		native := runNative(t, img)
+		vm := runSDT(t, img, "ibtc:1024", func(o *core.Options) {
+			o.Traces = true
+			o.TraceThreshold = 4 // form traces aggressively
+			o.MaxTraceFrags = 6
+		})
+		if vm.Result().Checksum != native.Result().Checksum {
+			t.Errorf("seed %d: traces diverged", seed)
+		}
+	}
+}
+
+func TestTracesFormAndGuardsHit(t *testing.T) {
+	// A hot loop whose jump-table dispatch is monomorphic: the trace's IB
+	// guard should absorb almost every dispatch.
+	src := `
+	main:
+		li r10, 0
+		li r11, 20000
+	loop:
+		la r1, table
+		lw r3, (r1)      ; always case0
+		jr r3
+	case0:
+		addi r12, r12, 3
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	.data
+	table: .word case0
+	`
+	img := assemble(t, src)
+	vm := runSDT(t, img, "ibtc:1024", withTraces)
+	if vm.Prof.TracesFormed == 0 {
+		t.Fatal("no traces formed on a hot loop")
+	}
+	if vm.Prof.TraceGuardHits < 15000 {
+		t.Errorf("guard hits = %d, want most of the 20k dispatches", vm.Prof.TraceGuardHits)
+	}
+	plain := runSDT(t, img, "ibtc:1024", nil)
+	if vm.Env.Cycles >= plain.Env.Cycles {
+		t.Errorf("traces (%d cycles) should beat plain (%d cycles) on a monomorphic hot loop",
+			vm.Env.Cycles, plain.Env.Cycles)
+	}
+}
+
+func TestTracesGuardMissesOnPolymorphicDispatch(t *testing.T) {
+	// Alternating dispatch targets: guards miss roughly half the time and
+	// fall through to the mechanism; results stay correct.
+	src := `
+	main:
+		li r10, 0
+		li r11, 8000
+	loop:
+		andi r2, r10, 1
+		la r1, table
+		slli r2, r2, 2
+		add r1, r1, r2
+		lw r3, (r1)
+		jr r3
+	c0:	addi r12, r12, 1
+		jmp next
+	c1:	addi r12, r12, 2
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	.data
+	table: .word c0, c1
+	`
+	img := assemble(t, src)
+	native := runNative(t, img)
+	vm := runSDT(t, img, "ibtc:1024", withTraces)
+	if vm.Result().Checksum != native.Result().Checksum {
+		t.Fatal("polymorphic trace run diverged")
+	}
+	if vm.Prof.TracesFormed == 0 {
+		t.Fatal("no traces formed")
+	}
+	if vm.Prof.TraceGuardMisses == 0 {
+		t.Error("alternating targets should miss trace guards")
+	}
+}
+
+func TestTraceGuardsDisableWhenPolymorphic(t *testing.T) {
+	// A megamorphic dispatch loop: guards must stop sampling (and stop
+	// charging) once they prove unprofitable, so the traced run costs at
+	// most a small overhead above the plain run.
+	src := `
+	main:
+		li r10, 0
+		li r11, 30000
+		li r25, 1
+	loop:
+		li r1, 1103515245
+		mul r25, r25, r1
+		addi r25, r25, 12345
+		srli r2, r25, 9
+		andi r2, r2, 7
+		la r1, table
+		slli r2, r2, 2
+		add r1, r1, r2
+		lw r3, (r1)
+		jr r3
+	c0:	jmp next
+	c1:	jmp next
+	c2:	jmp next
+	c3:	jmp next
+	c4:	jmp next
+	c5:	jmp next
+	c6:	jmp next
+	c7:	addi r12, r12, 1
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	.data
+	table: .word c0, c1, c2, c3, c4, c5, c6, c7
+	`
+	img := assemble(t, src)
+	traced := runSDT(t, img, "ibtc:1024", withTraces)
+	plain := runSDT(t, img, "ibtc:1024", nil)
+	if traced.Result().Checksum != plain.Result().Checksum {
+		t.Fatal("diverged")
+	}
+	// The disabled guards bound the damage: within 3% of plain.
+	if float64(traced.Env.Cycles) > 1.03*float64(plain.Env.Cycles) {
+		t.Errorf("adaptive guards failed to bound polymorphic overhead: traced %d vs plain %d",
+			traced.Env.Cycles, plain.Env.Cycles)
+	}
+	if traced.Prof.TraceGuardMisses == 0 {
+		t.Error("expected some guard misses before the disable kicks in")
+	}
+}
+
+func TestTracesUnderFlushPressure(t *testing.T) {
+	img := assemble(t, testPrograms["mutual"])
+	native := runNative(t, img)
+	vm := runSDT(t, img, "ibtc:256", func(o *core.Options) {
+		o.Traces = true
+		o.TraceThreshold = 2
+		o.CacheBytes = 400
+	})
+	if vm.Prof.Flushes == 0 {
+		t.Fatal("expected flushes")
+	}
+	if vm.Result().Checksum != native.Result().Checksum {
+		t.Error("traces diverged under flush pressure")
+	}
+}
+
+func TestTraceOptionsValidated(t *testing.T) {
+	img := assemble(t, "main: halt\n")
+	bad := []core.Options{
+		{Model: hostarch.X86(), Handler: ib.NewTranslator(), TraceThreshold: -1},
+		{Model: hostarch.X86(), Handler: ib.NewTranslator(), MaxTraceFrags: 1},
+	}
+	for i, o := range bad {
+		if _, err := core.New(img, o); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+}
+
+func TestTracesHelpReturnHeavyCode(t *testing.T) {
+	// The trace guard turns a monomorphic return (one hot caller) into a
+	// compare — the same effect the paper gets from fast returns, bought
+	// without sacrificing transparency.
+	src := `
+	main:
+		li r10, 0
+		li r11, 15000
+	loop:
+		call leaf
+		add r12, r12, rv
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	leaf:
+		addi rv, r10, 1
+		ret
+	`
+	img := assemble(t, src)
+	traced := runSDT(t, img, "ibtc:1024", withTraces)
+	plain := runSDT(t, img, "ibtc:1024", nil)
+	if traced.Prof.TraceGuardHits == 0 {
+		t.Fatal("return guard never hit")
+	}
+	if traced.Env.Cycles >= plain.Env.Cycles {
+		t.Errorf("traces (%d) should beat plain IBTC (%d) on monomorphic returns",
+			traced.Env.Cycles, plain.Env.Cycles)
+	}
+	// But they keep transparency, unlike fast returns.
+	native := runNative(t, img)
+	if traced.Result().Checksum != native.Result().Checksum {
+		t.Error("traced run diverged")
+	}
+}
+
+func TestTraceProfileConsistency(t *testing.T) {
+	img := assemble(t, testPrograms["funcptr"])
+	native := runNative(t, img)
+	vm := runSDT(t, img, "ibtc:1024", withTraces)
+	// Every native IB execution must be accounted for under traces too:
+	// guard hits + mechanism resolutions together cover them.
+	var wantIB uint64
+	for _, n := range native.Counts.IB {
+		wantIB += n
+	}
+	if got := vm.Prof.IBTotal(); got != wantIB {
+		t.Errorf("IB accounting under traces: got %d, want %d", got, wantIB)
+	}
+	if vm.Prof.TraceGuardHits+vm.Prof.MechHits+vm.Prof.MechMisses != wantIB {
+		t.Errorf("guard+mechanism events (%d+%d+%d) != IBs (%d)",
+			vm.Prof.TraceGuardHits, vm.Prof.MechHits, vm.Prof.MechMisses, wantIB)
+	}
+}
+
+func TestTraceThresholdControlsFormation(t *testing.T) {
+	img := assemble(t, testPrograms["jumptable"])
+	never := runSDT(t, img, "ibtc:1024", func(o *core.Options) {
+		o.Traces = true
+		o.TraceThreshold = 1 << 30
+	})
+	if never.Prof.TracesFormed != 0 {
+		t.Errorf("huge threshold formed %d traces", never.Prof.TracesFormed)
+	}
+	eager := runSDT(t, img, "ibtc:1024", func(o *core.Options) {
+		o.Traces = true
+		o.TraceThreshold = 2
+	})
+	if eager.Prof.TracesFormed == 0 {
+		t.Error("low threshold formed no traces")
+	}
+	for i, vm := range []*core.VM{never, eager} {
+		if vm.Result().Checksum != runNative(t, img).Result().Checksum {
+			t.Errorf("run %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"fmt"
+
+	"sdt/internal/isa"
+	"sdt/internal/machine"
+	"sdt/internal/profile"
+	"sdt/internal/program"
+)
+
+// VM is the software dynamic translator executing one guest image.
+type VM struct {
+	State *machine.State
+	Env   *machine.CostEnv
+	Prof  profile.Profile
+
+	opts Options
+	img  *program.Image
+	code []isa.Inst // predecoded guest code section
+
+	frags   map[uint32]*Fragment // guest pc -> fragment (translation table)
+	byHost  map[uint32]*Fragment // fragment cache addr -> fragment
+	hostRet map[uint32]uint32    // hostized return addr -> guest return pc
+
+	codeTop   uint32 // next fragment cache address
+	dataTop   uint32 // next SDT table address
+	cacheUsed uint32 // fragment cache bytes live since last flush
+	epoch     uint64 // bumped on every flush
+
+	limit   uint64
+	callObs CallObserver // opts.Handler, if it observes calls
+	rec     *traceRec    // active trace recording, if any
+}
+
+// New builds a VM for img. The handler's Init hook runs before New returns.
+func New(img *program.Image, opts Options) (*VM, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	st, err := machine.NewState(img)
+	if err != nil {
+		return nil, err
+	}
+	env, err := machine.NewCostEnv(o.Model)
+	if err != nil {
+		return nil, err
+	}
+	code := make([]isa.Inst, len(img.Code))
+	for i, w := range img.Code {
+		code[i] = isa.Decode(w)
+	}
+	vm := &VM{
+		State:   st,
+		Env:     env,
+		opts:    o,
+		img:     img,
+		code:    code,
+		frags:   make(map[uint32]*Fragment),
+		byHost:  make(map[uint32]*Fragment),
+		hostRet: make(map[uint32]uint32),
+		codeTop: FragBase,
+		dataTop: TableBase,
+	}
+	vm.callObs, _ = o.Handler.(CallObserver)
+	o.Handler.Init(vm)
+	return vm, nil
+}
+
+// Options returns the effective (defaulted) options.
+func (vm *VM) Options() Options { return vm.opts }
+
+// Image returns the guest image.
+func (vm *VM) Image() *program.Image { return vm.img }
+
+// Handler returns the configured IB handler.
+func (vm *VM) Handler() IBHandler { return vm.opts.Handler }
+
+// Epoch returns the current fragment cache generation; it increments on
+// every flush. Handlers can use it to detect stale cached state.
+func (vm *VM) Epoch() uint64 { return vm.epoch }
+
+// AllocCode reserves bytes in the fragment cache (for mechanism stubs such
+// as sieve chain entries) and returns their address.
+func (vm *VM) AllocCode(bytes uint32) uint32 {
+	addr := vm.codeTop
+	vm.codeTop += bytes
+	vm.cacheUsed += bytes
+	return addr
+}
+
+// AllocData reserves bytes in the SDT's data space (for lookup tables) and
+// returns their address.
+func (vm *VM) AllocData(bytes uint32) uint32 {
+	addr := vm.dataTop
+	vm.dataTop += bytes
+	return addr
+}
+
+// Lookup returns the fragment for a guest pc without charging any cost
+// (handlers use it for bookkeeping, not on simulated lookup paths).
+func (vm *VM) Lookup(guest uint32) *Fragment { return vm.frags[guest] }
+
+// FragmentByHost returns the fragment whose code starts at the given
+// fragment cache address, if it is live in the current epoch.
+func (vm *VM) FragmentByHost(host uint32) *Fragment { return vm.byHost[host] }
+
+// GuestOfHostRet translates a hostized return address back to its guest
+// return pc. It reports false for addresses the VM never issued.
+func (vm *VM) GuestOfHostRet(host uint32) (uint32, bool) {
+	g, ok := vm.hostRet[host]
+	return g, ok
+}
+
+// EnterTranslator models the full slow path of an indirect branch or
+// unlinked exit: a context switch out of translated code, a probe of the
+// translator's guest-pc-to-fragment map, translation if the target has
+// never been seen, and the context switch back. It returns the target
+// fragment. Cycles are attributed to the Ctx and Trans profile categories.
+func (vm *VM) EnterTranslator(guest uint32) (*Fragment, error) {
+	m := vm.Env.Model
+	vm.Prof.TranslatorEntries++
+	start := vm.Env.Cycles
+	trans0 := vm.Prof.CyclesTrans
+
+	vm.Env.Charge(m.CtxSave)
+	vm.Env.Charge(m.MapProbe)
+	// Two dependent probes of the translator's map, in SDT data space.
+	h := (guest >> 2) * 2654435761 // Fibonacci hashing
+	vm.Env.DTouch(translatorMapAddr + h%(1<<20)&^3)
+	vm.Env.DTouch(translatorMapAddr + (1 << 20) + h/(1<<20)&^3)
+
+	f := vm.frags[guest]
+	if f == nil {
+		var err error
+		f, err = vm.translate(guest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	vm.Env.Charge(m.CtxRestore)
+	vm.Prof.CyclesCtx += (vm.Env.Cycles - start) - (vm.Prof.CyclesTrans - trans0)
+	return f, nil
+}
+
+// fetchGuest bounds-checks pc against the static code section.
+func (vm *VM) fetchGuest(pc uint32) (isa.Inst, error) {
+	idx := (pc - program.CodeBase) / isa.WordSize
+	if pc < program.CodeBase || pc%isa.WordSize != 0 || int(idx) >= len(vm.code) {
+		return isa.Inst{}, &machine.Fault{PC: pc, Addr: pc, Msg: "translation target outside code section"}
+	}
+	return vm.code[idx], nil
+}
+
+// translate builds the fragment for the basic block at guest, charging
+// translation costs and flushing the fragment cache if it is full.
+func (vm *VM) translate(guest uint32) (*Fragment, error) {
+	start := vm.Env.Cycles
+	m := vm.Env.Model
+
+	// Decode the block: up to MaxBlockInsts instructions, through the
+	// first control transfer. With superblock formation, forward direct
+	// jumps are followed (and elided from the emitted code) instead of
+	// ending the block; forward-only following keeps decoding loop-free.
+	const maxFollows = 8
+	var insts []isa.Inst
+	pc := guest
+	termPC := guest
+	follows := 0
+	for len(insts) < vm.opts.MaxBlockInsts {
+		in, err := vm.fetchGuest(pc)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, in)
+		termPC = pc
+		if in.Op.IsControl() {
+			if vm.opts.Superblocks && in.Op == isa.JMP && follows < maxFollows {
+				if target := uint32(in.Imm) * isa.WordSize; target > pc {
+					pc = target
+					follows++
+					continue
+				}
+			}
+			break
+		}
+		pc += isa.WordSize
+	}
+	term := insts[len(insts)-1]
+	bodyBytes := uint32(len(insts) * m.CodeBytesPerInst)
+	size := bodyBytes + uint32(m.StubBytes)
+
+	if vm.cacheUsed+size > vm.opts.CacheBytes {
+		vm.flush()
+	}
+
+	f := &Fragment{
+		GuestPC:  guest,
+		Insts:    insts,
+		HostAddr: vm.AllocCode(size),
+		Bytes:    size,
+		Synth:    !term.Op.IsControl(),
+	}
+	if term.Op.IsIndirect() {
+		f.Site = &IBSite{
+			GuestPC:  termPC,
+			Kind:     isa.KindOf(term.Op),
+			HostAddr: f.HostAddr + bodyBytes,
+		}
+		vm.opts.Handler.Attach(vm, f.Site)
+	}
+	vm.frags[guest] = f
+	vm.byHost[f.HostAddr] = f
+
+	vm.Env.Charge(m.TransBase + m.TransPerInst*len(insts))
+	vm.Prof.Translations++
+	vm.Prof.TransInsts += uint64(len(insts))
+	vm.Prof.CyclesTrans += vm.Env.Cycles - start
+	return f, nil
+}
+
+// flush empties the fragment cache: the translation table, host-address
+// index and all handler state are dropped. Hostized return addresses stay
+// resolvable through hostRet, so fast returns into flushed code fall back
+// to the translator instead of misbehaving.
+func (vm *VM) flush() {
+	vm.epoch++
+	vm.Prof.Flushes++
+	vm.frags = make(map[uint32]*Fragment)
+	vm.byHost = make(map[uint32]*Fragment)
+	vm.rec = nil // any in-progress trace recording holds doomed fragments
+	vm.cacheUsed = 0
+	if !vm.opts.FastReturns && vm.codeTop >= TableBase-vm.opts.CacheBytes {
+		// Reuse the address space; with fast returns it must stay unique
+		// because guest registers may hold old fragment addresses.
+		vm.codeTop = FragBase
+	}
+	vm.opts.Handler.Flush(vm)
+}
+
+// link resolves a direct fragment exit through *slot, patching it on first
+// use. With linking disabled, every exit pays a translator entry.
+func (vm *VM) link(f *Fragment, slot **Fragment, guest uint32) (*Fragment, error) {
+	if vm.opts.DisableLinking {
+		return vm.EnterTranslator(guest)
+	}
+	if next := *slot; next != nil && next.epochOK(vm) && next.GuestPC == guest {
+		return next, nil
+	}
+	next, err := vm.EnterTranslator(guest)
+	if err != nil {
+		return nil, err
+	}
+	*slot = next
+	return next, nil
+}
+
+// epoch tagging: fragments translated before the last flush must not be
+// followed through stale links.
+func (f *Fragment) epochOK(vm *VM) bool { return vm.byHost[f.HostAddr] == f }
+
+// Run executes the guest under translation until it halts or limit
+// instructions retire (0 selects machine.DefaultLimit).
+func (vm *VM) Run(limit uint64) error {
+	if limit == 0 {
+		limit = machine.DefaultLimit
+	}
+	vm.limit = limit
+	f, err := vm.EnterTranslator(vm.img.Entry)
+	if err != nil {
+		return err
+	}
+	for !vm.State.Halted {
+		if vm.opts.Traces {
+			f, err = vm.traceStep(f)
+		} else {
+			f, err = vm.execFragment(f)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execBody runs a fragment's instructions (including the terminator) with
+// instruction fetches charged at hostBase, returning the terminator's
+// outcome. Exit resolution is the caller's job, which lets trace execution
+// (trace.go) lay the same fragments out at trace-local addresses.
+func (vm *VM) execBody(f *Fragment, hostBase uint32) (machine.Outcome, error) {
+	env := vm.Env
+	cb := uint32(env.Model.CodeBytesPerInst)
+	pc := f.GuestPC
+	last := len(f.Insts) - 1
+	for i, in := range f.Insts {
+		if vm.State.Instret >= vm.limit {
+			return machine.Outcome{}, fmt.Errorf("%w (%d instructions)", ErrLimit, vm.limit)
+		}
+		env.IFetch(hostBase + uint32(i)*cb)
+		env.ChargeBody(vm.State, in)
+		out, err := machine.Exec(vm.State, in, pc)
+		if err != nil {
+			return machine.Outcome{}, fmt.Errorf("core: in fragment %#x: %w", f.GuestPC, err)
+		}
+		if i == last {
+			return out, nil
+		}
+		pc = out.Target
+	}
+	panic("core: fragment without instructions")
+}
+
+// execFragment runs one fragment body and resolves its exit, returning the
+// next fragment (nil after HALT).
+func (vm *VM) execFragment(f *Fragment) (*Fragment, error) {
+	out, err := vm.execBody(f, f.HostAddr)
+	if err != nil {
+		return nil, err
+	}
+	return vm.exit(f, out)
+}
+
+// exit charges and resolves a fragment's terminating control transfer.
+func (vm *VM) exit(f *Fragment, out machine.Outcome) (*Fragment, error) {
+	env := vm.Env
+	m := env.Model
+	switch out.Kind {
+	case OutHalt:
+		env.Charge(m.ALU)
+		return nil, nil
+	case OutNext:
+		// Synthesized fall-through for an over-long block.
+		env.Charge(m.DirectJump)
+		return vm.link(f, &f.FallLink, out.Target)
+	case OutBranch:
+		if out.Taken {
+			env.Charge(m.BranchTaken)
+			return vm.link(f, &f.TakenLink, out.Target)
+		}
+		env.Charge(m.BranchNotTaken)
+		return vm.link(f, &f.FallLink, out.Target)
+	case OutJump:
+		env.Charge(m.DirectJump)
+		return vm.link(f, &f.TakenLink, out.Target)
+	case OutCall:
+		// Direct call (JAL). Exec already set ra to the guest return
+		// address; under fast returns the emitted code loads the
+		// fragment-cache return address instead and executes a host call.
+		guestRet := vm.State.Regs[isa.RegRA] // set by Exec before the transfer
+		if vm.callObs != nil {
+			vm.callObs.OnCall(vm, guestRet)
+		}
+		if vm.opts.FastReturns {
+			if err := vm.fastCall(f, guestRet); err != nil {
+				return nil, err
+			}
+		} else {
+			env.Charge(m.DirectJump)
+		}
+		return vm.link(f, &f.TakenLink, out.Target)
+	case OutIndirect:
+		return vm.indirect(f, out)
+	}
+	panic("core: unhandled outcome kind")
+}
+
+// outcome kind aliases to keep the switch readable.
+const (
+	OutNext     = machine.OutNext
+	OutBranch   = machine.OutBranch
+	OutJump     = machine.OutJump
+	OutCall     = machine.OutCall
+	OutIndirect = machine.OutIndirect
+	OutHalt     = machine.OutHalt
+)
+
+// fastCall rewrites the guest's return-address register to the
+// fragment-cache address of the return point and performs a host call
+// (pushing the return-address stack), realizing the paper's "fast returns".
+func (vm *VM) fastCall(f *Fragment, guestRet uint32) error {
+	if f.RetFrag == nil || !f.RetFrag.epochOK(vm) || f.RetFrag.GuestPC != guestRet {
+		// First execution (or flushed): materialize the return-point
+		// fragment the way the translator does when it rewrites the call.
+		rf, err := vm.EnterTranslator(guestRet)
+		if err != nil {
+			return err
+		}
+		f.RetFrag = rf
+		vm.hostRet[rf.HostAddr] = guestRet
+	}
+	vm.State.SetReg(isa.RegRA, f.RetFrag.HostAddr)
+	vm.Env.HostCall(f.RetFrag.HostAddr)
+	return nil
+}
+
+// indirect dispatches an indirect-branch exit through the configured
+// handler (or the fast-return path), attributing cycles to the IB category.
+func (vm *VM) indirect(f *Fragment, out machine.Outcome) (*Fragment, error) {
+	vm.Prof.IBExec[out.IB]++
+	site := f.Site
+	if site == nil {
+		panic(fmt.Sprintf("core: indirect exit without site at %#x", f.GuestPC))
+	}
+
+	start := vm.Env.Cycles
+	ctx0, tr0 := vm.Prof.CyclesCtx, vm.Prof.CyclesTrans
+	defer func() {
+		vm.Prof.CyclesIB += (vm.Env.Cycles - start) -
+			(vm.Prof.CyclesCtx - ctx0) - (vm.Prof.CyclesTrans - tr0)
+	}()
+
+	if out.IB == isa.IBReturn && vm.opts.FastReturns {
+		return vm.fastReturn(site, out.Target)
+	}
+
+	guestRet := vm.State.Regs[isa.RegRA] // valid for IBCall (just set by Exec)
+	next, err := vm.opts.Handler.Resolve(vm, site, out.Target)
+	if err != nil {
+		return nil, err
+	}
+	if out.IB == isa.IBCall {
+		if vm.callObs != nil {
+			vm.callObs.OnCall(vm, guestRet)
+		}
+		if vm.opts.FastReturns {
+			// The emitted indirect call is a host call: hostize ra and
+			// push the RAS (the transfer itself was charged by Resolve).
+			if f.RetFrag == nil || !f.RetFrag.epochOK(vm) || f.RetFrag.GuestPC != guestRet {
+				rf, err := vm.EnterTranslator(guestRet)
+				if err != nil {
+					return nil, err
+				}
+				f.RetFrag = rf
+				vm.hostRet[rf.HostAddr] = guestRet
+			}
+			vm.State.SetReg(isa.RegRA, f.RetFrag.HostAddr)
+			vm.Env.RAS.Push(f.RetFrag.HostAddr)
+		}
+	}
+	return next, nil
+}
+
+// fastReturn executes a return whose target may be a hostized fragment
+// address: a host return instruction predicted by the RAS. Guest addresses
+// (the program manufactured a return target) and flushed fragments fall
+// back to the handler / translator.
+func (vm *VM) fastReturn(site *IBSite, target uint32) (*Fragment, error) {
+	if target < FragBase {
+		// Transparency escape: the guest put a guest address in ra.
+		vm.Prof.MechMisses++
+		vm.Prof.IBMiss[isa.IBReturn]++
+		return vm.opts.Handler.Resolve(vm, site, target)
+	}
+	vm.Env.HostReturn(target)
+	if f := vm.byHost[target]; f != nil {
+		vm.Prof.MechHits++
+		return f, nil
+	}
+	// The fragment was flushed; recover its guest pc and retranslate.
+	guest, ok := vm.hostRet[target]
+	if !ok {
+		return nil, &machine.Fault{PC: site.GuestPC, Addr: target, Msg: "return to unknown fragment-cache address"}
+	}
+	vm.Prof.MechMisses++
+	vm.Prof.IBMiss[isa.IBReturn]++
+	return vm.EnterTranslator(guest)
+}
+
+// Result summarizes the run in the same shape as the native machine's.
+func (vm *VM) Result() machine.Result {
+	return machine.Result{
+		Cycles:   vm.Env.Cycles,
+		Instret:  vm.State.Instret,
+		Checksum: vm.State.Out.Checksum,
+		OutCount: vm.State.Out.Count,
+		ExitCode: vm.State.ExitCode,
+	}
+}

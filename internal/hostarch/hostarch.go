@@ -1,0 +1,191 @@
+// Package hostarch defines parametric cost models of the host processors
+// the paper measures on. A Model prices every host-level operation an SDT
+// emits or a native program executes: ALU work, memory references (on top
+// of the simulated L1 caches), control transfers (on top of the simulated
+// BTB and return-address stack), condition-flag spills, context switches
+// and translation work.
+//
+// Two built-in models bracket the paper's cross-architecture comparison:
+//
+//   - X86: deep pipeline, expensive indirect-branch mispredictions, and —
+//     decisive for inline compare sequences — expensive eflags save/restore
+//     (pushf/popf) around any compare the SDT inserts inside the guest's
+//     live-flags region.
+//   - SPARC: shallower pipeline with cheaper mispredictions, costlier
+//     context switches (register-window spill/fill), and free "flags"
+//     handling because compares can target a scratch condition register.
+//
+// The absolute numbers are calibrated to mid-2000s hardware of each flavour
+// but every experiment reports ratios (SDT cycles / native cycles), so the
+// reproduction depends on relative, not absolute, costs. E11/E12 ablate the
+// two parameters that drive the paper's architecture-dependence claim.
+package hostarch
+
+import (
+	"fmt"
+
+	"sdt/internal/cache"
+)
+
+// Model prices host-level operations in cycles.
+type Model struct {
+	Name string
+
+	// Straight-line instruction costs. Load/Store are the pipeline costs
+	// of a hitting access; cache misses add the penalties below.
+	ALU, Mul, Div int
+	Load, Store   int
+	Out           int // environment/output instruction
+
+	// Control transfers. ReturnHit/Miss price a host return through the
+	// RAS; IndirectHit/Miss price a host indirect jump through the BTB.
+	BranchTaken, BranchNotTaken int
+	DirectJump                  int
+	CallDirect                  int
+	ReturnHit, ReturnMiss       int
+	IndirectHit, IndirectMiss   int
+
+	// Costs of SDT-emitted helper code.
+	FlagsSave, FlagsRestore int // spill/reload of condition flags
+	CompareBranch           int // one inline compare-and-branch probe
+	HashCompute             int // hash of a target address (shift/mask)
+	TableAddr               int // address arithmetic for one table probe
+	TableStore              int // updating a software table entry
+	CtxSave, CtxRestore     int // one half of a full context switch
+	MapProbe                int // translator-side lookup (beyond D-cache)
+	TransBase, TransPerInst int // translating one fragment / one instruction
+
+	// Memory hierarchy. Hitting accesses are priced by Load/Store (data)
+	// and zero (instruction fetch overlaps); misses add the penalties.
+	DMissPenalty, IMissPenalty int
+	ICache, DCache             cache.Config
+	BTBEntries, RASDepth       int
+
+	// Code layout: emitted host-code bytes per translated guest
+	// instruction and per dispatch stub. These set the fragment cache's
+	// I-cache footprint, which is what the sieve trades against the IBTC.
+	CodeBytesPerInst int
+	StubBytes        int
+}
+
+// Validate reports whether every parameter is in a sane range.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("hostarch: model has no name")
+	}
+	nonneg := map[string]int{
+		"ALU": m.ALU, "Mul": m.Mul, "Div": m.Div, "Load": m.Load, "Store": m.Store,
+		"Out": m.Out, "BranchTaken": m.BranchTaken, "BranchNotTaken": m.BranchNotTaken,
+		"DirectJump": m.DirectJump, "CallDirect": m.CallDirect,
+		"ReturnHit": m.ReturnHit, "ReturnMiss": m.ReturnMiss,
+		"IndirectHit": m.IndirectHit, "IndirectMiss": m.IndirectMiss,
+		"FlagsSave": m.FlagsSave, "FlagsRestore": m.FlagsRestore,
+		"CompareBranch": m.CompareBranch, "HashCompute": m.HashCompute,
+		"TableAddr": m.TableAddr, "TableStore": m.TableStore,
+		"CtxSave": m.CtxSave, "CtxRestore": m.CtxRestore, "MapProbe": m.MapProbe,
+		"TransBase": m.TransBase, "TransPerInst": m.TransPerInst,
+		"DMissPenalty": m.DMissPenalty, "IMissPenalty": m.IMissPenalty,
+	}
+	for name, v := range nonneg {
+		if v < 0 {
+			return fmt.Errorf("hostarch: %s.%s = %d is negative", m.Name, name, v)
+		}
+	}
+	if err := m.ICache.Validate(); err != nil {
+		return fmt.Errorf("hostarch: %s I-cache: %w", m.Name, err)
+	}
+	if err := m.DCache.Validate(); err != nil {
+		return fmt.Errorf("hostarch: %s D-cache: %w", m.Name, err)
+	}
+	if m.BTBEntries <= 0 || m.BTBEntries&(m.BTBEntries-1) != 0 {
+		return fmt.Errorf("hostarch: %s BTBEntries = %d, want positive power of two", m.Name, m.BTBEntries)
+	}
+	if m.RASDepth <= 0 {
+		return fmt.Errorf("hostarch: %s RASDepth = %d, want positive", m.Name, m.RASDepth)
+	}
+	if m.CodeBytesPerInst <= 0 || m.StubBytes <= 0 {
+		return fmt.Errorf("hostarch: %s code layout sizes must be positive", m.Name)
+	}
+	return nil
+}
+
+// X86 returns the deep-pipeline, flags-architecture model.
+func X86() *Model {
+	return &Model{
+		Name: "x86",
+		ALU:  1, Mul: 4, Div: 24, Load: 1, Store: 1, Out: 2,
+		BranchTaken: 2, BranchNotTaken: 1, DirectJump: 1, CallDirect: 2,
+		ReturnHit: 2, ReturnMiss: 25, IndirectHit: 2, IndirectMiss: 25,
+		FlagsSave: 9, FlagsRestore: 7,
+		CompareBranch: 2, HashCompute: 2, TableAddr: 1, TableStore: 2,
+		CtxSave: 100, CtxRestore: 100, MapProbe: 30,
+		TransBase: 400, TransPerInst: 40,
+		DMissPenalty: 18, IMissPenalty: 30,
+		ICache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		DCache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		BTBEntries: 512, RASDepth: 16,
+		CodeBytesPerInst: 6, StubBytes: 16,
+	}
+}
+
+// ARM returns a third calibration point between the two paper models: an
+// embedded-class core with a short pipeline (cheap mispredictions), small
+// predictors, modest caches — and a small nonzero flags cost, because ARM
+// compare sequences can usually use a scratch condition field but not
+// always. Not part of the paper's evaluation; useful for the
+// cross-architecture experiments' robustness and available to every CLI
+// via -arch arm.
+func ARM() *Model {
+	return &Model{
+		Name: "arm",
+		ALU:  1, Mul: 3, Div: 20, Load: 1, Store: 1, Out: 2,
+		BranchTaken: 1, BranchNotTaken: 1, DirectJump: 1, CallDirect: 1,
+		ReturnHit: 1, ReturnMiss: 8, IndirectHit: 1, IndirectMiss: 8,
+		FlagsSave: 2, FlagsRestore: 2,
+		CompareBranch: 2, HashCompute: 2, TableAddr: 1, TableStore: 2,
+		CtxSave: 70, CtxRestore: 70, MapProbe: 24,
+		TransBase: 350, TransPerInst: 35,
+		DMissPenalty: 22, IMissPenalty: 22,
+		ICache:     cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2},
+		DCache:     cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2},
+		BTBEntries: 64, RASDepth: 8,
+		CodeBytesPerInst: 4, StubBytes: 12,
+	}
+}
+
+// SPARC returns the shallow-pipeline, windowed-register model.
+func SPARC() *Model {
+	return &Model{
+		Name: "sparc",
+		ALU:  1, Mul: 5, Div: 36, Load: 2, Store: 2, Out: 2,
+		BranchTaken: 1, BranchNotTaken: 1, DirectJump: 1, CallDirect: 1,
+		ReturnHit: 1, ReturnMiss: 12, IndirectHit: 1, IndirectMiss: 12,
+		FlagsSave: 0, FlagsRestore: 0,
+		CompareBranch: 2, HashCompute: 2, TableAddr: 1, TableStore: 2,
+		CtxSave: 160, CtxRestore: 160, MapProbe: 30,
+		TransBase: 500, TransPerInst: 50,
+		DMissPenalty: 26, IMissPenalty: 26,
+		ICache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2},
+		DCache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2},
+		BTBEntries: 128, RASDepth: 8,
+		CodeBytesPerInst: 8, StubBytes: 16,
+	}
+}
+
+// Models returns the built-in models keyed by name.
+func Models() map[string]*Model {
+	return map[string]*Model{"x86": X86(), "sparc": SPARC(), "arm": ARM()}
+}
+
+// ByName returns a fresh copy of the named built-in model.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "x86":
+		return X86(), nil
+	case "sparc":
+		return SPARC(), nil
+	case "arm":
+		return ARM(), nil
+	}
+	return nil, fmt.Errorf("hostarch: unknown model %q (want x86, sparc or arm)", name)
+}

@@ -1,0 +1,90 @@
+package hostarch
+
+import "testing"
+
+func TestBuiltinModelsValid(t *testing.T) {
+	for name, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("model key %q has Name %q", name, m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"x86", "sparc", "arm"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("vax"); err == nil {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+func TestByNameReturnsFreshCopies(t *testing.T) {
+	a, _ := ByName("x86")
+	b, _ := ByName("x86")
+	a.FlagsSave = 999
+	if b.FlagsSave == 999 {
+		t.Error("ByName must return independent copies")
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"no name", func(m *Model) { m.Name = "" }},
+		{"negative cost", func(m *Model) { m.Div = -1 }},
+		{"negative flags", func(m *Model) { m.FlagsSave = -3 }},
+		{"bad icache", func(m *Model) { m.ICache.LineBytes = 48 }},
+		{"bad dcache", func(m *Model) { m.DCache.SizeBytes = 0 }},
+		{"bad btb", func(m *Model) { m.BTBEntries = 100 }},
+		{"zero btb", func(m *Model) { m.BTBEntries = 0 }},
+		{"zero ras", func(m *Model) { m.RASDepth = 0 }},
+		{"zero code bytes", func(m *Model) { m.CodeBytesPerInst = 0 }},
+		{"zero stub bytes", func(m *Model) { m.StubBytes = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			m := X86()
+			tt.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted model with %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestArchitectureContrasts(t *testing.T) {
+	// The relationships the paper's cross-architecture argument rests on
+	// must hold between the two models.
+	x, s := X86(), SPARC()
+	if !(x.FlagsSave > 0 && s.FlagsSave == 0) {
+		t.Error("x86 must pay for flags saves; sparc must not")
+	}
+	if !(x.IndirectMiss > s.IndirectMiss) {
+		t.Error("x86's deeper pipeline must make indirect mispredictions dearer")
+	}
+	if !(s.CtxSave > x.CtxSave) {
+		t.Error("sparc register windows must make context switches dearer")
+	}
+	if !(x.ReturnMiss > x.ReturnHit && s.ReturnMiss > s.ReturnHit) {
+		t.Error("return mispredictions must cost more than hits")
+	}
+	if !(x.IndirectMiss > x.IndirectHit && s.IndirectMiss > s.IndirectHit) {
+		t.Error("indirect mispredictions must cost more than hits")
+	}
+	a := ARM()
+	if !(a.IndirectMiss < s.IndirectMiss && a.IndirectMiss < x.IndirectMiss) {
+		t.Error("the short-pipeline arm model must have the cheapest mispredictions")
+	}
+	if !(a.FlagsSave > 0 && a.FlagsSave < x.FlagsSave) {
+		t.Error("arm flags cost must sit between sparc (free) and x86 (dear)")
+	}
+}

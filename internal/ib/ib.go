@@ -1,0 +1,89 @@
+// Package ib implements the indirect-branch handling mechanisms the paper
+// evaluates, behind the core.IBHandler interface:
+//
+//   - Translator: the naive baseline — every indirect branch context-
+//     switches into the translator and probes its map.
+//   - IBTC: the indirect branch translation cache — an inline, flag-saving
+//     hash probe of a data-side table mapping guest targets to fragment
+//     addresses; shared across sites or private per site; any power-of-two
+//     size; final dispatch jump per-site or shared (the E12 ablation).
+//   - Inline: inline caches — up to k predicted targets compared inline in
+//     the fragment, falling back to any other mechanism.
+//   - Sieve: dispatch through chains of compare-and-branch stubs that live
+//     in the fragment cache itself, so lookups consume I-cache instead of
+//     D-cache and need no table loads.
+//   - RetCache: a return cache — call sites store the hostized return
+//     address into a table slot hashed by return point; returns reload it
+//     with one probe.
+//   - PerKind: a combinator routing returns, indirect jumps and indirect
+//     calls to different mechanisms.
+//
+// Fast returns are a translation-policy change rather than a lookup
+// mechanism, so they live in core (Options.FastReturns); the handler
+// configured here serves the remaining indirect branches and the
+// non-transparent return escapes.
+//
+// Every mechanism charges the VM's cost environment exactly what its
+// emitted host code would execute: condition-flag spills around compares,
+// hash arithmetic, table loads through the D-cache, stub fetches through
+// the I-cache, and a final dispatch transfer through the BTB.
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+)
+
+// Permanent translator-owned code addresses (outside the flushable
+// fragment cache): the shared dispatch jump the translator exits through,
+// and the shared final jump of the E12 IBTC variant. Funneling many
+// logical branch sites through one host jump is exactly what destroys BTB
+// locality, and these constants are how the simulation expresses it.
+const (
+	translatorDispatchAddr = 0xC800_0000
+	sharedJumpAddr         = 0xC800_0040
+)
+
+// Translator is the naive mechanism: no caching at all.
+type Translator struct{}
+
+// NewTranslator returns the naive handler.
+func NewTranslator() *Translator { return &Translator{} }
+
+// Name implements core.IBHandler.
+func (t *Translator) Name() string { return "translator" }
+
+// Init implements core.IBHandler.
+func (t *Translator) Init(*core.VM) {}
+
+// Attach implements core.IBHandler.
+func (t *Translator) Attach(*core.VM, *core.IBSite) {}
+
+// Flush implements core.IBHandler.
+func (t *Translator) Flush(*core.VM) {}
+
+// Resolve implements core.IBHandler: full context switch, map probe, and a
+// dispatch through the translator's one shared exit jump.
+func (t *Translator) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	vm.Prof.IBMiss[site.Kind]++
+	vm.Prof.MechMisses++
+	f, err := vm.EnterTranslator(target)
+	if err != nil {
+		return nil, err
+	}
+	vm.Env.IndirectTransfer(translatorDispatchAddr, f.HostAddr)
+	return f, nil
+}
+
+// hashTarget is the simple masking hash the inline mechanisms emit:
+// word-index the target and mask. mask must be entries-1.
+func hashTarget(target, mask uint32) uint32 { return (target >> 2) & mask }
+
+// checkPow2 validates a table-size parameter.
+func checkPow2(what string, n int) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ib: %s size %d must be a positive power of two", what, n)
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package ib_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/isa"
+	"sdt/internal/program"
+)
+
+func assemble(t *testing.T, src string) *program.Image {
+	t.Helper()
+	img, err := asm.Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+func runSpec(t *testing.T, src, spec string) *core.VM {
+	t.Helper()
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	vm, err := core.New(assemble(t, src), core.Options{
+		Model:       hostarch.X86(),
+		Handler:     cfg.Handler,
+		FastReturns: cfg.FastReturns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(20_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return vm
+}
+
+// polyProg returns a program executing `iters` indirect jumps from one site
+// that cycles through `targets` distinct destinations.
+func polyProg(targets, iters int) string {
+	var b strings.Builder
+	b.WriteString(`
+	main:
+		li r10, 0
+	`)
+	b.WriteString("\tli r11, " + itoa(iters) + "\n")
+	b.WriteString("\tli r12, " + itoa(targets) + "\n")
+	b.WriteString(`
+	loop:
+		rem r2, r10, r12
+		la r1, table
+		slli r2, r2, 2
+		add r1, r1, r2
+		lw r3, (r1)
+		jr r3
+	`)
+	for i := 0; i < targets; i++ {
+		b.WriteString("t" + itoa(i) + ":\n\taddi r13, r13, " + itoa(i+1) + "\n\tjmp next\n")
+	}
+	b.WriteString(`
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r13
+		halt
+	.data
+	table:
+	`)
+	for i := 0; i < targets; i++ {
+		b.WriteString("\t.word t" + itoa(i) + "\n")
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+func TestParseSpecs(t *testing.T) {
+	good := map[string]string{
+		"translator":                 "translator",
+		"naive":                      "translator",
+		"ibtc":                       "ibtc(shared,4096)",
+		"ibtc:256":                   "ibtc(shared,256)",
+		"ibtc:256:private":           "ibtc(private,256)",
+		"ibtc:256:sharedjump":        "ibtc(shared,256,sharedjump)",
+		"sieve":                      "sieve(1024)",
+		"sieve:64":                   "sieve(64)",
+		"inline:2+ibtc:256":          "inline(2)+ibtc(shared,256)",
+		"inline+translator":          "inline(1)+translator",
+		"retcache:64+ibtc:256":       "perkind(ret=retcache(64),jump=ibtc(shared,256),call=ibtc(shared,256))",
+		"fastret+sieve:64":           "sieve(64)",
+		"fastret+inline:3+ibtc:1024": "inline(3)+ibtc(shared,1024)",
+	}
+	for spec, wantName := range good {
+		cfg, err := ib.Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if cfg.Handler.Name() != wantName {
+			t.Errorf("Parse(%q).Name = %q, want %q", spec, cfg.Handler.Name(), wantName)
+		}
+		wantFast := strings.HasPrefix(spec, "fastret")
+		if cfg.FastReturns != wantFast {
+			t.Errorf("Parse(%q).FastReturns = %v", spec, cfg.FastReturns)
+		}
+	}
+	bad := []string{
+		"", "bogus", "ibtc:0", "ibtc:100", "ibtc:-4", "ibtc:64:wat",
+		"sieve:7", "inline:0+ibtc", "inline:65+ibtc", "inline:2",
+		"retcache:64", "fastret", "translator+ibtc", "ibtc+sieve",
+		"translator:3",
+	}
+	for _, spec := range bad {
+		if _, err := ib.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", spec)
+		}
+	}
+}
+
+func TestIBTCHitRateMonomorphic(t *testing.T) {
+	vm := runSpec(t, polyProg(1, 2000), "ibtc:1024")
+	if hr := vm.Prof.HitRate(); hr < 0.99 {
+		t.Errorf("monomorphic hit rate = %.4f, want ~1", hr)
+	}
+}
+
+func TestIBTCCapacityConflicts(t *testing.T) {
+	// More live targets than a tiny IBTC's entries cannot all hit.
+	small := runSpec(t, polyProg(16, 4000), "ibtc:4")
+	big := runSpec(t, polyProg(16, 4000), "ibtc:4096")
+	if small.Prof.HitRate() >= big.Prof.HitRate() {
+		t.Errorf("tiny IBTC hit rate %.4f should trail big IBTC %.4f",
+			small.Prof.HitRate(), big.Prof.HitRate())
+	}
+	if big.Prof.HitRate() < 0.99 {
+		t.Errorf("4096-entry IBTC over 16 targets should hit ~always, got %.4f", big.Prof.HitRate())
+	}
+	if small.Env.Cycles <= big.Env.Cycles {
+		t.Error("conflicting IBTC should cost cycles")
+	}
+}
+
+func TestIBTCPrivateIsolatesSites(t *testing.T) {
+	// Two sites with disjoint target sets: private tables can't conflict
+	// across sites, shared tiny tables can.
+	src := `
+	main:
+		li r10, 0
+		li r11, 2000
+	loop:
+		andi r2, r10, 1
+		la r1, tableA
+		slli r3, r2, 2
+		add r1, r1, r3
+		lw r4, (r1)
+		jr r4            ; site A: targets a0/a1
+	a0:	jmp stepB
+	a1:	jmp stepB
+	stepB:
+		la r1, tableB
+		add r1, r1, r3
+		lw r4, (r1)
+		jr r4            ; site B: targets b0/b1
+	b0:	jmp next
+	b1:	jmp next
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		halt
+	.data
+	tableA: .word a0, a1
+	tableB: .word b0, b1
+	`
+	private := runSpec(t, src, "ibtc:2:private")
+	shared := runSpec(t, src, "ibtc:2")
+	if private.Prof.HitRate() <= shared.Prof.HitRate() {
+		t.Errorf("private tables (%.4f) should beat a conflicting shared table (%.4f)",
+			private.Prof.HitRate(), shared.Prof.HitRate())
+	}
+}
+
+func TestSharedFinalJumpHurtsBTB(t *testing.T) {
+	// Many monomorphic sites: per-site final jumps each get a BTB slot;
+	// one shared final jump sees an alternating target stream.
+	src := `
+	main:
+		li r10, 0
+		li r11, 3000
+	loop:
+		la r1, f1
+		callr r1
+		la r1, f2
+		callr r1
+		addi r10, r10, 1
+		blt r10, r11, loop
+		halt
+	f1:	ret
+	f2:	ret
+	`
+	persite := runSpec(t, src, "ibtc:1024")
+	sharedj := runSpec(t, src, "ibtc:1024:sharedjump")
+	ph, pm := persite.Env.BTB.Stats()
+	sh, sm := sharedj.Env.BTB.Stats()
+	if float64(pm)/float64(ph+pm) >= float64(sm)/float64(sh+sm) {
+		t.Errorf("per-site BTB miss rate %.3f should beat shared-jump %.3f",
+			float64(pm)/float64(ph+pm), float64(sm)/float64(sh+sm))
+	}
+	if persite.Env.Cycles >= sharedj.Env.Cycles {
+		t.Errorf("per-site jumps (%d cy) should beat shared jump (%d cy)",
+			persite.Env.Cycles, sharedj.Env.Cycles)
+	}
+}
+
+func TestInlineDepthCoversTargets(t *testing.T) {
+	// 3 targets: depth-4 inline caches catch everything after warmup;
+	// depth-1 misses two-thirds of the time into the fallback.
+	deep := runSpec(t, polyProg(3, 3000), "inline:4+translator")
+	shallow := runSpec(t, polyProg(3, 3000), "inline:1+translator")
+	if deep.Env.Cycles >= shallow.Env.Cycles {
+		t.Errorf("inline:4 (%d cy) should beat inline:1 (%d cy) on 3 targets",
+			deep.Env.Cycles, shallow.Env.Cycles)
+	}
+	// Deep inline over few targets should almost never enter the translator
+	// after warmup.
+	if deep.Prof.TranslatorEntries > 100 {
+		t.Errorf("inline:4 translator entries = %d, want few", deep.Prof.TranslatorEntries)
+	}
+}
+
+func TestInlineProbesCounted(t *testing.T) {
+	vm := runSpec(t, polyProg(2, 1000), "inline:2+ibtc:1024")
+	if vm.Prof.InlineProbes == 0 {
+		t.Error("no inline probes recorded")
+	}
+	// Average probes per IB must be between 1 and 2.
+	per := float64(vm.Prof.InlineProbes) / float64(vm.Prof.IBExec[isa.IBJump])
+	if per < 1 || per > 2 {
+		t.Errorf("probes per IB = %.2f, want in [1,2]", per)
+	}
+}
+
+func TestSieveChainsWalk(t *testing.T) {
+	// With 1 bucket every target chains in one list: probes per lookup
+	// grow with target count; with many buckets chains stay short. (At
+	// few targets the single bucket can actually win — its dispatch jump
+	// is monomorphic and predicts — so use enough targets that the chain
+	// walk dominates the dispatch misprediction.)
+	long := runSpec(t, polyProg(64, 10000), "sieve:1")
+	short := runSpec(t, polyProg(64, 10000), "sieve:1024")
+	if long.Prof.SieveProbes <= short.Prof.SieveProbes {
+		t.Errorf("1-bucket sieve probes (%d) should exceed 1024-bucket probes (%d)",
+			long.Prof.SieveProbes, short.Prof.SieveProbes)
+	}
+	if long.Env.Cycles <= short.Env.Cycles {
+		t.Error("longer chains should cost more")
+	}
+	if short.Prof.HitRate() < 0.99 {
+		t.Errorf("sieve hit rate = %.4f, want ~1 after warmup", short.Prof.HitRate())
+	}
+}
+
+func TestRetCachePrefillsAtCallTime(t *testing.T) {
+	// Every call immediately precedes its return: the return cache's
+	// call-time fill means even first returns can hit, unlike the IBTC.
+	src := `
+	main:
+		li r10, 0
+		li r11, 1000
+	loop:
+		call fn
+		addi r10, r10, 1
+		blt r10, r11, loop
+		halt
+	fn:	ret
+	`
+	vm := runSpec(t, src, "retcache:1024+ibtc:1024")
+	if vm.Prof.HitRate() < 0.99 {
+		t.Errorf("return cache hit rate = %.4f, want ~1", vm.Prof.HitRate())
+	}
+}
+
+func TestPerKindRouting(t *testing.T) {
+	ret := ib.NewRetCache(ib.RetCacheConfig{Entries: 64})
+	jump := ib.NewSieve(ib.SieveConfig{Buckets: 64})
+	call := ib.NewIBTC(ib.IBTCConfig{Entries: 64})
+	pk := ib.NewPerKind(ret, jump, call)
+	want := "perkind(ret=retcache(64),jump=sieve(64),call=ibtc(shared,64))"
+	if pk.Name() != want {
+		t.Errorf("Name = %q, want %q", pk.Name(), want)
+	}
+	src := `
+	main:
+		li r10, 0
+	loop:
+		la r1, fn
+		callr r1        ; icall -> ibtc
+		la r1, hop
+		jr r1           ; ijump -> sieve
+	back:
+		addi r10, r10, 1
+		li r9, 3
+		blt r10, r9, loop
+		halt
+	fn:	ret             ; return -> retcache
+	hop:	jmp back
+	`
+	vm, err := core.New(assemble(t, src), core.Options{Model: hostarch.X86(), Handler: pk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Prof.IBExec[isa.IBReturn] != 3 || vm.Prof.IBExec[isa.IBJump] != 3 || vm.Prof.IBExec[isa.IBCall] != 3 {
+		t.Errorf("IB counts = %v", vm.Prof.IBExec)
+	}
+	if vm.Prof.SieveProbes == 0 {
+		t.Error("sieve never consulted for the indirect jump")
+	}
+}
+
+func TestRetCacheRejectsWrongKind(t *testing.T) {
+	rc := ib.NewRetCache(ib.RetCacheConfig{Entries: 64})
+	src := `
+	main:
+		la r1, done
+		jr r1
+	done:
+		halt
+	`
+	vm, err := core.New(assemble(t, src), core.Options{Model: hostarch.X86(), Handler: rc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(0); err == nil || !strings.Contains(err.Error(), "PerKind") {
+		t.Errorf("err = %v, want kind-mismatch error", err)
+	}
+}
+
+func TestConstructorsPanicOnBadConfig(t *testing.T) {
+	cases := []func(){
+		func() { ib.NewIBTC(ib.IBTCConfig{Entries: 3}) },
+		func() { ib.NewIBTC(ib.IBTCConfig{Entries: 0}) },
+		func() { ib.NewSieve(ib.SieveConfig{Buckets: -2}) },
+		func() { ib.NewRetCache(ib.RetCacheConfig{Entries: 5}) },
+		func() { ib.NewInline(ib.InlineConfig{Depth: 0, Fallback: ib.NewTranslator()}) },
+		func() { ib.NewInline(ib.InlineConfig{Depth: 2}) },
+		func() { ib.NewPerKind(nil, ib.NewTranslator(), ib.NewTranslator()) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTranslatorCountsEveryIBAsMiss(t *testing.T) {
+	vm := runSpec(t, polyProg(2, 500), "translator")
+	if vm.Prof.MechHits != 0 {
+		t.Errorf("naive mechanism recorded %d hits", vm.Prof.MechHits)
+	}
+	if vm.Prof.MechMisses != vm.Prof.IBTotal() {
+		t.Errorf("misses %d != IB total %d", vm.Prof.MechMisses, vm.Prof.IBTotal())
+	}
+}

@@ -1,0 +1,200 @@
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+)
+
+// IBTCConfig configures an indirect branch translation cache.
+type IBTCConfig struct {
+	// Entries is the table size; a positive power of two.
+	Entries int
+	// Ways is the set associativity (default 1 = direct-mapped). Higher
+	// associativity costs one extra compare per additional way probed but
+	// tolerates targets that collide under the hash.
+	Ways int
+	// FibHash selects multiplicative (Fibonacci) hashing of the target
+	// instead of the default address-mask hash. Better spread for
+	// regularly strided target sets, one extra multiply on the path.
+	FibHash bool
+	// Private gives every indirect-branch site its own table instead of
+	// one shared table.
+	Private bool
+	// SharedFinalJump routes every IBTC hit through one shared dispatch
+	// jump instead of a per-site jump, forfeiting BTB locality (the E12
+	// ablation). Real implementations differ here depending on whether
+	// the lookup is emitted inline or called as a common routine.
+	SharedFinalJump bool
+}
+
+func (c IBTCConfig) validate() error {
+	if err := checkPow2("IBTC", c.Entries); err != nil {
+		return err
+	}
+	switch c.Ways {
+	case 0, 1, 2, 4, 8:
+		// 0 is defaulted to 1
+	default:
+		return fmt.Errorf("ib: IBTC ways %d must be 1, 2, 4 or 8", c.Ways)
+	}
+	if c.Ways > c.Entries {
+		return fmt.Errorf("ib: IBTC ways %d exceeds entries %d", c.Ways, c.Entries)
+	}
+	return nil
+}
+
+type ibtcEntry struct {
+	tag   uint32
+	frag  *core.Fragment
+	lru   uint64
+	valid bool
+}
+
+type ibtcTable struct {
+	base    uint32
+	entries []ibtcEntry
+	tick    uint64
+}
+
+// IBTC is the indirect branch translation cache mechanism: an inline hash
+// probe over a data-side table of (guest target, fragment address) pairs.
+type IBTC struct {
+	cfg    IBTCConfig
+	ways   int
+	mask   uint32 // set index mask
+	shared *ibtcTable
+	tables []*ibtcTable // every live table, for Flush
+}
+
+// NewIBTC builds an IBTC mechanism. It panics on an invalid configuration;
+// validate external input through the registry (Parse) instead.
+func NewIBTC(cfg IBTCConfig) *IBTC {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 1
+	}
+	return &IBTC{cfg: cfg, ways: cfg.Ways, mask: uint32(cfg.Entries/cfg.Ways - 1)}
+}
+
+// Name implements core.IBHandler.
+func (c *IBTC) Name() string {
+	scope := "shared"
+	if c.cfg.Private {
+		scope = "private"
+	}
+	name := fmt.Sprintf("ibtc(%s,%d", scope, c.cfg.Entries)
+	if c.ways > 1 {
+		name += fmt.Sprintf(",%dway", c.ways)
+	}
+	if c.cfg.FibHash {
+		name += ",fib"
+	}
+	if c.cfg.SharedFinalJump {
+		name += ",sharedjump"
+	}
+	return name + ")"
+}
+
+// Config returns the mechanism's configuration.
+func (c *IBTC) Config() IBTCConfig { return c.cfg }
+
+func (c *IBTC) newTable(vm *core.VM) *ibtcTable {
+	t := &ibtcTable{
+		base:    vm.AllocData(uint32(c.cfg.Entries) * 8),
+		entries: make([]ibtcEntry, c.cfg.Entries),
+	}
+	c.tables = append(c.tables, t)
+	return t
+}
+
+// Init implements core.IBHandler.
+func (c *IBTC) Init(vm *core.VM) {
+	if !c.cfg.Private {
+		c.shared = c.newTable(vm)
+	}
+}
+
+// Attach implements core.IBHandler.
+func (c *IBTC) Attach(vm *core.VM, site *core.IBSite) {
+	if c.cfg.Private {
+		site.Data = c.newTable(vm)
+	}
+}
+
+// Flush implements core.IBHandler: drop every cached fragment pointer.
+func (c *IBTC) Flush(*core.VM) {
+	for _, t := range c.tables {
+		clear(t.entries)
+	}
+}
+
+func (c *IBTC) tableFor(site *core.IBSite) *ibtcTable {
+	if c.cfg.Private {
+		return site.Data.(*ibtcTable)
+	}
+	return c.shared
+}
+
+func (c *IBTC) hash(target uint32) uint32 {
+	if c.cfg.FibHash {
+		return (target * 2654435761) >> 9 & c.mask
+	}
+	return hashTarget(target, c.mask)
+}
+
+// Resolve implements core.IBHandler. The emitted hit path is: save flags,
+// hash the target, load the set (one D-cache line covers the ways probed),
+// compare each way, restore flags, jump indirect. The miss path
+// additionally enters the translator and stores the new entry.
+func (c *IBTC) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	env := vm.Env
+	m := env.Model
+	env.IFetch(site.HostAddr)
+	env.Charge(m.FlagsSave + m.HashCompute + m.TableAddr + m.Load)
+	if c.cfg.FibHash {
+		env.Charge(m.Mul) // the multiplicative hash's extra cost
+	}
+
+	tbl := c.tableFor(site)
+	tbl.tick++
+	set := c.hash(target)
+	setBase := int(set) * c.ways
+	entryAddr := tbl.base + uint32(setBase)*8
+	env.DTouch(entryAddr)
+
+	victim := setBase
+	for w := 0; w < c.ways; w++ {
+		env.Charge(m.CompareBranch)
+		e := &tbl.entries[setBase+w]
+		if e.valid && e.tag == target {
+			e.lru = tbl.tick
+			vm.Prof.MechHits++
+			env.Charge(m.FlagsRestore)
+			jumpSite := site.HostAddr
+			if c.cfg.SharedFinalJump {
+				jumpSite = sharedJumpAddr
+			}
+			env.IndirectTransfer(jumpSite, e.frag.HostAddr)
+			return e.frag, nil
+		}
+		if v := &tbl.entries[victim]; e.lru < v.lru || (!e.valid && v.valid) {
+			victim = setBase + w
+		}
+	}
+
+	vm.Prof.MechMisses++
+	vm.Prof.IBMiss[site.Kind]++
+	env.Charge(m.FlagsRestore)
+	f, err := vm.EnterTranslator(target)
+	if err != nil {
+		return nil, err
+	}
+	tbl.entries[victim] = ibtcEntry{tag: target, frag: f, lru: tbl.tick, valid: true}
+	env.Charge(m.TableStore + m.Store)
+	env.DTouch(entryAddr)
+	env.IndirectTransfer(translatorDispatchAddr, f.HostAddr)
+	return f, nil
+}

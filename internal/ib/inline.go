@@ -1,0 +1,146 @@
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+)
+
+// InlineConfig configures inline caches.
+type InlineConfig struct {
+	// Depth is the number of predicted targets compared inline per site.
+	Depth int
+	// MRU repatches a full probe chain on misses, evicting the least
+	// recently hit slot; the default freezes the first Depth targets
+	// observed (translation-time specialization). MRU adapts to phase
+	// changes at the cost of a patch per miss.
+	MRU bool
+	// Fallback handles targets that miss every inline slot. Required.
+	Fallback core.IBHandler
+}
+
+type inlineSlot struct {
+	tag   uint32
+	frag  *core.Fragment
+	used  uint64 // last-hit tick, for the MRU policy
+	valid bool
+}
+
+type inlineSite struct {
+	slots  []inlineSlot
+	tick   uint64
+	fbSite *core.IBSite // shadow site handed to the fallback mechanism
+}
+
+// Inline implements inline caches: the translator emits up to Depth
+// compare-and-direct-jump probes against the site's first-observed targets,
+// then falls through to the fallback mechanism's code. Hits cost a few
+// compares and a statically predicted direct jump — no table load and no
+// BTB-dependent indirect jump.
+type Inline struct {
+	cfg   InlineConfig
+	sites []*inlineSite
+}
+
+// NewInline builds an inline-cache mechanism over a fallback. It panics on
+// invalid configuration.
+func NewInline(cfg InlineConfig) *Inline {
+	if cfg.Depth <= 0 || cfg.Depth > 64 {
+		panic(fmt.Errorf("ib: inline depth %d out of range [1,64]", cfg.Depth))
+	}
+	if cfg.Fallback == nil {
+		panic(fmt.Errorf("ib: inline cache requires a fallback mechanism"))
+	}
+	return &Inline{cfg: cfg}
+}
+
+// Name implements core.IBHandler.
+func (c *Inline) Name() string {
+	if c.cfg.MRU {
+		return fmt.Sprintf("inline(%d,mru)+%s", c.cfg.Depth, c.cfg.Fallback.Name())
+	}
+	return fmt.Sprintf("inline(%d)+%s", c.cfg.Depth, c.cfg.Fallback.Name())
+}
+
+// Config returns the mechanism's configuration.
+func (c *Inline) Config() InlineConfig { return c.cfg }
+
+// Init implements core.IBHandler.
+func (c *Inline) Init(vm *core.VM) { c.cfg.Fallback.Init(vm) }
+
+// Attach implements core.IBHandler.
+func (c *Inline) Attach(vm *core.VM, site *core.IBSite) {
+	s := &inlineSite{
+		slots: make([]inlineSlot, c.cfg.Depth),
+		fbSite: &core.IBSite{
+			GuestPC: site.GuestPC,
+			Kind:    site.Kind,
+			// The fallback's code follows the inline probes.
+			HostAddr: site.HostAddr + 8,
+		},
+	}
+	c.cfg.Fallback.Attach(vm, s.fbSite)
+	site.Data = s
+	c.sites = append(c.sites, s)
+}
+
+// Flush implements core.IBHandler.
+func (c *Inline) Flush(vm *core.VM) {
+	for _, s := range c.sites {
+		clear(s.slots)
+	}
+	c.cfg.Fallback.Flush(vm)
+}
+
+// Resolve implements core.IBHandler.
+func (c *Inline) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	env := vm.Env
+	m := env.Model
+	s := site.Data.(*inlineSite)
+
+	env.IFetch(site.HostAddr)
+	env.Charge(m.FlagsSave)
+	s.tick++
+	fill := -1
+	for i := range s.slots {
+		slot := &s.slots[i]
+		if !slot.valid {
+			if fill < 0 {
+				fill = i
+			}
+			break // slots fill in order; nothing valid beyond this one
+		}
+		vm.Prof.InlineProbes++
+		env.Charge(m.CompareBranch)
+		if slot.tag == target {
+			slot.used = s.tick
+			vm.Prof.MechHits++
+			env.Charge(m.FlagsRestore + m.DirectJump)
+			return slot.frag, nil
+		}
+	}
+	if fill < 0 && c.cfg.MRU {
+		// Chain full: evict the least recently hit slot.
+		fill = 0
+		for i := 1; i < len(s.slots); i++ {
+			if s.slots[i].used < s.slots[fill].used {
+				fill = i
+			}
+		}
+	}
+
+	// Every probe missed: restore flags and fall through to the fallback
+	// mechanism's emitted code (which saves flags again itself).
+	env.Charge(m.FlagsRestore)
+	f, err := c.cfg.Fallback.Resolve(vm, s.fbSite, target)
+	if err != nil {
+		return nil, err
+	}
+	if fill >= 0 {
+		// The translator patches the target into the probe sequence: a
+		// code write per fill/evict.
+		s.slots[fill] = inlineSlot{tag: target, frag: f, used: s.tick, valid: true}
+		env.Charge(m.TableStore)
+	}
+	return f, nil
+}

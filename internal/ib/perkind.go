@@ -1,0 +1,88 @@
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+	"sdt/internal/isa"
+)
+
+// PerKind routes each indirect-branch kind to its own mechanism, the way
+// Strata specializes handling by decoding the branch. Any field may repeat
+// another; lifecycle hooks reach each distinct mechanism exactly once.
+type PerKind struct {
+	Ret  core.IBHandler
+	Jump core.IBHandler
+	Call core.IBHandler
+}
+
+// NewPerKind builds the combinator. All three fields are required.
+func NewPerKind(ret, jump, call core.IBHandler) *PerKind {
+	if ret == nil || jump == nil || call == nil {
+		panic(fmt.Errorf("ib: PerKind requires all three handlers"))
+	}
+	return &PerKind{Ret: ret, Jump: jump, Call: call}
+}
+
+// Name implements core.IBHandler.
+func (c *PerKind) Name() string {
+	return fmt.Sprintf("perkind(ret=%s,jump=%s,call=%s)", c.Ret.Name(), c.Jump.Name(), c.Call.Name())
+}
+
+// distinct returns the unique sub-handlers in routing order.
+func (c *PerKind) distinct() []core.IBHandler {
+	out := []core.IBHandler{c.Ret}
+	if c.Jump != c.Ret {
+		out = append(out, c.Jump)
+	}
+	if c.Call != c.Ret && c.Call != c.Jump {
+		out = append(out, c.Call)
+	}
+	return out
+}
+
+func (c *PerKind) forKind(kind isa.IBKind) core.IBHandler {
+	switch kind {
+	case isa.IBReturn:
+		return c.Ret
+	case isa.IBJump:
+		return c.Jump
+	case isa.IBCall:
+		return c.Call
+	}
+	panic(fmt.Sprintf("ib: unknown IB kind %v", kind))
+}
+
+// Init implements core.IBHandler.
+func (c *PerKind) Init(vm *core.VM) {
+	for _, h := range c.distinct() {
+		h.Init(vm)
+	}
+}
+
+// Attach implements core.IBHandler.
+func (c *PerKind) Attach(vm *core.VM, site *core.IBSite) {
+	c.forKind(site.Kind).Attach(vm, site)
+}
+
+// Resolve implements core.IBHandler.
+func (c *PerKind) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	return c.forKind(site.Kind).Resolve(vm, site, target)
+}
+
+// Flush implements core.IBHandler.
+func (c *PerKind) Flush(vm *core.VM) {
+	for _, h := range c.distinct() {
+		h.Flush(vm)
+	}
+}
+
+// OnCall implements core.CallObserver, forwarding to every distinct
+// sub-handler that observes calls.
+func (c *PerKind) OnCall(vm *core.VM, guestRet uint32) {
+	for _, h := range c.distinct() {
+		if obs, ok := h.(core.CallObserver); ok {
+			obs.OnCall(vm, guestRet)
+		}
+	}
+}

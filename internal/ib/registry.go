@@ -1,0 +1,197 @@
+package ib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+)
+
+// Config is a parsed mechanism specification: the handler plus the two
+// translation policies (fast returns, trace formation) that are core
+// options rather than handlers.
+type Config struct {
+	Handler     core.IBHandler
+	FastReturns bool
+	Traces      bool
+	Spec        string // the normalized input spec
+}
+
+// Options builds core VM options from the parsed configuration.
+func (c Config) Options(model *hostarch.Model) core.Options {
+	return core.Options{
+		Model:       model,
+		Handler:     c.Handler,
+		FastReturns: c.FastReturns,
+		Traces:      c.Traces,
+	}
+}
+
+// Parse builds a mechanism configuration from a textual spec, the syntax
+// the CLIs and the benchmark harness use:
+//
+//	translator                          naive baseline
+//	ibtc[:N][:flag...]                  IBTC, N entries (default 4096); flags:
+//	                                    private, sharedjump, fib, 2way/4way/8way
+//	sieve[:N]                           sieve, N buckets (default 1024)
+//	inline[:K][:mru]+REST               K inline probes (default 1), then REST
+//	retcache[:N]+REST                   return cache for returns, REST for the rest
+//	fastret+REST                        fast returns, REST for the rest
+//	trace+REST                          NET trace formation, REST as miss path
+//
+// Components chain with "+": e.g. "trace+fastret+inline:2+ibtc:16384".
+func Parse(spec string) (Config, error) {
+	cfg := Config{Spec: spec}
+	parts := strings.Split(strings.TrimSpace(spec), "+")
+	for len(parts) > 0 && parts[0] == "trace" {
+		cfg.Traces = true
+		parts = parts[1:]
+	}
+	if cfg.Traces && len(parts) == 0 {
+		return cfg, fmt.Errorf("ib: %q needs a mechanism after '+'", "trace")
+	}
+	h, fast, err := parseChain(parts)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Handler, cfg.FastReturns = h, fast
+	return cfg, nil
+}
+
+func parseChain(parts []string) (core.IBHandler, bool, error) {
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, false, fmt.Errorf("ib: empty mechanism spec")
+	}
+	head := strings.Split(strings.TrimSpace(parts[0]), ":")
+	rest := parts[1:]
+	name := head[0]
+
+	intArg := func(pos, def, min, max int, what string) (int, error) {
+		if len(head) <= pos || head[pos] == "" {
+			return def, nil
+		}
+		v, err := strconv.Atoi(head[pos])
+		if err != nil || v < min || v > max {
+			return 0, fmt.Errorf("ib: bad %s parameter %q", what, head[pos])
+		}
+		return v, nil
+	}
+	needRest := func() (core.IBHandler, bool, error) {
+		if len(rest) == 0 {
+			return nil, false, fmt.Errorf("ib: %q needs a fallback mechanism after '+'", name)
+		}
+		return parseChain(rest)
+	}
+	noRest := func() error {
+		if len(rest) != 0 {
+			return fmt.Errorf("ib: %q does not take a fallback (got %q)", name, strings.Join(rest, "+"))
+		}
+		return nil
+	}
+
+	switch name {
+	case "translator", "none", "naive":
+		if err := noRest(); err != nil {
+			return nil, false, err
+		}
+		if len(head) > 1 {
+			return nil, false, fmt.Errorf("ib: translator takes no parameters")
+		}
+		return NewTranslator(), false, nil
+
+	case "ibtc":
+		n, err := intArg(1, 4096, 1, 1<<24, "ibtc")
+		if err != nil {
+			return nil, false, err
+		}
+		if err := noRest(); err != nil {
+			return nil, false, err
+		}
+		cfg := IBTCConfig{Entries: n}
+		var flags []string
+		if len(head) > 2 {
+			flags = head[2:]
+		}
+		for _, flag := range flags {
+			switch flag {
+			case "private":
+				cfg.Private = true
+			case "sharedjump":
+				cfg.SharedFinalJump = true
+			case "fib":
+				cfg.FibHash = true
+			case "2way":
+				cfg.Ways = 2
+			case "4way":
+				cfg.Ways = 4
+			case "8way":
+				cfg.Ways = 8
+			default:
+				return nil, false, fmt.Errorf("ib: unknown ibtc flag %q", flag)
+			}
+		}
+		if err := cfg.validate(); err != nil {
+			return nil, false, err
+		}
+		return NewIBTC(cfg), false, nil
+
+	case "sieve":
+		n, err := intArg(1, 1024, 1, 1<<24, "sieve")
+		if err != nil {
+			return nil, false, err
+		}
+		if err := noRest(); err != nil {
+			return nil, false, err
+		}
+		if err := checkPow2("sieve", n); err != nil {
+			return nil, false, err
+		}
+		return NewSieve(SieveConfig{Buckets: n}), false, nil
+
+	case "inline":
+		k, err := intArg(1, 1, 1, 64, "inline")
+		if err != nil {
+			return nil, false, err
+		}
+		mru := false
+		if len(head) > 2 {
+			if len(head) > 3 || head[2] != "mru" {
+				return nil, false, fmt.Errorf("ib: unknown inline flag %q", strings.Join(head[2:], ":"))
+			}
+			mru = true
+		}
+		fb, fast, err := needRest()
+		if err != nil {
+			return nil, false, err
+		}
+		return NewInline(InlineConfig{Depth: k, MRU: mru, Fallback: fb}), fast, nil
+
+	case "retcache":
+		n, err := intArg(1, 4096, 1, 1<<24, "retcache")
+		if err != nil {
+			return nil, false, err
+		}
+		if err := checkPow2("return cache", n); err != nil {
+			return nil, false, err
+		}
+		other, fast, err := needRest()
+		if err != nil {
+			return nil, false, err
+		}
+		rc := NewRetCache(RetCacheConfig{Entries: n})
+		return NewPerKind(rc, other, other), fast, nil
+
+	case "fastret":
+		if len(head) > 1 {
+			return nil, false, fmt.Errorf("ib: fastret takes no parameters")
+		}
+		h, _, err := needRest()
+		if err != nil {
+			return nil, false, err
+		}
+		return h, true, nil
+	}
+	return nil, false, fmt.Errorf("ib: unknown mechanism %q", name)
+}

@@ -1,0 +1,112 @@
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+	"sdt/internal/isa"
+)
+
+// RetCacheConfig configures a return cache.
+type RetCacheConfig struct {
+	// Entries is the table size; a positive power of two.
+	Entries int
+}
+
+type rcEntry struct {
+	guestRet uint32
+	frag     *core.Fragment
+	valid    bool
+}
+
+// RetCache implements a return cache: every call's emitted code stores the
+// fragment address of its return point into a shared table slot hashed by
+// the guest return address; the return's emitted code reloads the slot,
+// verifies the tag and jumps. Unlike fast returns it keeps guest state
+// transparent (ra still holds the guest address); unlike the IBTC it is
+// pre-filled at call time, so even first returns hit.
+//
+// RetCache only serves return sites; compose it with PerKind.
+type RetCache struct {
+	cfg   RetCacheConfig
+	mask  uint32
+	base  uint32
+	table []rcEntry
+}
+
+// NewRetCache builds a return cache. It panics on an invalid size.
+func NewRetCache(cfg RetCacheConfig) *RetCache {
+	if err := checkPow2("return cache", cfg.Entries); err != nil {
+		panic(err)
+	}
+	return &RetCache{cfg: cfg, mask: uint32(cfg.Entries - 1)}
+}
+
+// Name implements core.IBHandler.
+func (c *RetCache) Name() string { return fmt.Sprintf("retcache(%d)", c.cfg.Entries) }
+
+// Config returns the mechanism's configuration.
+func (c *RetCache) Config() RetCacheConfig { return c.cfg }
+
+// Init implements core.IBHandler.
+func (c *RetCache) Init(vm *core.VM) {
+	c.base = vm.AllocData(uint32(c.cfg.Entries) * 8)
+	c.table = make([]rcEntry, c.cfg.Entries)
+}
+
+// Attach implements core.IBHandler.
+func (c *RetCache) Attach(*core.VM, *core.IBSite) {}
+
+// Flush implements core.IBHandler.
+func (c *RetCache) Flush(*core.VM) {
+	clear(c.table)
+}
+
+// OnCall implements core.CallObserver: the call site's emitted code hashes
+// its return address and stores the return-point fragment into the table.
+func (c *RetCache) OnCall(vm *core.VM, guestRet uint32) {
+	env := vm.Env
+	m := env.Model
+	idx := hashTarget(guestRet, c.mask)
+	env.Charge(m.HashCompute + m.TableAddr + m.TableStore + m.Store)
+	env.DTouch(c.base + idx*8)
+	// The return-point fragment may not exist yet; the emitted code
+	// stores a trampoline in that case, modeled as an invalid entry that
+	// the return side treats as a miss.
+	c.table[idx] = rcEntry{guestRet: guestRet, frag: vm.Lookup(guestRet), valid: true}
+}
+
+// Resolve implements core.IBHandler for return sites.
+func (c *RetCache) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	if site.Kind != isa.IBReturn {
+		return nil, fmt.Errorf("ib: return cache attached to %v site at %#x (compose with PerKind)", site.Kind, site.GuestPC)
+	}
+	env := vm.Env
+	m := env.Model
+	env.IFetch(site.HostAddr)
+	env.Charge(m.FlagsSave + m.HashCompute + m.TableAddr + m.Load)
+	idx := hashTarget(target, c.mask)
+	env.DTouch(c.base + idx*8)
+	env.Charge(m.CompareBranch)
+
+	e := &c.table[idx]
+	if e.valid && e.guestRet == target && e.frag != nil {
+		vm.Prof.MechHits++
+		env.Charge(m.FlagsRestore)
+		env.IndirectTransfer(site.HostAddr, e.frag.HostAddr)
+		return e.frag, nil
+	}
+
+	vm.Prof.MechMisses++
+	vm.Prof.IBMiss[site.Kind]++
+	env.Charge(m.FlagsRestore)
+	f, err := vm.EnterTranslator(target)
+	if err != nil {
+		return nil, err
+	}
+	*e = rcEntry{guestRet: target, frag: f, valid: true}
+	env.Charge(m.TableStore)
+	env.DTouch(c.base + idx*8)
+	env.IndirectTransfer(translatorDispatchAddr, f.HostAddr)
+	return f, nil
+}

@@ -1,0 +1,117 @@
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+)
+
+// SieveConfig configures the sieve.
+type SieveConfig struct {
+	// Buckets is the number of hash buckets; a positive power of two.
+	Buckets int
+}
+
+type sieveStub struct {
+	tag  uint32
+	frag *core.Fragment
+	next *sieveStub
+	addr uint32 // code-cache address of this stub
+}
+
+// Sieve implements sieve dispatch: each indirect branch jumps (indirectly,
+// by hashed target) into a bucket of compare-and-branch stubs that live in
+// the fragment cache. A hit costs the chain walk plus one direct branch; no
+// data-side table exists, so the mechanism consumes I-cache rather than
+// D-cache, and every comparison needs the flags saved — the property that
+// makes the sieve architecture-sensitive.
+type Sieve struct {
+	cfg     SieveConfig
+	mask    uint32
+	buckets []*sieveStub
+	// missStub is the shared "bucket empty / chain exhausted" exit into
+	// the translator.
+	missStub uint32
+}
+
+// NewSieve builds a sieve. It panics on an invalid bucket count.
+func NewSieve(cfg SieveConfig) *Sieve {
+	if err := checkPow2("sieve", cfg.Buckets); err != nil {
+		panic(err)
+	}
+	return &Sieve{cfg: cfg, mask: uint32(cfg.Buckets - 1)}
+}
+
+// Name implements core.IBHandler.
+func (c *Sieve) Name() string { return fmt.Sprintf("sieve(%d)", c.cfg.Buckets) }
+
+// Config returns the mechanism's configuration.
+func (c *Sieve) Config() SieveConfig { return c.cfg }
+
+// Init implements core.IBHandler.
+func (c *Sieve) Init(vm *core.VM) {
+	c.buckets = make([]*sieveStub, c.cfg.Buckets)
+	c.missStub = translatorDispatchAddr
+}
+
+// Attach implements core.IBHandler.
+func (c *Sieve) Attach(*core.VM, *core.IBSite) {}
+
+// Flush implements core.IBHandler: the chains live in the fragment cache,
+// so a flush discards all of them.
+func (c *Sieve) Flush(*core.VM) {
+	clear(c.buckets)
+}
+
+// Resolve implements core.IBHandler.
+func (c *Sieve) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	env := vm.Env
+	m := env.Model
+
+	// Emitted at the branch site: save flags, hash, jump into the bucket.
+	env.IFetch(site.HostAddr)
+	env.Charge(m.FlagsSave + m.HashCompute)
+	b := hashTarget(target, c.mask)
+	head := c.buckets[b]
+	bucketAddr := c.missStub
+	if head != nil {
+		bucketAddr = head.addr
+	}
+	env.IndirectTransfer(site.HostAddr, bucketAddr)
+
+	// Walk the chain of compare-and-branch stubs.
+	for walk := head; walk != nil; walk = walk.next {
+		vm.Prof.SieveProbes++
+		env.IFetch(walk.addr)
+		env.Charge(m.CompareBranch)
+		if walk.tag == target {
+			vm.Prof.MechHits++
+			env.Charge(m.FlagsRestore + m.BranchTaken)
+			return walk.frag, nil
+		}
+	}
+
+	// Chain exhausted: enter the translator and append a new stub. The
+	// append keeps bucket head addresses stable so the per-site dispatch
+	// jump stays predictable once a bucket exists.
+	vm.Prof.MechMisses++
+	vm.Prof.IBMiss[site.Kind]++
+	env.Charge(m.FlagsRestore)
+	f, err := vm.EnterTranslator(target)
+	if err != nil {
+		return nil, err
+	}
+	stub := &sieveStub{tag: target, frag: f, addr: vm.AllocCode(uint32(m.StubBytes))}
+	if head == nil {
+		c.buckets[b] = stub
+	} else {
+		tail := head
+		for tail.next != nil {
+			tail = tail.next
+		}
+		tail.next = stub
+	}
+	env.Charge(2 * m.TableStore) // emit the stub and rewrite the chain exit
+	env.IndirectTransfer(translatorDispatchAddr, f.HostAddr)
+	return f, nil
+}

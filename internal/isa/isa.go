@@ -1,0 +1,428 @@
+// Package isa defines SimRISC-32, the guest instruction set architecture
+// executed by the reference machine and translated by the SDT.
+//
+// SimRISC-32 is a 32-bit, little-endian, fixed-width RISC ISA with 32
+// general-purpose registers. It was designed for this reproduction with one
+// property the indirect-branch study depends on: return, indirect jump and
+// indirect call are distinct opcodes, so a translator can specialize its
+// handling per indirect-branch kind exactly the way Strata specializes by
+// decoding the underlying machine instruction.
+//
+// Instruction formats (all 32 bits, word-aligned):
+//
+//	R-type:  op[31:26] rd[25:21] rs1[20:16] rs2[15:11] unused[10:0]
+//	I-type:  op[31:26] rd[25:21] rs1[20:16] imm16[15:0]
+//	B-type:  op[31:26] rs1[25:21] rs2[20:16] imm16[15:0]   (pc-relative word offset)
+//	J-type:  op[31:26] imm26[25:0]                         (absolute word address)
+package isa
+
+import "fmt"
+
+// WordSize is the size in bytes of one instruction and of one machine word.
+const WordSize = 4
+
+// Reg names a guest register. R0 is hardwired to zero; writes to it are
+// discarded. R28..R31 have calling-convention roles (gp, fp, sp, ra) but the
+// hardware treats them like any other register except that RET jumps through
+// RegRA.
+type Reg uint8
+
+// Calling-convention register assignments.
+const (
+	RegZero Reg = 0  // always zero
+	RegRV   Reg = 2  // return value
+	RegA0   Reg = 4  // first argument
+	RegA1   Reg = 5  // second argument
+	RegA2   Reg = 6  // third argument
+	RegA3   Reg = 7  // fourth argument
+	RegGP   Reg = 28 // global pointer
+	RegFP   Reg = 29 // frame pointer
+	RegSP   Reg = 30 // stack pointer
+	RegRA   Reg = 31 // return address (link register)
+)
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 32
+
+// Op is a SimRISC-32 opcode.
+type Op uint8
+
+// Opcodes. The order groups instructions by format; see Format.
+const (
+	BAD Op = iota // illegal instruction
+
+	// R-type: rd := rs1 <op> rs2.
+	ADD
+	SUB
+	MUL
+	DIV  // signed; division by zero yields -1 (RISC-V convention)
+	DIVU // unsigned; division by zero yields all-ones
+	REM  // signed; remainder by zero yields rs1
+	REMU
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT  // rd := rs1 < rs2 (signed) ? 1 : 0
+	SLTU // unsigned compare
+
+	// I-type ALU: rd := rs1 <op> signext(imm16).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	SLTIU
+	LUI // rd := imm16 << 16
+
+	// I-type memory: address = rs1 + signext(imm16).
+	LW
+	LH
+	LHU
+	LB
+	LBU
+	SW // stores use rd as the source register
+	SH
+	SB
+
+	// B-type conditional branches: pc-relative signed word offset.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// J-type direct transfers: absolute word address in imm26.
+	JMP // pc := target
+	JAL // ra := pc+4; pc := target (direct call)
+
+	// Indirect control transfers. These are the subject of the paper.
+	JR    // pc := rs1            (indirect jump: switch tables, dispatch)
+	CALLR // ra := pc+4; pc := rs1 (indirect call: function pointers)
+	RET   // pc := ra             (procedure return)
+
+	// Environment.
+	OUT  // append rs1 to the machine's output stream / checksum
+	HALT // stop execution; exit code in rs1
+	NOP
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes, including BAD.
+const NumOps = int(numOps)
+
+// Format describes how an instruction's operand fields are laid out.
+type Format uint8
+
+// Instruction formats.
+const (
+	FormatR Format = iota // rd, rs1, rs2
+	FormatI               // rd, rs1, imm16
+	FormatB               // rs1, rs2, imm16 (pc-relative word offset)
+	FormatJ               // imm26 (absolute word address)
+	FormatN               // no operands (RET, NOP, BAD)
+	FormatS               // rs1 only (JR, CALLR, OUT, HALT)
+)
+
+type opInfo struct {
+	name   string
+	format Format
+}
+
+var opTable = [NumOps]opInfo{
+	BAD:   {"bad", FormatN},
+	ADD:   {"add", FormatR},
+	SUB:   {"sub", FormatR},
+	MUL:   {"mul", FormatR},
+	DIV:   {"div", FormatR},
+	DIVU:  {"divu", FormatR},
+	REM:   {"rem", FormatR},
+	REMU:  {"remu", FormatR},
+	AND:   {"and", FormatR},
+	OR:    {"or", FormatR},
+	XOR:   {"xor", FormatR},
+	SLL:   {"sll", FormatR},
+	SRL:   {"srl", FormatR},
+	SRA:   {"sra", FormatR},
+	SLT:   {"slt", FormatR},
+	SLTU:  {"sltu", FormatR},
+	ADDI:  {"addi", FormatI},
+	ANDI:  {"andi", FormatI},
+	ORI:   {"ori", FormatI},
+	XORI:  {"xori", FormatI},
+	SLLI:  {"slli", FormatI},
+	SRLI:  {"srli", FormatI},
+	SRAI:  {"srai", FormatI},
+	SLTI:  {"slti", FormatI},
+	SLTIU: {"sltiu", FormatI},
+	LUI:   {"lui", FormatI},
+	LW:    {"lw", FormatI},
+	LH:    {"lh", FormatI},
+	LHU:   {"lhu", FormatI},
+	LB:    {"lb", FormatI},
+	LBU:   {"lbu", FormatI},
+	SW:    {"sw", FormatI},
+	SH:    {"sh", FormatI},
+	SB:    {"sb", FormatI},
+	BEQ:   {"beq", FormatB},
+	BNE:   {"bne", FormatB},
+	BLT:   {"blt", FormatB},
+	BGE:   {"bge", FormatB},
+	BLTU:  {"bltu", FormatB},
+	BGEU:  {"bgeu", FormatB},
+	JMP:   {"jmp", FormatJ},
+	JAL:   {"jal", FormatJ},
+	JR:    {"jr", FormatS},
+	CALLR: {"callr", FormatS},
+	RET:   {"ret", FormatN},
+	OUT:   {"out", FormatS},
+	HALT:  {"halt", FormatS},
+	NOP:   {"nop", FormatN},
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if int(op) < NumOps {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Format reports the operand layout of op.
+func (op Op) Format() Format {
+	if int(op) < NumOps {
+		return opTable[op].format
+	}
+	return FormatN
+}
+
+// OpByName maps assembler mnemonics to opcodes. BAD is not included.
+var OpByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); int(op) < NumOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op >= BEQ && op <= BGEU }
+
+// IsIndirect reports whether op is an indirect control transfer (the
+// instructions whose handling the paper evaluates).
+func (op Op) IsIndirect() bool { return op == JR || op == CALLR || op == RET }
+
+// IsControl reports whether op ends a basic block: any branch, jump,
+// indirect transfer or halt.
+func (op Op) IsControl() bool {
+	return op.IsBranch() || op.IsIndirect() || op == JMP || op == JAL || op == HALT
+}
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op == SW || op == SH || op == SB }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op >= LW && op <= LBU }
+
+// IBKind classifies indirect control transfers. The paper's characterization
+// and several mechanisms (fast returns, the return cache) are keyed on it.
+type IBKind uint8
+
+// Indirect-branch kinds.
+const (
+	IBReturn IBKind = iota // RET
+	IBJump                 // JR
+	IBCall                 // CALLR
+	NumIBKinds
+)
+
+// String returns a short human-readable name for the kind.
+func (k IBKind) String() string {
+	switch k {
+	case IBReturn:
+		return "return"
+	case IBJump:
+		return "ijump"
+	case IBCall:
+		return "icall"
+	}
+	return fmt.Sprintf("ibkind(%d)", uint8(k))
+}
+
+// KindOf reports the indirect-branch kind of op. It panics if op is not an
+// indirect transfer; guard with IsIndirect.
+func KindOf(op Op) IBKind {
+	switch op {
+	case RET:
+		return IBReturn
+	case JR:
+		return IBJump
+	case CALLR:
+		return IBCall
+	}
+	panic("isa: KindOf on non-indirect opcode " + op.String())
+}
+
+// Inst is one decoded SimRISC-32 instruction.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32 // sign-extended imm16 (I/B) or zero-extended imm26 (J)
+}
+
+const (
+	opShift  = 26
+	rdShift  = 21
+	rs1Shift = 16
+	rs2Shift = 11
+	regMask  = 0x1f
+	imm16    = 0xffff
+	imm26    = 0x03ffffff
+)
+
+// Encode packs an instruction into its 32-bit representation. Immediate
+// values outside the field width are truncated; the assembler range-checks
+// before calling Encode.
+func Encode(in Inst) uint32 {
+	w := uint32(in.Op) << opShift
+	switch in.Op.Format() {
+	case FormatR:
+		w |= uint32(in.Rd&regMask)<<rdShift | uint32(in.Rs1&regMask)<<rs1Shift | uint32(in.Rs2&regMask)<<rs2Shift
+	case FormatI:
+		w |= uint32(in.Rd&regMask)<<rdShift | uint32(in.Rs1&regMask)<<rs1Shift | uint32(in.Imm)&imm16
+	case FormatB:
+		w |= uint32(in.Rs1&regMask)<<rdShift | uint32(in.Rs2&regMask)<<rs1Shift | uint32(in.Imm)&imm16
+	case FormatJ:
+		w |= uint32(in.Imm) & imm26
+	case FormatS:
+		w |= uint32(in.Rs1&regMask) << rs1Shift
+	case FormatN:
+		// opcode only
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. Unknown opcodes decode to an
+// Inst with Op == BAD.
+func Decode(w uint32) Inst {
+	op := Op(w >> opShift)
+	if int(op) >= NumOps {
+		return Inst{Op: BAD}
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd = Reg(w >> rdShift & regMask)
+		in.Rs1 = Reg(w >> rs1Shift & regMask)
+		in.Rs2 = Reg(w >> rs2Shift & regMask)
+	case FormatI:
+		in.Rd = Reg(w >> rdShift & regMask)
+		in.Rs1 = Reg(w >> rs1Shift & regMask)
+		in.Imm = int32(int16(w & imm16))
+	case FormatB:
+		in.Rs1 = Reg(w >> rdShift & regMask)
+		in.Rs2 = Reg(w >> rs1Shift & regMask)
+		in.Imm = int32(int16(w & imm16))
+	case FormatJ:
+		in.Imm = int32(w & imm26)
+	case FormatS:
+		in.Rs1 = Reg(w >> rs1Shift & regMask)
+	case FormatN:
+		// opcode only
+	}
+	return in
+}
+
+// RegName returns the conventional assembler name of r: zero, rv, a0..a3,
+// gp, fp, sp, ra, or rN for the rest.
+func RegName(r Reg) string {
+	switch r {
+	case RegZero:
+		return "zero"
+	case RegRV:
+		return "rv"
+	case RegA0, RegA1, RegA2, RegA3:
+		return fmt.Sprintf("a%d", r-RegA0)
+	case RegGP:
+		return "gp"
+	case RegFP:
+		return "fp"
+	case RegSP:
+		return "sp"
+	case RegRA:
+		return "ra"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// RegByName parses a register name: rN, or any alias produced by RegName.
+func RegByName(s string) (Reg, bool) {
+	switch s {
+	case "zero":
+		return RegZero, true
+	case "rv":
+		return RegRV, true
+	case "a0":
+		return RegA0, true
+	case "a1":
+		return RegA1, true
+	case "a2":
+		return RegA2, true
+	case "a3":
+		return RegA3, true
+	case "gp":
+		return RegGP, true
+	case "fp":
+		return RegFP, true
+	case "sp":
+		return RegSP, true
+	case "ra":
+		return RegRA, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n := 0
+		for _, c := range s[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+			if n >= NumRegs {
+				return 0, false
+			}
+		}
+		return Reg(n), true
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case FormatI:
+		if in.Op.IsLoad() || in.Op.IsStore() {
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		}
+		if in.Op == LUI {
+			return fmt.Sprintf("%s %s, %d", in.Op, RegName(in.Rd), uint32(in.Imm)&imm16)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint32(in.Imm)*WordSize)
+	case FormatS:
+		return fmt.Sprintf("%s %s", in.Op, RegName(in.Rs1))
+	}
+	return in.Op.String()
+}

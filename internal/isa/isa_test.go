@@ -1,0 +1,222 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for op := Op(1); int(op) < NumOps; op++ {
+		got, ok := OpByName[op.String()]
+		if !ok {
+			t.Fatalf("mnemonic %q missing from OpByName", op.String())
+		}
+		if got != op {
+			t.Errorf("OpByName[%q] = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, ok := OpByName["bad"]; ok {
+		t.Error("BAD must not be nameable in assembly")
+	}
+}
+
+func TestFormatClassification(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want Format
+	}{
+		{ADD, FormatR}, {SLTU, FormatR},
+		{ADDI, FormatI}, {LUI, FormatI}, {LW, FormatI}, {SB, FormatI},
+		{BEQ, FormatB}, {BGEU, FormatB},
+		{JMP, FormatJ}, {JAL, FormatJ},
+		{JR, FormatS}, {CALLR, FormatS}, {OUT, FormatS}, {HALT, FormatS},
+		{RET, FormatN}, {NOP, FormatN}, {BAD, FormatN},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Format(); got != tt.want {
+			t.Errorf("%v.Format() = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		wantBranch := op == BEQ || op == BNE || op == BLT || op == BGE || op == BLTU || op == BGEU
+		if op.IsBranch() != wantBranch {
+			t.Errorf("%v.IsBranch() = %v, want %v", op, op.IsBranch(), wantBranch)
+		}
+		wantInd := op == JR || op == CALLR || op == RET
+		if op.IsIndirect() != wantInd {
+			t.Errorf("%v.IsIndirect() = %v, want %v", op, op.IsIndirect(), wantInd)
+		}
+		wantCtl := wantBranch || wantInd || op == JMP || op == JAL || op == HALT
+		if op.IsControl() != wantCtl {
+			t.Errorf("%v.IsControl() = %v, want %v", op, op.IsControl(), wantCtl)
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	if KindOf(RET) != IBReturn || KindOf(JR) != IBJump || KindOf(CALLR) != IBCall {
+		t.Fatal("KindOf misclassifies indirect opcodes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("KindOf(ADD) should panic")
+		}
+	}()
+	KindOf(ADD)
+}
+
+func TestIBKindString(t *testing.T) {
+	names := map[IBKind]string{IBReturn: "return", IBJump: "ijump", IBCall: "icall"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// canonical maps an arbitrary Inst to the form that survives an
+// encode/decode round trip for its opcode's format.
+func canonical(in Inst) Inst {
+	out := Inst{Op: in.Op}
+	switch in.Op.Format() {
+	case FormatR:
+		out.Rd, out.Rs1, out.Rs2 = in.Rd&regMask, in.Rs1&regMask, in.Rs2&regMask
+	case FormatI:
+		out.Rd, out.Rs1 = in.Rd&regMask, in.Rs1&regMask
+		out.Imm = int32(int16(in.Imm))
+	case FormatB:
+		out.Rs1, out.Rs2 = in.Rs1&regMask, in.Rs2&regMask
+		out.Imm = int32(int16(in.Imm))
+	case FormatJ:
+		out.Imm = in.Imm & imm26
+	case FormatS:
+		out.Rs1 = in.Rs1 & regMask
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	// Property: for every opcode and canonical operand values,
+	// Decode(Encode(x)) == x.
+	f := func(opRaw uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		op := Op(1 + int(opRaw)%(NumOps-1)) // skip BAD
+		in := canonical(Inst{Op: op, Rd: Reg(rd), Rs1: Reg(rs1), Rs2: Reg(rs2), Imm: imm})
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	// Property: Decode accepts any 32-bit word.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		w := rng.Uint32()
+		in := Decode(w)
+		if int(in.Op) >= NumOps {
+			t.Fatalf("Decode(%#x) produced out-of-range opcode %d", w, in.Op)
+		}
+	}
+}
+
+func TestDecodeBadOpcode(t *testing.T) {
+	w := uint32(63) << opShift // opcode 63 is undefined
+	if got := Decode(w); got.Op != BAD {
+		t.Errorf("Decode(undefined opcode) = %v, want BAD", got)
+	}
+}
+
+func TestImmediateSignExtension(t *testing.T) {
+	in := Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -1}
+	got := Decode(Encode(in))
+	if got.Imm != -1 {
+		t.Errorf("imm16 sign extension: got %d, want -1", got.Imm)
+	}
+	in = Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -32768}
+	if got := Decode(Encode(in)); got.Imm != -32768 {
+		t.Errorf("imm16 min: got %d, want -32768", got.Imm)
+	}
+	in = Inst{Op: JMP, Imm: imm26}
+	if got := Decode(Encode(in)); got.Imm != imm26 {
+		t.Errorf("imm26 is zero-extended: got %#x, want %#x", got.Imm, imm26)
+	}
+}
+
+func TestRegNameRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		name := RegName(r)
+		got, ok := RegByName(name)
+		if !ok || got != r {
+			t.Errorf("RegByName(RegName(%d)=%q) = %d,%v", r, name, got, ok)
+		}
+	}
+	// Plain rN spellings always work, even for aliased registers.
+	for r := Reg(0); r < NumRegs; r++ {
+		got, ok := RegByName(RegName(r))
+		if !ok || got != r {
+			t.Errorf("rN spelling failed for %d", r)
+		}
+	}
+	for _, bad := range []string{"", "r", "r32", "r99", "x1", "sp2", "r-1", "ra0"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) unexpectedly ok", bad)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, rv, r3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 30, Imm: -4}, "addi r1, sp, -4"},
+		{Inst{Op: LW, Rd: 2, Rs1: 30, Imm: 8}, "lw rv, 8(sp)"},
+		{Inst{Op: SW, Rd: 2, Rs1: 30, Imm: -8}, "sw rv, -8(sp)"},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 0, Imm: 3}, "beq r1, zero, 3"},
+		{Inst{Op: JMP, Imm: 0x10}, "jmp 0x40"},
+		{Inst{Op: JR, Rs1: 5}, "jr a1"},
+		{Inst{Op: RET}, "ret"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: LUI, Rd: 1, Imm: 0x1234}, "lui r1, 4660"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestEncodingDisjoint(t *testing.T) {
+	// Distinct canonical instructions must encode to distinct words
+	// (within one opcode, operands must not alias).
+	seen := make(map[uint32]Inst)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		in := canonical(Inst{
+			Op:  Op(1 + rng.Intn(NumOps-1)),
+			Rd:  Reg(rng.Intn(32)),
+			Rs1: Reg(rng.Intn(32)),
+			Rs2: Reg(rng.Intn(32)),
+			Imm: rng.Int31() - 1<<30,
+		})
+		w := Encode(in)
+		if prev, ok := seen[w]; ok && prev != in {
+			t.Fatalf("encoding collision: %v and %v both encode to %#x", prev, in, w)
+		}
+		seen[w] = in
+	}
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"sdt/internal/cache"
+	"sdt/internal/hostarch"
+	"sdt/internal/isa"
+	"sdt/internal/predictor"
+)
+
+// CostEnv bundles a host cost model with the simulated microarchitectural
+// state (L1 caches, BTB, RAS) and a cycle accumulator. The native machine
+// and the SDT each own one; comparing their Cycles for the same guest
+// program yields the slowdown the experiments report.
+type CostEnv struct {
+	Model  *hostarch.Model
+	ICache *cache.Cache
+	DCache *cache.Cache
+	BTB    *predictor.BTB
+	RAS    *predictor.RAS
+	Cycles uint64
+}
+
+// NewCostEnv builds the microarchitectural state for a model.
+func NewCostEnv(m *hostarch.Model) (*CostEnv, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &CostEnv{
+		Model:  m,
+		ICache: cache.New(m.ICache),
+		DCache: cache.New(m.DCache),
+		BTB:    predictor.NewBTB(m.BTBEntries),
+		RAS:    predictor.NewRAS(m.RASDepth),
+	}, nil
+}
+
+// Charge adds n cycles.
+func (e *CostEnv) Charge(n int) { e.Cycles += uint64(n) }
+
+// IFetch models fetching code at addr: free on an I-cache hit, the model's
+// miss penalty otherwise.
+func (e *CostEnv) IFetch(addr uint32) {
+	if !e.ICache.Access(addr) {
+		e.Cycles += uint64(e.Model.IMissPenalty)
+	}
+}
+
+// DTouch models a data reference to addr through the D-cache.
+func (e *CostEnv) DTouch(addr uint32) {
+	if !e.DCache.Access(addr) {
+		e.Cycles += uint64(e.Model.DMissPenalty)
+	}
+}
+
+// IndirectTransfer models a host indirect jump at site to target through
+// the BTB and reports whether it predicted.
+func (e *CostEnv) IndirectTransfer(site, target uint32) bool {
+	hit := e.BTB.Lookup(site, target)
+	if hit {
+		e.Cycles += uint64(e.Model.IndirectHit)
+	} else {
+		e.Cycles += uint64(e.Model.IndirectMiss)
+	}
+	return hit
+}
+
+// HostCall models a host call instruction: charges the call cost and pushes
+// the return address on the RAS.
+func (e *CostEnv) HostCall(retAddr uint32) {
+	e.Cycles += uint64(e.Model.CallDirect)
+	e.RAS.Push(retAddr)
+}
+
+// HostReturn models a host return to target through the RAS and reports
+// whether it predicted.
+func (e *CostEnv) HostReturn(target uint32) bool {
+	hit := e.RAS.Pop(target)
+	if hit {
+		e.Cycles += uint64(e.Model.ReturnHit)
+	} else {
+		e.Cycles += uint64(e.Model.ReturnMiss)
+	}
+	return hit
+}
+
+// ChargeBody charges the straight-line cost of in executing against s:
+// ALU/multiply/divide pipeline costs, and load/store costs including the
+// D-cache access to the effective address. Control-flow costs are charged
+// separately because they differ between native and SDT execution.
+// ChargeBody must be called before Exec so effective addresses are computed
+// from pre-execution register values.
+func (e *CostEnv) ChargeBody(s *State, in isa.Inst) {
+	m := e.Model
+	switch {
+	case in.Op == isa.MUL:
+		e.Cycles += uint64(m.Mul)
+	case in.Op == isa.DIV || in.Op == isa.DIVU || in.Op == isa.REM || in.Op == isa.REMU:
+		e.Cycles += uint64(m.Div)
+	case in.Op.IsLoad():
+		e.Cycles += uint64(m.Load)
+		e.DTouch(s.Regs[in.Rs1] + uint32(in.Imm))
+	case in.Op.IsStore():
+		e.Cycles += uint64(m.Store)
+		e.DTouch(s.Regs[in.Rs1] + uint32(in.Imm))
+	case in.Op == isa.OUT:
+		e.Cycles += uint64(m.Out)
+	case in.Op.IsControl():
+		// Charged by the control-flow accounting in the caller.
+	default:
+		e.Cycles += uint64(m.ALU)
+	}
+}
+
+// ChargeControl charges the native cost of a control outcome at pc and
+// updates the predictors the way a directly executing host would.
+func (e *CostEnv) ChargeControl(pc uint32, out Outcome) {
+	m := e.Model
+	switch out.Kind {
+	case OutNext:
+		// straight-line; nothing beyond body cost
+	case OutBranch:
+		if out.Taken {
+			e.Cycles += uint64(m.BranchTaken)
+		} else {
+			e.Cycles += uint64(m.BranchNotTaken)
+		}
+	case OutJump:
+		e.Cycles += uint64(m.DirectJump)
+	case OutCall:
+		e.HostCall(pc + isa.WordSize)
+	case OutIndirect:
+		switch out.IB {
+		case isa.IBReturn:
+			e.HostReturn(out.Target)
+		case isa.IBJump:
+			e.IndirectTransfer(pc, out.Target)
+		case isa.IBCall:
+			e.IndirectTransfer(pc, out.Target)
+			e.RAS.Push(pc + isa.WordSize)
+		}
+	case OutHalt:
+		e.Cycles += uint64(m.ALU)
+	}
+}

@@ -1,0 +1,225 @@
+package machine
+
+import (
+	"sdt/internal/isa"
+)
+
+// OutcomeKind classifies how an instruction transferred control.
+type OutcomeKind uint8
+
+// Outcome kinds.
+const (
+	OutNext     OutcomeKind = iota // fall through to pc+4
+	OutBranch                      // conditional branch, taken or not
+	OutJump                        // direct jump (JMP)
+	OutCall                        // direct call (JAL)
+	OutIndirect                    // JR / CALLR / RET; see IBKind
+	OutHalt
+)
+
+// Outcome describes an instruction's control-flow effect. Target is the
+// next pc. For OutBranch, Taken distinguishes the two successors. For
+// OutIndirect, Kind2 is the indirect-branch kind and the new pc came from
+// architectural state.
+type Outcome struct {
+	Kind   OutcomeKind
+	Target uint32
+	Taken  bool
+	IB     isa.IBKind // valid when Kind == OutIndirect
+}
+
+// Exec applies one instruction to s. The instruction must have been fetched
+// from address pc (used for pc-relative semantics and fault reporting).
+// On success, s.PC is advanced to the outcome target and s.Instret is
+// incremented. Exec performs no cost accounting: it is the shared semantic
+// core of the native machine and the SDT's fragment execution.
+func Exec(s *State, in isa.Inst, pc uint32) (Outcome, error) {
+	s.PC = pc // for fault reporting
+	next := pc + isa.WordSize
+	out := Outcome{Kind: OutNext, Target: next}
+	r := &s.Regs
+
+	switch in.Op {
+	case isa.ADD:
+		s.SetReg(in.Rd, r[in.Rs1]+r[in.Rs2])
+	case isa.SUB:
+		s.SetReg(in.Rd, r[in.Rs1]-r[in.Rs2])
+	case isa.MUL:
+		s.SetReg(in.Rd, r[in.Rs1]*r[in.Rs2])
+	case isa.DIV:
+		a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
+		switch {
+		case b == 0:
+			s.SetReg(in.Rd, 0xffffffff)
+		case a == -1<<31 && b == -1: // overflow: result is the dividend
+			s.SetReg(in.Rd, uint32(a))
+		default:
+			s.SetReg(in.Rd, uint32(a/b))
+		}
+	case isa.DIVU:
+		if r[in.Rs2] == 0 {
+			s.SetReg(in.Rd, 0xffffffff)
+		} else {
+			s.SetReg(in.Rd, r[in.Rs1]/r[in.Rs2])
+		}
+	case isa.REM:
+		a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
+		switch {
+		case b == 0:
+			s.SetReg(in.Rd, uint32(a))
+		case a == -1<<31 && b == -1:
+			s.SetReg(in.Rd, 0)
+		default:
+			s.SetReg(in.Rd, uint32(a%b))
+		}
+	case isa.REMU:
+		if r[in.Rs2] == 0 {
+			s.SetReg(in.Rd, r[in.Rs1])
+		} else {
+			s.SetReg(in.Rd, r[in.Rs1]%r[in.Rs2])
+		}
+	case isa.AND:
+		s.SetReg(in.Rd, r[in.Rs1]&r[in.Rs2])
+	case isa.OR:
+		s.SetReg(in.Rd, r[in.Rs1]|r[in.Rs2])
+	case isa.XOR:
+		s.SetReg(in.Rd, r[in.Rs1]^r[in.Rs2])
+	case isa.SLL:
+		s.SetReg(in.Rd, r[in.Rs1]<<(r[in.Rs2]&31))
+	case isa.SRL:
+		s.SetReg(in.Rd, r[in.Rs1]>>(r[in.Rs2]&31))
+	case isa.SRA:
+		s.SetReg(in.Rd, uint32(int32(r[in.Rs1])>>(r[in.Rs2]&31)))
+	case isa.SLT:
+		s.SetReg(in.Rd, b2u(int32(r[in.Rs1]) < int32(r[in.Rs2])))
+	case isa.SLTU:
+		s.SetReg(in.Rd, b2u(r[in.Rs1] < r[in.Rs2]))
+
+	case isa.ADDI:
+		s.SetReg(in.Rd, r[in.Rs1]+uint32(in.Imm))
+	case isa.ANDI:
+		s.SetReg(in.Rd, r[in.Rs1]&uint32(in.Imm))
+	case isa.ORI:
+		s.SetReg(in.Rd, r[in.Rs1]|uint32(in.Imm))
+	case isa.XORI:
+		s.SetReg(in.Rd, r[in.Rs1]^uint32(in.Imm))
+	case isa.SLLI:
+		s.SetReg(in.Rd, r[in.Rs1]<<(uint32(in.Imm)&31))
+	case isa.SRLI:
+		s.SetReg(in.Rd, r[in.Rs1]>>(uint32(in.Imm)&31))
+	case isa.SRAI:
+		s.SetReg(in.Rd, uint32(int32(r[in.Rs1])>>(uint32(in.Imm)&31)))
+	case isa.SLTI:
+		s.SetReg(in.Rd, b2u(int32(r[in.Rs1]) < in.Imm))
+	case isa.SLTIU:
+		s.SetReg(in.Rd, b2u(r[in.Rs1] < uint32(in.Imm)))
+	case isa.LUI:
+		s.SetReg(in.Rd, uint32(in.Imm)<<16)
+
+	case isa.LW:
+		v, err := s.LoadWord(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return out, err
+		}
+		s.SetReg(in.Rd, v)
+	case isa.LH:
+		v, err := s.LoadHalf(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return out, err
+		}
+		s.SetReg(in.Rd, uint32(int32(int16(v))))
+	case isa.LHU:
+		v, err := s.LoadHalf(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return out, err
+		}
+		s.SetReg(in.Rd, uint32(v))
+	case isa.LB:
+		v, err := s.LoadByte(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return out, err
+		}
+		s.SetReg(in.Rd, uint32(int32(int8(v))))
+	case isa.LBU:
+		v, err := s.LoadByte(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return out, err
+		}
+		s.SetReg(in.Rd, uint32(v))
+	case isa.SW:
+		if err := s.StoreWord(r[in.Rs1]+uint32(in.Imm), r[in.Rd]); err != nil {
+			return out, err
+		}
+	case isa.SH:
+		if err := s.StoreHalf(r[in.Rs1]+uint32(in.Imm), uint16(r[in.Rd])); err != nil {
+			return out, err
+		}
+	case isa.SB:
+		if err := s.StoreByte(r[in.Rs1]+uint32(in.Imm), byte(r[in.Rd])); err != nil {
+			return out, err
+		}
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		taken := false
+		a, b := r[in.Rs1], r[in.Rs2]
+		switch in.Op {
+		case isa.BEQ:
+			taken = a == b
+		case isa.BNE:
+			taken = a != b
+		case isa.BLT:
+			taken = int32(a) < int32(b)
+		case isa.BGE:
+			taken = int32(a) >= int32(b)
+		case isa.BLTU:
+			taken = a < b
+		case isa.BGEU:
+			taken = a >= b
+		}
+		out.Kind, out.Taken = OutBranch, taken
+		if taken {
+			out.Target = pc + uint32(in.Imm)*isa.WordSize
+		}
+
+	case isa.JMP:
+		out.Kind = OutJump
+		out.Target = uint32(in.Imm) * isa.WordSize
+	case isa.JAL:
+		s.SetReg(isa.RegRA, next)
+		out.Kind = OutCall
+		out.Target = uint32(in.Imm) * isa.WordSize
+	case isa.JR:
+		out.Kind, out.IB = OutIndirect, isa.IBJump
+		out.Target = r[in.Rs1]
+	case isa.CALLR:
+		target := r[in.Rs1] // read before the ra write in case rs1 == ra
+		s.SetReg(isa.RegRA, next)
+		out.Kind, out.IB = OutIndirect, isa.IBCall
+		out.Target = target
+	case isa.RET:
+		out.Kind, out.IB = OutIndirect, isa.IBReturn
+		out.Target = r[isa.RegRA]
+
+	case isa.OUT:
+		s.Out.Emit(r[in.Rs1])
+	case isa.HALT:
+		s.Halted = true
+		s.ExitCode = r[in.Rs1]
+		out.Kind, out.Target = OutHalt, pc
+	case isa.NOP:
+		// nothing
+	default:
+		return out, s.fault(pc, "illegal instruction")
+	}
+
+	s.Instret++
+	s.PC = out.Target
+	return out, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"sdt/internal/hostarch"
+	"sdt/internal/isa"
+	"sdt/internal/program"
+)
+
+// ErrLimit is returned by Run when the instruction budget is exhausted
+// before the guest halts.
+var ErrLimit = errors.New("machine: instruction limit exceeded")
+
+// DefaultLimit is the Run instruction budget when none is given.
+const DefaultLimit = 2_000_000_000
+
+// Counts are dynamic execution statistics gathered by the native machine;
+// experiment E1 (the paper's workload characterization table) reports them.
+type Counts struct {
+	Total    uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	Taken    uint64
+	Calls    uint64 // direct calls (JAL)
+	IB       [isa.NumIBKinds]uint64
+}
+
+// IBTotal is the dynamic count of all indirect branches.
+func (c *Counts) IBTotal() uint64 {
+	var t uint64
+	for _, n := range c.IB {
+		t += n
+	}
+	return t
+}
+
+// IBPer1K is indirect branches per thousand retired instructions.
+func (c *Counts) IBPer1K() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 1000 * float64(c.IBTotal()) / float64(c.Total)
+}
+
+// IBTrace observes every executed indirect branch: its site (guest pc),
+// resolved guest target and kind. The profiler attaches one to measure
+// target-set sizes and locality.
+type IBTrace func(site, target uint32, kind isa.IBKind)
+
+// Machine executes a guest image directly ("natively") against a cost
+// model. It is both the performance baseline and the semantic oracle the
+// SDT is tested against.
+type Machine struct {
+	State  *State
+	Env    *CostEnv
+	Counts Counts
+	Trace  IBTrace // optional
+
+	img  *program.Image
+	code []isa.Inst // predecoded code section
+}
+
+// New builds a machine for img with the given host model.
+func New(img *program.Image, model *hostarch.Model) (*Machine, error) {
+	st, err := NewState(img)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewCostEnv(model)
+	if err != nil {
+		return nil, err
+	}
+	code := make([]isa.Inst, len(img.Code))
+	for i, w := range img.Code {
+		code[i] = isa.Decode(w)
+	}
+	return &Machine{State: st, Env: env, img: img, code: code}, nil
+}
+
+// FetchDecoded returns the predecoded instruction at pc, faulting on
+// addresses outside the code section. Execution never leaves the static
+// code section (SimRISC has no self-modifying code).
+func (m *Machine) FetchDecoded(pc uint32) (isa.Inst, error) {
+	idx := (pc - program.CodeBase) / isa.WordSize
+	if pc < program.CodeBase || pc%isa.WordSize != 0 || int(idx) >= len(m.code) {
+		return isa.Inst{}, &Fault{PC: pc, Addr: pc, Msg: "pc outside code section"}
+	}
+	return m.code[idx], nil
+}
+
+// Image returns the image the machine was built from.
+func (m *Machine) Image() *program.Image { return m.img }
+
+// Step executes one instruction with full native cost accounting.
+func (m *Machine) Step() error {
+	pc := m.State.PC
+	in, err := m.FetchDecoded(pc)
+	if err != nil {
+		return err
+	}
+	m.Env.IFetch(pc)
+	m.Env.ChargeBody(m.State, in)
+	out, err := Exec(m.State, in, pc)
+	if err != nil {
+		return err
+	}
+	m.Env.ChargeControl(pc, out)
+	m.count(pc, in, out)
+	return nil
+}
+
+func (m *Machine) count(pc uint32, in isa.Inst, out Outcome) {
+	c := &m.Counts
+	c.Total++
+	switch {
+	case in.Op.IsLoad():
+		c.Loads++
+	case in.Op.IsStore():
+		c.Stores++
+	}
+	switch out.Kind {
+	case OutBranch:
+		c.Branches++
+		if out.Taken {
+			c.Taken++
+		}
+	case OutCall:
+		c.Calls++
+	case OutIndirect:
+		c.IB[out.IB]++
+		if m.Trace != nil {
+			m.Trace(pc, out.Target, out.IB)
+		}
+	}
+}
+
+// Run executes until the guest halts or limit instructions retire.
+// limit <= 0 selects DefaultLimit.
+func (m *Machine) Run(limit uint64) error {
+	if limit == 0 {
+		limit = DefaultLimit
+	}
+	for !m.State.Halted {
+		if m.State.Instret >= limit {
+			return fmt.Errorf("%w (%d instructions)", ErrLimit, limit)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Cycles   uint64
+	Instret  uint64
+	Checksum uint64
+	OutCount uint64
+	ExitCode uint32
+}
+
+// Result captures the current run summary.
+func (m *Machine) Result() Result {
+	return Result{
+		Cycles:   m.Env.Cycles,
+		Instret:  m.State.Instret,
+		Checksum: m.State.Out.Checksum,
+		OutCount: m.State.Out.Count,
+		ExitCode: m.State.ExitCode,
+	}
+}
+
+// RunImage is a convenience wrapper: build a machine, run to completion and
+// return the machine for inspection.
+func RunImage(img *program.Image, model *hostarch.Model, limit uint64) (*Machine, error) {
+	m, err := New(img, model)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(limit); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

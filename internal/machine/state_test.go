@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/isa"
+	"sdt/internal/program"
+)
+
+func smallState(t *testing.T) *State {
+	t.Helper()
+	img, err := asm.Assemble("t.s", "main: halt\n.mem 0x10000\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestInitialState(t *testing.T) {
+	st := smallState(t)
+	if st.Regs[isa.RegSP] != 0x10000 {
+		t.Errorf("sp = %#x, want top of memory", st.Regs[isa.RegSP])
+	}
+	if st.Regs[isa.RegGP] == 0 {
+		t.Error("gp not initialized to the data base")
+	}
+	if st.PC != program.CodeBase {
+		t.Errorf("pc = %#x", st.PC)
+	}
+}
+
+func TestMemoryBoundaries(t *testing.T) {
+	st := smallState(t)
+	last := uint32(len(st.Mem))
+
+	// The last word is accessible; one past is not.
+	if err := st.StoreWord(last-4, 0x11223344); err != nil {
+		t.Errorf("store at top-4: %v", err)
+	}
+	if v, err := st.LoadWord(last - 4); err != nil || v != 0x11223344 {
+		t.Errorf("load at top-4 = %#x, %v", v, err)
+	}
+	if err := st.StoreWord(last, 1); err == nil {
+		t.Error("store at memory size should fault")
+	}
+	if _, err := st.LoadByte(last); err == nil {
+		t.Error("byte load at memory size should fault")
+	}
+	if err := st.StoreByte(last-1, 0xff); err != nil {
+		t.Errorf("last byte store: %v", err)
+	}
+	// Wraparound attempt: huge address + size overflowing uint32.
+	if _, err := st.LoadWord(0xfffffffc); err == nil {
+		t.Error("near-overflow address should fault")
+	}
+}
+
+func TestGuardPage(t *testing.T) {
+	st := smallState(t)
+	for _, addr := range []uint32{0, 4, program.GuardSize - 4} {
+		if _, err := st.LoadWord(addr); err == nil {
+			t.Errorf("load at %#x should hit the guard page", addr)
+		}
+	}
+	if _, err := st.LoadWord(program.GuardSize); err != nil {
+		t.Errorf("load at guard boundary: %v", err)
+	}
+}
+
+func TestHalfwordAccess(t *testing.T) {
+	st := smallState(t)
+	if err := st.StoreHalf(0x2000, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.LoadHalf(0x2000)
+	if err != nil || v != 0xbeef {
+		t.Errorf("halfword = %#x, %v", v, err)
+	}
+	if _, err := st.LoadHalf(0x2001); err == nil {
+		t.Error("misaligned halfword should fault")
+	}
+}
+
+func TestOutputKeepValuesBound(t *testing.T) {
+	var o Output
+	for i := uint32(0); i < KeepValues+100; i++ {
+		o.Emit(i)
+	}
+	if o.Count != KeepValues+100 {
+		t.Errorf("Count = %d", o.Count)
+	}
+	if len(o.Values) != KeepValues {
+		t.Errorf("retained %d values, want cap %d", len(o.Values), KeepValues)
+	}
+	// Checksum still covers every value, not just retained ones.
+	var o2 Output
+	for i := uint32(0); i < KeepValues+99; i++ {
+		o2.Emit(i)
+	}
+	if o.Checksum == o2.Checksum {
+		t.Error("checksum ignored values past the retention cap")
+	}
+}
+
+func TestOutputChecksumOrderSensitive(t *testing.T) {
+	var a, b Output
+	a.Emit(1)
+	a.Emit(2)
+	b.Emit(2)
+	b.Emit(1)
+	if a.Checksum == b.Checksum {
+		t.Error("checksum must be order-sensitive")
+	}
+}
+
+func TestOutputZeroValueVsNothing(t *testing.T) {
+	var a, b Output
+	a.Emit(0)
+	if a.Checksum == b.Checksum && a.Count == b.Count {
+		t.Error("emitting zero must differ from emitting nothing")
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	st := smallState(t)
+	st.PC = 0x1234
+	err := st.fault(0x42, "boom")
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("fault() returned %T", err)
+	}
+	if f.PC != 0x1234 || f.Addr != 0x42 {
+		t.Errorf("fault = %+v", f)
+	}
+	for _, want := range []string{"0x1234", "boom", "0x42"} {
+		if !contains(err.Error(), want) {
+			t.Errorf("fault message %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package minic
+
+// Expression parsing: precedence climbing over the C-like operator table.
+
+// binPrec maps binary operators to precedence (higher binds tighter).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	return p.binRHS(1, l)
+}
+
+// exprContinue resumes binary-operator parsing with an already-parsed left
+// operand (used by the statement parser after its one-token lookahead).
+func (p *parser) exprContinue(left Expr) (Expr, error) {
+	return p.binRHS(1, left)
+}
+
+func (p *parser) binRHS(minPrec int, left Expr) (Expr, error) {
+	for {
+		op := p.tok.text
+		prec, isBin := 0, false
+		if p.tok.kind == tPunct {
+			prec, isBin = binPrec[op], binPrec[op] > 0
+		}
+		if !isBin || prec < minPrec {
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// bind tighter operators to the right operand first
+		for p.tok.kind == tPunct && binPrec[p.tok.text] > prec {
+			right, err = p.binRHS(binPrec[p.tok.text], right)
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.isPunct("-") || p.isPunct("!") || p.isPunct("~"):
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	case p.isPunct("&"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &AddrExpr{Name: name, Line: line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.tok.kind == tNum:
+		v := p.tok.val
+		return &NumExpr{Val: v}, p.advance()
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	case p.tok.kind == tIdent:
+		name := p.tok.text
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.primaryFromIdent(name, line)
+	}
+	return nil, p.errf("unexpected token %q in expression", p.tok.text)
+}
+
+// primaryFromIdent finishes a primary whose leading identifier has already
+// been consumed: a call, an array read, or a plain variable.
+func (p *parser) primaryFromIdent(name string, line int) (Expr, error) {
+	switch {
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		call := &CallExpr{Name: name, Line: line}
+		for !p.isPunct(")") {
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if !p.isPunct(")") {
+				return nil, p.errf("expected ',' or ')' in call, got %q", p.tok.text)
+			}
+		}
+		return call, p.advance()
+	case p.isPunct("["):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &IndexExpr{Name: name, Index: idx, Line: line}, p.expectPunct("]")
+	}
+	return &VarExpr{Name: name, Line: line}, nil
+}

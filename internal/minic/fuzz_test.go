@@ -1,0 +1,29 @@
+package minic_test
+
+import (
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/minic"
+)
+
+// FuzzCompile: the compiler must reject or accept arbitrary input without
+// panicking, and anything it accepts must produce assembly our own
+// assembler accepts — a pipeline-coherence property.
+func FuzzCompile(f *testing.F) {
+	f.Add("func main() { out 1; }")
+	f.Add("var g[8]; func f(a,b) { return a%b; } func main() { g[0]=&f; var h=g[0]; out h(7,3); }")
+	f.Add("func main() { var i=0; while(i<3){ if(i==1){continue;} i=i+1; } }")
+	f.Add("func main() { out 1 && 2 || !3; halt 4; }")
+	f.Add("func r(n) { if (n) { return r(n-1)+1; } return 0; } func main() { out r(9); }")
+	f.Add("var x = -5; func main() { x = ~x << 2 >> 1; out x; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		asmText, err := minic.Compile(src)
+		if err != nil {
+			return
+		}
+		if _, err := asm.Assemble("fuzz.s", asmText); err != nil {
+			t.Errorf("compiler emitted assembly the assembler rejects: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdt/internal/minic"
+)
+
+// Lexer and parser edge cases beyond the main suite.
+func TestLexerEdges(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"hex literal", `func main() { out 0xFF; }`, ""},
+		{"hex empty", `func main() { out 0x; }`, "malformed number"},
+		{"huge hex", `func main() { out 0x1ffffffff; }`, "too large"},
+		{"stray char", "func main() { out `1`; }", "unexpected character"},
+		{"keyword as var", `func main() { var while; }`, "expected identifier"},
+		{"missing paren", `func main( { }`, "expected identifier"},
+		{"bad param sep", `func f(a b) {} func main() {}`, "expected ','"},
+		{"bad call sep", `func f(a,b){} func main() { f(1 2); }`, "expected ','"},
+		{"top-level junk", `out 1;`, "top level"},
+		{"global bad init", `var g = x; func main() {}`, "literal"},
+		{"array len ident", `var a[n]; func main() {}`, "positive literal"},
+		{"assign to call", `func f(){} func main() { f() = 1; }`, `expected ";"`},
+		{"empty source", ``, "no main"},
+		{"unclosed paren", `func main() { out (1; }`, `expected ")"`},
+		{"unclosed index", `var a[4]; func main() { out a[1; }`, `expected "]"`},
+		{"amp number", `func main() { out &5; }`, "expected identifier"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := minic.Compile(tt.src)
+			if tt.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := minic.Compile("func main() {\n  out $;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	e, ok := err.(*minic.Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Line != 2 {
+		t.Errorf("error line = %d, want 2", e.Line)
+	}
+	if !strings.HasPrefix(err.Error(), "minic:2:") {
+		t.Errorf("formatted error = %q", err.Error())
+	}
+}
+
+func TestArrayReadAsStatement(t *testing.T) {
+	// An array read in statement position parses and keeps its (possibly
+	// faulting) access.
+	_, err := minic.Compile(`var a[4]; func main() { a[1]; a[2] + 3; }`)
+	if err != nil {
+		t.Fatalf("array-read statement rejected: %v", err)
+	}
+}
+
+func TestPrecedenceMatrix(t *testing.T) {
+	// Spot checks pinning the operator table against C.
+	// C precedence: & over ^ over | — so 3&1=1, 2^1=3, 1|3=3. (Go groups
+	// these differently, which is exactly why it's worth pinning.)
+	expect(t, `func main() { out 1 | 2 ^ 3 & 1; }`, 3)
+	expect(t, `func main() { out 1 + 2 << 3; }`, 24)    // + before <<? No: << binds looser
+	expect(t, `func main() { out 10 - 4 - 3 * 2; }`, 0) // * first, - left-assoc
+	expect(t, `func main() { out 1 < 2 == 1; }`, 1)     // relational before equality
+	expect(t, `func main() { out 0 || 1 && 0; }`, 0)    // && before ||
+	expect(t, `func main() { out -2 * 3; }`, uint32(0xfffffffa))
+	expect(t, `func main() { out !1 == 0; }`, 1) // unary before binary
+}

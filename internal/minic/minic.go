@@ -1,0 +1,668 @@
+// Package minic implements a small imperative language compiled to
+// SimRISC-32 assembly, so guest programs (workloads, tests, demos) can be
+// written above raw assembler. The language is deliberately tiny but
+// includes the constructs the indirect-branch study cares about: function
+// calls and returns, function pointers (indirect calls), and computed
+// dispatch via arrays of function addresses.
+//
+// Language sketch:
+//
+//	var seed = 1;            // word-sized global
+//	var table[64];           // global word array
+//
+//	func rand() {
+//	    seed = seed * 1103515245 + 12345;
+//	    return (seed >> 16) & 32767;
+//	}
+//
+//	func apply(f, x) {       // f holds a function address
+//	    return f(x);         // indirect call
+//	}
+//
+//	func main() {
+//	    var i = 0;
+//	    while (i < 10) {
+//	        out apply(&rand, i);
+//	        i = i + 1;
+//	    }
+//	}
+//
+// Types: everything is a 32-bit word. Operators (C precedence): unary
+// - ! ~ &f; binary * / % + - << >> < <= > >= == != & ^ | && ||
+// (short-circuiting). Statements: var, assignment (scalars and global
+// array elements), if/else, while, break, continue, return, out, halt,
+// and expression statements. Execution begins at main; falling off main
+// halts with exit code 0.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error reports a compile error with position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic:%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// ---- tokens -----------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tNum
+	tIdent
+	tKeyword
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"return": true, "out": true, "halt": true, "break": true, "continue": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.pos++
+			lx.line++
+			lx.col = 1
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+			lx.col++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: lx.line, col: lx.col}, nil
+
+scan:
+	start, line, col := lx.pos, lx.line, lx.col
+	c := lx.src[lx.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		base := int64(10)
+		if c == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+			base = 16
+			lx.pos += 2
+			lx.col += 2
+		}
+		var v int64
+		digits := 0
+		for lx.pos < len(lx.src) {
+			d := int64(-1)
+			ch := lx.src[lx.pos]
+			switch {
+			case ch >= '0' && ch <= '9':
+				d = int64(ch - '0')
+			case base == 16 && ch >= 'a' && ch <= 'f':
+				d = int64(ch-'a') + 10
+			case base == 16 && ch >= 'A' && ch <= 'F':
+				d = int64(ch-'A') + 10
+			}
+			if d < 0 || d >= base {
+				break
+			}
+			v = v*base + d
+			if v > 1<<32 {
+				return token{}, lx.errf(line, col, "integer literal too large")
+			}
+			digits++
+			lx.pos++
+			lx.col++
+		}
+		if digits == 0 {
+			return token{}, lx.errf(line, col, "malformed number")
+		}
+		return token{kind: tNum, text: lx.src[start:lx.pos], val: v, line: line, col: col}, nil
+
+	case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch >= '0' && ch <= '9' {
+				lx.pos++
+				lx.col++
+			} else {
+				break
+			}
+		}
+		text := lx.src[start:lx.pos]
+		k := tIdent
+		if keywords[text] {
+			k = tKeyword
+		}
+		return token{kind: k, text: text, line: line, col: col}, nil
+
+	default:
+		// multi-char operators, longest first
+		for _, op := range []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"} {
+			if strings.HasPrefix(lx.src[lx.pos:], op) {
+				lx.pos += 2
+				lx.col += 2
+				return token{kind: tPunct, text: op, line: line, col: col}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%&|^!~<>=(){}[];,", rune(c)) {
+			lx.pos++
+			lx.col++
+			return token{kind: tPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected character %q", c)
+	}
+}
+
+// ---- AST --------------------------------------------------------------------
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Global is a module-level scalar or array.
+type Global struct {
+	Name string
+	Len  int   // 0 for scalars
+	Init int64 // scalars only
+	Line int
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type (
+	// VarStmt declares a local, optionally initialized.
+	VarStmt struct {
+		Name string
+		Init Expr // may be nil
+		Line int
+	}
+	// AssignStmt assigns to a local, param, global, or global array cell.
+	AssignStmt struct {
+		Name  string
+		Index Expr // nil for scalars
+		Value Expr
+		Line  int
+	}
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	// WhileStmt is a while loop.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// ReturnStmt returns a value (nil means 0).
+	ReturnStmt struct{ Value Expr }
+	// OutStmt emits a value to the machine output.
+	OutStmt struct{ Value Expr }
+	// HaltStmt stops the program; the value is the exit code (nil = 0).
+	HaltStmt struct{ Value Expr }
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+	// ContinueStmt restarts the innermost loop.
+	ContinueStmt struct{ Line int }
+	// ExprStmt evaluates an expression for effect (calls).
+	ExprStmt struct{ X Expr }
+)
+
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*OutStmt) stmtNode()      {}
+func (*HaltStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+type (
+	// NumExpr is an integer literal.
+	NumExpr struct{ Val int64 }
+	// VarExpr reads a local, param or global scalar.
+	VarExpr struct {
+		Name string
+		Line int
+	}
+	// IndexExpr reads a global array cell.
+	IndexExpr struct {
+		Name  string
+		Index Expr
+		Line  int
+	}
+	// AddrExpr is &f, the address of a function.
+	AddrExpr struct {
+		Name string
+		Line int
+	}
+	// CallExpr calls a named function (direct when Name is a function,
+	// indirect when it is a variable holding an address).
+	CallExpr struct {
+		Name string
+		Args []Expr
+		Line int
+	}
+	// UnaryExpr is -x, !x or ~x.
+	UnaryExpr struct {
+		Op string
+		X  Expr
+	}
+	// BinExpr is a binary operation; && and || short-circuit.
+	BinExpr struct {
+		Op   string
+		L, R Expr
+	}
+)
+
+func (*NumExpr) exprNode()   {}
+func (*VarExpr) exprNode()   {}
+func (*IndexExpr) exprNode() {}
+func (*AddrExpr) exprNode()  {}
+func (*CallExpr) exprNode()  {}
+func (*UnaryExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+
+// ---- parser -----------------------------------------------------------------
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+// Parse builds the AST for a MiniC source file.
+func Parse(src string) (*Program, error) {
+	p := &parser{lx: &lexer{src: src, line: 1, col: 1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tEOF {
+		switch {
+		case p.isKeyword("var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.isKeyword("func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("expected 'func' or 'var' at top level, got %q", p.tok.text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool { return p.tok.kind == tKeyword && p.tok.text == kw }
+func (p *parser) isPunct(s string) bool    { return p.tok.kind == tPunct && p.tok.text == s }
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected identifier, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) globalDecl() (*Global, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // var
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &Global{Name: name, Line: line}
+	if p.isPunct("[") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tNum || p.tok.val <= 0 || p.tok.val > 1<<20 {
+			return nil, p.errf("array length must be a positive literal, got %q", p.tok.text)
+		}
+		g.Len = int(p.tok.val)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	} else if p.isPunct("=") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		neg := false
+		if p.isPunct("-") {
+			neg = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind != tNum {
+			return nil, p.errf("global initializer must be a literal, got %q", p.tok.text)
+		}
+		g.Init = p.tok.val
+		if neg {
+			g.Init = -g.Init
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return g, p.expectPunct(";")
+}
+
+func (p *parser) funcDecl() (*Func, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // func
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &Func{Name: name, Line: line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		param, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if !p.isPunct(")") {
+			return nil, p.errf("expected ',' or ')' in parameter list, got %q", p.tok.text)
+		}
+	}
+	if err := p.advance(); err != nil { // )
+		return nil, err
+	}
+	f.Body, err = p.block()
+	return f, err
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.isPunct("}") {
+		if p.tok.kind == tEOF {
+			return nil, p.errf("unexpected end of file inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.advance() // }
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.isKeyword("var"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name, Line: line}
+		if p.isPunct("=") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			s.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, p.expectPunct(";")
+
+	case p.isKeyword("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then}
+		if p.isKeyword("else") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isKeyword("if") {
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = []Stmt{inner}
+			} else {
+				s.Else, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return s, nil
+
+	case p.isKeyword("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.isKeyword("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &ReturnStmt{}
+		if !p.isPunct(";") {
+			var err error
+			s.Value, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, p.expectPunct(";")
+
+	case p.isKeyword("out"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &OutStmt{Value: v}, p.expectPunct(";")
+
+	case p.isKeyword("halt"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &HaltStmt{}
+		if !p.isPunct(";") {
+			var err error
+			s.Value, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, p.expectPunct(";")
+
+	case p.isKeyword("break"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, p.expectPunct(";")
+
+	case p.isKeyword("continue"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, p.expectPunct(";")
+
+	case p.tok.kind == tIdent:
+		// assignment or expression statement; decide by lookahead
+		name := p.tok.text
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.isPunct("="):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name, Value: v, Line: line}, p.expectPunct(";")
+		case p.isPunct("["):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if p.isPunct("=") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Name: name, Index: idx, Value: v, Line: line}, p.expectPunct(";")
+			}
+			// an array read as a statement: finish parsing it as an expression
+			x, err := p.exprContinue(&IndexExpr{Name: name, Index: idx, Line: line})
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: x}, p.expectPunct(";")
+		default:
+			// expression statement beginning with the identifier
+			prim, err := p.primaryFromIdent(name, line)
+			if err != nil {
+				return nil, err
+			}
+			x, err := p.exprContinue(prim)
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: x}, p.expectPunct(";")
+		}
+	}
+	return nil, p.errf("unexpected token %q at start of statement", p.tok.text)
+}

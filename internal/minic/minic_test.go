@@ -1,0 +1,300 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/machine"
+	"sdt/internal/minic"
+)
+
+// run compiles and executes src natively, returning the output values.
+func run(t *testing.T, src string) []uint32 {
+	t.Helper()
+	img, err := minic.CompileToImage("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := machine.RunImage(img, hostarch.X86(), 20_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.State.Out.Values
+}
+
+func expect(t *testing.T, src string, want ...uint32) {
+	t.Helper()
+	got := run(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d (%#x), want %d", i, got[i], got[i], want[i])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expect(t, `func main() { out 2 + 3 * 4; }`, 14)
+	expect(t, `func main() { out (2 + 3) * 4; }`, 20)
+	expect(t, `func main() { out 10 - 2 - 3; }`, 5) // left associative
+	expect(t, `func main() { out 100 / 7; }`, 14)
+	expect(t, `func main() { out 100 % 7; }`, 2)
+	expect(t, `func main() { out -5 + 3; }`, 0xfffffffe)
+	expect(t, `func main() { out 1 << 10; }`, 1024)
+	expect(t, `func main() { out 0x80000000 >> 31; }`, 1) // logical shift
+	expect(t, `func main() { out 0xf0 | 0x0f; }`, 0xff)
+	expect(t, `func main() { out 0xff & 0x3c; }`, 0x3c)
+	expect(t, `func main() { out 0xff ^ 0x0f; }`, 0xf0)
+	expect(t, `func main() { out ~0; }`, 0xffffffff)
+	expect(t, `func main() { out !0; out !7; }`, 1, 0)
+	expect(t, `func main() { out 5 / 0; }`, 0xffffffff) // ISA semantics
+}
+
+func TestComparisons(t *testing.T) {
+	expect(t, `func main() { out 1 < 2; out 2 < 1; out 2 < 2; }`, 1, 0, 0)
+	expect(t, `func main() { out 2 > 1; out 1 > 2; }`, 1, 0)
+	expect(t, `func main() { out 2 <= 2; out 3 <= 2; }`, 1, 0)
+	expect(t, `func main() { out 2 >= 2; out 2 >= 3; }`, 1, 0)
+	expect(t, `func main() { out 5 == 5; out 5 == 6; }`, 1, 0)
+	expect(t, `func main() { out 5 != 6; out 5 != 5; }`, 1, 0)
+	expect(t, `func main() { out -1 < 1; }`, 1) // signed compare
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand must not evaluate when the left decides; a global
+	// side effect detects evaluation.
+	src := `
+	var hit = 0;
+	func bump() { hit = hit + 1; return 1; }
+	func main() {
+		out 0 && bump();
+		out hit;
+		out 1 || bump();
+		out hit;
+		out 1 && bump();
+		out hit;
+	}`
+	expect(t, src, 0, 0, 1, 0, 1, 1)
+}
+
+func TestControlFlow(t *testing.T) {
+	expect(t, `
+	func main() {
+		var i = 0;
+		var sum = 0;
+		while (i < 10) {
+			i = i + 1;
+			if (i % 2 == 0) { continue; }
+			if (i > 7) { break; }
+			sum = sum + i;
+		}
+		out sum;    // 1+3+5+7 = 16
+		out i;      // 9 (break at i=9)
+	}`, 16, 9)
+	expect(t, `
+	func main() {
+		if (3 > 2) { out 1; } else { out 2; }
+		if (2 > 3) { out 1; } else if (1) { out 2; } else { out 3; }
+	}`, 1, 2)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expect(t, `
+	func fib(n) {
+		if (n < 2) { return n; }
+		return fib(n-1) + fib(n-2);
+	}
+	func main() { out fib(15); }`, 610)
+	expect(t, `
+	func add3(a, b, c) { return a + b*10 + c*100; }
+	func main() { out add3(1, 2, 3); }`, 321)
+	expect(t, `
+	func noret() { }
+	func main() { out noret(); }`, 0)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	expect(t, `
+	func double(x) { return x + x; }
+	func square(x) { return x * x; }
+	func apply(f, x) { return f(x); }
+	func main() {
+		out apply(&double, 7);
+		out apply(&square, 7);
+		var g = &double;
+		out g(3);
+	}`, 14, 49, 6)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	expect(t, `
+	var counter = 41;
+	var arr[8];
+	func main() {
+		counter = counter + 1;
+		out counter;
+		var i = 0;
+		while (i < 8) { arr[i] = i * i; i = i + 1; }
+		out arr[7];
+		out arr[arr[2]];   // arr[4] = 16
+	}`, 42, 49, 16)
+	expect(t, `var g = -3; func main() { out g; }`, 0xfffffffd)
+}
+
+func TestDispatchTable(t *testing.T) {
+	// The pattern the paper studies, written in the high-level language:
+	// an array of function addresses dispatched indirectly.
+	expect(t, `
+	var ops[4];
+	func op0(x) { return x + 1; }
+	func op1(x) { return x * 2; }
+	func op2(x) { return x - 3; }
+	func op3(x) { return x ^ 15; }
+	func main() {
+		ops[0] = &op0; ops[1] = &op1; ops[2] = &op2; ops[3] = &op3;
+		var i = 0;
+		var acc = 100;
+		while (i < 8) {
+			var f = ops[i % 4];
+			acc = f(acc);
+			i = i + 1;
+		}
+		out acc;
+	}`, 384)
+}
+
+func TestHaltExitCode(t *testing.T) {
+	img, err := minic.CompileToImage("t.mc", `func main() { halt 7; out 9; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.RunImage(img, hostarch.X86(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State.ExitCode != 7 {
+		t.Errorf("exit code = %d, want 7", m.State.ExitCode)
+	}
+	if m.State.Out.Count != 0 {
+		t.Error("halt did not stop execution")
+	}
+	// main's return value becomes the exit code via the runtime stub.
+	img2, _ := minic.CompileToImage("t.mc", `func main() { return 5; }`)
+	m2, err := machine.RunImage(img2, hostarch.X86(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.State.ExitCode != 5 {
+		t.Errorf("main return exit code = %d, want 5", m2.State.ExitCode)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"no main", `func f() {}`, "no main"},
+		{"main params", `func main(x) {}`, "main takes no parameters"},
+		{"undefined var", `func main() { out x; }`, "undefined variable"},
+		{"undefined func", `func main() { foo(); }`, "undefined function"},
+		{"undefined assign", `func main() { x = 1; }`, "undefined variable"},
+		{"redeclared local", `func main() { var x; var x; }`, "redeclared"},
+		{"redefined func", `func f() {} func f() {} func main() {}`, "redefined"},
+		{"redefined global", `var g; var g; func main() {}`, "redefined"},
+		{"func/global clash", `var f; func f() {} func main() {}`, "both global and function"},
+		{"break outside", `func main() { break; }`, "break outside loop"},
+		{"continue outside", `func main() { continue; }`, "continue outside loop"},
+		{"array no index", `var a[4]; func main() { out a; }`, "read without index"},
+		{"scalar indexed", `var s; func main() { out s[0]; }`, "not a global array"},
+		{"addr of nonfunc", `var v; func main() { out &v; }`, "not a function"},
+		{"bad array len", `var a[0]; func main() {}`, "array length"},
+		{"syntax", `func main() { out 1 +; }`, "unexpected token"},
+		{"missing semi", `func main() { out 1 }`, `expected ";"`},
+		{"bad char", "func main() { out 1 @ 2; }", "unexpected character"},
+		{"big literal", `func main() { out 99999999999; }`, "too large"},
+		{"param repeated", `func f(a, a) {} func main() {}`, "repeated"},
+		{"unterminated block", `func main() { out 1;`, "end of file"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := minic.Compile(tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestComments(t *testing.T) {
+	expect(t, `
+	// leading comment
+	func main() {
+		out 1; // trailing
+		// out 2;
+	}`, 1)
+}
+
+func TestDeepExpressionStack(t *testing.T) {
+	// Nested expressions exercise the intermediate stack.
+	expect(t, `func main() { out ((1+2)*(3+4)) - ((5-6)*(7+8)); }`, 36)
+	expect(t, `
+	func f(a, b, c, d, e) { return a + b + c + d + e; }
+	func main() { out f(f(1,2,3,4,5), 2, 3, f(1,1,1,1,1), 5); }`, 30)
+}
+
+func TestMiniCUnderSDT(t *testing.T) {
+	// Compiled code must behave identically natively and translated,
+	// including under fast returns and traces.
+	src := `
+	var ops[4];
+	func op0(x) { return x + 1; }
+	func op1(x) { return x * 3; }
+	func op2(x) { return x ^ 255; }
+	func op3(x) { return x >> 1; }
+	func step(f, x) { return f(x); }
+	func main() {
+		ops[0] = &op0; ops[1] = &op1; ops[2] = &op2; ops[3] = &op3;
+		var seed = 12345;
+		var acc = 1;
+		var i = 0;
+		while (i < 3000) {
+			seed = seed * 1103515245 + 12345;
+			var k = (seed >> 16) % 4;
+			if (k < 0) { k = -k; }
+			acc = step(ops[k], acc) & 0xffff;
+			out acc;
+			i = i + 1;
+		}
+	}`
+	img, err := minic.CompileToImage("sdt.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := machine.RunImage(img, hostarch.X86(), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"ibtc:1024", "fastret+inline:2+ibtc:1024", "trace+sieve:256"} {
+		cfg, err := ib.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, _ := hostarch.ByName("x86")
+		vm, err := core.New(img, cfg.Options(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Run(50_000_000); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if vm.Result().Checksum != native.Result().Checksum {
+			t.Errorf("%s: compiled program diverged under SDT", spec)
+		}
+	}
+}

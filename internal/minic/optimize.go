@@ -1,0 +1,303 @@
+package minic
+
+// AST-level optimization: constant folding with exactly the target ISA's
+// 32-bit semantics (wraparound, logical >>, division-by-zero yielding -1),
+// algebraic simplification guarded by purity, strength reduction of
+// multiplications by powers of two, and dead-branch elimination. The
+// optimizer must be semantics-preserving by construction: every rewrite
+// either evaluates the same arithmetic the machine would, or removes code
+// whose effects provably cannot happen.
+
+// Optimize rewrites the program in place and returns it.
+func Optimize(p *Program) *Program {
+	for _, f := range p.Funcs {
+		f.Body = foldStmts(f.Body)
+	}
+	return p
+}
+
+func foldStmts(list []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range list {
+		switch s := s.(type) {
+		case *VarStmt:
+			if s.Init != nil {
+				s.Init = foldExpr(s.Init)
+			}
+			out = append(out, s)
+		case *AssignStmt:
+			if s.Index != nil {
+				s.Index = foldExpr(s.Index)
+			}
+			s.Value = foldExpr(s.Value)
+			out = append(out, s)
+		case *IfStmt:
+			s.Cond = foldExpr(s.Cond)
+			s.Then = foldStmts(s.Then)
+			s.Else = foldStmts(s.Else)
+			if n, ok := s.Cond.(*NumExpr); ok {
+				if uint32(n.Val) != 0 {
+					out = append(out, s.Then...)
+				} else {
+					out = append(out, s.Else...)
+				}
+				continue
+			}
+			out = append(out, s)
+		case *WhileStmt:
+			s.Cond = foldExpr(s.Cond)
+			s.Body = foldStmts(s.Body)
+			if n, ok := s.Cond.(*NumExpr); ok && uint32(n.Val) == 0 {
+				continue // while(0): dead
+			}
+			out = append(out, s)
+		case *ReturnStmt:
+			if s.Value != nil {
+				s.Value = foldExpr(s.Value)
+			}
+			out = append(out, s)
+		case *OutStmt:
+			s.Value = foldExpr(s.Value)
+			out = append(out, s)
+		case *HaltStmt:
+			if s.Value != nil {
+				s.Value = foldExpr(s.Value)
+			}
+			out = append(out, s)
+		case *ExprStmt:
+			s.X = foldExpr(s.X)
+			if pure(s.X) {
+				continue // effect-free expression statement: dead
+			}
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pure reports whether evaluating e can have no side effect (no calls; in
+// this language loads cannot fault the program's logic but array reads are
+// kept anyway to preserve potential guard-page faults).
+func pure(e Expr) bool {
+	switch e := e.(type) {
+	case *NumExpr, *VarExpr, *AddrExpr:
+		return true
+	case *IndexExpr:
+		return false // an out-of-range index faults; keep it observable
+	case *UnaryExpr:
+		return pure(e.X)
+	case *BinExpr:
+		return pure(e.L) && pure(e.R)
+	}
+	return false
+}
+
+func num(v uint32) *NumExpr { return &NumExpr{Val: int64(v)} }
+
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *UnaryExpr:
+		e.X = foldExpr(e.X)
+		if n, ok := e.X.(*NumExpr); ok {
+			x := uint32(n.Val)
+			switch e.Op {
+			case "-":
+				return num(-x)
+			case "~":
+				return num(^x)
+			case "!":
+				if x == 0 {
+					return num(1)
+				}
+				return num(0)
+			}
+		}
+		return e
+
+	case *BinExpr:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+		ln, lConst := e.L.(*NumExpr)
+		rn, rConst := e.R.(*NumExpr)
+		if lConst && rConst {
+			return num(evalBin(e.Op, uint32(ln.Val), uint32(rn.Val)))
+		}
+		return algebra(e, lConst, rConst)
+
+	case *CallExpr:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+
+	case *IndexExpr:
+		e.Index = foldExpr(e.Index)
+		return e
+	}
+	return e
+}
+
+// evalBin evaluates a binary operator with the machine's exact semantics.
+func evalBin(op string, l, r uint32) uint32 {
+	switch op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		a, b := int32(l), int32(r)
+		switch {
+		case b == 0:
+			return 0xffffffff
+		case a == -1<<31 && b == -1:
+			return l
+		default:
+			return uint32(a / b)
+		}
+	case "%":
+		a, b := int32(l), int32(r)
+		switch {
+		case b == 0:
+			return l
+		case a == -1<<31 && b == -1:
+			return 0
+		default:
+			return uint32(a % b)
+		}
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<<":
+		return l << (r & 31)
+	case ">>":
+		return l >> (r & 31)
+	case "<":
+		return b2u(int32(l) < int32(r))
+	case "<=":
+		return b2u(int32(l) <= int32(r))
+	case ">":
+		return b2u(int32(l) > int32(r))
+	case ">=":
+		return b2u(int32(l) >= int32(r))
+	case "==":
+		return b2u(l == r)
+	case "!=":
+		return b2u(l != r)
+	case "&&":
+		return b2u(l != 0 && r != 0)
+	case "||":
+		return b2u(l != 0 || r != 0)
+	}
+	panic("minic: evalBin " + op)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// algebra applies identity and strength-reduction rewrites. Rewrites that
+// would delete a subexpression require it to be pure.
+func algebra(e *BinExpr, lConst, rConst bool) Expr {
+	lv, rv := uint32(0), uint32(0)
+	if lConst {
+		lv = uint32(e.L.(*NumExpr).Val)
+	}
+	if rConst {
+		rv = uint32(e.R.(*NumExpr).Val)
+	}
+	switch e.Op {
+	case "+":
+		if rConst && rv == 0 {
+			return e.L
+		}
+		if lConst && lv == 0 {
+			return e.R
+		}
+	case "-":
+		if rConst && rv == 0 {
+			return e.L
+		}
+	case "*":
+		if rConst {
+			switch {
+			case rv == 1:
+				return e.L
+			case rv == 0 && pure(e.L):
+				return num(0)
+			case rv != 0 && rv&(rv-1) == 0:
+				return &BinExpr{Op: "<<", L: e.L, R: num(log2(rv))}
+			}
+		}
+		if lConst {
+			switch {
+			case lv == 1:
+				return e.R
+			case lv == 0 && pure(e.R):
+				return num(0)
+			case lv != 0 && lv&(lv-1) == 0:
+				return &BinExpr{Op: "<<", L: e.R, R: num(log2(lv))}
+			}
+		}
+	case "/":
+		if rConst && rv == 1 {
+			return e.L
+		}
+	case "<<", ">>":
+		if rConst && rv&31 == 0 && rv < 32 {
+			return e.L
+		}
+	case "&":
+		if rConst && rv == 0 && pure(e.L) {
+			return num(0)
+		}
+		if lConst && lv == 0 && pure(e.R) {
+			return num(0)
+		}
+		if rConst && rv == 0xffffffff {
+			return e.L
+		}
+	case "|", "^":
+		if rConst && rv == 0 {
+			return e.L
+		}
+		if lConst && lv == 0 {
+			return e.R
+		}
+	case "&&":
+		// 0 && x  -> 0 always (short-circuit: x never evaluates)
+		if lConst && lv == 0 {
+			return num(0)
+		}
+		// c && x (c != 0) -> normalize x to 0/1
+		if lConst && lv != 0 {
+			return &BinExpr{Op: "!=", L: e.R, R: num(0)}
+		}
+	case "||":
+		if lConst && lv != 0 {
+			return num(1)
+		}
+		if lConst && lv == 0 {
+			return &BinExpr{Op: "!=", L: e.R, R: num(0)}
+		}
+	}
+	return e
+}
+
+func log2(v uint32) uint32 {
+	n := uint32(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package minic_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/hostarch"
+	"sdt/internal/machine"
+	"sdt/internal/minic"
+)
+
+// compileBoth builds optimized and unoptimized images of src.
+func compileBoth(t *testing.T, src string) (opt, plain []uint32, optInsts, plainInsts int) {
+	t.Helper()
+	runOne := func(optimize bool) ([]uint32, int) {
+		asmText, err := minic.CompileWith(src, minic.CompileOptions{Optimize: optimize})
+		if err != nil {
+			t.Fatalf("compile(opt=%v): %v", optimize, err)
+		}
+		img, err := asm.Assemble("t.s", asmText)
+		if err != nil {
+			t.Fatalf("assemble(opt=%v): %v", optimize, err)
+		}
+		m, err := machine.RunImage(img, hostarch.X86(), 50_000_000)
+		if err != nil {
+			t.Fatalf("run(opt=%v): %v", optimize, err)
+		}
+		return m.State.Out.Values, len(img.Code)
+	}
+	opt, optInsts = runOne(true)
+	plain, plainInsts = runOne(false)
+	return
+}
+
+func sameOutputs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	programs := []string{
+		`func main() { out 2 + 3 * 4 - 1; }`,
+		`func main() { out 7 / 0; out 7 % 0; }`, // ISA div-by-zero
+		`func main() { out 0x80000000 / -1; }`,  // overflow case
+		`func main() { out (1 << 31) >> 31; }`,  // logical shift
+		`func main() { var x = 5; out x * 8; out x * 0; out x + 0; }`,
+		`func main() { if (1) { out 10; } else { out 20; } }`,
+		`func main() { if (0) { out 10; } else { out 20; } }`,
+		`func main() { while (0) { out 99; } out 1; }`,
+		`func main() { out 3 && 0; out 0 || 5; out 2 && 2; }`,
+		`var hit = 0;
+		 func f() { hit = hit + 1; return 2; }
+		 func main() { out 0 * 1 && f(); out hit; out 1 && f(); out hit; }`,
+		`func main() { var i = 0; var s = 0;
+		  while (i < 20) { s = s + i * 4; i = i + 1; } out s; }`,
+	}
+	for i, src := range programs {
+		opt, plain, _, _ := compileBoth(t, src)
+		if !sameOutputs(opt, plain) {
+			t.Errorf("program %d: optimized %v != unoptimized %v", i, opt, plain)
+		}
+	}
+}
+
+func TestOptimizerShrinksCode(t *testing.T) {
+	src := `
+	func main() {
+		out 2 * 3 + 4 * 5;         // fully folds
+		var x = 7;
+		out x * 16;                // strength-reduced to a shift
+		if (1 == 2) { out 111; out 222; out 333; }  // dead
+		while (0) { out 444; }     // dead
+		out x + 0;                 // identity
+	}`
+	_, _, optInsts, plainInsts := compileBoth(t, src)
+	if optInsts >= plainInsts {
+		t.Errorf("optimizer did not shrink code: %d vs %d instructions", optInsts, plainInsts)
+	}
+}
+
+func TestOptimizerKeepsSideEffects(t *testing.T) {
+	// Multiplication by zero must not delete a call; dead expression
+	// statements with calls must survive.
+	src := `
+	var hit = 0;
+	func f() { hit = hit + 1; return 3; }
+	func main() {
+		out f() * 0;
+		out hit;       // must be 1
+		f();           // expression statement with an effect
+		out hit;       // must be 2
+		out 0 * 7;     // pure: folds to 0
+	}`
+	opt, plain, _, _ := compileBoth(t, src)
+	if !sameOutputs(opt, plain) {
+		t.Fatalf("side effects lost: %v vs %v", opt, plain)
+	}
+	if opt[1] != 1 || opt[2] != 2 {
+		t.Errorf("calls were optimized away: %v", opt)
+	}
+}
+
+func TestOptimizerKeepsArrayFaults(t *testing.T) {
+	// An out-of-range index must still fault after optimization.
+	src := `
+	var a[4];
+	func main() {
+		a[300000000] = 1;  // ~1.2 GB offset: far past guest memory
+		out 1;
+	}`
+	asmText, err := minic.CompileWith(src, minic.CompileOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble("t.s", asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.RunImage(img, hostarch.X86(), 1_000_000); err == nil {
+		t.Error("optimizer deleted a faulting access")
+	}
+}
+
+func TestOptimizerDifferentialOnGenerated(t *testing.T) {
+	// Pseudo-random MiniC programs: optimized and unoptimized binaries
+	// must agree output-for-output.
+	for seed := uint32(1); seed <= 15; seed++ {
+		src := genMiniC(seed)
+		opt, plain, _, _ := compileBoth(t, src)
+		if !sameOutputs(opt, plain) {
+			t.Errorf("seed %d: outputs diverge\nsource:\n%s", seed, src)
+		}
+	}
+}
+
+// genMiniC produces a small random-but-valid MiniC program (expression
+// heavy, to exercise the folder).
+func genMiniC(seed uint32) string {
+	rnd := func(n uint32) uint32 {
+		seed = seed*1664525 + 1013904223
+		return (seed >> 16) % n
+	}
+	var exprGen func(depth int) string
+	exprGen = func(depth int) string {
+		if depth <= 0 || rnd(3) == 0 {
+			switch rnd(3) {
+			case 0:
+				return fmt.Sprintf("%d", rnd(1000))
+			case 1:
+				return "x"
+			default:
+				return fmt.Sprintf("(0 - %d)", rnd(50))
+			}
+		}
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", ">", "==", "!=", "&&", "||"}
+		op := ops[rnd(uint32(len(ops)))]
+		r := exprGen(depth - 1)
+		if op == "<<" || op == ">>" {
+			r = fmt.Sprintf("%d", rnd(31))
+		}
+		return fmt.Sprintf("(%s %s %s)", exprGen(depth-1), op, r)
+	}
+	src := "func main() {\n\tvar x = " + fmt.Sprintf("%d", rnd(100)) + ";\n"
+	for i := uint32(0); i < 6+rnd(6); i++ {
+		switch rnd(4) {
+		case 0:
+			src += "\tout " + exprGen(3) + ";\n"
+		case 1:
+			src += "\tx = " + exprGen(3) + ";\n"
+		case 2:
+			src += "\tif (" + exprGen(2) + ") { out x; } else { x = x + 1; }\n"
+		default:
+			src += "\tout x + " + fmt.Sprintf("%d", rnd(16)) + ";\n"
+		}
+	}
+	src += "\tout x;\n}\n"
+	return src
+}

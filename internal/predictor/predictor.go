@@ -1,0 +1,111 @@
+// Package predictor simulates the two hardware structures whose interaction
+// with SDT dispatch the paper's cross-architecture results hinge on:
+//
+//   - the branch target buffer (BTB), which predicts indirect jump/call
+//     targets per branch site — an SDT that funnels every indirect branch
+//     through one shared dispatch jump destroys the per-site locality the
+//     BTB depends on;
+//   - the return address stack (RAS), which predicts returns perfectly for
+//     call/return-disciplined code — an SDT that turns returns into table
+//     lookups forfeits it, and "fast returns" exist to win it back.
+package predictor
+
+// BTB is a direct-mapped branch target buffer indexed and tagged by branch
+// site address.
+type BTB struct {
+	entries []btbEntry
+	mask    uint32
+	hits    uint64
+	misses  uint64
+}
+
+type btbEntry struct {
+	site   uint32
+	target uint32
+	valid  bool
+}
+
+// NewBTB builds a BTB with the given number of entries (a power of two).
+func NewBTB(entries int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predictor: BTB entries must be a positive power of two")
+	}
+	return &BTB{entries: make([]btbEntry, entries), mask: uint32(entries - 1)}
+}
+
+// Lookup simulates an indirect transfer at site jumping to target. It
+// reports whether the BTB predicted correctly, then trains the entry.
+func (b *BTB) Lookup(site, target uint32) bool {
+	e := &b.entries[(site>>2)&b.mask]
+	hit := e.valid && e.site == site && e.target == target
+	e.site, e.target, e.valid = site, target, true
+	if hit {
+		b.hits++
+	} else {
+		b.misses++
+	}
+	return hit
+}
+
+// Stats returns cumulative predicted/mispredicted counts.
+func (b *BTB) Stats() (hits, misses uint64) { return b.hits, b.misses }
+
+// Reset clears all entries and statistics.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+	b.hits, b.misses = 0, 0
+}
+
+// RAS is a fixed-depth return address stack with wraparound, matching the
+// overwrite-on-overflow behaviour of hardware return predictors.
+type RAS struct {
+	stack  []uint32
+	top    int // index of next push slot
+	depth  int // live entries, capped at len(stack)
+	hits   uint64
+	misses uint64
+}
+
+// NewRAS builds a return address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("predictor: RAS depth must be positive")
+	}
+	return &RAS{stack: make([]uint32, depth)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(retAddr uint32) {
+	r.stack[r.top] = retAddr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop simulates a return to actual and reports whether the RAS predicted
+// it. An empty RAS always mispredicts.
+func (r *RAS) Pop(actual uint32) bool {
+	if r.depth == 0 {
+		r.misses++
+		return false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	if r.stack[r.top] == actual {
+		r.hits++
+		return true
+	}
+	r.misses++
+	return false
+}
+
+// Stats returns cumulative predicted/mispredicted counts.
+func (r *RAS) Stats() (hits, misses uint64) { return r.hits, r.misses }
+
+// Reset empties the stack and clears statistics.
+func (r *RAS) Reset() {
+	r.top, r.depth, r.hits, r.misses = 0, 0, 0, 0
+}

@@ -1,0 +1,185 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTBMonomorphicSite(t *testing.T) {
+	b := NewBTB(16)
+	if b.Lookup(0x100, 0x200) {
+		t.Error("cold BTB lookup should miss")
+	}
+	for i := 0; i < 10; i++ {
+		if !b.Lookup(0x100, 0x200) {
+			t.Error("stable target should always predict after training")
+		}
+	}
+	hits, misses := b.Stats()
+	if hits != 10 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 10/1", hits, misses)
+	}
+}
+
+func TestBTBPolymorphicSite(t *testing.T) {
+	b := NewBTB(16)
+	// Alternating targets at one site never predict.
+	for i := 0; i < 10; i++ {
+		if b.Lookup(0x100, uint32(0x200+(i%2)*0x100)) {
+			t.Error("alternating targets must mispredict")
+		}
+	}
+}
+
+func TestBTBAliasing(t *testing.T) {
+	b := NewBTB(4) // sites 4*4=16 bytes apart alias
+	b.Lookup(0x0, 0xa)
+	b.Lookup(0x10, 0xb) // evicts site 0x0's entry
+	if b.Lookup(0x0, 0xa) {
+		t.Error("aliased site should have been evicted")
+	}
+}
+
+func TestBTBDistinctSites(t *testing.T) {
+	b := NewBTB(64)
+	for site := uint32(0); site < 32; site++ {
+		b.Lookup(site*4, site+0x1000)
+	}
+	for site := uint32(0); site < 32; site++ {
+		if !b.Lookup(site*4, site+0x1000) {
+			t.Errorf("site %d should predict", site)
+		}
+	}
+}
+
+func TestBTBTagCheck(t *testing.T) {
+	// Two sites mapping to the same entry must not predict each other's
+	// target even when the target matches.
+	b := NewBTB(4)
+	b.Lookup(0x0, 0xa)
+	if b.Lookup(0x10, 0xa) {
+		t.Error("different site must not hit despite equal target")
+	}
+}
+
+func TestBTBNewPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBTB(%d) should panic", n)
+				}
+			}()
+			NewBTB(n)
+		}()
+	}
+}
+
+func TestRASBalancedCalls(t *testing.T) {
+	r := NewRAS(16)
+	// Property: balanced call/return nesting within depth predicts 100%.
+	var walk func(depth int, addr uint32)
+	walk = func(depth int, addr uint32) {
+		if depth == 0 {
+			return
+		}
+		r.Push(addr)
+		walk(depth-1, addr+4)
+		if !r.Pop(addr) {
+			t.Errorf("balanced return to %#x mispredicted", addr)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		walk(10, uint32(i*0x100))
+	}
+	hits, misses := r.Stats()
+	if misses != 0 {
+		t.Errorf("balanced nesting: %d misses", misses)
+	}
+	if hits != 500 {
+		t.Errorf("hits = %d, want 500", hits)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(4)
+	for i := uint32(0); i < 6; i++ {
+		r.Push(i)
+	}
+	// Deepest two entries (0, 1) were overwritten; 5,4,3,2 remain.
+	for _, want := range []uint32{5, 4, 3, 2} {
+		if !r.Pop(want) {
+			t.Errorf("expected hit for %d", want)
+		}
+	}
+	if r.Pop(1) {
+		t.Error("overwritten entry should mispredict")
+	}
+}
+
+func TestRASEmptyPopMisses(t *testing.T) {
+	r := NewRAS(8)
+	if r.Pop(0x100) {
+		t.Error("empty RAS must mispredict")
+	}
+	r.Push(0x1)
+	r.Pop(0x1)
+	if r.Pop(0x1) {
+		t.Error("drained RAS must mispredict")
+	}
+}
+
+func TestRASMismatchedReturn(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(0x100)
+	if r.Pop(0x104) {
+		t.Error("wrong return address must mispredict")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	b := NewBTB(16)
+	b.Lookup(0x100, 0x200)
+	b.Reset()
+	if h, m := b.Stats(); h != 0 || m != 0 {
+		t.Error("BTB Reset did not clear stats")
+	}
+	if b.Lookup(0x100, 0x200) {
+		t.Error("BTB Reset did not clear entries")
+	}
+
+	r := NewRAS(8)
+	r.Push(0x1)
+	r.Reset()
+	if r.Pop(0x1) {
+		t.Error("RAS Reset did not clear the stack")
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	// Property: hits+misses equals the number of Lookup/Pop calls.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBTB(32)
+		r := NewRAS(8)
+		pops := 0
+		for i := 0; i < int(n); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				b.Lookup(rng.Uint32()&0xfff, rng.Uint32()&0xfff)
+			case 1:
+				r.Push(rng.Uint32())
+			case 2:
+				r.Pop(rng.Uint32() & 0xf)
+				pops++
+			}
+		}
+		bh, bm := b.Stats()
+		rh, rm := r.Stats()
+		return int(rh+rm) == pops && bh+bm <= uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package profile collects the execution statistics the paper's evaluation
+// reports: indirect-branch dynamic counts by kind, mechanism hit/miss
+// behaviour, translator entries, and a cycle breakdown separating useful
+// work from IB handling, context switching and translation.
+package profile
+
+import (
+	"fmt"
+	"io"
+
+	"sdt/internal/isa"
+)
+
+// Profile accumulates SDT execution statistics for one run.
+type Profile struct {
+	// Indirect-branch dynamics.
+	IBExec [isa.NumIBKinds]uint64 // executed IBs by kind
+	IBMiss [isa.NumIBKinds]uint64 // IBs that fell back to the translator
+
+	// Mechanism behaviour.
+	MechHits     uint64 // fast-path hits (IBTC/inline/sieve/fast-return)
+	MechMisses   uint64 // fast-path misses
+	InlineProbes uint64 // inline-cache compares executed
+	SieveProbes  uint64 // sieve chain stubs walked
+
+	// Translator activity.
+	TranslatorEntries uint64 // full context switches into the translator
+	Translations      uint64 // fragments translated
+	TransInsts        uint64 // guest instructions translated
+	Flushes           uint64 // fragment cache flushes
+
+	// Trace formation (Options.Traces).
+	TracesFormed     uint64 // traces materialized
+	TraceGuardHits   uint64 // in-trace IB guards that stayed on trace
+	TraceGuardMisses uint64 // in-trace IB guards that left the trace
+	TraceExits       uint64 // early departures from a trace (any exit kind)
+
+	// Cycle breakdown. CyclesIB counts cycles spent in emitted IB-handling
+	// code; CyclesCtx counts context-switch and translator-lookup cycles;
+	// CyclesTrans counts translation work. The remainder of the run's
+	// total is straight-line fragment execution.
+	CyclesIB    uint64
+	CyclesCtx   uint64
+	CyclesTrans uint64
+}
+
+// IBTotal returns the number of executed indirect branches.
+func (p *Profile) IBTotal() uint64 {
+	var t uint64
+	for _, n := range p.IBExec {
+		t += n
+	}
+	return t
+}
+
+// HitRate returns the mechanism fast-path hit rate in [0,1].
+func (p *Profile) HitRate() float64 {
+	total := p.MechHits + p.MechMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.MechHits) / float64(total)
+}
+
+// Overhead splits totalCycles into the four reporting categories.
+func (p *Profile) Overhead(totalCycles uint64) Breakdown {
+	b := Breakdown{
+		Total: totalCycles,
+		IB:    p.CyclesIB,
+		Ctx:   p.CyclesCtx,
+		Trans: p.CyclesTrans,
+	}
+	spent := b.IB + b.Ctx + b.Trans
+	if totalCycles >= spent {
+		b.Body = totalCycles - spent
+	}
+	return b
+}
+
+// Breakdown is a cycle attribution for one run.
+type Breakdown struct {
+	Total uint64
+	Body  uint64 // straight-line translated code
+	IB    uint64 // emitted IB-handling code
+	Ctx   uint64 // context switches + translator lookups
+	Trans uint64 // translation work
+}
+
+// Frac returns part/Total, or 0 for an empty run.
+func (b Breakdown) Frac(part uint64) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(part) / float64(b.Total)
+}
+
+// Dump writes a human-readable report.
+func (p *Profile) Dump(w io.Writer, totalCycles uint64) {
+	fmt.Fprintf(w, "indirect branches: %d (ret=%d ijump=%d icall=%d)\n",
+		p.IBTotal(), p.IBExec[isa.IBReturn], p.IBExec[isa.IBJump], p.IBExec[isa.IBCall])
+	fmt.Fprintf(w, "mechanism: hits=%d misses=%d hit-rate=%.4f probes(inline=%d sieve=%d)\n",
+		p.MechHits, p.MechMisses, p.HitRate(), p.InlineProbes, p.SieveProbes)
+	fmt.Fprintf(w, "translator: entries=%d translations=%d insts=%d flushes=%d\n",
+		p.TranslatorEntries, p.Translations, p.TransInsts, p.Flushes)
+	if p.TracesFormed > 0 {
+		fmt.Fprintf(w, "traces: formed=%d guard-hits=%d guard-misses=%d exits=%d\n",
+			p.TracesFormed, p.TraceGuardHits, p.TraceGuardMisses, p.TraceExits)
+	}
+	b := p.Overhead(totalCycles)
+	fmt.Fprintf(w, "cycles: total=%d body=%.1f%% ib=%.1f%% ctx=%.1f%% trans=%.1f%%\n",
+		b.Total, 100*b.Frac(b.Body), 100*b.Frac(b.IB), 100*b.Frac(b.Ctx), 100*b.Frac(b.Trans))
+}

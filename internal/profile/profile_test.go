@@ -1,0 +1,87 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sdt/internal/isa"
+)
+
+func TestIBTotal(t *testing.T) {
+	p := &Profile{}
+	p.IBExec[isa.IBReturn] = 10
+	p.IBExec[isa.IBJump] = 20
+	p.IBExec[isa.IBCall] = 5
+	if got := p.IBTotal(); got != 35 {
+		t.Errorf("IBTotal = %d, want 35", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	p := &Profile{}
+	if p.HitRate() != 0 {
+		t.Error("empty profile HitRate should be 0")
+	}
+	p.MechHits, p.MechMisses = 3, 1
+	if got := p.HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", got)
+	}
+}
+
+func TestOverheadPartition(t *testing.T) {
+	p := &Profile{CyclesIB: 30, CyclesCtx: 20, CyclesTrans: 10}
+	b := p.Overhead(100)
+	if b.Body != 40 {
+		t.Errorf("Body = %d, want 40", b.Body)
+	}
+	if b.Body+b.IB+b.Ctx+b.Trans != b.Total {
+		t.Error("breakdown does not partition the total")
+	}
+	if b.Frac(b.IB) != 0.3 {
+		t.Errorf("Frac = %v, want 0.3", b.Frac(b.IB))
+	}
+}
+
+func TestOverheadNeverNegative(t *testing.T) {
+	// Property: Body is clamped at zero even for inconsistent inputs.
+	f := func(ib, ctx, trans, total uint32) bool {
+		p := &Profile{CyclesIB: uint64(ib), CyclesCtx: uint64(ctx), CyclesTrans: uint64(trans)}
+		b := p.Overhead(uint64(total))
+		return b.Body <= b.Total || b.Body == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFracEmptyRun(t *testing.T) {
+	var b Breakdown
+	if b.Frac(10) != 0 {
+		t.Error("Frac on empty breakdown should be 0")
+	}
+}
+
+func TestDump(t *testing.T) {
+	p := &Profile{
+		MechHits: 99, MechMisses: 1,
+		TranslatorEntries: 7, Translations: 5, TransInsts: 50,
+		CyclesIB: 25, CyclesCtx: 25, CyclesTrans: 10,
+	}
+	p.IBExec[isa.IBReturn] = 80
+	p.IBExec[isa.IBJump] = 15
+	p.IBExec[isa.IBCall] = 5
+	var sb strings.Builder
+	p.Dump(&sb, 100)
+	out := sb.String()
+	for _, want := range []string{
+		"100", "ret=80", "ijump=15", "icall=5",
+		"hits=99", "hit-rate=0.99",
+		"entries=7", "translations=5",
+		"body=40.0%", "ib=25.0%", "ctx=25.0%", "trans=10.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump output missing %q:\n%s", want, out)
+		}
+	}
+}

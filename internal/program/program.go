@@ -1,0 +1,277 @@
+// Package program defines the loadable unit shared by the assembler, the
+// reference machine and the SDT: a memory image with code, data, an entry
+// point and an optional symbol table.
+//
+// Guest memory layout convention:
+//
+//	0x00000000          unmapped guard page (loads/stores trap)
+//	CodeBase (0x1000)   instruction words
+//	DataBase            data section, immediately after code (word aligned)
+//	...                 heap (grows up from end of data)
+//	MemSize             top of memory; the stack grows down from here
+//
+// All guest addresses are below 0x40000000; the SDT places its fragment
+// cache and lookup tables above that boundary in the simulated host address
+// space, mirroring how a real SDT shares the process address space with the
+// guest.
+package program
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"sdt/internal/isa"
+)
+
+// Address-space constants.
+const (
+	// CodeBase is where the first instruction of every image is loaded.
+	CodeBase = 0x1000
+	// GuardSize is the size of the unmapped low region; accesses below
+	// CodeBase fault, which catches null-pointer dereferences in guest code.
+	GuardSize = CodeBase
+	// MaxGuestAddr is the exclusive upper bound of guest memory. Addresses
+	// at or above it belong to the simulated host (fragment cache, tables).
+	MaxGuestAddr = 0x4000_0000
+	// DefaultMemSize is the guest memory size when an image does not
+	// request one.
+	DefaultMemSize = 4 << 20
+)
+
+// Image is a loadable guest program.
+type Image struct {
+	Name    string
+	Entry   uint32   // byte address of the first instruction
+	MemSize uint32   // total guest memory size in bytes
+	Code    []uint32 // instruction words, loaded at CodeBase
+	Data    []byte   // data section, loaded at DataBase()
+	Symbols map[string]uint32
+}
+
+// DataBase returns the load address of the data section: the first word
+// boundary after the code.
+func (im *Image) DataBase() uint32 {
+	return CodeBase + uint32(len(im.Code))*isa.WordSize
+}
+
+// CodeEnd returns the first byte address past the code section.
+func (im *Image) CodeEnd() uint32 { return im.DataBase() }
+
+// Validate checks the structural invariants an executable image must
+// satisfy.
+func (im *Image) Validate() error {
+	if len(im.Code) == 0 {
+		return errors.New("program: image has no code")
+	}
+	size := im.MemSize
+	if size == 0 {
+		size = DefaultMemSize
+	}
+	if size > MaxGuestAddr {
+		return fmt.Errorf("program: memory size %#x exceeds guest limit %#x", size, uint32(MaxGuestAddr))
+	}
+	end := im.DataBase() + uint32(len(im.Data))
+	if end > size {
+		return fmt.Errorf("program: code+data end %#x exceeds memory size %#x", end, size)
+	}
+	if im.Entry < CodeBase || im.Entry >= im.CodeEnd() || im.Entry%isa.WordSize != 0 {
+		return fmt.Errorf("program: entry point %#x outside code section [%#x,%#x)", im.Entry, uint32(CodeBase), im.CodeEnd())
+	}
+	return nil
+}
+
+// BuildMemory lays out a fresh guest memory for executing the image.
+func (im *Image) BuildMemory() ([]byte, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	size := im.MemSize
+	if size == 0 {
+		size = DefaultMemSize
+	}
+	mem := make([]byte, size)
+	for i, w := range im.Code {
+		binary.LittleEndian.PutUint32(mem[CodeBase+uint32(i)*isa.WordSize:], w)
+	}
+	copy(mem[im.DataBase():], im.Data)
+	return mem, nil
+}
+
+// SymbolAt returns the name of the symbol defined exactly at addr, if any.
+func (im *Image) SymbolAt(addr uint32) (string, bool) {
+	for name, a := range im.Symbols {
+		if a == addr {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Disassemble writes a human-readable listing of the code section to w.
+func (im *Image) Disassemble(w io.Writer) error {
+	type sym struct {
+		addr uint32
+		name string
+	}
+	var syms []sym
+	for name, a := range im.Symbols {
+		syms = append(syms, sym{a, name})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+	bw := bufio.NewWriter(w)
+	si := 0
+	for i, word := range im.Code {
+		addr := CodeBase + uint32(i)*isa.WordSize
+		for si < len(syms) && syms[si].addr <= addr {
+			if syms[si].addr == addr {
+				fmt.Fprintf(bw, "%s:\n", syms[si].name)
+			}
+			si++
+		}
+		fmt.Fprintf(bw, "  %08x:  %08x  %s\n", addr, word, isa.Decode(word))
+	}
+	return bw.Flush()
+}
+
+// Binary image serialization. The format is a fixed header followed by the
+// code words, data bytes and symbol table, all little-endian.
+const magic = "SDTIMG1\x00"
+
+// WriteTo serializes the image. It implements io.WriterTo.
+func (im *Image) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	bw.WriteString(magic)
+	writeStr(bw, im.Name)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], im.Entry)
+	binary.LittleEndian.PutUint32(hdr[4:], im.MemSize)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(im.Code)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(im.Data)))
+	bw.Write(hdr[:])
+	var wb [4]byte
+	for _, word := range im.Code {
+		binary.LittleEndian.PutUint32(wb[:], word)
+		bw.Write(wb[:])
+	}
+	bw.Write(im.Data)
+	binary.LittleEndian.PutUint32(wb[:], uint32(len(im.Symbols)))
+	bw.Write(wb[:])
+	names := make([]string, 0, len(im.Symbols))
+	for name := range im.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeStr(bw, name)
+		binary.LittleEndian.PutUint32(wb[:], im.Symbols[name])
+		bw.Write(wb[:])
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+// Read deserializes an image written by WriteTo.
+func Read(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("program: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, errors.New("program: not an SDT image (bad magic)")
+	}
+	im := &Image{}
+	var err error
+	if im.Name, err = readStr(br); err != nil {
+		return nil, err
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("program: reading header: %w", err)
+	}
+	im.Entry = binary.LittleEndian.Uint32(hdr[0:])
+	im.MemSize = binary.LittleEndian.Uint32(hdr[4:])
+	nCode := binary.LittleEndian.Uint32(hdr[8:])
+	nData := binary.LittleEndian.Uint32(hdr[12:])
+	const maxSection = 64 << 20
+	if nCode > maxSection/isa.WordSize || nData > maxSection {
+		return nil, fmt.Errorf("program: unreasonable section sizes (code=%d data=%d)", nCode, nData)
+	}
+	im.Code = make([]uint32, nCode)
+	var wb [4]byte
+	for i := range im.Code {
+		if _, err := io.ReadFull(br, wb[:]); err != nil {
+			return nil, fmt.Errorf("program: reading code: %w", err)
+		}
+		im.Code[i] = binary.LittleEndian.Uint32(wb[:])
+	}
+	im.Data = make([]byte, nData)
+	if _, err := io.ReadFull(br, im.Data); err != nil {
+		return nil, fmt.Errorf("program: reading data: %w", err)
+	}
+	if _, err := io.ReadFull(br, wb[:]); err != nil {
+		return nil, fmt.Errorf("program: reading symbol count: %w", err)
+	}
+	nSym := binary.LittleEndian.Uint32(wb[:])
+	if nSym > 1<<20 {
+		return nil, fmt.Errorf("program: unreasonable symbol count %d", nSym)
+	}
+	if nSym > 0 {
+		im.Symbols = make(map[string]uint32, nSym)
+	}
+	for i := uint32(0); i < nSym; i++ {
+		name, err := readStr(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, wb[:]); err != nil {
+			return nil, fmt.Errorf("program: reading symbol %q: %w", name, err)
+		}
+		im.Symbols[name] = binary.LittleEndian.Uint32(wb[:])
+	}
+	return im, nil
+}
+
+func writeStr(w *bufio.Writer, s string) {
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(s)))
+	w.Write(lb[:])
+	w.WriteString(s)
+}
+
+func readStr(r *bufio.Reader) (string, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return "", fmt.Errorf("program: reading string length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n > 1<<16 {
+		return "", fmt.Errorf("program: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("program: reading string: %w", err)
+	}
+	return string(buf), nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,203 @@
+package program
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sdt/internal/isa"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Name:    "sample",
+		Entry:   CodeBase,
+		MemSize: 1 << 20,
+		Code: []uint32{
+			isa.Encode(isa.Inst{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 42}),
+			isa.Encode(isa.Inst{Op: isa.OUT, Rs1: 1}),
+			isa.Encode(isa.Inst{Op: isa.HALT}),
+		},
+		Data:    []byte{1, 2, 3, 4, 5},
+		Symbols: map[string]uint32{"main": CodeBase, "table": CodeBase + 12},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleImage().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Image)
+	}{
+		{"no code", func(im *Image) { im.Code = nil }},
+		{"entry below code", func(im *Image) { im.Entry = 0 }},
+		{"entry past code", func(im *Image) { im.Entry = im.CodeEnd() }},
+		{"entry misaligned", func(im *Image) { im.Entry = CodeBase + 2 }},
+		{"memory too small", func(im *Image) { im.MemSize = CodeBase + 4 }},
+		{"memory exceeds guest space", func(im *Image) { im.MemSize = MaxGuestAddr + 4096 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			im := sampleImage()
+			tt.mutate(im)
+			if err := im.Validate(); err == nil {
+				t.Errorf("Validate accepted invalid image (%s)", tt.name)
+			}
+		})
+	}
+}
+
+func TestBuildMemoryLayout(t *testing.T) {
+	im := sampleImage()
+	mem, err := im.BuildMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem) != int(im.MemSize) {
+		t.Fatalf("memory size = %d, want %d", len(mem), im.MemSize)
+	}
+	for i, w := range im.Code {
+		got := binary.LittleEndian.Uint32(mem[CodeBase+uint32(i)*4:])
+		if got != w {
+			t.Errorf("code word %d = %#x, want %#x", i, got, w)
+		}
+	}
+	if !bytes.Equal(mem[im.DataBase():im.DataBase()+5], im.Data) {
+		t.Error("data section not loaded at DataBase")
+	}
+	for i := 0; i < CodeBase; i++ {
+		if mem[i] != 0 {
+			t.Fatalf("guard page byte %d nonzero", i)
+		}
+	}
+}
+
+func TestBuildMemoryDefaultSize(t *testing.T) {
+	im := sampleImage()
+	im.MemSize = 0
+	mem, err := im.BuildMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem) != DefaultMemSize {
+		t.Fatalf("default memory size = %d, want %d", len(mem), DefaultMemSize)
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	n, err := im.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(im, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, im)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: serialization round-trips arbitrary images.
+	rng := rand.New(rand.NewSource(3))
+	f := func(name string, entryOff uint16, nCode uint8, data []byte) bool {
+		code := make([]uint32, int(nCode)+1)
+		for i := range code {
+			code[i] = rng.Uint32()
+		}
+		im := &Image{
+			Name:    name,
+			Entry:   CodeBase + uint32(entryOff%uint16(len(code)))*4,
+			MemSize: 1 << 20,
+			Code:    code,
+			Data:    data,
+		}
+		if len(data) == 0 {
+			im.Data = []byte{}
+		}
+		var buf bytes.Buffer
+		if _, err := im.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && reflect.DeepEqual(im, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC and then some longer content here"),
+		append([]byte(magic), 0xff, 0xff, 0xff, 0xff), // absurd name length
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: Read accepted garbage", i)
+		}
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	if _, err := im.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := Read(bytes.NewReader(full[:len(full)-cut])); err == nil {
+			t.Fatalf("Read accepted image truncated by %d bytes", cut)
+		}
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	im := sampleImage()
+	if name, ok := im.SymbolAt(CodeBase); !ok || name != "main" {
+		t.Errorf("SymbolAt(CodeBase) = %q,%v", name, ok)
+	}
+	if _, ok := im.SymbolAt(0xdead); ok {
+		t.Error("SymbolAt found phantom symbol")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	if err := im.Disassemble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"main:", "addi r1, zero, 42", "out r1", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDataBase(t *testing.T) {
+	im := sampleImage()
+	want := uint32(CodeBase + len(im.Code)*4)
+	if im.DataBase() != want {
+		t.Errorf("DataBase = %#x, want %#x", im.DataBase(), want)
+	}
+}

@@ -1,0 +1,180 @@
+package randprog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/machine"
+	"sdt/internal/program"
+	"sdt/internal/randprog"
+)
+
+func build(t *testing.T, seed int64) *program.Image {
+	t.Helper()
+	src := randprog.Generate(randprog.Default(seed))
+	img, err := asm.Assemble(fmt.Sprintf("rand%d.s", seed), src)
+	if err != nil {
+		t.Fatalf("seed %d does not assemble: %v", seed, err)
+	}
+	return img
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := randprog.Generate(randprog.Default(7))
+	b := randprog.Generate(randprog.Default(7))
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := randprog.Generate(randprog.Default(8))
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsRunNative(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		img := build(t, seed)
+		m, err := machine.RunImage(img, hostarch.X86(), 50_000_000)
+		if err != nil {
+			t.Fatalf("seed %d faulted natively: %v", seed, err)
+		}
+		if m.Result().OutCount != 1 {
+			t.Errorf("seed %d: %d outputs, want 1", seed, m.Result().OutCount)
+		}
+		if m.Result().Instret < 1000 {
+			t.Errorf("seed %d retired only %d instructions", seed, m.Result().Instret)
+		}
+	}
+}
+
+// TestDifferential is the whole-system equivalence sweep: random programs,
+// every mechanism family, both cost models, tiny fragment caches.
+func TestDifferential(t *testing.T) {
+	specs := []string{
+		"translator",
+		"ibtc:64",
+		"ibtc:1024:private",
+		"sieve:32",
+		"inline:2+ibtc:256",
+		"retcache:256+ibtc:256",
+		"fastret+ibtc:1024",
+		"fastret+inline:1+sieve:64",
+	}
+	archs := []string{"x86", "sparc"}
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			img := build(t, seed)
+			native, err := machine.RunImage(img, hostarch.X86(), 50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := native.Result()
+			for _, spec := range specs {
+				for _, arch := range archs {
+					cfg, err := ib.Parse(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					model, _ := hostarch.ByName(arch)
+					vm, err := core.New(img, core.Options{
+						Model:       model,
+						Handler:     cfg.Handler,
+						FastReturns: cfg.FastReturns,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := vm.Run(50_000_000); err != nil {
+						t.Fatalf("%s/%s: %v", spec, arch, err)
+					}
+					got := vm.Result()
+					if got.Checksum != want.Checksum || got.Instret != want.Instret {
+						t.Errorf("%s/%s: diverged (chk %#x vs %#x, inst %d vs %d)",
+							spec, arch, got.Checksum, want.Checksum, got.Instret, want.Instret)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialUnderFlushPressure repeats a smaller sweep with a
+// fragment cache that flushes constantly.
+func TestDifferentialUnderFlushPressure(t *testing.T) {
+	specs := []string{"ibtc:64", "sieve:32", "fastret+ibtc:64"}
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			img := build(t, seed)
+			native, err := machine.RunImage(img, hostarch.X86(), 50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spec := range specs {
+				cfg, _ := ib.Parse(spec)
+				vm, err := core.New(img, core.Options{
+					Model:       hostarch.X86(),
+					Handler:     cfg.Handler,
+					FastReturns: cfg.FastReturns,
+					CacheBytes:  2048,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := vm.Run(50_000_000); err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+				if vm.Prof.Flushes == 0 {
+					t.Fatalf("%s: expected flushes", spec)
+				}
+				if vm.Result().Checksum != native.Result().Checksum {
+					t.Errorf("%s: diverged under flush pressure", spec)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialTinyBlocks stresses fragment splitting.
+func TestDifferentialTinyBlocks(t *testing.T) {
+	img := build(t, 3)
+	native, err := machine.RunImage(img, hostarch.X86(), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxBlock := range []int{1, 2, 3, 7} {
+		cfg, _ := ib.Parse("ibtc:256")
+		vm, err := core.New(img, core.Options{
+			Model:         hostarch.X86(),
+			Handler:       cfg.Handler,
+			MaxBlockInsts: maxBlock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Run(50_000_000); err != nil {
+			t.Fatalf("maxBlock=%d: %v", maxBlock, err)
+		}
+		if vm.Result().Checksum != native.Result().Checksum {
+			t.Errorf("maxBlock=%d: diverged", maxBlock)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	src := randprog.Generate(randprog.Config{Seed: 1})
+	img, err := asm.Assemble("min.s", src)
+	if err != nil {
+		t.Fatalf("minimal config: %v", err)
+	}
+	if _, err := machine.RunImage(img, hostarch.X86(), 10_000_000); err != nil {
+		t.Fatalf("minimal config run: %v", err)
+	}
+}

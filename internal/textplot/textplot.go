@@ -1,0 +1,128 @@
+// Package textplot renders the experiment harness's tables and figures as
+// plain text: aligned tables for the paper's tables, horizontal bar charts
+// for its per-benchmark figures, and multi-series grids for its parameter
+// sweeps.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned table with a header row.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				// Right-align numeric-looking cells, left-align the rest.
+				if isNumeric(cell) {
+					b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+					b.WriteString(cell)
+				} else {
+					b.WriteString(cell)
+					if i < len(cells)-1 {
+						b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+					}
+				}
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" || s == "-" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c == '.', c == '-', c == '+', c == 'x', c == '%', c == 'e', c == 'k', c == 'M':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Bar writes a horizontal bar chart: one row per label, bar length
+// proportional to value, value printed after the bar.
+func Bar(w io.Writer, title string, labels []string, values []float64, unit string) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	const barWidth = 50
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * barWidth)
+		}
+		if n < 1 && v > 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.2f%s\n", maxLabel, l, strings.Repeat("#", n), v, unit)
+	}
+}
+
+// Series writes a sweep grid: one row per series, one column per x value.
+// It is the textual form of the paper's line-chart figures.
+func Series(w io.Writer, title string, xName string, xs []string, series []NamedSeries, unit string) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	headers := append([]string{xName + " \\ " + "series"}, xs...)
+	rows := make([][]string, len(series))
+	for i, s := range series {
+		row := []string{s.Name}
+		for _, v := range s.Values {
+			row = append(row, fmt.Sprintf("%.2f%s", v, unit))
+		}
+		rows[i] = row
+	}
+	Table(w, headers, rows)
+}
+
+// NamedSeries is one row of a Series grid.
+type NamedSeries struct {
+	Name   string
+	Values []float64
+}

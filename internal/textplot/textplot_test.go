@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"name", "value"}, [][]string{
+		{"alpha", "1.00"},
+		{"b", "123.45"},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	// Numeric cells right-align: both values end at the same column.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("numeric columns not aligned:\n%q\n%q", lines[2], lines[3])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var b strings.Builder
+	// Rows longer or shorter than the header must not panic.
+	Table(&b, []string{"a", "b"}, [][]string{
+		{"1"},
+		{"1", "2", "3"},
+	})
+	if !strings.Contains(b.String(), "3") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "title", []string{"small", "large"}, []float64{1, 10}, "x")
+	out := b.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	smallBars := strings.Count(lineWith(out, "small"), "#")
+	largeBars := strings.Count(lineWith(out, "large"), "#")
+	if largeBars != 50 {
+		t.Errorf("max bar = %d, want full width 50", largeBars)
+	}
+	if smallBars != 5 {
+		t.Errorf("small bar = %d, want 5", smallBars)
+	}
+	if !strings.Contains(lineWith(out, "large"), "10.00x") {
+		t.Error("value label missing")
+	}
+}
+
+func TestBarTinyNonZeroGetsOneMark(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "", []string{"tiny", "huge"}, []float64{0.001, 100}, "")
+	if strings.Count(lineWith(b.String(), "tiny"), "#") != 1 {
+		t.Error("nonzero value should render at least one mark")
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "", []string{"z"}, []float64{0}, "")
+	if strings.Count(lineWith(b.String(), "z"), "#") != 0 {
+		t.Error("zero value should render no marks")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "sweep", "size", []string{"16", "64"}, []NamedSeries{
+		{Name: "gcc", Values: []float64{2.5, 1.25}},
+		{Name: "mcf", Values: []float64{1, 1}},
+	}, "x")
+	out := b.String()
+	for _, want := range []string{"sweep", "size", "gcc", "mcf", "2.50x", "1.25x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"1.25x", "100%", "-3", "2.5", "1e9"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "-", "gcc", "a1", "1 2"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func lineWith(out, sub string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	return ""
+}

@@ -1,0 +1,581 @@
+package workload
+
+// The return- and icall-heavy group: vortex, eon, parser, crafty, vpr.
+// Returns are the most frequent indirect branch in real suites (the paper's
+// characterization makes this point); vortex and parser anchor that
+// behaviour, eon anchors virtual-call dispatch.
+
+var _ = register(&Spec{
+	Name:         "vortex",
+	Model:        "255.vortex",
+	IBClass:      "ret-heavy",
+	DefaultScale: 35000,
+	Gen:          genVortex,
+})
+
+// genVortex models an object database: every transaction runs a four-deep
+// call chain (txn -> lookup -> fetch -> validate), giving the suite's
+// densest return stream with shallow, RAS-friendly nesting.
+func genVortex(scale int) string {
+	g := &gen{}
+	g.f("; vortex-shaped workload: OO database transactions, scale=%d", scale)
+	g.raw(".name \"vortex\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x0bad5eed")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, db")
+	// initialize 1024 records of 16 bytes
+	g.raw("\tli r16, 0")
+	g.raw("dbinit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 5")
+	g.raw("\tslli r1, r16, 4")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\tsw r16, 4(r8)")
+	g.raw("\txori r3, r3, 0x2a")
+	g.raw("\tsw r3, 8(r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 1024")
+	g.raw("\tblt r16, r1, dbinit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("txnloop:")
+	g.lcg()
+	g.raw("\tsrli a0, r25, 14")
+	g.raw("\tandi a0, a0, 1023")
+	g.raw("\tcall txn")
+	g.mix("rv")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, txnloop")
+	g.epilogue()
+
+	// txn(a0=key) -> lookup -> fetch -> validate, each layer adding work
+	g.raw("txn:")
+	g.raw("\tpush ra")
+	g.raw("\tslli r10, a0, 1")
+	g.raw("\txor r10, r10, a0")
+	g.raw("\tcall lookup")
+	g.raw("\tpop ra")
+	g.raw("\taddi rv, rv, 1")
+	g.raw("\tret")
+	g.raw("lookup:")
+	g.raw("\tpush ra")
+	g.raw("\tandi a0, a0, 1023")
+	g.raw("\tslli r9, a0, 4")
+	g.raw("\tadd a1, r26, r9")
+	g.raw("\tcall fetch")
+	g.raw("\tpop ra")
+	g.raw("\txor rv, rv, a0")
+	g.raw("\tret")
+	g.raw("fetch:")
+	g.raw("\tpush ra")
+	g.raw("\tlw r8, (a1)")
+	g.raw("\tlw r9, 8(a1)")
+	g.raw("\tadd a2, r8, r9")
+	// scan the record's neighbourhood, the way vortex walks its object
+	// representations between calls
+	g.raw("\tli r3, 6")
+	g.raw("fscan:")
+	g.raw("\tlw r1, 4(a1)")
+	g.raw("\txor a2, a2, r1")
+	g.raw("\tslli r1, a2, 1")
+	g.raw("\tadd a2, a2, r1")
+	g.raw("\tsrli a2, a2, 1")
+	g.raw("\tsubi r3, r3, 1")
+	g.raw("\tbnez r3, fscan")
+	g.raw("\tcall validate")
+	g.raw("\tpop ra")
+	g.raw("\tsrli r1, rv, 7")
+	g.raw("\tadd rv, rv, r1")
+	g.raw("\tret")
+	g.raw("validate:")
+	g.raw("\tslli rv, a2, 3")
+	g.raw("\txor rv, rv, a2")
+	g.raw("\tsrli r1, rv, 11")
+	g.raw("\txor rv, rv, r1")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("db: .space 16384")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "eon",
+	Model:        "252.eon (C++)",
+	IBClass:      "icall-heavy",
+	DefaultScale: 900,
+	Gen:          genEon,
+})
+
+// genEon models C++ virtual dispatch: a scene of objects drawn from six
+// classes, each rendering step loading the object's vtable and calling a
+// virtual method indirectly. Indirect calls (and their returns) dominate.
+func genEon(scale int) string {
+	const classes = 6
+	g := &gen{}
+	g.f("; eon-shaped workload: virtual dispatch over %d classes, scale=%d", classes, scale)
+	g.raw(".name \"eon\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x00c0ffee")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, scene")
+	// 256 objects: {class id, payload}
+	g.raw("\tli r16, 0")
+	g.raw("sceneinit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 9")
+	g.f("\tli r1, %d", classes)
+	g.raw("\trem r3, r3, r1")
+	g.raw("\tslli r1, r16, 3")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\tsrli r3, r25, 3")
+	g.raw("\tsw r3, 4(r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 256")
+	g.raw("\tblt r16, r1, sceneinit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("frame:")
+	g.raw("\tli r16, 0")
+	g.raw("obj:")
+	g.raw("\tslli r1, r16, 3")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")  // class id
+	g.raw("\tlw a0, 4(r8)") // payload
+	// method index alternates by frame parity: two virtuals per class
+	g.raw("\tandi r3, r20, 1")
+	g.raw("\tslli r9, r9, 3") // class stride in vtable region (2 words)
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r9, r9, r3")
+	g.raw("\tla r1, vtables")
+	g.raw("\tadd r1, r1, r9")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tcallr r3")
+	g.mix("rv")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 64")
+	g.raw("\tblt r16, r1, obj")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, frame")
+	g.epilogue()
+
+	// classes x 2 virtual methods; each does a short shading loop so the
+	// dynamic IB density lands near real eon's rather than a pure
+	// dispatch microbenchmark's
+	for c := 0; c < classes; c++ {
+		for m := 0; m < 2; m++ {
+			g.f("m_%d_%d:", c, m)
+			g.f("\tslli rv, a0, %d", (c+m)%5+1)
+			g.raw("\txor rv, rv, a0")
+			if m == 1 {
+				g.f("\tli r1, %d", 1000003+c)
+				g.raw("\tmul rv, rv, r1")
+			}
+			g.f("\tli r9, %d", 4+c%3)
+			lbl := g.label("shade")
+			g.f("%s:", lbl)
+			g.raw("\tsrli r1, rv, 5")
+			g.raw("\tadd rv, rv, r1")
+			g.f("\txori rv, rv, %d", c*19+m*7+3)
+			g.raw("\tsubi r9, r9, 1")
+			g.f("\tbnez r9, %s", lbl)
+			g.f("\taddi rv, rv, %d", c*37+m*11+1)
+			g.raw("\tret")
+		}
+	}
+
+	g.raw(".data")
+	g.raw("vtables:")
+	for c := 0; c < classes; c++ {
+		g.f("\t.word m_%d_0, m_%d_1", c, c)
+	}
+	g.raw("scene: .space 2048")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "parser",
+	Model:        "197.parser",
+	IBClass:      "ret-heavy",
+	DefaultScale: 800,
+	Gen:          genParser,
+})
+
+// genParser models recursive-descent parsing: expr/term/factor mutual
+// recursion over a generated token stream, with nesting depth that
+// exercises the RAS without constantly overflowing it.
+func genParser(scale int) string {
+	toks := parserTokens(0x1234abcd, 300)
+	g := &gen{}
+	g.f("; parser-shaped workload: recursive descent over %d tokens, scale=%d", len(toks), scale)
+	g.raw(".name \"parser\"")
+	g.raw(".mem 0x100000")
+	// tokens: 0=NUM 1=PLUS 2=STAR 3=LPAREN 4=RPAREN 5=END
+	g.raw("main:")
+	g.raw("\tli r27, 0")
+	g.f("\tli r20, %d", scale)
+	g.raw("parse:")
+	g.raw("\tla r24, tokens") // token cursor (global)
+	g.raw("\tcall expr")
+	g.mix("rv")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, parse")
+	g.epilogue()
+
+	// expr := term (op term)*
+	g.raw("expr:")
+	g.raw("\tpush ra")
+	g.raw("\tcall term")
+	g.raw("\tmov r10, rv")
+	g.raw("exprloop:")
+	g.raw("\tlbu r8, (r24)")
+	g.raw("\tli r1, 1") // PLUS
+	g.raw("\tbeq r8, r1, exprplus")
+	g.raw("\tmov rv, r10")
+	g.raw("\tpop ra")
+	g.raw("\tret")
+	g.raw("exprplus:")
+	g.raw("\taddi r24, r24, 1")
+	g.raw("\tpush r10")
+	g.raw("\tcall term")
+	g.raw("\tpop r10")
+	g.raw("\tadd r10, r10, rv")
+	g.raw("\tjmp exprloop")
+
+	// term := factor (STAR factor)*
+	g.raw("term:")
+	g.raw("\tpush ra")
+	g.raw("\tcall factor")
+	g.raw("\tmov r11, rv")
+	g.raw("termloop:")
+	g.raw("\tlbu r8, (r24)")
+	g.raw("\tli r1, 2") // STAR
+	g.raw("\tbeq r8, r1, termstar")
+	g.raw("\tmov rv, r11")
+	g.raw("\tpop ra")
+	g.raw("\tret")
+	g.raw("termstar:")
+	g.raw("\taddi r24, r24, 1")
+	g.raw("\tpush r11")
+	g.raw("\tcall factor")
+	g.raw("\tpop r11")
+	g.raw("\tmul r11, r11, rv")
+	g.raw("\tandi r11, r11, 0x3fff") // keep values bounded
+	g.raw("\tjmp termloop")
+
+	// factor := NUM | LPAREN expr RPAREN   (r11 is caller-saved here via stack)
+	g.raw("factor:")
+	g.raw("\tlbu r8, (r24)")
+	g.raw("\taddi r24, r24, 1")
+	g.raw("\tbeqz r8, facnum")
+	g.raw("\tli r1, 3") // LPAREN
+	g.raw("\tbeq r8, r1, facparen")
+	// END or unexpected: value 1, back up the cursor
+	g.raw("\tsubi r24, r24, 1")
+	g.raw("\tli rv, 1")
+	g.raw("\tret")
+	g.raw("facnum:")
+	g.raw("\tlbu rv, (r24)") // NUM carries a value byte
+	g.raw("\taddi r24, r24, 1")
+	g.raw("\taddi rv, rv, 1")
+	g.raw("\tret")
+	g.raw("facparen:")
+	g.raw("\tpush ra")
+	g.raw("\tcall expr")
+	g.raw("\tpop ra")
+	g.raw("\tlbu r8, (r24)") // expect RPAREN
+	g.raw("\tli r1, 4")
+	g.raw("\tbne r8, r1, facmiss")
+	g.raw("\taddi r24, r24, 1")
+	g.raw("facmiss:")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("tokens:")
+	for i := 0; i < len(toks); i += 16 {
+		end := i + 16
+		if end > len(toks) {
+			end = len(toks)
+		}
+		line := "\t.byte "
+		for j := i; j < end; j++ {
+			if j > i {
+				line += ", "
+			}
+			line += itoaByte(toks[j])
+		}
+		g.raw(line)
+	}
+	return g.String()
+}
+
+func itoaByte(b byte) string {
+	if b == 0 {
+		return "0"
+	}
+	var d []byte
+	for b > 0 {
+		d = append([]byte{byte('0' + b%10)}, d...)
+		b /= 10
+	}
+	return string(d)
+}
+
+// parserTokens generates a well-formed expression token stream:
+// 0=NUM(value byte follows) 1=PLUS 2=STAR 3=LPAREN 4=RPAREN 5=END.
+func parserTokens(seed uint32, target int) []byte {
+	var out []byte
+	rnd := func(n uint32) uint32 {
+		seed = seed*1103515245 + 12345
+		return (seed >> 16) % n
+	}
+	var emitExpr func(depth int)
+	emitFactor := func(depth int) {}
+	emitFactor = func(depth int) {
+		if depth < 6 && rnd(100) < 35 {
+			out = append(out, 3) // (
+			emitExpr(depth + 1)
+			out = append(out, 4) // )
+			return
+		}
+		out = append(out, 0, byte(rnd(50))) // NUM value
+	}
+	emitExpr = func(depth int) {
+		emitFactor(depth)
+		for terms := rnd(3); terms > 0; terms-- {
+			if rnd(2) == 0 {
+				out = append(out, 1) // +
+			} else {
+				out = append(out, 2) // *
+			}
+			emitFactor(depth)
+		}
+	}
+	for len(out) < target {
+		emitExpr(0)
+		if len(out) < target {
+			out = append(out, 1) // chain expressions with +
+		}
+	}
+	out = append(out, 5) // END
+	return out
+}
+
+var _ = register(&Spec{
+	Name:         "crafty",
+	Model:        "186.crafty",
+	IBClass:      "mixed",
+	DefaultScale: 220,
+	Gen:          genCrafty,
+})
+
+// genCrafty models game-tree search: bounded recursion with a move-kind
+// switch (jump table) at every node and bit-twiddling evaluation, mixing
+// returns with indirect jumps.
+func genCrafty(scale int) string {
+	g := &gen{}
+	g.f("; crafty-shaped workload: depth-4 search with move switches, scale=%d", scale)
+	g.raw(".name \"crafty\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x88B81733")
+	g.raw("\tli r27, 0")
+	g.f("\tli r20, %d", scale)
+	g.raw("game:")
+	g.lcg()
+	g.raw("\tsrli a0, r25, 7") // position hash
+	g.raw("\tli a1, 4")        // depth
+	g.raw("\tcall search")
+	g.mix("rv")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, game")
+	g.epilogue()
+
+	// search(a0=pos, a1=depth): evaluate 3 moves, recursing on each.
+	g.raw("search:")
+	g.raw("\tbnez a1, deeper")
+	// leaf: popcount-style evaluation
+	g.raw("\tli rv, 0")
+	g.raw("\tmov r8, a0")
+	g.raw("evl:")
+	g.raw("\tandi r1, r8, 1")
+	g.raw("\tadd rv, rv, r1")
+	g.raw("\tsrli r8, r8, 1")
+	g.raw("\tbnez r8, evl")
+	g.raw("\tret")
+	g.raw("deeper:")
+	g.raw("\tpush ra")
+	g.raw("\tpush r10")
+	g.raw("\tpush r11")
+	g.raw("\tpush r12")
+	g.raw("\tmov r10, a0") // pos
+	g.raw("\tmov r11, a1") // depth
+	g.raw("\tli r12, 0")   // move index / best
+	g.raw("\tli r13, 0")   // accumulated score... r13 must survive calls
+	g.raw("\tpush r13")
+	g.raw("moves:")
+	// move kind = (pos >> move) & 7, switch over 8 generators
+	g.raw("\tsrl r8, r10, r12")
+	g.raw("\tandi r8, r8, 7")
+	g.raw("\tla r1, movetab")
+	g.raw("\tslli r3, r8, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tjr r3")
+	for k := 0; k < 8; k++ {
+		g.f("mv%d:", k)
+		switch k % 3 {
+		case 0:
+			g.f("\tslli r9, r10, %d", k%4+1)
+			g.raw("\txor r9, r9, r10")
+		case 1:
+			g.f("\tsrli r9, r10, %d", k%5+1)
+			g.raw("\tadd r9, r9, r10")
+		case 2:
+			g.f("\txori r9, r10, %d", k*73+5)
+			g.raw("\tslli r1, r9, 2")
+			g.raw("\tadd r9, r9, r1")
+		}
+		g.raw("\tjmp domove")
+	}
+	g.raw("domove:")
+	g.raw("\tmov a0, r9")
+	g.raw("\tsubi a1, r11, 1")
+	g.raw("\tcall search")
+	g.raw("\tlw r13, (sp)")
+	g.raw("\tadd r13, r13, rv")
+	g.raw("\tsw r13, (sp)")
+	g.raw("\taddi r12, r12, 1")
+	g.raw("\tli r1, 3")
+	g.raw("\tblt r12, r1, moves")
+	g.raw("\tpop r13")
+	g.raw("\tmov rv, r13")
+	g.raw("\tpop r12")
+	g.raw("\tpop r11")
+	g.raw("\tpop r10")
+	g.raw("\tpop ra")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("movetab:")
+	for k := 0; k < 8; k++ {
+		g.f("\t.word mv%d", k)
+	}
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "vpr",
+	Model:        "175.vpr",
+	IBClass:      "mixed",
+	DefaultScale: 30000,
+	Gen:          genVpr,
+})
+
+// genVpr models placement-and-routing: swap proposals over a grid with a
+// per-swap cost call and a small direction switch, a middle-of-the-road IB
+// mix between twolf and gcc.
+func genVpr(scale int) string {
+	g := &gen{}
+	g.f("; vpr-shaped workload: place-and-route swaps, scale=%d", scale)
+	g.raw(".name \"vpr\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x3ade68b1")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, cells")
+	g.raw("\tli r16, 0")
+	g.raw("cinit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 6")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 512")
+	g.raw("\tblt r16, r1, cinit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("place:")
+	g.lcg()
+	g.raw("\tsrli r16, r25, 10")
+	g.raw("\tandi r16, r16, 511")
+	// direction switch: 4 neighbours via jump table
+	g.raw("\tsrli r17, r25, 3")
+	g.raw("\tandi r17, r17, 3")
+	g.raw("\tla r1, dirtab")
+	g.raw("\tslli r3, r17, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tjr r3")
+	g.raw("dn:")
+	g.raw("\taddi r17, r16, 16")
+	g.raw("\tjmp dircont")
+	g.raw("ds:")
+	g.raw("\tsubi r17, r16, 16")
+	g.raw("\tjmp dircont")
+	g.raw("de:")
+	g.raw("\taddi r17, r16, 1")
+	g.raw("\tjmp dircont")
+	g.raw("dw:")
+	g.raw("\tsubi r17, r16, 1")
+	g.raw("dircont:")
+	g.raw("\tandi r17, r17, 511")
+	// wire-length accumulation over the bounding box, vpr's inner loop
+	g.raw("\tli r18, 8")
+	g.raw("\tli r19, 0")
+	g.raw("bbox:")
+	g.raw("\tadd r1, r16, r18")
+	g.raw("\tandi r1, r1, 511")
+	g.raw("\tslli r1, r1, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")
+	g.raw("\tandi r9, r9, 4095")
+	g.raw("\tadd r19, r19, r9")
+	g.raw("\tsubi r18, r18, 1")
+	g.raw("\tbnez r18, bbox")
+	g.mix("r19")
+	g.raw("\tmov a0, r16")
+	g.raw("\tmov a1, r17")
+	g.raw("\tcall swapcost")
+	g.raw("\tandi r1, rv, 1")
+	g.raw("\tbnez r1, noswap")
+	// swap the two cells
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tslli r1, r17, 2")
+	g.raw("\tadd r9, r26, r1")
+	g.raw("\tlw r3, (r8)")
+	g.raw("\tlw r1, (r9)")
+	g.raw("\tsw r1, (r8)")
+	g.raw("\tsw r3, (r9)")
+	g.raw("noswap:")
+	g.mix("rv")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, place")
+	g.epilogue()
+
+	// swapcost(a0,a1): bounded wire-length style cost. Leaf.
+	g.raw("swapcost:")
+	g.raw("\tslli r1, a0, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r8, (r8)")
+	g.raw("\tslli r1, a1, 2")
+	g.raw("\tadd r9, r26, r1")
+	g.raw("\tlw r9, (r9)")
+	g.raw("\txor rv, r8, r9")
+	g.raw("\tsrli r1, rv, 9")
+	g.raw("\tadd rv, rv, r1")
+	g.raw("\tandi rv, rv, 0x7fff")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("cells: .space 2048")
+	g.raw("dirtab: .word dn, ds, de, dw")
+	return g.String()
+}

@@ -1,0 +1,253 @@
+package workload
+
+// SPECfp-2000-shaped workloads. SimRISC-32 has no floating-point unit, so
+// these model their namesakes' *control-flow* character — long array
+// kernels with almost no indirect branches — using fixed-point arithmetic.
+// They anchor the extreme low end of the IB-density spectrum (the paper's
+// point that SDT overhead concentrates where IBs are): under any sane
+// mechanism their slowdown is essentially the translation tax.
+//
+// They are not part of the default experiment suite (the paper's tables
+// use the integer programs); select them explicitly via `sdtbench -w` or
+// workload.FPNames.
+
+// FPNames returns the SPECfp-shaped workload names.
+func FPNames() []string { return []string{"art", "equake", "ammp"} }
+
+var _ = register(&Spec{
+	Name:         "art",
+	Model:        "179.art (fp)",
+	IBClass:      "fp-low",
+	DefaultScale: 45,
+	Gen:          genArt,
+})
+
+// genArt models the neural-net simulator: dense matrix-vector products in
+// fixed point over an F1 layer, with one leaf call per training step.
+func genArt(scale int) string {
+	g := &gen{}
+	g.f("; art-shaped workload: fixed-point neural net, scale=%d", scale)
+	g.raw(".name \"art\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x5ee71e57")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, weights")
+	// 64x64 weight matrix, Q16 fixed point
+	g.raw("\tli r16, 0")
+	g.raw("winit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 12")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 4096")
+	g.raw("\tblt r16, r1, winit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("step:")
+	g.raw("\tli r16, 0") // output neuron
+	g.raw("neuron:")
+	g.raw("\tli r17, 0") // input index
+	g.raw("\tli r18, 0") // accumulator
+	g.raw("dot:")
+	// acc += (w[i][j] * act[j]) >> 8, both Q-ish fixed point
+	g.raw("\tslli r1, r16, 8") // row*64*4
+	g.raw("\tslli r3, r17, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")
+	g.raw("\tla r1, acts")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tmul r9, r9, r3")
+	g.raw("\tsrli r9, r9, 8")
+	g.raw("\tadd r18, r18, r9")
+	g.raw("\taddi r17, r17, 1")
+	g.raw("\tli r1, 64")
+	g.raw("\tblt r17, r1, dot")
+	// winner-take-some: store the clipped activation back
+	g.raw("\tmov a0, r18")
+	g.raw("\tcall clip")
+	g.raw("\tla r1, acts")
+	g.raw("\tslli r3, r16, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tsw rv, (r1)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 64")
+	g.raw("\tblt r16, r1, neuron")
+	g.raw("\tla r1, acts")
+	g.raw("\tlw r9, (r1)")
+	g.mix("r9")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, step")
+	g.epilogue()
+
+	// clip(a0): saturate to 16 bits. Leaf; the only call in the kernel.
+	g.raw("clip:")
+	g.raw("\tli r1, 0xffff")
+	g.raw("\tbltu a0, r1, noclip")
+	g.raw("\tmov a0, r1")
+	g.raw("noclip:")
+	g.raw("\tmov rv, a0")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("weights: .space 16384")
+	g.raw("acts:")
+	g.raw("\t.space 256")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "equake",
+	Model:        "183.equake (fp)",
+	IBClass:      "fp-low",
+	DefaultScale: 43,
+	Gen:          genEquake,
+})
+
+// genEquake models the earthquake simulator: a sparse-matrix-vector loop
+// over an irregular index structure — memory-bound, call-free inner loop.
+func genEquake(scale int) string {
+	g := &gen{}
+	g.f("; equake-shaped workload: sparse MVM in fixed point, scale=%d", scale)
+	g.raw(".name \"equake\"")
+	g.raw(".mem 0x200000")
+	g.raw("main:")
+	g.raw("\tli r25, 0xec0a1157")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, vals")
+	// 4096 sparse entries: value + column index
+	g.raw("\tli r16, 0")
+	g.raw("einit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 10")
+	g.raw("\tslli r1, r16, 3")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\tsrli r3, r25, 19")
+	g.raw("\tandi r3, r3, 1023")
+	g.raw("\tsw r3, 4(r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 4096")
+	g.raw("\tblt r16, r1, einit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("quake:")
+	g.raw("\tli r16, 0")
+	g.raw("\tli r18, 0")
+	g.raw("smvp:")
+	g.raw("\tslli r1, r16, 3")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")  // value
+	g.raw("\tlw r3, 4(r8)") // column
+	g.raw("\tla r1, vec")
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tmul r9, r9, r3")
+	g.raw("\tsrli r9, r9, 10")
+	g.raw("\tadd r18, r18, r9")
+	g.raw("\tsw r18, (r1)") // scatter back
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 4096")
+	g.raw("\tblt r16, r1, smvp")
+	g.mix("r18")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, quake")
+	g.epilogue()
+
+	g.raw(".data")
+	g.raw("vals: .space 32768")
+	g.raw("vec: .space 4096")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "ammp",
+	Model:        "188.ammp (fp)",
+	IBClass:      "fp-low",
+	DefaultScale: 8,
+	Gen:          genAmmp,
+})
+
+// genAmmp models molecular dynamics: an O(n^2)-ish pairwise force loop
+// with a distance cutoff branch, plus one bookkeeping call per particle.
+func genAmmp(scale int) string {
+	g := &gen{}
+	g.f("; ammp-shaped workload: pairwise forces with cutoff, scale=%d", scale)
+	g.raw(".name \"ammp\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x0a331bb5")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, pos")
+	g.raw("\tli r16, 0")
+	g.raw("ainit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 14")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 128")
+	g.raw("\tblt r16, r1, ainit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("mdstep:")
+	g.raw("\tli r16, 0")
+	g.raw("outer:")
+	g.raw("\tli r17, 0")
+	g.raw("\tli r19, 0") // force accumulator
+	g.raw("inner:")
+	g.raw("\tbeq r16, r17, skippair")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")
+	g.raw("\tslli r1, r17, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r3, (r8)")
+	g.raw("\tsub r9, r9, r3")
+	g.raw("\tbge r9, zero, dpos2")
+	g.raw("\tsub r9, zero, r9")
+	g.raw("dpos2:")
+	// cutoff: skip distant pairs (branchy, like the real neighbour list)
+	g.raw("\tli r1, 0x20000")
+	g.raw("\tbgeu r9, r1, skippair")
+	g.raw("\tsrli r3, r9, 5")
+	g.raw("\taddi r3, r3, 1")
+	g.raw("\tli r1, 0x10000")
+	g.raw("\tdivu r3, r1, r3") // 1/r-ish force
+	g.raw("\tadd r19, r19, r3")
+	g.raw("skippair:")
+	g.raw("\taddi r17, r17, 1")
+	g.raw("\tli r1, 128")
+	g.raw("\tblt r17, r1, inner")
+	g.raw("\tmov a0, r19")
+	g.raw("\tcall integrate")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw rv, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 128")
+	g.raw("\tblt r16, r1, outer")
+	g.raw("\tlw r9, (r26)")
+	g.mix("r9")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, mdstep")
+	g.epilogue()
+
+	// integrate(a0): damped position update. Leaf.
+	g.raw("integrate:")
+	g.raw("\tsrli rv, a0, 2")
+	g.raw("\txori rv, rv, 0x1a5")
+	g.raw("\tli r1, 0x7fffff")
+	g.raw("\tand rv, rv, r1")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("pos: .space 512")
+	return g.String()
+}

@@ -1,0 +1,466 @@
+package workload
+
+import "fmt"
+
+// The ijump-heavy group: gcc, perlbmk, gap. Large multiway switches and
+// interpreter dispatch loops are where indirect-jump handling dominates SDT
+// overhead — the workloads where the paper's IBTC-size and sieve-size
+// sweeps move the most.
+
+var _ = register(&Spec{
+	Name:         "gcc",
+	Model:        "176.gcc",
+	IBClass:      "ijump-heavy",
+	DefaultScale: 55000,
+	Gen:          genGcc,
+})
+
+// genGcc models an optimizer pass over an IR: a big switch over node kinds
+// (20 cases, jump-table dispatched) with distinct per-kind bodies, a
+// per-kind helper called through a function-pointer table every few nodes,
+// and a code footprint large enough to exercise translation.
+func genGcc(scale int) string {
+	const kinds = 20
+	g := &gen{}
+	g.f("; gcc-shaped workload: IR walk over %d node kinds, scale=%d", kinds, scale)
+	g.raw(".name \"gcc\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x9e3779b9")
+	g.raw("\tli r27, 0")
+	g.f("\tli r20, %d", scale)
+	g.raw("node:")
+	// kind = top bits of the LCG, scaled into [0,kinds)
+	g.lcg()
+	g.raw("\tsrli r16, r25, 8")
+	g.f("\tli r1, %d", kinds)
+	g.raw("\trem r16, r16, r1")
+	// operand value for the case body
+	g.raw("\tsrli r17, r25, 3")
+	// walk the node's operand list, the straight-line work between
+	// dispatches in a real IR pass
+	g.raw("\tli r18, 4")
+	g.raw("opscan:")
+	g.raw("\tslli r1, r17, 1")
+	g.raw("\txor r17, r17, r1")
+	g.raw("\tsrli r1, r17, 7")
+	g.raw("\tadd r17, r17, r1")
+	g.raw("\tsubi r18, r18, 1")
+	g.raw("\tbnez r18, opscan")
+	// dispatch through the jump table
+	g.raw("\tla r1, kindtab")
+	g.raw("\tslli r3, r16, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tjr r3")
+	// distinct case bodies: different lengths and operations so each kind
+	// is its own fragment, like real compiler case arms
+	for k := 0; k < kinds; k++ {
+		g.f("kind%d:", k)
+		switch k % 5 {
+		case 0:
+			g.f("\tslli r8, r17, %d", 1+k%7)
+			g.raw("\txor r8, r8, r17")
+			g.f("\taddi r8, r8, %d", 100+k)
+		case 1:
+			g.f("\tsrli r8, r17, %d", 1+k%9)
+			g.raw("\tadd r8, r8, r17")
+			g.raw("\tand r8, r8, r17")
+			g.f("\tori r8, r8, %d", k)
+		case 2:
+			g.f("\tli r8, %d", 7919+k)
+			g.raw("\tmul r8, r8, r17")
+			g.raw("\tsrli r8, r8, 4")
+		case 3:
+			g.raw("\tsub r8, zero, r17")
+			g.f("\txori r8, r8, %d", k*3+1)
+			g.raw("\tslli r3, r8, 2")
+			g.raw("\tadd r8, r8, r3")
+		case 4:
+			g.f("\tandi r8, r17, %d", 1023)
+			g.f("\taddi r8, r8, %d", k*17)
+			g.raw("\txor r8, r8, r17")
+			g.raw("\tsrli r3, r8, 9")
+			g.raw("\tadd r8, r8, r3")
+		}
+		// every 4th kind calls its helper through the fnptr table (icall)
+		if k%4 == 0 {
+			g.raw("\tla r1, helptab")
+			g.f("\tlw r3, %d(r1)", (k/4)*4)
+			g.raw("\tmov a0, r8")
+			g.raw("\tcallr r3")
+			g.raw("\tmov r8, rv")
+		}
+		g.mix("r8")
+		g.raw("\tjmp done")
+	}
+	g.raw("done:")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, node")
+	g.epilogue()
+
+	// five helper functions reached via the function-pointer table
+	for h := 0; h < 5; h++ {
+		g.f("helper%d:", h)
+		g.f("\tslli rv, a0, %d", h+1)
+		g.raw("\txor rv, rv, a0")
+		g.f("\taddi rv, rv, %d", 31*h+7)
+		g.raw("\tret")
+	}
+
+	g.raw(".data")
+	g.raw("kindtab:")
+	for k := 0; k < kinds; k++ {
+		g.f("\t.word kind%d", k)
+	}
+	g.raw("helptab:")
+	for h := 0; h < 5; h++ {
+		g.f("\t.word helper%d", h)
+	}
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "perlbmk",
+	Model:        "253.perlbmk",
+	IBClass:      "ijump-heavy",
+	DefaultScale: 310,
+	Gen:          genPerlbmk,
+})
+
+// perlOps is the bytecode set of the perlbmk-shaped interpreter.
+const (
+	opPush = iota // push imm8
+	opAdd
+	opSub
+	opMul
+	opXor
+	opShl
+	opShr
+	opDup
+	opSwap
+	opLoad  // load var imm8
+	opStore // store var imm8
+	opCall  // call subroutine imm8 (bytecode-level, uses guest call)
+	opMix   // fold TOS into checksum
+	opJnz   // skip imm8 bytecodes back if TOS nonzero (bounded loop)
+	opDrop
+	opEnd
+	numPerlOps
+)
+
+// genPerlbmk models the perl interpreter's dispatch loop: a stack machine
+// with 16 opcodes whose handler addresses come from a jump table, executing
+// a pseudo-random (but well-formed) bytecode program. Indirect jumps
+// dominate; opCall adds call/return traffic.
+func genPerlbmk(scale int) string {
+	prog := perlProgram(997, 600)
+	g := &gen{}
+	g.f("; perlbmk-shaped workload: %d-op bytecode interpreter, scale=%d", numPerlOps, scale)
+	g.raw(".name \"perlbmk\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r27, 0")
+	g.f("\tli r20, %d", scale)
+	g.raw("\tla r22, stack") // value-stack pointer (grows up)
+	g.raw("run:")
+	g.raw("\tla r21, bytecode") // bytecode pc
+	g.raw("dispatch:")
+	g.raw("\tlbu r16, (r21)")  // opcode
+	g.raw("\tlbu r17, 1(r21)") // immediate
+	g.raw("\taddi r21, r21, 2")
+	g.raw("\tla r1, optab")
+	g.raw("\tslli r3, r16, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tjr r3")
+
+	g.raw("h_push:")
+	g.raw("\tsw r17, (r22)")
+	g.raw("\taddi r22, r22, 4")
+	g.raw("\tjmp dispatch")
+	for _, bin := range []struct{ name, op string }{
+		{"h_add", "add"}, {"h_sub", "sub"}, {"h_mul", "mul"}, {"h_xor", "xor"},
+	} {
+		g.f("%s:", bin.name)
+		g.raw("\tsubi r22, r22, 4")
+		g.raw("\tlw r8, (r22)")
+		g.raw("\tlw r9, -4(r22)")
+		g.f("\t%s r9, r9, r8", bin.op)
+		g.raw("\tsw r9, -4(r22)")
+		g.raw("\tjmp dispatch")
+	}
+	g.raw("h_shl:")
+	g.raw("\tlw r8, -4(r22)")
+	g.raw("\tandi r9, r17, 7")
+	g.raw("\tsll r8, r8, r9")
+	g.raw("\tsw r8, -4(r22)")
+	g.raw("\tjmp dispatch")
+	g.raw("h_shr:")
+	g.raw("\tlw r8, -4(r22)")
+	g.raw("\tandi r9, r17, 7")
+	g.raw("\tsrl r8, r8, r9")
+	g.raw("\tsw r8, -4(r22)")
+	g.raw("\tjmp dispatch")
+	g.raw("h_dup:")
+	g.raw("\tlw r8, -4(r22)")
+	g.raw("\tsw r8, (r22)")
+	g.raw("\taddi r22, r22, 4")
+	g.raw("\tjmp dispatch")
+	g.raw("h_swap:")
+	g.raw("\tlw r8, -4(r22)")
+	g.raw("\tlw r9, -8(r22)")
+	g.raw("\tsw r9, -4(r22)")
+	g.raw("\tsw r8, -8(r22)")
+	g.raw("\tjmp dispatch")
+	g.raw("h_load:")
+	g.raw("\tla r1, vars")
+	g.raw("\tandi r3, r17, 63")
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r8, (r1)")
+	g.raw("\tsw r8, (r22)")
+	g.raw("\taddi r22, r22, 4")
+	g.raw("\tjmp dispatch")
+	g.raw("h_store:")
+	g.raw("\tsubi r22, r22, 4")
+	g.raw("\tlw r8, (r22)")
+	g.raw("\tla r1, vars")
+	g.raw("\tandi r3, r17, 63")
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tsw r8, (r1)")
+	g.raw("\tjmp dispatch")
+	// opCall: invoke one of 4 interpreter service routines via guest call
+	g.raw("h_call:")
+	g.raw("\tlw a0, -4(r22)")
+	g.raw("\tandi r3, r17, 3")
+	g.raw("\tla r1, svctab")
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tcallr r3")
+	g.raw("\tsw rv, -4(r22)")
+	g.raw("\tjmp dispatch")
+	g.raw("h_mix:")
+	g.raw("\tlw r8, -4(r22)")
+	g.mix("r8")
+	g.raw("\tjmp dispatch")
+	// opJnz: bounded back-jump: decrement TOS; if nonzero, jump back imm
+	// bytecodes; else drop it.
+	g.raw("h_jnz:")
+	g.raw("\tlw r8, -4(r22)")
+	g.raw("\tsubi r8, r8, 1")
+	g.raw("\tsw r8, -4(r22)")
+	g.raw("\tbeqz r8, jnzdone")
+	g.raw("\tslli r3, r17, 1")
+	g.raw("\tsub r21, r21, r3")
+	g.raw("\tjmp dispatch")
+	g.raw("jnzdone:")
+	g.raw("\tsubi r22, r22, 4")
+	g.raw("\tjmp dispatch")
+	g.raw("h_drop:")
+	g.raw("\tsubi r22, r22, 4")
+	g.raw("\tjmp dispatch")
+	g.raw("h_end:")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, run")
+	g.epilogue()
+
+	// interpreter service routines (reached by icall)
+	for s := 0; s < 4; s++ {
+		g.f("svc%d:", s)
+		g.f("\tslli rv, a0, %d", s+1)
+		g.raw("\tadd rv, rv, a0")
+		g.f("\txori rv, rv, %d", 0x55*(s+1))
+		g.raw("\tret")
+	}
+
+	g.raw(".data")
+	g.raw("optab:")
+	for _, h := range []string{"h_push", "h_add", "h_sub", "h_mul", "h_xor", "h_shl",
+		"h_shr", "h_dup", "h_swap", "h_load", "h_store", "h_call", "h_mix", "h_jnz",
+		"h_drop", "h_end"} {
+		g.f("\t.word %s", h)
+	}
+	g.raw("svctab:")
+	for s := 0; s < 4; s++ {
+		g.f("\t.word svc%d", s)
+	}
+	g.raw("bytecode:")
+	for i := 0; i < len(prog); i += 16 {
+		end := i + 16
+		if end > len(prog) {
+			end = len(prog)
+		}
+		line := "\t.byte "
+		for j := i; j < end; j++ {
+			if j > i {
+				line += ", "
+			}
+			line += fmt.Sprintf("%d", prog[j])
+		}
+		g.raw(line)
+	}
+	g.raw("vars: .space 256")
+	g.raw("stack: .space 4096")
+	return g.String()
+}
+
+// perlProgram generates a well-formed bytecode program: every opcode is
+// emitted as an (op, imm) pair; stack depth is tracked so underflow cannot
+// occur; the program ends with opEnd.
+func perlProgram(seed uint32, ops int) []byte {
+	var out []byte
+	depth := 0
+	rnd := func(n uint32) uint32 {
+		seed = seed*1103515245 + 12345
+		return (seed >> 16) % n
+	}
+	emit := func(op, imm byte) { out = append(out, op, imm) }
+	// seed the loop counter used by a single bounded opJnz loop near the
+	// end of the stream
+	for len(out)/2 < ops {
+		switch op := rnd(14); {
+		case depth == 0 || (op < 2 && depth < 60):
+			emit(opPush, byte(rnd(200)))
+			depth++
+		case op < 5 && depth >= 2:
+			emit(byte(opAdd+rnd(4)), 0)
+			depth--
+		case op < 7:
+			emit(byte(opShl+rnd(2)), byte(rnd(8)))
+		case op == 7 && depth < 60:
+			emit(opDup, 0)
+			depth++
+		case op == 8 && depth >= 2:
+			emit(opSwap, 0)
+		case op == 9:
+			emit(opLoad, byte(rnd(64)))
+			depth++
+		case op == 10 && depth >= 1:
+			emit(opStore, byte(rnd(64)))
+			depth--
+		case op == 11:
+			emit(opCall, byte(rnd(4)))
+		case op == 12:
+			emit(opMix, 0)
+		default:
+			if depth >= 1 {
+				emit(opDrop, 0)
+				depth--
+			} else {
+				emit(opPush, 1)
+				depth++
+			}
+		}
+	}
+	// a bounded inner loop: push 8; [mix; jnz back over 2 ops]
+	emit(opPush, 8)
+	emit(opMix, 0)
+	emit(opJnz, 2) // jump back 2 bytecodes (the mix) while TOS nonzero
+	for depth > 0 {
+		emit(opDrop, 0)
+		depth--
+	}
+	emit(opEnd, 0)
+	return out
+}
+
+var _ = register(&Spec{
+	Name:         "gap",
+	Model:        "254.gap",
+	IBClass:      "ijump-heavy",
+	DefaultScale: 95000,
+	Gen:          genGap,
+})
+
+// genGap models the GAP computer-algebra interpreter: expression evaluation
+// dispatched over a jump table, with every third operation invoking a
+// builtin through a function-pointer table — a heavier icall share than
+// perlbmk alongside the dispatch ijumps.
+func genGap(scale int) string {
+	const builtins = 8
+	g := &gen{}
+	g.f("; gap-shaped workload: algebra evaluator with %d builtins, scale=%d", builtins, scale)
+	g.raw(".name \"gap\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x41c64e6d")
+	g.raw("\tli r27, 0")
+	g.raw("\tli r23, 1") // running value
+	g.f("\tli r20, %d", scale)
+	g.raw("eval:")
+	g.lcg()
+	g.raw("\tsrli r16, r25, 9")
+	g.raw("\tandi r16, r16, 7") // 8 expression kinds
+	g.raw("\tsrli r17, r25, 2")
+	g.raw("\tla r1, evaltab")
+	g.raw("\tslli r3, r16, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tjr r3")
+	for k := 0; k < 8; k++ {
+		g.f("ev%d:", k)
+		switch k % 4 {
+		case 0:
+			g.raw("\tadd r23, r23, r17")
+			g.f("\tslli r1, r23, %d", k%3+1)
+			g.raw("\txor r23, r23, r1")
+		case 1:
+			g.raw("\tmul r23, r23, r17")
+			g.raw("\tsrli r23, r23, 1")
+			g.f("\tori r23, r23, %d", k)
+		case 2:
+			g.raw("\tsub r23, r17, r23")
+			g.f("\tandi r1, r23, %d", 0x7ff)
+			g.raw("\tadd r23, r23, r1")
+		case 3:
+			g.raw("\txor r23, r23, r17")
+			g.raw("\tsrli r1, r23, 5")
+			g.raw("\tadd r23, r23, r1")
+		}
+		// every even kind invokes a builtin via icall
+		if k%2 == 0 {
+			g.raw("\tsrli r3, r25, 13")
+			g.f("\tandi r3, r3, %d", builtins-1)
+			g.raw("\tla r1, bitab")
+			g.raw("\tslli r3, r3, 2")
+			g.raw("\tadd r1, r1, r3")
+			g.raw("\tlw r3, (r1)")
+			g.raw("\tmov a0, r23")
+			g.raw("\tcallr r3")
+			g.raw("\tmov r23, rv")
+		}
+		g.raw("\tjmp evdone")
+	}
+	g.raw("evdone:")
+	g.mix("r23")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, eval")
+	g.epilogue()
+
+	for b := 0; b < builtins; b++ {
+		g.f("builtin%d:", b)
+		g.f("\tslli rv, a0, %d", b%5+1)
+		g.raw("\txor rv, rv, a0")
+		if b%2 == 1 {
+			g.f("\tli r1, %d", 2654435761)
+			g.raw("\tmul rv, rv, r1")
+			g.raw("\tsrli rv, rv, 3")
+		}
+		g.f("\taddi rv, rv, %d", b*101+3)
+		g.raw("\tret")
+	}
+
+	g.raw(".data")
+	g.raw("evaltab:")
+	for k := 0; k < 8; k++ {
+		g.f("\t.word ev%d", k)
+	}
+	g.raw("bitab:")
+	for b := 0; b < builtins; b++ {
+		g.f("\t.word builtin%d", b)
+	}
+	return g.String()
+}

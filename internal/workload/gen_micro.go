@@ -1,0 +1,194 @@
+package workload
+
+import "fmt"
+
+// Microbenchmarks isolate one indirect-branch behaviour each, for the
+// parameter sweeps (E3/E5/E6) where the interesting variable is target-set
+// size or call discipline rather than a realistic instruction mix.
+
+func init() {
+	register(&Spec{
+		Name:         "micro.ret",
+		Model:        "synthetic",
+		IBClass:      "ret-heavy",
+		DefaultScale: 120000,
+		Gen:          genMicroRet,
+	})
+	for _, k := range []int{2, 16, 64, 256} {
+		k := k
+		register(&Spec{
+			Name:         fmt.Sprintf("micro.ijump%d", k),
+			Model:        "synthetic",
+			IBClass:      "ijump-heavy",
+			DefaultScale: 80000,
+			Gen:          func(scale int) string { return genMicroIJump(k, scale) },
+		})
+	}
+	register(&Spec{
+		Name:         "micro.icall8",
+		Model:        "synthetic",
+		IBClass:      "icall-heavy",
+		DefaultScale: 90000,
+		Gen:          genMicroICall,
+	})
+	register(&Spec{
+		Name:         "micro.bigcode",
+		Model:        "synthetic",
+		IBClass:      "mixed",
+		DefaultScale: 60,
+		Gen:          genMicroBigCode,
+	})
+}
+
+// genMicroBigCode touches a large static code footprint every iteration:
+// 600 distinct functions called round-robin through a pointer table. Its
+// translated image (~40 KiB of emitted code) does not fit small fragment
+// caches, making it the probe workload for the cache-pressure experiment
+// (E13) and for I-cache effects.
+func genMicroBigCode(scale int) string {
+	const funcs = 600
+	g := &gen{}
+	g.f("; micro.bigcode: %d functions, round-robin, scale=%d", funcs, scale)
+	g.raw(".name \"micro.bigcode\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r27, 0")
+	g.f("\tli r20, %d", scale)
+	g.raw("round:")
+	g.raw("\tli r16, 0")
+	g.raw("sweep:")
+	g.raw("\tla r1, ftab")
+	g.raw("\tslli r3, r16, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tmov a0, r16")
+	g.raw("\tcallr r3")
+	g.mix("rv")
+	g.raw("\taddi r16, r16, 1")
+	g.f("\tli r1, %d", funcs)
+	g.raw("\tblt r16, r1, sweep")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, round")
+	g.epilogue()
+	for i := 0; i < funcs; i++ {
+		g.f("bf%d:", i)
+		// distinct 6-8 instruction bodies so no two functions share code
+		g.f("\tslli rv, a0, %d", i%13+1)
+		g.f("\txori rv, rv, %d", i*31+7)
+		g.raw("\tadd rv, rv, a0")
+		if i%2 == 0 {
+			g.f("\tsrli r1, rv, %d", i%11+2)
+			g.raw("\txor rv, rv, r1")
+		}
+		if i%3 == 0 {
+			g.f("\taddi rv, rv, %d", i)
+		}
+		g.raw("\tret")
+	}
+	g.raw(".data")
+	g.raw("ftab:")
+	for i := 0; i < funcs; i++ {
+		g.f("\t.word bf%d", i)
+	}
+	return g.String()
+}
+
+// genMicroRet: a tight loop of leaf calls — the purest return stream.
+func genMicroRet(scale int) string {
+	g := &gen{}
+	g.f("; micro.ret: leaf call/return loop, scale=%d", scale)
+	g.raw(".name \"micro.ret\"")
+	g.raw(".mem 0x40000")
+	g.raw("main:")
+	g.raw("\tli r27, 0")
+	g.f("\tli r20, %d", scale)
+	g.raw("loop:")
+	g.raw("\tmov a0, r20")
+	g.raw("\tcall leaf")
+	g.mix("rv")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, loop")
+	g.epilogue()
+	g.raw("leaf:")
+	g.raw("\tslli rv, a0, 1")
+	g.raw("\txor rv, rv, a0")
+	g.raw("\tret")
+	return g.String()
+}
+
+// genMicroIJump: one indirect-jump site cycling uniformly through k
+// targets. Sweeping k against table sizes maps out the capacity behaviour
+// of the IBTC and the sieve.
+func genMicroIJump(k, scale int) string {
+	g := &gen{}
+	g.f("; micro.ijump%d: one site, %d targets, scale=%d", k, k, scale)
+	g.f(".name \"micro.ijump%d\"", k)
+	g.raw(".mem 0x40000")
+	g.raw("main:")
+	g.raw("\tli r27, 0")
+	g.raw("\tli r25, 0x12345")
+	g.f("\tli r20, %d", scale)
+	g.raw("loop:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 10")
+	g.f("\tandi r3, r3, %d", k-1)
+	g.raw("\tla r1, table")
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tjr r3")
+	for i := 0; i < k; i++ {
+		g.f("t%d:", i)
+		g.f("\taddi r27, r27, %d", i+1)
+		g.raw("\tjmp next")
+	}
+	g.raw("next:")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, loop")
+	g.epilogue()
+	g.raw(".data")
+	g.raw("table:")
+	for i := 0; i < k; i++ {
+		g.f("\t.word t%d", i)
+	}
+	return g.String()
+}
+
+// genMicroICall: function-pointer calls cycling through 8 callees.
+func genMicroICall(scale int) string {
+	const k = 8
+	g := &gen{}
+	g.f("; micro.icall8: function-pointer calls over %d callees, scale=%d", k, scale)
+	g.raw(".name \"micro.icall8\"")
+	g.raw(".mem 0x40000")
+	g.raw("main:")
+	g.raw("\tli r27, 0")
+	g.raw("\tli r25, 0x777")
+	g.f("\tli r20, %d", scale)
+	g.raw("loop:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 12")
+	g.f("\tandi r3, r3, %d", k-1)
+	g.raw("\tla r1, fns")
+	g.raw("\tslli r3, r3, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r3, (r1)")
+	g.raw("\tmov a0, r20")
+	g.raw("\tcallr r3")
+	g.mix("rv")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, loop")
+	g.epilogue()
+	for i := 0; i < k; i++ {
+		g.f("f%d:", i)
+		g.f("\tslli rv, a0, %d", i%5+1)
+		g.f("\txori rv, rv, %d", i*29+1)
+		g.raw("\tret")
+	}
+	g.raw(".data")
+	g.raw("fns:")
+	for i := 0; i < k; i++ {
+		g.f("\t.word f%d", i)
+	}
+	return g.String()
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+
+	"sdt/internal/minic"
+)
+
+// micro.mcvm is authored in MiniC rather than assembly: a little stack VM
+// whose opcode handlers are reached through a function-pointer table. The
+// generated code therefore carries compiler-shaped calling sequences
+// (stack frames, spills) around its indirect calls — a different flavour
+// of icall-heavy code than the hand-written eon workload, and a
+// whole-pipeline exercise: MiniC -> assembler -> image -> SDT.
+var _ = register(&Spec{
+	Name:         "micro.mcvm",
+	Model:        "synthetic (MiniC)",
+	IBClass:      "icall-heavy",
+	DefaultScale: 130,
+	Gen:          genMCVM,
+})
+
+func genMCVM(scale int) string {
+	src := fmt.Sprintf(`
+// a stack VM written in MiniC; handlers dispatched via function pointers
+var ops[8];
+var stack[64];
+var sp = 0;
+var seed = 0x5ca1ab1e;
+
+func push(v) { stack[sp] = v; sp = sp + 1; return v; }
+func pop() { sp = sp - 1; return stack[sp]; }
+
+func op_add() { return push(pop() + pop()); }
+func op_sub() { var b = pop(); var a = pop(); return push(a - b); }
+func op_mul() { return push(pop() * pop()); }
+func op_xor() { return push(pop() ^ pop()); }
+func op_shl() { var b = pop(); var a = pop(); return push(a << (b & 7)); }
+func op_dup() { var v = pop(); push(v); return push(v); }
+func op_lit() { seed = seed * 1103515245 + 12345; return push((seed >> 16) & 255); }
+func op_mix() { var v = pop(); out v & 0xffff; return push(v); }
+
+func rand8() {
+	seed = seed * 1103515245 + 12345;
+	return (seed >> 18) & 7;
+}
+
+func main() {
+	ops[0] = &op_add; ops[1] = &op_sub; ops[2] = &op_mul; ops[3] = &op_xor;
+	ops[4] = &op_shl; ops[5] = &op_dup; ops[6] = &op_lit; ops[7] = &op_mix;
+	push(1); push(2); push(3); push(4);
+	var steps = %d;
+	var i = 0;
+	while (i < steps) {
+		var k = rand8();
+		// keep the stack in bounds: force pushes when low, pops when high
+		if (sp < 4) { k = 6; }
+		if (sp > 56) { k = 0; }
+		var f = ops[k];
+		f();
+		i = i + 1;
+	}
+	out sp;
+}
+`, scale*100)
+	asmText, err := minic.Compile(src)
+	if err != nil {
+		// The source is a compile-time constant of this package; failure
+		// is a bug, not an input error.
+		panic("workload: micro.mcvm does not compile: " + err.Error())
+	}
+	return asmText
+}

@@ -1,0 +1,392 @@
+package workload
+
+// The IB-sparse group: gzip, bzip2, mcf, twolf. These anchor the low end
+// of the characterization table — programs whose SDT overhead is modest no
+// matter the mechanism, because they rarely execute indirect branches.
+//
+// Register conventions shared by all generators:
+//
+//	r1,r3,r8,r9   scratch, clobbered everywhere (r1 also by lcg/mix)
+//	r2 (rv)       return values
+//	r4-r7 (a0-a3) arguments
+//	r10-r15       scratch preserved by leaf functions
+//	r16-r24       main-loop state
+//	r25           LCG seed
+//	r26           global base pointer for the workload's main array
+//	r27           running checksum, emitted by epilogue
+var _ = register(&Spec{
+	Name:         "gzip",
+	Model:        "164.gzip",
+	IBClass:      "low",
+	DefaultScale: 65,
+	Gen:          genGzip,
+})
+
+// genGzip models LZ-style compression: a sliding hash over a byte buffer
+// with chained match attempts. Calls are leaf-only and conditional, so
+// returns are the only indirect branches and they are sparse.
+func genGzip(scale int) string {
+	g := &gen{}
+	g.f("; gzip-shaped workload: hash-chain compression scan, scale=%d", scale)
+	g.raw(".name \"gzip\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x2545f491")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, buf")
+	// Fill the 4 KiB buffer with LCG bytes.
+	g.raw("\tli r16, 0")
+	g.raw("fill:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 13")
+	g.raw("\tadd r8, r26, r16")
+	g.raw("\tsb r3, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 4096")
+	g.raw("\tblt r16, r1, fill")
+
+	g.f("\tli r20, %d", scale) // outer rounds
+	g.raw("outer:")
+	g.raw("\tli r16, 0") // position
+	g.raw("scan:")
+	// h = (buf[i]*31 + buf[i+1]) & 255
+	g.raw("\tadd r8, r26, r16")
+	g.raw("\tlbu r9, (r8)")
+	g.raw("\tlbu r3, 1(r8)")
+	g.raw("\tslli r1, r9, 5")
+	g.raw("\tsub r9, r1, r9")
+	g.raw("\tadd r9, r9, r3")
+	g.raw("\tandi r9, r9, 255")
+	// prev = head[h]; head[h] = i
+	g.raw("\tla r1, head")
+	g.raw("\tslli r3, r9, 2")
+	g.raw("\tadd r1, r1, r3")
+	g.raw("\tlw r10, (r1)")
+	g.raw("\tsw r16, (r1)")
+	// every 8th position with a live chain, try a match
+	g.raw("\tandi r3, r16, 7")
+	g.raw("\tbnez r3, nomatch")
+	g.raw("\tbeqz r10, nomatch")
+	g.raw("\tmov a0, r10")
+	g.raw("\tmov a1, r16")
+	g.raw("\tcall matchlen")
+	g.mix("rv")
+	g.raw("nomatch:")
+	g.mix("r9")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 2048")
+	g.raw("\tblt r16, r1, scan")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, outer")
+	g.epilogue()
+
+	// matchlen(a0=p, a1=q): count equal bytes up to 8. Leaf.
+	g.raw("matchlen:")
+	g.raw("\tli rv, 0")
+	g.raw("\tla r3, buf")
+	g.raw("\tadd a0, a0, r3")
+	g.raw("\tadd a1, a1, r3")
+	g.raw("mloop:")
+	g.raw("\tlbu r8, (a0)")
+	g.raw("\tlbu r9, (a1)")
+	g.raw("\tbne r8, r9, mdone")
+	g.raw("\taddi rv, rv, 1")
+	g.raw("\taddi a0, a0, 1")
+	g.raw("\taddi a1, a1, 1")
+	g.raw("\tli r1, 8")
+	g.raw("\tblt rv, r1, mloop")
+	g.raw("mdone:")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("buf: .space 4100")
+	g.raw("head: .space 1024")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "bzip2",
+	Model:        "256.bzip2",
+	IBClass:      "low",
+	DefaultScale: 43,
+	Gen:          genBzip2,
+})
+
+// genBzip2 models block-sorting compression: repeated quicksorts of a block
+// (bursts of recursion, so returns cluster) followed by a run-length pass.
+func genBzip2(scale int) string {
+	g := &gen{}
+	g.f("; bzip2-shaped workload: quicksort blocks + RLE, scale=%d", scale)
+	g.raw(".name \"bzip2\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x1badb002")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, block")
+	g.f("\tli r20, %d", scale)
+	g.raw("round:")
+	// refill block with pseudo-random words
+	g.raw("\tli r16, 0")
+	g.raw("refill:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 7")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 512")
+	g.raw("\tblt r16, r1, refill")
+	// sort it
+	g.raw("\tli a0, 0")
+	g.raw("\tli a1, 511")
+	g.raw("\tcall qsort")
+	// RLE pass: count runs of equal high bytes
+	g.raw("\tli r16, 1")
+	g.raw("\tli r17, 0") // runs
+	g.raw("rle:")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")
+	g.raw("\tlw r3, -4(r8)")
+	g.raw("\tsrli r9, r9, 24")
+	g.raw("\tsrli r3, r3, 24")
+	g.raw("\tbeq r9, r3, rlesame")
+	g.raw("\taddi r17, r17, 1")
+	g.raw("rlesame:")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 512")
+	g.raw("\tblt r16, r1, rle")
+	g.mix("r17")
+	// verify sortedness contributes to checksum
+	g.raw("\tlw r9, (r26)")
+	g.mix("r9")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, round")
+	g.epilogue()
+
+	// qsort(a0=lo, a1=hi) over words at r26. Recursive; Hoare-ish
+	// Lomuto partition. Clobbers r1,r3,r8,r9,r10,r11,r12.
+	g.raw("qsort:")
+	g.raw("\tbge a0, a1, qdone")
+	g.raw("\tpush ra")
+	g.raw("\tpush a0")
+	g.raw("\tpush a1")
+	// pivot = arr[hi]
+	g.raw("\tslli r1, a1, 2")
+	g.raw("\tadd r10, r26, r1") // &arr[hi]
+	g.raw("\tlw r11, (r10)")    // pivot
+	g.raw("\tmov r12, a0")      // store index
+	g.raw("\tmov r9, a0")       // scan index
+	g.raw("qpart:")
+	g.raw("\tslli r1, r9, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r3, (r8)")
+	g.raw("\tbgeu r3, r11, qskip")
+	// swap arr[r12], arr[r9]
+	g.raw("\tslli r1, r12, 2")
+	g.raw("\tadd r1, r26, r1")
+	g.raw("\tlw r2, (r1)")
+	g.raw("\tsw r3, (r1)")
+	g.raw("\tsw r2, (r8)")
+	g.raw("\taddi r12, r12, 1")
+	g.raw("qskip:")
+	g.raw("\taddi r9, r9, 1")
+	g.raw("\tblt r9, a1, qpart")
+	// swap arr[r12], arr[hi]
+	g.raw("\tslli r1, r12, 2")
+	g.raw("\tadd r1, r26, r1")
+	g.raw("\tlw r2, (r1)")
+	g.raw("\tlw r3, (r10)")
+	g.raw("\tsw r3, (r1)")
+	g.raw("\tsw r2, (r10)")
+	// recurse left: qsort(lo, r12-1)
+	g.raw("\tpush r12")
+	g.raw("\tsubi a1, r12, 1")
+	g.raw("\tcall qsort")
+	g.raw("\tpop r12")
+	// recurse right: qsort(r12+1, hi)
+	g.raw("\tlw a1, (sp)") // saved hi
+	g.raw("\taddi a0, r12, 1")
+	g.raw("\tcall qsort")
+	g.raw("\tpop a1")
+	g.raw("\tpop a0")
+	g.raw("\tpop ra")
+	g.raw("qdone:")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("block: .space 2048")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "mcf",
+	Model:        "181.mcf",
+	IBClass:      "low",
+	DefaultScale: 33,
+	Gen:          genMcf,
+})
+
+// genMcf models network-simplex pointer chasing: long walks over a linked
+// structure whose nodes are scattered, hammering the D-cache while
+// executing almost no indirect branches.
+func genMcf(scale int) string {
+	g := &gen{}
+	g.f("; mcf-shaped workload: pointer chasing over %d-node arcs, scale=%d", 8192, scale)
+	g.raw(".name \"mcf\"")
+	g.raw(".mem 0x200000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x6b43a9b5")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, arcs")
+	// Build a full-cycle successor function: next[i] = (i*4229+1) % 8192
+	// (4229 odd => the map is a permutation of Z/8192 with one long orbit
+	// for this stride choice), scattering successive accesses.
+	g.raw("\tli r16, 0")
+	g.raw("build:")
+	g.raw("\tli r1, 4229")
+	g.raw("\tmul r3, r16, r1")
+	g.raw("\taddi r3, r3, 1")
+	g.raw("\tli r1, 8191")
+	g.raw("\tand r3, r3, r1")
+	g.raw("\tslli r3, r3, 3") // *8: node stride
+	g.raw("\tslli r1, r16, 3")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)") // next offset
+	g.lcg()
+	g.raw("\tsrli r9, r25, 11")
+	g.raw("\tsw r9, 4(r8)") // cost
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 8192")
+	g.raw("\tblt r16, r1, build")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("iter:")
+	g.raw("\tli r17, 0") // walk counter
+	g.raw("\tli r18, 0") // current node offset
+	g.raw("\tli r19, 0") // accumulated cost
+	g.raw("walk:")
+	g.raw("\tadd r8, r26, r18")
+	g.raw("\tlw r18, (r8)") // next
+	g.raw("\tlw r9, 4(r8)") // cost
+	g.raw("\tadd r19, r19, r9")
+	g.raw("\taddi r17, r17, 1")
+	g.raw("\tandi r1, r17, 1023")
+	g.raw("\tbnez r1, nocall")
+	g.raw("\tmov a0, r19")
+	g.raw("\tcall relax")
+	g.raw("\tmov r19, rv")
+	g.raw("nocall:")
+	g.raw("\tli r1, 8192")
+	g.raw("\tblt r17, r1, walk")
+	g.mix("r19")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, iter")
+	g.epilogue()
+
+	// relax(a0): fold the accumulated cost. Leaf.
+	g.raw("relax:")
+	g.raw("\tsrli rv, a0, 3")
+	g.raw("\txor rv, rv, a0")
+	g.raw("\tslli r1, rv, 1")
+	g.raw("\tadd rv, rv, r1")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("arcs: .space 65536")
+	return g.String()
+}
+
+var _ = register(&Spec{
+	Name:         "twolf",
+	Model:        "300.twolf",
+	IBClass:      "low",
+	DefaultScale: 55000,
+	Gen:          genTwolf,
+})
+
+// genTwolf models simulated-annealing placement: LCG-driven swap proposals
+// with branchy accept/reject logic, inline cost evaluation and occasional
+// leaf calls.
+func genTwolf(scale int) string {
+	g := &gen{}
+	g.f("; twolf-shaped workload: annealing swaps over a 64x16 grid, scale=%d", scale)
+	g.raw(".name \"twolf\"")
+	g.raw(".mem 0x100000")
+	g.raw("main:")
+	g.raw("\tli r25, 0x7f4a7c15")
+	g.raw("\tli r27, 0")
+	g.raw("\tla r26, grid")
+	g.raw("\tli r16, 0")
+	g.raw("ginit:")
+	g.lcg()
+	g.raw("\tsrli r3, r25, 9")
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tsw r3, (r8)")
+	g.raw("\taddi r16, r16, 1")
+	g.raw("\tli r1, 1024")
+	g.raw("\tblt r16, r1, ginit")
+
+	g.f("\tli r20, %d", scale)
+	g.raw("\tli r21, 40000") // temperature
+	g.raw("anneal:")
+	// pick cells a (r16) and b (r17)
+	g.lcg()
+	g.raw("\tsrli r16, r25, 12")
+	g.raw("\tandi r16, r16, 1023")
+	g.lcg()
+	g.raw("\tsrli r17, r25, 12")
+	g.raw("\tandi r17, r17, 1023")
+	// delta = |grid[a] & 0xffff - grid[b] & 0xffff| style cost
+	g.raw("\tslli r1, r16, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r10, (r8)")
+	g.raw("\tslli r1, r17, 2")
+	g.raw("\tadd r9, r26, r1")
+	g.raw("\tlw r11, (r9)")
+	g.raw("\tandi r3, r10, 16383")
+	g.raw("\tandi r1, r11, 16383")
+	g.raw("\tsub r12, r3, r1")
+	g.raw("\tbge r12, zero, dpos")
+	g.raw("\tsub r12, zero, r12")
+	g.raw("dpos:")
+	// accept if delta < temperature, else reject and cool slightly
+	g.raw("\tblt r12, r21, accept")
+	g.raw("\tsubi r21, r21, 1")
+	g.raw("\tjmp cooled")
+	g.raw("accept:")
+	g.raw("\tsw r11, (r8)")
+	g.raw("\tsw r10, (r9)")
+	g.mix("r12")
+	g.raw("cooled:")
+	// every 8th proposal, recompute a row cost through a leaf call
+	g.raw("\tandi r1, r20, 7")
+	g.raw("\tbnez r1, skipcall")
+	g.raw("\tandi a0, r16, 960") // row base (64-cell rows)
+	g.raw("\tcall rowcost")
+	g.mix("rv")
+	g.raw("skipcall:")
+	g.raw("\tsubi r20, r20, 1")
+	g.raw("\tbnez r20, anneal")
+	g.epilogue()
+
+	// rowcost(a0 = row base index): sum 16 cells. Leaf.
+	g.raw("rowcost:")
+	g.raw("\tli rv, 0")
+	g.raw("\tli r3, 0")
+	g.raw("rcl:")
+	g.raw("\tadd r1, a0, r3")
+	g.raw("\tslli r1, r1, 2")
+	g.raw("\tadd r8, r26, r1")
+	g.raw("\tlw r9, (r8)")
+	g.raw("\tadd rv, rv, r9")
+	g.raw("\taddi r3, r3, 1")
+	g.raw("\tli r1, 16")
+	g.raw("\tblt r3, r1, rcl")
+	g.raw("\tret")
+
+	g.raw(".data")
+	g.raw("grid: .space 4096")
+	return g.String()
+}
