@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all test race ci fuzz bench vet
+
+all: test
+
+test:            ## tier-1: build everything and run the test suite
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:            ## test suite under the race detector
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci:              ## full gate: vet + build + race tests + fuzz/bench smokes
+	scripts/ci.sh
+
+fuzz:            ## longer fuzz session against the differential oracle
+	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzDifferential -fuzztime=5m
+
+bench:
+	$(GO) test -run='^$$' -bench=. ./...

@@ -1,0 +1,199 @@
+// Sdtfuzz drives the differential oracle from the command line: generate
+// random-program corpora, sweep them through every indirect-branch
+// mechanism on every host model against the native interpreter, and
+// minimize a diverging program to a small runnable repro.
+//
+// Usage:
+//
+//	sdtfuzz -gen 8 -dir corpus            write 8 corpus programs as .s files
+//	sdtfuzz -sweep -seeds 1,2,3           differential sweep, all mechanisms x archs
+//	sdtfuzz -minimize -seed 1 -spec ibtc:2 -inject broken-ibtc -o repro.s
+//
+//	-gen n        generate n corpus programs (with -dir)
+//	-dir path     output directory for -gen (default "corpus")
+//	-sweep        run the differential sweep over -seeds
+//	-seeds list   comma-separated randprog seeds (default 1,2,3)
+//	-specs list   comma-separated mechanism specs (default: registry sweep set)
+//	-archs list   comma-separated host models (default x86,sparc)
+//	-limit n      per-run instruction budget (default 5e6)
+//	-minimize     shrink the -seed program to a minimal diverging repro
+//	-seed n       randprog seed for -minimize (default 1)
+//	-spec s       mechanism spec for -minimize (default ibtc:2)
+//	-arch s       host model for -minimize (default x86)
+//	-inject name  fault injection: "broken-ibtc" aliases IBTC tags, for
+//	              validating the minimizer against a known bug
+//	-o path       write the minimized repro as a runnable .s file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/ib"
+	"sdt/internal/oracle"
+	"sdt/internal/randprog"
+)
+
+func main() {
+	gen := flag.Int("gen", 0, "generate n corpus programs")
+	dir := flag.String("dir", "corpus", "output directory for -gen")
+	sweep := flag.Bool("sweep", false, "run the differential sweep")
+	seeds := flag.String("seeds", "1,2,3", "comma-separated randprog seeds")
+	specs := flag.String("specs", "", "comma-separated mechanism specs (default: registry sweep set)")
+	archs := flag.String("archs", "x86,sparc", "comma-separated host models")
+	limit := flag.Uint64("limit", oracle.DefaultLimit, "per-run instruction budget")
+	minimize := flag.Bool("minimize", false, "minimize a diverging program")
+	seed := flag.Int64("seed", 1, "randprog seed for -minimize")
+	spec := flag.String("spec", "ibtc:2", "mechanism spec for -minimize")
+	arch := flag.String("arch", "x86", "host model for -minimize")
+	inject := flag.String("inject", "", `fault injection ("broken-ibtc")`)
+	out := flag.String("o", "", "write the minimized repro to this .s file")
+	flag.Parse()
+
+	switch {
+	case *gen > 0:
+		if err := genCorpus(*gen, *dir); err != nil {
+			fatal(err)
+		}
+	case *sweep:
+		if err := runSweep(*seeds, *specs, *archs, *limit); err != nil {
+			fatal(err)
+		}
+	case *minimize:
+		if err := runMinimize(*seed, *spec, *arch, *inject, *limit, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdtfuzz:", err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func genCorpus(n int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, src := range randprog.Corpus(n) {
+		name := filepath.Join(dir, fmt.Sprintf("seed%03d.s", i+1))
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(name)
+	}
+	return nil
+}
+
+func runSweep(seedList, specList, archList string, limit uint64) error {
+	specs := splitList(specList)
+	if len(specs) == 0 {
+		specs = ib.SweepSpecs()
+	}
+	archs := splitList(archList)
+	var total, bad int
+	for _, s := range splitList(seedList) {
+		var seed int64
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			return fmt.Errorf("bad seed %q", s)
+		}
+		src := randprog.Generate(randprog.Small(seed))
+		img, err := asm.Assemble(fmt.Sprintf("seed%d.s", seed), src)
+		if err != nil {
+			return err
+		}
+		findings, err := oracle.SweepImage(img, archs, specs, limit)
+		if err != nil {
+			return err
+		}
+		cells := len(archs) * len(specs) * len(oracle.Variants())
+		total += cells
+		bad += len(findings)
+		fmt.Printf("seed %d: %d/%d sweep cells diverged\n", seed, len(findings), cells)
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	fmt.Printf("sweep: %d cells, %d divergences\n", total, bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runMinimize(seed int64, spec, arch, inject string, limit uint64, out string) error {
+	cfg := oracle.Config{Arch: arch, Spec: spec, Limit: limit}
+	switch inject {
+	case "":
+	case "broken-ibtc":
+		cfg.Handler = func(h core.IBHandler) {
+			if !ib.InjectIBTCTagAlias(h) {
+				fatal(fmt.Errorf("spec %q has no IBTC to break", spec))
+			}
+		}
+	default:
+		return fmt.Errorf("unknown injection %q", inject)
+	}
+	keep := func(src string) bool { return oracle.Diverges(src, cfg) }
+
+	start := randprog.Small(seed)
+	if !keep(randprog.Generate(start)) {
+		return fmt.Errorf("seed %d does not diverge under %s/%s; nothing to minimize", seed, arch, spec)
+	}
+	shrunk, src := oracle.MinimizeRandprog(start, keep)
+	n, err := oracle.InstCount(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimized %+v to %d instructions\n", shrunk, n)
+
+	repro := reproHeader(cfg, inject, n, src) + src
+	if out != "" {
+		if err := os.WriteFile(out, []byte(repro), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+		return nil
+	}
+	fmt.Print(repro)
+	return nil
+}
+
+// reproHeader renders the divergence report as assembly comments, so the
+// emitted file documents itself and still runs under sdtrun unchanged.
+func reproHeader(cfg oracle.Config, inject string, insts int, src string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; sdtfuzz repro: %d instructions\n", insts)
+	fmt.Fprintf(&b, "; arch %s, mechanism %s", cfg.Arch, cfg.Spec)
+	if inject != "" {
+		fmt.Fprintf(&b, ", injected fault %q", inject)
+	}
+	b.WriteString("\n")
+	if img, err := asm.Assemble("repro.s", src); err == nil {
+		if rep, err := oracle.Diff(img, cfg); err == nil {
+			for _, d := range rep.Divergences {
+				fmt.Fprintf(&b, ";   %s: %s\n", d.Check, d.Detail)
+			}
+		}
+	}
+	b.WriteString(";\n")
+	return b.String()
+}

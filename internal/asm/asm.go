@@ -289,6 +289,12 @@ func (a *assembler) directive(n int, s string) {
 			a.errorf(n, ".space size %d out of range", v)
 			return
 		}
+		// Bound the running total, not just each directive: unchecked
+		// growth makes repeated .space lines quadratic in allocation.
+		if int64(len(a.data))+v > 64<<20 {
+			a.errorf(n, ".space grows data section past 64 MiB (already %d bytes)", len(a.data))
+			return
+		}
 		a.data = append(a.data, make([]byte, v)...)
 	case ".ascii":
 		if a.sec != secData {

@@ -1,0 +1,81 @@
+package asm_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/randprog"
+)
+
+// FuzzAssemble: on arbitrary source the assembler must either return a
+// structured ErrorList or produce a valid image whose disassembly
+// reassembles to exactly the same code words — assemble -> disassemble ->
+// reassemble is a fixed point or a clean error, never a panic and never
+// drift.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main: halt\n")
+	f.Add("main:\n\tadd r1, r2, r3\n\tbeq r1, r2, main\n\thalt\n")
+	f.Add(".data\nx: .word 1, 2, main+4\n.text\nmain: la r1, x\n jr r1\n")
+	f.Add("main: li r1, 0xdeadbeef\n push r1\n pop r2\n ret\n")
+	f.Add(".mem 99999\n.entry foo\nfoo: out zero\n halt\n")
+	f.Add("label: label2: .ascii \"x;y\"\n")
+	f.Add("main:\n\tli r9, 42\n\tout r9\n\thalt\n")
+	f.Add("main:\n\tcall f\n\thalt\nf:\n\tmov r9, ra\n\tret\n")
+	f.Add("main:\n\tla r1, t\n\tlw r2, (r1)\n\tjr r2\nt:\n\thalt\n.data\n\t.word t\n")
+	f.Add("start:\n\tbeq r1, r2, start\n\taddi r1, r1, -2048\n\tsb r1, 4095(r3)\n\thalt\n")
+	f.Add(randprog.Generate(randprog.Config{Seed: 3, Funcs: 2, BlocksPerFunc: 2, Iterations: 2}))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		img, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			var list asm.ErrorList
+			if !errors.As(err, &list) || len(list) == 0 {
+				t.Fatalf("assembler returned unstructured error %T: %v", err, err)
+			}
+			return
+		}
+		if err := img.Validate(); err != nil {
+			t.Fatalf("accepted program fails Validate: %v", err)
+		}
+		var listing bytes.Buffer
+		if err := img.Disassemble(&listing); err != nil {
+			t.Fatalf("image does not disassemble: %v", err)
+		}
+		re := instructionColumn(listing.String())
+		back, err := asm.Assemble("reassembled.s", re)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\nsource:\n%s\nlisting:\n%s", err, src, re)
+		}
+		if len(back.Code) != len(img.Code) {
+			t.Fatalf("reassembled %d words, want %d", len(back.Code), len(img.Code))
+		}
+		for i := range img.Code {
+			if back.Code[i] != img.Code[i] {
+				t.Fatalf("word %d: reassembled %#x, want %#x (%s)", i, back.Code[i], img.Code[i], src)
+			}
+		}
+	})
+}
+
+// instructionColumn extracts the assembly text column from a listing,
+// the inverse-input format the round-trip property feeds back in.
+func instructionColumn(listing string) string {
+	var re strings.Builder
+	for _, line := range strings.Split(listing, "\n") {
+		if !strings.Contains(line, ":  ") {
+			continue // label lines
+		}
+		parts := strings.SplitN(line, "  ", 4)
+		if len(parts) == 4 {
+			re.WriteString(parts[3])
+			re.WriteByte('\n')
+		}
+	}
+	return re.String()
+}

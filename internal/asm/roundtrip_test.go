@@ -68,23 +68,3 @@ func head(s string, n int) string {
 	}
 	return strings.Join(lines, "\n")
 }
-
-// FuzzAssemble: the assembler must reject or accept arbitrary input
-// without panicking, and anything it accepts must produce a valid image.
-func FuzzAssemble(f *testing.F) {
-	f.Add("main: halt\n")
-	f.Add("main:\n\tadd r1, r2, r3\n\tbeq r1, r2, main\n\thalt\n")
-	f.Add(".data\nx: .word 1, 2, main+4\n.text\nmain: la r1, x\n jr r1\n")
-	f.Add("main: li r1, 0xdeadbeef\n push r1\n pop r2\n ret\n")
-	f.Add(".mem 99999\n.entry foo\nfoo: out zero\n halt\n")
-	f.Add("label: label2: .ascii \"x;y\"\n")
-	f.Fuzz(func(t *testing.T, src string) {
-		img, err := asm.Assemble("fuzz.s", src)
-		if err != nil {
-			return
-		}
-		if err := img.Validate(); err != nil {
-			t.Errorf("accepted program fails Validate: %v", err)
-		}
-	})
-}

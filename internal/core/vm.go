@@ -171,7 +171,16 @@ func (vm *VM) translate(guest uint32) (*Fragment, error) {
 	for len(insts) < vm.opts.MaxBlockInsts {
 		in, err := vm.fetchGuest(pc)
 		if err != nil {
-			return nil, err
+			if len(insts) == 0 {
+				return nil, err
+			}
+			// The block ran off the end of the code section. Native
+			// execution retires the valid prefix before the overrun
+			// fetch faults, so translation must not fault early: end
+			// the fragment here and let its fall-through (or followed
+			// jump) re-enter the translator at the bad pc, which
+			// faults at the architecturally correct instruction count.
+			break
 		}
 		insts = append(insts, in)
 		termPC = pc

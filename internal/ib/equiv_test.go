@@ -1,0 +1,84 @@
+package ib_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/machine"
+	"sdt/internal/randprog"
+)
+
+// TestMechanismEquivalenceUnderFlush runs three deterministic random
+// programs through every sweep spec in the registry with the fragment
+// cache squeezed small enough to force repeated full flushes, and checks
+// each run against the native interpreter. Flushes discard every
+// mechanism's cached dispatch state mid-run (IBTC entries, sieve chains,
+// inline-cache slots, retcache lines), so this catches stale-state bugs
+// that a single cold-cache run cannot: a mechanism that survives its own
+// invalidation must re-resolve every target correctly.
+func TestMechanismEquivalenceUnderFlush(t *testing.T) {
+	type key struct {
+		seed  int64
+		cache uint32
+	}
+	// Small enough to flush many times over a Small-scale program (an x86
+	// fragment is ~6 bytes/inst + a 16-byte stub, so a whole Small program
+	// fits in ~1.5 KiB), large enough to hold a few fragments so links and
+	// chains actually form before each invalidation.
+	cases := []key{
+		{seed: 1, cache: 512},
+		{seed: 2, cache: 384},
+		{seed: 3, cache: 640},
+	}
+	for _, c := range cases {
+		src := randprog.Generate(randprog.Small(c.seed))
+		img := assemble(t, src)
+
+		native, err := machine.New(img, hostarch.X86())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := native.Run(20_000_000); err != nil {
+			t.Fatalf("seed %d: native run: %v", c.seed, err)
+		}
+		want := native.Result()
+
+		for _, spec := range ib.SweepSpecs() {
+			t.Run(fmt.Sprintf("seed%d/%s", c.seed, spec), func(t *testing.T) {
+				cfg, err := ib.Parse(spec)
+				if err != nil {
+					t.Fatalf("parse %q: %v", spec, err)
+				}
+				vm, err := core.New(img, core.Options{
+					Model:       hostarch.X86(),
+					Handler:     cfg.Handler,
+					FastReturns: cfg.FastReturns,
+					Traces:      cfg.Traces,
+					CacheBytes:  c.cache,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := vm.Run(20_000_000); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if vm.Prof.Flushes == 0 {
+					t.Errorf("cache of %d bytes never flushed; the test is not exercising invalidation", c.cache)
+				}
+				got := vm.Result()
+				if got.Checksum != want.Checksum {
+					t.Errorf("checksum %#x, want %#x", got.Checksum, want.Checksum)
+				}
+				if got.Instret != want.Instret {
+					t.Errorf("instret %d, want %d", got.Instret, want.Instret)
+				}
+				if got.ExitCode != want.ExitCode {
+					t.Errorf("exit code %d, want %d", got.ExitCode, want.ExitCode)
+				}
+			})
+		}
+	}
+}

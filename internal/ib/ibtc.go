@@ -65,7 +65,18 @@ type IBTC struct {
 	mask   uint32 // set index mask
 	shared *ibtcTable
 	tables []*ibtcTable // every live table, for Flush
+
+	// aliasTags deliberately breaks the mechanism (see TestHookAliasTags).
+	aliasTags bool
 }
+
+// TestHookAliasTags breaks the IBTC the way a real implementation bug
+// would: entries are tagged with their set index instead of the full guest
+// target, so any two targets that collide under the hash alias and the hit
+// path dispatches to the wrong fragment. It exists so the differential
+// oracle (internal/oracle) and the sdtfuzz minimizer can be validated
+// against a known-injected divergence; never enable it outside tests.
+func (c *IBTC) TestHookAliasTags() { c.aliasTags = true }
 
 // NewIBTC builds an IBTC mechanism. It panics on an invalid configuration;
 // validate external input through the registry (Parse) instead.
@@ -160,6 +171,10 @@ func (c *IBTC) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fra
 
 	tbl := c.tableFor(site)
 	tbl.tick++
+	tag := target
+	if c.aliasTags {
+		tag = c.hash(target) // injected bug: colliding targets alias
+	}
 	set := c.hash(target)
 	setBase := int(set) * c.ways
 	entryAddr := tbl.base + uint32(setBase)*8
@@ -169,7 +184,7 @@ func (c *IBTC) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fra
 	for w := 0; w < c.ways; w++ {
 		env.Charge(m.CompareBranch)
 		e := &tbl.entries[setBase+w]
-		if e.valid && e.tag == target {
+		if e.valid && e.tag == tag {
 			e.lru = tbl.tick
 			vm.Prof.MechHits++
 			env.Charge(m.FlagsRestore)
@@ -192,7 +207,7 @@ func (c *IBTC) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fra
 	if err != nil {
 		return nil, err
 	}
-	tbl.entries[victim] = ibtcEntry{tag: target, frag: f, lru: tbl.tick, valid: true}
+	tbl.entries[victim] = ibtcEntry{tag: tag, frag: f, lru: tbl.tick, valid: true}
 	env.Charge(m.TableStore + m.Store)
 	env.DTouch(entryAddr)
 	env.IndirectTransfer(translatorDispatchAddr, f.HostAddr)

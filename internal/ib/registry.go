@@ -29,6 +29,137 @@ func (c Config) Options(model *hostarch.Model) core.Options {
 	}
 }
 
+// Entry describes one registered mechanism family. The registry drives
+// spec parsing, but it is also the enumeration surface tools build on: the
+// differential oracle (internal/oracle) sweeps every entry's Sweep specs,
+// so a new mechanism registered here is picked up by the equivalence
+// harness with no further wiring.
+type Entry struct {
+	// Name is the canonical spec keyword.
+	Name string
+	// Aliases are accepted alternate keywords.
+	Aliases []string
+	// Summary is a one-line description for help output and docs.
+	Summary string
+	// Chained reports whether the mechanism requires a "+REST" fallback.
+	Chained bool
+	// Policy marks translation policies (fastret, trace) that change how
+	// the VM translates rather than how lookups happen.
+	Policy bool
+	// Sweep lists canonical specs exercising the family's configuration
+	// space at differential-test scale (small tables, so that collisions,
+	// evictions and chain walks all happen on short programs). Every
+	// entry here must parse.
+	Sweep []string
+
+	parse func(p *chainParser) (core.IBHandler, bool, error)
+}
+
+// registry holds every mechanism family in presentation order. To add a
+// mechanism: implement core.IBHandler, append an Entry with a parse
+// function and at least one Sweep spec, and the oracle sweep, sdtfuzz and
+// the spec grammar all see it.
+var registry = []*Entry{
+	{
+		Name:    "translator",
+		Aliases: []string{"none", "naive"},
+		Summary: "naive baseline: every IB context-switches into the translator",
+		Sweep:   []string{"translator"},
+		parse:   parseTranslator,
+	},
+	{
+		Name:    "ibtc",
+		Summary: "indirect branch translation cache: inline hash probe of a D-side table",
+		Sweep: []string{
+			"ibtc:16",
+			"ibtc:16:private",
+			"ibtc:16:sharedjump",
+			"ibtc:64:fib:4way",
+		},
+		parse: parseIBTC,
+	},
+	{
+		Name:    "sieve",
+		Summary: "dispatch through compare-and-branch stub chains in the fragment cache",
+		Sweep:   []string{"sieve:16", "sieve:1"},
+		parse:   parseSieve,
+	},
+	{
+		Name:    "inline",
+		Summary: "inline caches: k predicted targets compared in the fragment",
+		Chained: true,
+		Sweep:   []string{"inline:2+ibtc:16", "inline:3:mru+translator"},
+		parse:   parseInline,
+	},
+	{
+		Name:    "retcache",
+		Summary: "return cache: call-time-filled table probed by returns",
+		Chained: true,
+		Sweep:   []string{"retcache:16+ibtc:16"},
+		parse:   parseRetCache,
+	},
+	{
+		Name:    "fastret",
+		Summary: "fast returns: hostized return addresses, host call/return pairs",
+		Chained: true,
+		Policy:  true,
+		Sweep:   []string{"fastret+ibtc:16", "fastret+sieve:16"},
+		parse:   parseFastRet,
+	},
+	{
+		Name:    "trace",
+		Summary: "NET trace formation with speculative IB guards (leading component only)",
+		Chained: true,
+		Policy:  true,
+		Sweep: []string{
+			"trace+ibtc:16",
+			"trace+retcache:16+sieve:16",
+			"trace+fastret+inline:2+ibtc:16",
+		},
+		parse: parseMisplacedTrace,
+	},
+}
+
+// byName indexes the registry by canonical name and alias; built in init
+// to break the registry -> parse func -> parseChain -> byName cycle.
+var byName = make(map[string]*Entry)
+
+func init() {
+	for _, e := range registry {
+		byName[e.Name] = e
+		for _, a := range e.Aliases {
+			byName[a] = e
+		}
+	}
+}
+
+// Registered returns the mechanism registry in presentation order.
+func Registered() []Entry {
+	out := make([]Entry, len(registry))
+	for i, e := range registry {
+		out[i] = *e
+	}
+	return out
+}
+
+// SweepSpecs returns the union of every registry entry's Sweep specs in
+// registry order, deduplicated. This is the mechanism axis of the
+// differential oracle: every registered family appears, including the
+// translation policies composed over base mechanisms.
+func SweepSpecs() []string {
+	var specs []string
+	seen := make(map[string]bool)
+	for _, e := range registry {
+		for _, s := range e.Sweep {
+			if !seen[s] {
+				seen[s] = true
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
 // Parse builds a mechanism configuration from a textual spec, the syntax
 // the CLIs and the benchmark harness use:
 //
@@ -60,138 +191,163 @@ func Parse(spec string) (Config, error) {
 	return cfg, nil
 }
 
+// chainParser carries one component's parameters plus the unconsumed rest
+// of the chain into an Entry's parse function.
+type chainParser struct {
+	name string   // keyword as written (canonical name or alias)
+	head []string // ":"-split component; head[0] == name
+	rest []string // remaining "+"-chained components
+}
+
+// intArg reads the integer parameter at pos, defaulting when absent.
+func (p *chainParser) intArg(pos, def, min, max int, what string) (int, error) {
+	if len(p.head) <= pos || p.head[pos] == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(p.head[pos])
+	if err != nil || v < min || v > max {
+		return 0, fmt.Errorf("ib: bad %s parameter %q", what, p.head[pos])
+	}
+	return v, nil
+}
+
+// fallback parses the required "+REST" continuation.
+func (p *chainParser) fallback() (core.IBHandler, bool, error) {
+	if len(p.rest) == 0 {
+		return nil, false, fmt.Errorf("ib: %q needs a fallback mechanism after '+'", p.name)
+	}
+	return parseChain(p.rest)
+}
+
+// noFallback rejects a "+REST" continuation on terminal mechanisms.
+func (p *chainParser) noFallback() error {
+	if len(p.rest) != 0 {
+		return fmt.Errorf("ib: %q does not take a fallback (got %q)", p.name, strings.Join(p.rest, "+"))
+	}
+	return nil
+}
+
 func parseChain(parts []string) (core.IBHandler, bool, error) {
 	if len(parts) == 0 || parts[0] == "" {
 		return nil, false, fmt.Errorf("ib: empty mechanism spec")
 	}
 	head := strings.Split(strings.TrimSpace(parts[0]), ":")
-	rest := parts[1:]
-	name := head[0]
-
-	intArg := func(pos, def, min, max int, what string) (int, error) {
-		if len(head) <= pos || head[pos] == "" {
-			return def, nil
-		}
-		v, err := strconv.Atoi(head[pos])
-		if err != nil || v < min || v > max {
-			return 0, fmt.Errorf("ib: bad %s parameter %q", what, head[pos])
-		}
-		return v, nil
+	e := byName[head[0]]
+	if e == nil {
+		return nil, false, fmt.Errorf("ib: unknown mechanism %q", head[0])
 	}
-	needRest := func() (core.IBHandler, bool, error) {
-		if len(rest) == 0 {
-			return nil, false, fmt.Errorf("ib: %q needs a fallback mechanism after '+'", name)
-		}
-		return parseChain(rest)
+	return e.parse(&chainParser{name: head[0], head: head, rest: parts[1:]})
+}
+
+func parseTranslator(p *chainParser) (core.IBHandler, bool, error) {
+	if err := p.noFallback(); err != nil {
+		return nil, false, err
 	}
-	noRest := func() error {
-		if len(rest) != 0 {
-			return fmt.Errorf("ib: %q does not take a fallback (got %q)", name, strings.Join(rest, "+"))
-		}
-		return nil
+	if len(p.head) > 1 {
+		return nil, false, fmt.Errorf("ib: translator takes no parameters")
 	}
+	return NewTranslator(), false, nil
+}
 
-	switch name {
-	case "translator", "none", "naive":
-		if err := noRest(); err != nil {
-			return nil, false, err
-		}
-		if len(head) > 1 {
-			return nil, false, fmt.Errorf("ib: translator takes no parameters")
-		}
-		return NewTranslator(), false, nil
-
-	case "ibtc":
-		n, err := intArg(1, 4096, 1, 1<<24, "ibtc")
-		if err != nil {
-			return nil, false, err
-		}
-		if err := noRest(); err != nil {
-			return nil, false, err
-		}
-		cfg := IBTCConfig{Entries: n}
-		var flags []string
-		if len(head) > 2 {
-			flags = head[2:]
-		}
-		for _, flag := range flags {
-			switch flag {
-			case "private":
-				cfg.Private = true
-			case "sharedjump":
-				cfg.SharedFinalJump = true
-			case "fib":
-				cfg.FibHash = true
-			case "2way":
-				cfg.Ways = 2
-			case "4way":
-				cfg.Ways = 4
-			case "8way":
-				cfg.Ways = 8
-			default:
-				return nil, false, fmt.Errorf("ib: unknown ibtc flag %q", flag)
-			}
-		}
-		if err := cfg.validate(); err != nil {
-			return nil, false, err
-		}
-		return NewIBTC(cfg), false, nil
-
-	case "sieve":
-		n, err := intArg(1, 1024, 1, 1<<24, "sieve")
-		if err != nil {
-			return nil, false, err
-		}
-		if err := noRest(); err != nil {
-			return nil, false, err
-		}
-		if err := checkPow2("sieve", n); err != nil {
-			return nil, false, err
-		}
-		return NewSieve(SieveConfig{Buckets: n}), false, nil
-
-	case "inline":
-		k, err := intArg(1, 1, 1, 64, "inline")
-		if err != nil {
-			return nil, false, err
-		}
-		mru := false
-		if len(head) > 2 {
-			if len(head) > 3 || head[2] != "mru" {
-				return nil, false, fmt.Errorf("ib: unknown inline flag %q", strings.Join(head[2:], ":"))
-			}
-			mru = true
-		}
-		fb, fast, err := needRest()
-		if err != nil {
-			return nil, false, err
-		}
-		return NewInline(InlineConfig{Depth: k, MRU: mru, Fallback: fb}), fast, nil
-
-	case "retcache":
-		n, err := intArg(1, 4096, 1, 1<<24, "retcache")
-		if err != nil {
-			return nil, false, err
-		}
-		if err := checkPow2("return cache", n); err != nil {
-			return nil, false, err
-		}
-		other, fast, err := needRest()
-		if err != nil {
-			return nil, false, err
-		}
-		rc := NewRetCache(RetCacheConfig{Entries: n})
-		return NewPerKind(rc, other, other), fast, nil
-
-	case "fastret":
-		if len(head) > 1 {
-			return nil, false, fmt.Errorf("ib: fastret takes no parameters")
-		}
-		h, _, err := needRest()
-		if err != nil {
-			return nil, false, err
-		}
-		return h, true, nil
+func parseIBTC(p *chainParser) (core.IBHandler, bool, error) {
+	n, err := p.intArg(1, 4096, 1, 1<<24, "ibtc")
+	if err != nil {
+		return nil, false, err
 	}
-	return nil, false, fmt.Errorf("ib: unknown mechanism %q", name)
+	if err := p.noFallback(); err != nil {
+		return nil, false, err
+	}
+	cfg := IBTCConfig{Entries: n}
+	var flags []string
+	if len(p.head) > 2 {
+		flags = p.head[2:]
+	}
+	for _, flag := range flags {
+		switch flag {
+		case "private":
+			cfg.Private = true
+		case "sharedjump":
+			cfg.SharedFinalJump = true
+		case "fib":
+			cfg.FibHash = true
+		case "2way":
+			cfg.Ways = 2
+		case "4way":
+			cfg.Ways = 4
+		case "8way":
+			cfg.Ways = 8
+		default:
+			return nil, false, fmt.Errorf("ib: unknown ibtc flag %q", flag)
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, false, err
+	}
+	return NewIBTC(cfg), false, nil
+}
+
+func parseSieve(p *chainParser) (core.IBHandler, bool, error) {
+	n, err := p.intArg(1, 1024, 1, 1<<24, "sieve")
+	if err != nil {
+		return nil, false, err
+	}
+	if err := p.noFallback(); err != nil {
+		return nil, false, err
+	}
+	if err := checkPow2("sieve", n); err != nil {
+		return nil, false, err
+	}
+	return NewSieve(SieveConfig{Buckets: n}), false, nil
+}
+
+func parseInline(p *chainParser) (core.IBHandler, bool, error) {
+	k, err := p.intArg(1, 1, 1, 64, "inline")
+	if err != nil {
+		return nil, false, err
+	}
+	mru := false
+	if len(p.head) > 2 {
+		if len(p.head) > 3 || p.head[2] != "mru" {
+			return nil, false, fmt.Errorf("ib: unknown inline flag %q", strings.Join(p.head[2:], ":"))
+		}
+		mru = true
+	}
+	fb, fast, err := p.fallback()
+	if err != nil {
+		return nil, false, err
+	}
+	return NewInline(InlineConfig{Depth: k, MRU: mru, Fallback: fb}), fast, nil
+}
+
+func parseRetCache(p *chainParser) (core.IBHandler, bool, error) {
+	n, err := p.intArg(1, 4096, 1, 1<<24, "retcache")
+	if err != nil {
+		return nil, false, err
+	}
+	if err := checkPow2("return cache", n); err != nil {
+		return nil, false, err
+	}
+	other, fast, err := p.fallback()
+	if err != nil {
+		return nil, false, err
+	}
+	rc := NewRetCache(RetCacheConfig{Entries: n})
+	return NewPerKind(rc, other, other), fast, nil
+}
+
+func parseFastRet(p *chainParser) (core.IBHandler, bool, error) {
+	if len(p.head) > 1 {
+		return nil, false, fmt.Errorf("ib: fastret takes no parameters")
+	}
+	h, _, err := p.fallback()
+	if err != nil {
+		return nil, false, err
+	}
+	return h, true, nil
+}
+
+// parseMisplacedTrace rejects "trace" anywhere but the front of a spec,
+// where Parse consumes it as a policy prefix.
+func parseMisplacedTrace(p *chainParser) (core.IBHandler, bool, error) {
+	return nil, false, fmt.Errorf("ib: %q must be the leading component of a spec", p.name)
 }

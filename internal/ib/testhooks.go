@@ -1,0 +1,27 @@
+package ib
+
+import "sdt/internal/core"
+
+// InjectIBTCTagAlias walks a parsed handler chain and enables the broken
+// tag-aliasing hook (see IBTC.TestHookAliasTags) on every IBTC it finds,
+// reporting whether any was found. The differential oracle's minimizer
+// tests and `sdtfuzz -inject broken-ibtc` use it to manufacture a
+// reproducible divergence and prove the oracle catches it.
+func InjectIBTCTagAlias(h core.IBHandler) bool {
+	switch v := h.(type) {
+	case *IBTC:
+		v.TestHookAliasTags()
+		return true
+	case *Inline:
+		return InjectIBTCTagAlias(v.cfg.Fallback)
+	case *PerKind:
+		any := false
+		for _, sub := range v.distinct() {
+			if InjectIBTCTagAlias(sub) {
+				any = true
+			}
+		}
+		return any
+	}
+	return false
+}

@@ -1,15 +1,23 @@
 package minic_test
 
 import (
+	"os"
 	"testing"
 
 	"sdt/internal/asm"
 	"sdt/internal/minic"
+	"sdt/internal/workload"
 )
 
 // FuzzCompile: the compiler must reject or accept arbitrary input without
 // panicking, and anything it accepts must produce assembly our own
 // assembler accepts — a pipeline-coherence property.
+//
+// Besides the hand-written snippets, the corpus is seeded with the two
+// real MiniC programs in the tree: the micro.mcvm workload source and the
+// examples/minic expression evaluator. Both are full compiler-shaped
+// programs (globals, arrays, function-pointer tables, while/if nesting),
+// so mutations start deep in the grammar instead of rediscovering it.
 func FuzzCompile(f *testing.F) {
 	f.Add("func main() { out 1; }")
 	f.Add("var g[8]; func f(a,b) { return a%b; } func main() { g[0]=&f; var h=g[0]; out h(7,3); }")
@@ -17,6 +25,10 @@ func FuzzCompile(f *testing.F) {
 	f.Add("func main() { out 1 && 2 || !3; halt 4; }")
 	f.Add("func r(n) { if (n) { return r(n-1)+1; } return 0; } func main() { out r(9); }")
 	f.Add("var x = -5; func main() { x = ~x << 2 >> 1; out x; }")
+	f.Add(workload.MCVMSource(1))
+	if mc, err := os.ReadFile("../../examples/minic/prog.mc"); err == nil {
+		f.Add(string(mc))
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		asmText, err := minic.Compile(src)
 		if err != nil {

@@ -1,0 +1,121 @@
+package oracle_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/ib"
+	"sdt/internal/oracle"
+	"sdt/internal/randprog"
+	"sdt/internal/workload"
+)
+
+// fuzzLimit keeps each differential execution fast enough for the fuzz
+// engine; programs that exhaust it on both sides still check error
+// symmetry. Together with the source-size bound below it also caps the
+// degenerate sweep configurations (a one-bucket sieve walks a chain as
+// long as the target set on every lookup).
+const fuzzLimit = 100_000
+
+// FuzzDifferential feeds arbitrary assembly through the oracle: whatever
+// the fuzzer constructs, native and translated execution must agree — on
+// results when the program runs clean, on failure position when it
+// faults. The mechanism and architecture axes ride in two extra fuzzed
+// bytes so the engine explores the full sweep without paying for every
+// cell on every input.
+//
+// Seeds: randprog corpora, the MiniC-compiled VM workload, and
+// hand-written programs exercising every indirect-branch kind.
+func FuzzDifferential(f *testing.F) {
+	specs := ib.SweepSpecs()
+	for i, src := range randprog.Corpus(4) {
+		f.Add(src, uint8(i), uint8(i%2))
+	}
+	f.Add(workload.MCVMSource(1), uint8(1), uint8(0))
+	f.Add(oracle.RetAddrProbeSource, uint8(0), uint8(1))
+	f.Add(`
+main:
+	li r10, 0
+loop:
+	la r1, f
+	callr r1
+	la r1, hop
+	jr r1
+back:
+	addi r10, r10, 1
+	li r9, 5
+	blt r10, r9, loop
+	out r10
+	halt
+f:	ret
+hop:	jmp back
+`, uint8(3), uint8(0))
+
+	f.Fuzz(func(t *testing.T, src string, mech, archBit uint8) {
+		if len(src) > 1<<13 {
+			return // bound assembly and run time
+		}
+		img, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		spec := specs[int(mech)%len(specs)]
+		arch := "x86"
+		if archBit&1 == 1 {
+			arch = "sparc"
+		}
+		// Arbitrary sources may observe or manufacture return addresses,
+		// which fastret is documented not to survive.
+		lax := parsedFastret(t, spec)
+		rep, err := oracle.Diff(img, oracle.Config{
+			Arch: arch, Spec: spec, Limit: fuzzLimit, Lax: lax,
+		})
+		if err != nil {
+			t.Fatalf("harness: %v", err)
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("%s/%s: %s", arch, spec, d)
+		}
+	})
+}
+
+func parsedFastret(t *testing.T, spec string) bool {
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		t.Fatalf("sweep spec %q: %v", spec, err)
+	}
+	return cfg.FastReturns
+}
+
+// FuzzMinimize drives the line-level minimizer with an assembles-and-
+// runs predicate over arbitrary fuzzed sources: whatever it is handed,
+// Minimize must terminate, never panic, and return a source still
+// satisfying the predicate (or the input untouched).
+func FuzzMinimize(f *testing.F) {
+	for _, src := range randprog.Corpus(2) {
+		f.Add(src)
+	}
+	f.Add("main:\n\tout r9\n\thalt\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 || strings.Count(src, "\n") > 200 {
+			return // ddmin is quadratic in lines; keep the engine fast
+		}
+		keep := func(s string) bool {
+			img, err := asm.Assemble("fuzz.s", s)
+			if err != nil {
+				return false
+			}
+			rep, err := oracle.Diff(img, oracle.Config{Arch: "x86", Spec: "ibtc:16", Limit: 50_000})
+			return err == nil && rep.NativeErr == nil && rep.Clean()
+		}
+		held := keep(src)
+		got := oracle.Minimize(src, keep)
+		if held && !keep(got) {
+			t.Errorf("minimized source lost the property:\n%s", got)
+		}
+		if !held && got != src {
+			t.Errorf("minimizer rewrote a non-qualifying source")
+		}
+	})
+}

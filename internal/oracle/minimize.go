@@ -1,0 +1,97 @@
+package oracle
+
+import (
+	"strings"
+
+	"sdt/internal/randprog"
+)
+
+// Keep reports whether a candidate source still exhibits the behaviour
+// being minimized (typically: assembles, runs clean natively, and still
+// diverges under the SDT — see Diverges). It must be deterministic.
+type Keep func(src string) bool
+
+// Minimize shrinks assembly source by delta debugging over lines: it
+// repeatedly removes line chunks at doubling granularity while keep still
+// holds, then removes single lines to a fixed point. The result is
+// 1-minimal — no single remaining line can be deleted — and keep(result)
+// is guaranteed true provided keep(src) was.
+//
+// Candidates that break assembly are rejected by keep itself, which is
+// what lets a generic line-deleting minimizer walk structured assembly:
+// deleting a referenced label or a needed directive simply fails to
+// assemble and the candidate is discarded.
+func Minimize(src string, keep Keep) string {
+	lines := nonEmptyLines(src)
+	if joined := strings.Join(lines, "\n"); !keep(joined) {
+		return src // caller's property doesn't hold; don't touch it
+	}
+
+	// ddmin: try removing chunks, halving chunk size on failure.
+	for chunk := len(lines) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(lines); {
+			cand := make([]string, 0, len(lines)-chunk)
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[start+chunk:]...)
+			if keep(strings.Join(cand, "\n")) {
+				lines = cand
+				removed = true
+				// keep start: the next chunk slid into this position
+			} else {
+				start += chunk
+			}
+		}
+		if !removed || chunk > len(lines) {
+			chunk /= 2
+		}
+	}
+
+	// Single-line fixed point (1-minimality).
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(lines); i++ {
+			cand := make([]string, 0, len(lines)-1)
+			cand = append(cand, lines[:i]...)
+			cand = append(cand, lines[i+1:]...)
+			if keep(strings.Join(cand, "\n")) {
+				lines = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func nonEmptyLines(src string) []string {
+	var out []string
+	for _, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MinimizeRandprog shrinks a failing random program in two stages:
+// structurally, by walking randprog.Shrink candidates (smaller function
+// counts, block counts and iteration counts) while keep holds on the
+// generated source; then textually, with line-level delta debugging. It
+// returns the final configuration and the minimized source.
+func MinimizeRandprog(cfg randprog.Config, keep Keep) (randprog.Config, string) {
+	for {
+		shrunk := false
+		for _, cand := range randprog.Shrink(cfg) {
+			if keep(randprog.Generate(cand)) {
+				cfg = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return cfg, Minimize(randprog.Generate(cfg), keep)
+}

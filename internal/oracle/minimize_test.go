@@ -1,0 +1,64 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/ib"
+	"sdt/internal/oracle"
+	"sdt/internal/randprog"
+)
+
+// brokenIBTC is the injected-divergence configuration the minimizer is
+// validated against: a tiny shared IBTC whose entries are (deliberately)
+// tagged with the set index, so colliding targets dispatch to the wrong
+// fragment.
+func brokenIBTC() oracle.Config {
+	return oracle.Config{
+		Arch: "x86",
+		Spec: "ibtc:2",
+		Handler: func(h core.IBHandler) {
+			ib.InjectIBTCTagAlias(h)
+		},
+	}
+}
+
+// TestMinimizeInjectedDivergence is the acceptance gate for the
+// minimizer: starting from a random program that exposes the broken
+// IBTC, structural + line-level shrinking must land on a repro of fewer
+// than 30 instructions that still diverges.
+func TestMinimizeInjectedDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minimization runs hundreds of differential executions")
+	}
+	cfg := brokenIBTC()
+	keep := func(src string) bool { return oracle.Diverges(src, cfg) }
+
+	start := randprog.Small(1)
+	if !keep(randprog.Generate(start)) {
+		t.Fatal("seed program does not expose the injected IBTC bug")
+	}
+	shrunk, src := oracle.MinimizeRandprog(start, keep)
+	if !keep(src) {
+		t.Fatal("minimizer returned a non-reproducing source")
+	}
+	n, err := oracle.InstCount(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("minimized %+v to %d instructions:\n%s", shrunk, n, src)
+	if n >= 30 {
+		t.Errorf("repro has %d instructions, want < 30", n)
+	}
+}
+
+// TestMinimizePreservesProperty: Minimize on a non-reproducing source
+// must return it unchanged rather than shrink against a vacuous
+// predicate.
+func TestMinimizePreservesProperty(t *testing.T) {
+	src := "main:\n\thalt\n"
+	got := oracle.Minimize(src, func(string) bool { return false })
+	if got != src {
+		t.Errorf("Minimize rewrote a source whose property does not hold: %q", got)
+	}
+}

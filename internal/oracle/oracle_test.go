@@ -1,0 +1,190 @@
+package oracle_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/ib"
+	"sdt/internal/oracle"
+	"sdt/internal/program"
+	"sdt/internal/randprog"
+)
+
+var sweepArchs = []string{"x86", "sparc"}
+
+func build(t *testing.T, cfg randprog.Config) *program.Image {
+	t.Helper()
+	src := randprog.Generate(cfg)
+	img, err := asm.Assemble(fmt.Sprintf("rand%d.s", cfg.Seed), src)
+	if err != nil {
+		t.Fatalf("seed %d does not assemble: %v", cfg.Seed, err)
+	}
+	return img
+}
+
+// TestSweepEveryMechanism is the tier-1 oracle sweep: every registered
+// mechanism's sweep specs × both paper architectures × every metamorphic
+// variant, against the native oracle, over deterministic random programs.
+// Zero unexplained divergences allowed.
+func TestSweepEveryMechanism(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			img := build(t, randprog.Small(seed))
+			findings, err := oracle.SweepImage(img, sweepArchs, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range findings {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}
+
+// TestSweepSpecsCoverRegistry guards the auto-pickup contract: every
+// registered mechanism family must contribute at least one parseable
+// sweep spec that mentions it, so a new registry entry cannot silently
+// escape the oracle.
+func TestSweepSpecsCoverRegistry(t *testing.T) {
+	specs := ib.SweepSpecs()
+	for _, spec := range specs {
+		if _, err := ib.Parse(spec); err != nil {
+			t.Errorf("sweep spec %q does not parse: %v", spec, err)
+		}
+	}
+	for _, e := range ib.Registered() {
+		if len(e.Sweep) == 0 {
+			t.Errorf("registry entry %q has no sweep specs", e.Name)
+			continue
+		}
+		found := false
+		for _, spec := range specs {
+			for _, comp := range strings.Split(spec, "+") {
+				if strings.Split(comp, ":")[0] == e.Name {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no sweep spec exercises registry entry %q", e.Name)
+		}
+	}
+}
+
+// TestDeterminism: repeated runs must be bit-identical, cycle counts and
+// profile included, for a representative spec of every family and for
+// the trace/flush variants that exercise the most handler state.
+func TestDeterminism(t *testing.T) {
+	img := build(t, randprog.Small(11))
+	for _, spec := range ib.SweepSpecs() {
+		for _, v := range oracle.Variants() {
+			divs, err := oracle.CheckDeterminism(img, oracle.Config{
+				Arch: "x86", Spec: spec, Options: v.Mutate,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec, v.Name, err)
+			}
+			for _, d := range divs {
+				t.Errorf("%s/%s: %s", spec, v.Name, d)
+			}
+		}
+	}
+}
+
+// TestRetAddrTransparency: every non-fastret sweep spec must pass the
+// guest-reads-own-return-address probe; every fastret spec must fail it
+// in exactly the documented way.
+func TestRetAddrTransparency(t *testing.T) {
+	for _, arch := range sweepArchs {
+		for _, spec := range ib.SweepSpecs() {
+			divs, err := oracle.CheckRetAddrTransparency(arch, spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", arch, spec, err)
+			}
+			for _, d := range divs {
+				t.Errorf("%s/%s: %s", arch, spec, d)
+			}
+		}
+	}
+}
+
+// TestOracleCatchesInjectedBug: with the IBTC tag-aliasing bug injected,
+// the oracle must report a divergence — the subsystem's own smoke test
+// that a wrong dispatch cannot hide from the state comparison.
+func TestOracleCatchesInjectedBug(t *testing.T) {
+	img := build(t, randprog.Small(1))
+	rep, err := oracle.Diff(img, oracle.Config{
+		Arch: "x86",
+		Spec: "ibtc:2",
+		Handler: func(h core.IBHandler) {
+			if !ib.InjectIBTCTagAlias(h) {
+				t.Fatal("no IBTC found in handler chain")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("oracle reported a broken IBTC as equivalent")
+	}
+}
+
+// TestDiffReportsFaultSymmetry: a guest that faults natively must fault
+// under the SDT at the same retired-instruction count.
+func TestDiffReportsFaultSymmetry(t *testing.T) {
+	src := `
+	main:
+		li r9, 3
+		li r1, 0
+		lw r2, (r1)    ; guard-page load: faults in both executions
+		halt
+	`
+	img, err := asm.Assemble("fault.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"translator", "ibtc:16", "fastret+ibtc:16"} {
+		rep, err := oracle.Diff(img, oracle.Config{Arch: "x86", Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.NativeErr == nil {
+			t.Fatal("fault program ran clean natively")
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("%s: %s", spec, d)
+		}
+	}
+}
+
+// TestLaxFastretSkipsStateChecks: arbitrary guests that manufacture
+// return addresses are out of scope for fastret equivalence; Lax must
+// suppress the comparison rather than report the documented hazard as a
+// bug.
+func TestLaxFastretSkipsStateChecks(t *testing.T) {
+	// The probe program observes ra, which diverges under fastret.
+	img, err := asm.Assemble("probe.s", oracle.RetAddrProbeSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := oracle.Diff(img, oracle.Config{Arch: "x86", Spec: "fastret+ibtc:16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Clean() {
+		t.Error("strict oracle missed the fastret hazard")
+	}
+	lax, err := oracle.Diff(img, oracle.Config{Arch: "x86", Spec: "fastret+ibtc:16", Lax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lax.Clean() {
+		t.Errorf("lax oracle still reports: %v", lax.Divergences)
+	}
+}

@@ -1,0 +1,59 @@
+package randprog
+
+// Small returns a differential-test-sized configuration for a seed:
+// enough functions and blocks to execute every indirect-branch kind, few
+// enough iterations that a full mechanism × arch × variant sweep stays
+// fast.
+func Small(seed int64) Config {
+	return Config{Seed: seed, Funcs: 4, BlocksPerFunc: 3, Iterations: 25}
+}
+
+// Corpus generates n deterministic sources at differential-test scale,
+// seeds 1..n. Fuzz targets use it for their seed corpora and sdtfuzz
+// -gen exports it to disk for `go test -fuzz` runs.
+func Corpus(n int) []string {
+	out := make([]string, 0, n)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		out = append(out, Generate(Small(seed)))
+	}
+	return out
+}
+
+// Shrink returns candidate configurations strictly smaller than cfg,
+// biggest reduction first. Minimizers (internal/oracle.MinimizeRandprog)
+// walk the list and keep the first candidate that still reproduces their
+// failure, looping until none does; shrinking the generator configuration
+// preserves well-formedness by construction, which line-level
+// minimization cannot.
+func Shrink(cfg Config) []Config {
+	cfg = cfg.withDefaults()
+	var out []Config
+	seen := map[Config]bool{cfg: true}
+	add := func(c Config) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	halve := func(n int) int {
+		if n > 1 {
+			return n / 2
+		}
+		return 1
+	}
+	// Halve everything at once, then each axis, then single steps.
+	add(Config{Seed: cfg.Seed, Funcs: halve(cfg.Funcs), BlocksPerFunc: halve(cfg.BlocksPerFunc), Iterations: halve(cfg.Iterations)})
+	add(Config{Seed: cfg.Seed, Funcs: halve(cfg.Funcs), BlocksPerFunc: cfg.BlocksPerFunc, Iterations: cfg.Iterations})
+	add(Config{Seed: cfg.Seed, Funcs: cfg.Funcs, BlocksPerFunc: halve(cfg.BlocksPerFunc), Iterations: cfg.Iterations})
+	add(Config{Seed: cfg.Seed, Funcs: cfg.Funcs, BlocksPerFunc: cfg.BlocksPerFunc, Iterations: halve(cfg.Iterations)})
+	if cfg.Funcs > 1 {
+		add(Config{Seed: cfg.Seed, Funcs: cfg.Funcs - 1, BlocksPerFunc: cfg.BlocksPerFunc, Iterations: cfg.Iterations})
+	}
+	if cfg.BlocksPerFunc > 1 {
+		add(Config{Seed: cfg.Seed, Funcs: cfg.Funcs, BlocksPerFunc: cfg.BlocksPerFunc - 1, Iterations: cfg.Iterations})
+	}
+	if cfg.Iterations > 1 {
+		add(Config{Seed: cfg.Seed, Funcs: cfg.Funcs, BlocksPerFunc: cfg.BlocksPerFunc, Iterations: cfg.Iterations - 1})
+	}
+	return out
+}

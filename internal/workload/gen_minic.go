@@ -20,8 +20,12 @@ var _ = register(&Spec{
 	Gen:          genMCVM,
 })
 
-func genMCVM(scale int) string {
-	src := fmt.Sprintf(`
+// MCVMSource returns the MiniC source of the micro.mcvm workload before
+// compilation. Fuzz targets (minic.FuzzCompile, oracle.FuzzDifferential)
+// seed their corpora with it so the fuzzers start from a real
+// compiler-shaped program rather than toy snippets.
+func MCVMSource(scale int) string {
+	return fmt.Sprintf(`
 // a stack VM written in MiniC; handlers dispatched via function pointers
 var ops[8];
 var stack[64];
@@ -63,7 +67,10 @@ func main() {
 	out sp;
 }
 `, scale*100)
-	asmText, err := minic.Compile(src)
+}
+
+func genMCVM(scale int) string {
+	asmText, err := minic.Compile(MCVMSource(scale))
 	if err != nil {
 		// The source is a compile-time constant of this package; failure
 		// is a bug, not an input error.

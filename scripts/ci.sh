@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full CI gate: vet, build, race-enabled tests, a short fuzz smoke of
+# every fuzz target, and a single-iteration bench smoke. Strictly a
+# superset of the tier-1 check (go build ./... && go test ./...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-10s}
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+# Each fuzz target gets a short randomized smoke on top of its seed
+# corpus. Go only allows one -fuzz pattern per package invocation, so
+# list them explicitly.
+fuzz() {
+    local pkg=$1 target=$2
+    echo "==> fuzz $target ($pkg, $FUZZTIME)"
+    go test "$pkg" -run='^$' -fuzz="^$target\$" -fuzztime="$FUZZTIME"
+}
+fuzz ./internal/asm     FuzzAssemble
+fuzz ./internal/minic   FuzzCompile
+fuzz ./internal/oracle  FuzzDifferential
+fuzz ./internal/oracle  FuzzMinimize
+
+echo "==> bench smoke"
+go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "CI OK"
