@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race ci fuzz bench vet
+.PHONY: all test race ci fuzz bench vet smoke
 
 all: test
 
@@ -22,3 +22,6 @@ fuzz:            ## longer fuzz session against the differential oracle
 
 bench:
 	$(GO) test -run='^$$' -bench=. ./...
+
+smoke:           ## end-to-end sdtd daemon smoke (see cmd/sdtdsmoke)
+	$(GO) run ./cmd/sdtdsmoke

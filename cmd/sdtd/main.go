@@ -1,0 +1,99 @@
+// sdtd is the translation-as-a-service daemon: it serves the sdt pipeline
+// (assemble/compile, native baseline, SDT run, IB profile) over HTTP with
+// a bounded worker pool, a persistent content-addressed result store and
+// cancellable execution. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	sdtd [-addr host:port] [-store dir] [-workers n] [-queue n]
+//	     [-mem n] [-timeout d] [-max-timeout d] [-drain-timeout d] [-q]
+//
+// The daemon prints "sdtd: listening on http://HOST:PORT" once it is
+// serving (with -addr :0, the chosen port), answers /healthz, and on
+// SIGTERM/SIGINT stops admitting work, finishes in-flight jobs, and exits
+// 0 — a clean rolling-restart citizen.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdt/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for an ephemeral port)")
+		storeDir     = flag.String("store", "", "on-disk result store directory (empty = memory only)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth (excess submissions get 429)")
+		memEntries   = flag.Int("mem", 1024, "in-memory result LRU capacity, entries")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request run timeout")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight requests")
+		quiet        = flag.Bool("q", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sdtd: ", log.LstdFlags)
+	reqLog := logger
+	if *quiet {
+		reqLog = log.New(io.Discard, "", 0)
+	}
+
+	srv, err := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		StoreDir:       *storeDir,
+		MemEntries:     *memEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            reqLog,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The startup line goes to stdout, unbuffered, so supervisors (and the
+	// CI smoke driver) can scrape the ephemeral port.
+	fmt.Printf("sdtd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case got := <-sig:
+		logger.Printf("received %v, draining (in-flight jobs will finish)", got)
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	// Drain order: stop routing (healthz 503, submissions rejected), let
+	// the HTTP layer finish in-flight requests, then stop the pool.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	logger.Print("drained, exiting")
+}

@@ -1,0 +1,394 @@
+// sdtdsmoke is the end-to-end smoke test for the sdtd daemon, run by
+// scripts/ci.sh. It builds (or is given) the sdtd binary, starts it on an
+// ephemeral port with an on-disk store, and drives the serving path the
+// way a client fleet would:
+//
+//  1. cold-submits an assembly program and a MiniC program, checking each
+//     JSON result against a direct in-process sdt.Run/RunNative;
+//  2. re-submits and asserts a cache hit: the store hit counter increments
+//     and the result bytes are identical;
+//  3. submits a never-halting program with a deadline and asserts the
+//     distinct deadline_exceeded code arrives within 2x the deadline;
+//  4. starts a slow request, SIGTERMs the daemon mid-flight, and asserts
+//     the response still completes and the daemon exits 0.
+//
+// Exit status 0 means all checks passed.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"sdt"
+	"sdt/internal/service"
+)
+
+const asmProg = `
+main:
+	li r10, 0
+	li r11, 200
+loop:
+	mov a0, r10
+	call double
+	out rv
+	addi r10, r10, 1
+	blt r10, r11, loop
+	halt
+double:
+	add rv, a0, a0
+	ret
+`
+
+const minicProg = `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { out fib(15); }
+`
+
+const spinProg = `
+main:
+	li r10, 0
+spin:
+	addi r10, r10, 1
+	jmp spin
+`
+
+// slowProg is finite but takes long enough that SIGTERM lands mid-run.
+const slowProg = `
+main:
+	li r10, 0
+	lui r11, 400
+loop:
+	addi r10, r10, 1
+	blt r10, r11, loop
+	out r10
+	halt
+`
+
+func main() {
+	bin := flag.String("bin", "", "path to an sdtd binary (empty = go build one)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("sdtdsmoke: ")
+
+	if err := run(*bin); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SMOKE OK")
+}
+
+func run(bin string) error {
+	tmp, err := os.MkdirTemp("", "sdtdsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	if bin == "" {
+		bin = filepath.Join(tmp, "sdtd")
+		build := exec.Command("go", "build", "-o", bin, "sdt/cmd/sdtd")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building sdtd: %w", err)
+		}
+	}
+
+	d, err := startDaemon(bin, tmp)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	// 1. Cold submissions, checked against in-process runs.
+	asmRes, err := d.submitChecked("prog.s", service.LangAsm, asmProg, "ibtc:4096")
+	if err != nil {
+		return fmt.Errorf("assembly program: %w", err)
+	}
+	if _, err := d.submitChecked("prog.mc", service.LangMiniC, minicProg, "fastret+ibtc:1024"); err != nil {
+		return fmt.Errorf("minic program: %w", err)
+	}
+
+	// 2. Cache-hit re-submission.
+	hitsBefore, err := d.cacheHits()
+	if err != nil {
+		return err
+	}
+	resp, err := d.submit(service.RunRequest{Name: "prog.s", Lang: service.LangAsm, Source: asmProg, Mech: "ibtc:4096"})
+	if err != nil {
+		return fmt.Errorf("re-submission: %w", err)
+	}
+	if !resp.Cached {
+		return fmt.Errorf("re-submission was not served from cache")
+	}
+	if !bytes.Equal(resp.Result, asmRes) {
+		return fmt.Errorf("cached result not byte-identical:\n%s\n%s", asmRes, resp.Result)
+	}
+	hitsAfter, err := d.cacheHits()
+	if err != nil {
+		return err
+	}
+	if hitsAfter <= hitsBefore {
+		return fmt.Errorf("store hit counter did not increment (%d -> %d)", hitsBefore, hitsAfter)
+	}
+	log.Printf("cache hit OK (hits %d -> %d, byte-identical result)", hitsBefore, hitsAfter)
+
+	// 3. Deadline-cancelled run: distinct code, within 2x the deadline.
+	const deadline = 500 * time.Millisecond
+	start := time.Now()
+	status, body, err := d.post(service.RunRequest{Name: "spin.s", Source: spinProg, TimeoutMS: deadline.Milliseconds()})
+	elapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("deadline submission: %w", err)
+	}
+	if status != http.StatusGatewayTimeout {
+		return fmt.Errorf("deadline run: status %d, body %s", status, body)
+	}
+	var eresp service.ErrorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil || eresp.Error.Code != service.CodeDeadlineExceeded {
+		return fmt.Errorf("deadline run: code %q (err %v), want %q", eresp.Error.Code, err, service.CodeDeadlineExceeded)
+	}
+	if elapsed > 2*deadline {
+		return fmt.Errorf("deadline run returned in %v, want <= %v", elapsed, 2*deadline)
+	}
+	log.Printf("deadline cancel OK (%v for a %v deadline)", elapsed.Round(time.Millisecond), deadline)
+
+	// 4. Graceful drain: SIGTERM mid-request; the response must still
+	// arrive and the daemon must exit 0. The deadline run's worker can
+	// outlive its 504 by a few ms, so first wait for the pool to go idle —
+	// otherwise the in-flight gauge we poll below could be its residue.
+	if err := d.waitInflightIs(false); err != nil {
+		return err
+	}
+	type result struct {
+		resp *service.RunResponse
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		r, err := d.submit(service.RunRequest{Name: "slow.s", Source: slowProg, TimeoutMS: 30_000})
+		slow <- result{r, err}
+	}()
+	if err := d.waitInflightIs(true); err != nil {
+		return err
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signalling daemon: %w", err)
+	}
+	got := <-slow
+	if got.err != nil {
+		return fmt.Errorf("in-flight request during drain: %w", got.err)
+	}
+	if got.resp.Cached {
+		return fmt.Errorf("slow program unexpectedly cached")
+	}
+	if err := d.waitExit(20 * time.Second); err != nil {
+		return err
+	}
+	log.Print("graceful drain OK (in-flight response delivered, clean exit)")
+	return nil
+}
+
+// daemon wraps the child sdtd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	done chan error
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+func startDaemon(bin, tmp string) (*daemon, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-store", filepath.Join(tmp, "results"),
+		"-queue", "64")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addr <- m[1]
+			}
+		}
+	}()
+	go func() { d.done <- cmd.Wait() }()
+
+	select {
+	case d.base = <-addr:
+	case err := <-d.done:
+		return nil, fmt.Errorf("sdtd exited before listening: %v", err)
+	case <-time.After(20 * time.Second):
+		d.kill()
+		return nil, fmt.Errorf("sdtd did not report a listen address in 20s")
+	}
+	log.Printf("daemon up at %s", d.base)
+	return d, nil
+}
+
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+	}
+}
+
+func (d *daemon) waitExit(timeout time.Duration) error {
+	select {
+	case err := <-d.done:
+		if err != nil {
+			return fmt.Errorf("sdtd exited uncleanly: %v", err)
+		}
+		return nil
+	case <-time.After(timeout):
+		d.kill()
+		return fmt.Errorf("sdtd did not exit within %v of SIGTERM", timeout)
+	}
+}
+
+func (d *daemon) post(req service.RunRequest) (int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func (d *daemon) submit(req service.RunRequest) (*service.RunResponse, error) {
+	status, data, err := d.post(req)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", status, data)
+	}
+	var resp service.RunResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("decoding %q: %w", data, err)
+	}
+	return &resp, nil
+}
+
+// submitChecked cold-submits a program and verifies the service's numbers
+// against a direct in-process run of the same pipeline. It returns the raw
+// result bytes for later byte-identity checks.
+func (d *daemon) submitChecked(name, lang, src, mech string) (json.RawMessage, error) {
+	resp, err := d.submit(service.RunRequest{Name: name, Lang: lang, Source: src, Mech: mech})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Cached {
+		return nil, fmt.Errorf("cold submission claims to be cached")
+	}
+	var res service.RunResult
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		return nil, err
+	}
+
+	var img *sdt.Image
+	if lang == service.LangMiniC {
+		img, err = sdt.CompileMiniC(name, src)
+	} else {
+		img, err = sdt.Assemble(name, src)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("local compile: %w", err)
+	}
+	native, err := sdt.RunNative(img, "x86", 0)
+	if err != nil {
+		return nil, fmt.Errorf("local native run: %w", err)
+	}
+	vm, err := sdt.Run(img, "x86", mech, 0)
+	if err != nil {
+		return nil, fmt.Errorf("local sdt run: %w", err)
+	}
+	nr, sr := native.Result(), vm.Result()
+	if res.Native.Cycles != nr.Cycles || res.Native.Instret != nr.Instret {
+		return nil, fmt.Errorf("native result mismatch: service %+v, direct %+v", res.Native, nr)
+	}
+	if res.SDT.Cycles != sr.Cycles || res.SDT.Instret != sr.Instret {
+		return nil, fmt.Errorf("sdt result mismatch: service %+v, direct %+v", res.SDT, sr)
+	}
+	wantSum := fmt.Sprintf("0x%016x", sr.Checksum)
+	if res.SDT.Checksum != wantSum {
+		return nil, fmt.Errorf("checksum mismatch: service %s, direct %s", res.SDT.Checksum, wantSum)
+	}
+	slow := float64(sr.Cycles) / float64(nr.Cycles)
+	if diff := res.Slowdown - slow; diff > 1e-9 || diff < -1e-9 {
+		return nil, fmt.Errorf("slowdown mismatch: service %v, direct %v", res.Slowdown, slow)
+	}
+	log.Printf("%-8s %-24s matches direct run (slowdown %.2fx, %d insts)", name, mech, slow, sr.Instret)
+	return resp.Result, nil
+}
+
+// cacheHits scrapes total sdtd_cache_hits_total across layers.
+func (d *daemon) cacheHits() (int, error) {
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	total := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "sdtd_cache_hits_total{") {
+			var v int
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err == nil {
+				total += v
+			}
+		}
+	}
+	return total, sc.Err()
+}
+
+// waitInflightIs polls /metrics until the in-flight gauge is (non)zero.
+func (d *daemon) waitInflightIs(busy bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/metrics")
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "sdtd_inflight_runs ") {
+				if idle := strings.HasSuffix(line, " 0"); idle != busy {
+					return nil
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("in-flight gauge did not become busy=%v within 10s", busy)
+}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,7 @@ import (
 	"sdt/internal/machine"
 	"sdt/internal/profile"
 	"sdt/internal/program"
+	"sdt/internal/store"
 	"sdt/internal/workload"
 )
 
@@ -77,57 +79,23 @@ type Runner struct {
 	Verbose bool
 	Log     io.Writer
 
-	// mu guards the caches and the log; Runner methods are safe for
-	// concurrent use, and concurrent requests for the same measurement
-	// are deduplicated (the second caller waits for the first).
-	mu       sync.Mutex
-	inflight map[string]chan struct{}
-	images   map[string]*program.Image
-	natives  map[string]*Result // keyed by workload|arch
-	runs     map[string]*Result // keyed by workload|arch|spec
+	// Memoization groups; each deduplicates concurrent requests for the
+	// same measurement (the second caller waits for the first) on top of
+	// the shared single-flight store the sdtd service also uses. Runner
+	// methods are safe for concurrent use.
+	logMu   sync.Mutex
+	images  *store.Group[*program.Image]
+	natives *store.Group[*Result] // keyed by workload|arch
+	runs    *store.Group[*Result] // keyed by workload|arch|spec
 }
 
 // NewRunner returns a Runner with empty caches.
 func NewRunner() *Runner {
 	return &Runner{
-		inflight: map[string]chan struct{}{},
-		images:   map[string]*program.Image{},
-		natives:  map[string]*Result{},
-		runs:     map[string]*Result{},
+		images:  store.NewGroup[*program.Image](nil),
+		natives: store.NewGroup[*Result](nil),
+		runs:    store.NewGroup[*Result](nil),
 	}
-}
-
-// once memoizes compute under key in cache, deduplicating concurrent
-// computations of the same key.
-func (r *Runner) once(key string, cache map[string]*Result, compute func() (*Result, error)) (*Result, error) {
-	r.mu.Lock()
-	for {
-		if res, ok := cache[key]; ok {
-			r.mu.Unlock()
-			return res, nil
-		}
-		ch, busy := r.inflight[key]
-		if !busy {
-			break
-		}
-		r.mu.Unlock()
-		<-ch
-		r.mu.Lock()
-	}
-	ch := make(chan struct{})
-	r.inflight[key] = ch
-	r.mu.Unlock()
-
-	res, err := compute()
-
-	r.mu.Lock()
-	delete(r.inflight, key)
-	if err == nil {
-		cache[key] = res
-	}
-	close(ch)
-	r.mu.Unlock()
-	return res, err
 }
 
 func (r *Runner) suite() []string {
@@ -139,41 +107,34 @@ func (r *Runner) suite() []string {
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Verbose && r.Log != nil {
-		r.mu.Lock()
+		r.logMu.Lock()
 		fmt.Fprintf(r.Log, format, args...)
-		r.mu.Unlock()
+		r.logMu.Unlock()
 	}
 }
 
 func (r *Runner) image(name string) (*program.Image, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if img, ok := r.images[name]; ok {
-		return img, nil
-	}
-	spec, err := workload.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	scale := r.Scale
-	if scale == 0 && r.ScaleDivisor > 1 {
-		scale = spec.DefaultScale / r.ScaleDivisor
-		if scale < 2 {
-			scale = 2
+	img, _, err := r.images.Do(context.Background(), name, func() (*program.Image, error) {
+		spec, err := workload.Get(name)
+		if err != nil {
+			return nil, err
 		}
-	}
-	img, err := spec.Image(scale)
-	if err != nil {
-		return nil, err
-	}
-	r.images[name] = img
-	return img, nil
+		scale := r.Scale
+		if scale == 0 && r.ScaleDivisor > 1 {
+			scale = spec.DefaultScale / r.ScaleDivisor
+			if scale < 2 {
+				scale = 2
+			}
+		}
+		return spec.Image(scale)
+	})
+	return img, err
 }
 
 // Native measures (and memoizes) the native baseline for a workload on an
 // architecture.
 func (r *Runner) Native(wl, arch string) (*Result, error) {
-	return r.once(wl+"|"+arch, r.natives, func() (*Result, error) {
+	res, _, err := r.natives.Do(context.Background(), wl+"|"+arch, func() (*Result, error) {
 		img, err := r.image(wl)
 		if err != nil {
 			return nil, err
@@ -189,12 +150,13 @@ func (r *Runner) Native(wl, arch string) (*Result, error) {
 		}
 		return &Result{Workload: wl, Arch: arch, Native: m.Result(), Counts: m.Counts}, nil
 	})
+	return res, err
 }
 
 // Run measures (and memoizes) one workload under one mechanism spec on one
 // architecture, verifying output equivalence against the native run.
 func (r *Runner) Run(wl, arch, spec string) (*Result, error) {
-	return r.once(wl+"|"+arch+"|"+spec, r.runs, func() (*Result, error) {
+	res, _, err := r.runs.Do(context.Background(), wl+"|"+arch+"|"+spec, func() (*Result, error) {
 		native, err := r.Native(wl, arch)
 		if err != nil {
 			return nil, err
@@ -209,6 +171,7 @@ func (r *Runner) Run(wl, arch, spec string) (*Result, error) {
 		}
 		return r.measure(img, wl, arch, spec, model, native)
 	})
+	return res, err
 }
 
 // RunWithOptions measures one workload under spec with caller-mutated VM
@@ -257,7 +220,7 @@ func (r *Runner) RunWithOptions(wl, arch, spec string, mutate func(*core.Options
 // (for mechanism combinations the spec grammar cannot express). mk must
 // build a fresh handler per call. Results are memoized under name.
 func (r *Runner) RunWithHandler(wl, arch, name string, mk func() core.IBHandler, fastReturns bool) (*Result, error) {
-	return r.once(wl+"|"+arch+"|handler:"+name, r.runs, func() (*Result, error) {
+	res, _, err := r.runs.Do(context.Background(), wl+"|"+arch+"|handler:"+name, func() (*Result, error) {
 		native, err := r.Native(wl, arch)
 		if err != nil {
 			return nil, err
@@ -287,6 +250,7 @@ func (r *Runner) RunWithHandler(wl, arch, name string, mk func() core.IBHandler,
 		r.logf("sdt      %-10s %-6s %-28s %.2fx\n", wl, arch, name, res.Slowdown())
 		return res, nil
 	})
+	return res, err
 }
 
 // RunWithModel measures one workload under a caller-supplied (possibly

@@ -14,15 +14,9 @@ import (
 // the text harness. Rows are sorted by (workload, arch, spec) so exports
 // are stable.
 func (r *Runner) ExportCSV(w io.Writer) error {
-	r.mu.Lock()
-	rows := make([]*Result, 0, len(r.runs)+len(r.natives))
-	for _, res := range r.natives {
-		rows = append(rows, res)
-	}
-	for _, res := range r.runs {
-		rows = append(rows, res)
-	}
-	r.mu.Unlock()
+	var rows []*Result
+	r.natives.Range(func(_ string, res *Result) bool { rows = append(rows, res); return true })
+	r.runs.Range(func(_ string, res *Result) bool { rows = append(rows, res); return true })
 
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sdt/internal/isa"
@@ -272,6 +273,23 @@ func (f *Fragment) epochOK(vm *VM) bool { return vm.byHost[f.HostAddr] == f }
 // Run executes the guest under translation until it halts or limit
 // instructions retire (0 selects machine.DefaultLimit).
 func (vm *VM) Run(limit uint64) error {
+	return vm.RunContext(context.Background(), limit)
+}
+
+// ctxCheckExits is how many fragment exits pass between cancellation
+// checks in RunContext. Checking per fragment would put a channel poll on
+// the hottest loop in the system; a fragment averages a handful of guest
+// instructions, so this granularity bounds cancellation latency to a few
+// thousand simulated instructions while keeping the check off the profile.
+const ctxCheckExits = 1024
+
+// RunContext executes like Run but additionally stops when ctx is
+// cancelled or its deadline passes, returning an error wrapping ctx's
+// cause (so errors.Is(err, context.DeadlineExceeded) and
+// context.Canceled work). Cancellation is checked every ctxCheckExits
+// fragment exits, not every instruction; a context that is never
+// cancellable (context.Background) costs nothing.
+func (vm *VM) RunContext(ctx context.Context, limit uint64) error {
 	if limit == 0 {
 		limit = machine.DefaultLimit
 	}
@@ -280,6 +298,8 @@ func (vm *VM) Run(limit uint64) error {
 	if err != nil {
 		return err
 	}
+	done := ctx.Done()
+	sinceCheck := 0
 	for !vm.State.Halted {
 		if vm.opts.Traces {
 			f, err = vm.traceStep(f)
@@ -288,6 +308,17 @@ func (vm *VM) Run(limit uint64) error {
 		}
 		if err != nil {
 			return err
+		}
+		if done != nil {
+			if sinceCheck++; sinceCheck >= ctxCheckExits {
+				sinceCheck = 0
+				select {
+				case <-done:
+					return fmt.Errorf("core: run stopped after %d instructions: %w",
+						vm.State.Instret, context.Cause(ctx))
+				default:
+				}
+			}
 		}
 	}
 	return nil

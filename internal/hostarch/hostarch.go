@@ -27,6 +27,13 @@ import (
 	"sdt/internal/cache"
 )
 
+// CostModelVersion identifies the current calibration of the built-in
+// models. It is folded into every content-addressed result key (see
+// internal/service), so persisted measurements are invalidated when the
+// numbers change. Bump it whenever any built-in model's parameters, the
+// cache/predictor geometries, or the cost-charging rules move.
+const CostModelVersion = 1
+
 // Model prices host-level operations in cycles.
 type Model struct {
 	Name string

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -140,12 +141,36 @@ func (m *Machine) count(pc uint32, in isa.Inst, out Outcome) {
 // Run executes until the guest halts or limit instructions retire.
 // limit <= 0 selects DefaultLimit.
 func (m *Machine) Run(limit uint64) error {
+	return m.RunContext(context.Background(), limit)
+}
+
+// ctxCheckInsts is how many retired instructions pass between cancellation
+// checks in RunContext; the native interpreter steps one instruction at a
+// time, so polling every step would dominate the loop.
+const ctxCheckInsts = 4096
+
+// RunContext executes like Run but additionally stops when ctx is
+// cancelled or its deadline passes, returning an error wrapping ctx's
+// cause. A context that is never cancellable (context.Background) costs
+// nothing.
+func (m *Machine) RunContext(ctx context.Context, limit uint64) error {
 	if limit == 0 {
 		limit = DefaultLimit
 	}
+	done := ctx.Done()
+	nextCheck := m.State.Instret + ctxCheckInsts
 	for !m.State.Halted {
 		if m.State.Instret >= limit {
 			return fmt.Errorf("%w (%d instructions)", ErrLimit, limit)
+		}
+		if done != nil && m.State.Instret >= nextCheck {
+			nextCheck = m.State.Instret + ctxCheckInsts
+			select {
+			case <-done:
+				return fmt.Errorf("machine: run stopped after %d instructions: %w",
+					m.State.Instret, context.Cause(ctx))
+			default:
+			}
 		}
 		if err := m.Step(); err != nil {
 			return err

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The observability surface is a hand-rolled Prometheus-text-format
+// registry (the repo is stdlib-only by charter). Three primitives cover
+// what /metrics needs: counters, labelled counter families, and
+// fixed-bucket histograms.
+
+// counter is a monotonically increasing uint64.
+type counter struct{ n atomic.Uint64 }
+
+func (c *counter) Inc()          { c.n.Add(1) }
+func (c *counter) Add(d uint64)  { c.n.Add(d) }
+func (c *counter) Value() uint64 { return c.n.Load() }
+
+// counterVec is a family of counters keyed by a pre-rendered label string
+// (e.g. `path="/v1/run",code="200"`). Label strings come from a small
+// closed set built by the server, never from raw client input.
+type counterVec struct {
+	mu   sync.Mutex
+	vals map[string]*counter
+}
+
+func newCounterVec() *counterVec { return &counterVec{vals: make(map[string]*counter)} }
+
+func (v *counterVec) get(labels string) *counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.vals[labels]
+	if !ok {
+		c = &counter{}
+		v.vals[labels] = c
+	}
+	return c
+}
+
+// total sums the family.
+func (v *counterVec) total() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var t uint64
+	for _, c := range v.vals {
+		t += c.Value()
+	}
+	return t
+}
+
+func (v *counterVec) render(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		labels string
+		val    uint64
+	}
+	rows := make([]row, len(keys))
+	for i, k := range keys {
+		rows[i] = row{k, v.vals[k].Value()}
+	}
+	v.mu.Unlock()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{%s} %d\n", name, r.labels, r.val)
+	}
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations <= its upper bound).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+func (h *histogram) render(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// latencyBounds spans sub-millisecond cache hits to multi-second cold
+// simulations.
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Run outcome labels for runsTotal.
+const (
+	outcomeOK       = `outcome="ok"`
+	outcomeError    = `outcome="error"`
+	outcomeDeadline = `outcome="deadline"`
+	outcomeCanceled = `outcome="canceled"`
+	outcomePanic    = `outcome="panic"`
+)
+
+// metrics is the server's registry.
+type metrics struct {
+	requestsTotal *counterVec // path, code
+	runsTotal     *counterVec // outcome — one increment per actual execution
+	runLatency    *histogram  // seconds per executed (non-cached) run
+	fragments     *counter    // translated fragments across all runs
+	transInsts    *counter    // guest instructions translated
+	ibLookups     *counterVec // mech, kind — executed indirect branches
+	panics        *counter    // recovered job panics
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requestsTotal: newCounterVec(),
+		runsTotal:     newCounterVec(),
+		runLatency:    newHistogram(latencyBounds),
+		fragments:     &counter{},
+		transInsts:    &counter{},
+		ibLookups:     newCounterVec(),
+		panics:        &counter{},
+	}
+}
+
+// render writes the whole exposition; the server appends store/pool gauges
+// via the callback so metrics stays decoupled from them.
+func (m *metrics) render(w io.Writer, gauges func(w io.Writer)) {
+	fmt.Fprint(w, "# TYPE sdtd_requests_total counter\n")
+	m.requestsTotal.render(w, "sdtd_requests_total")
+	fmt.Fprint(w, "# TYPE sdtd_runs_total counter\n")
+	m.runsTotal.render(w, "sdtd_runs_total")
+	fmt.Fprint(w, "# TYPE sdtd_run_latency_seconds histogram\n")
+	m.runLatency.render(w, "sdtd_run_latency_seconds")
+	fmt.Fprintf(w, "# TYPE sdtd_translated_fragments_total counter\nsdtd_translated_fragments_total %d\n", m.fragments.Value())
+	fmt.Fprintf(w, "# TYPE sdtd_translated_insts_total counter\nsdtd_translated_insts_total %d\n", m.transInsts.Value())
+	fmt.Fprint(w, "# TYPE sdtd_ib_lookups_total counter\n")
+	m.ibLookups.render(w, "sdtd_ib_lookups_total")
+	fmt.Fprintf(w, "# TYPE sdtd_job_panics_total counter\nsdtd_job_panics_total %d\n", m.panics.Value())
+	if gauges != nil {
+		gauges(w)
+	}
+}

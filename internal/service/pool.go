@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool admission errors.
+var (
+	// errQueueFull is returned by submit when the bounded queue is at
+	// capacity; the HTTP layer maps it to 429 + Retry-After.
+	errQueueFull = errors.New("service: job queue full")
+	// errPoolClosed is returned by submit once draining has begun.
+	errPoolClosed = errors.New("service: pool is draining")
+)
+
+// job is one unit of work for the pool. The function runs on a worker;
+// done closes when data/err are set. A job whose ctx is already over when
+// a worker picks it up is skipped, so queue time counts against the
+// caller's deadline.
+type job struct {
+	ctx  context.Context
+	fn   func(ctx context.Context) ([]byte, error)
+	data []byte
+	err  error
+	done chan struct{}
+}
+
+func newJob(ctx context.Context, fn func(ctx context.Context) ([]byte, error)) *job {
+	return &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+}
+
+// pool is a fixed-size worker pool over a bounded queue. Submission is
+// non-blocking: a full queue rejects immediately (backpressure) instead of
+// stalling the HTTP handler. close drains: queued jobs still execute, then
+// the workers exit.
+type pool struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts workers goroutines servicing a queue of depth queueDepth.
+func newPool(workers, queueDepth int) *pool {
+	p := &pool{queue: make(chan *job, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.run(j)
+	}
+}
+
+// run executes one job. The job function is responsible for its own panic
+// isolation (see Server.runJob); a panic escaping anyway must not kill the
+// worker, so run recovers as a last resort.
+func (p *pool) run(j *job) {
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = errors.Join(errJobPanic, errors.New(describePanic(r)))
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		j.err = context.Cause(j.ctx)
+		return
+	}
+	j.data, j.err = j.fn(j.ctx)
+}
+
+// submit enqueues j, failing fast when the queue is full or the pool is
+// draining.
+func (p *pool) submit(j *job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errPoolClosed
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth returns the number of queued (not yet started) jobs.
+func (p *pool) depth() int { return len(p.queue) }
+
+// close stops admission, lets queued jobs finish, and waits for the
+// workers to exit. Safe to call more than once.
+func (p *pool) close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	close(p.queue)
+	p.wg.Wait()
+}

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/isa"
+	"sdt/internal/machine"
+	"sdt/internal/program"
+	"sdt/internal/store"
+)
+
+// errJobPanic marks a job that panicked; the worker recovered it and the
+// pool stayed up.
+var errJobPanic = errors.New("service: job panicked")
+
+// errDivergence marks an SDT run whose architectural result differed from
+// the native baseline — a translator bug, never a client error.
+var errDivergence = errors.New("service: translated execution diverged from native")
+
+func describePanic(r any) string { return fmt.Sprintf("panic: %v", r) }
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the execution pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (0 = 64).
+	// Submissions beyond it receive 429 + Retry-After.
+	QueueDepth int
+	// StoreDir is the on-disk result store root ("" = memory only).
+	StoreDir string
+	// MemEntries is the in-memory result LRU capacity (0 = 1024, < 0 =
+	// unbounded).
+	MemEntries int
+	// DefaultTimeout bounds a run when the request carries no timeout
+	// (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any request-supplied timeout (0 = 2m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the request body (0 = 8 MiB).
+	MaxBodyBytes int64
+	// Log receives request/lifecycle lines; nil discards them.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MemEntries == 0 {
+		c.MemEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// runLimit bounds any single simulated execution when the request does not
+// set one (matches the bench harness budget).
+const runLimit = 2_000_000_000
+
+// Server is the sdtd service: HTTP handlers over a worker pool and the
+// content-addressed result store.
+type Server struct {
+	cfg      Config
+	store    *store.ByteStore
+	pool     *pool
+	met      *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+	inflight atomic.Int64 // jobs currently executing on a worker
+}
+
+// New builds a Server (opening the on-disk store, starting the pool).
+// Callers must Close it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	st, err := store.OpenByteStore(cfg.StoreDir, cfg.MemEntries)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: st,
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the result store (tests and diagnostics).
+func (s *Server) Store() *store.ByteStore { return s.store }
+
+// StartDrain flips the server into drain mode: /healthz answers 503 so
+// load balancers stop routing here, and new submissions are rejected.
+// In-flight and queued jobs keep running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the pool: admission stops, queued and running jobs finish,
+// workers exit. Call after the HTTP server has stopped accepting requests.
+func (s *Server) Close() {
+	s.StartDrain()
+	s.pool.close()
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req RunRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	req.withDefaults()
+	if _, err := hostarch.ByName(req.Arch); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	if _, err := ib.Parse(req.Mech); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	img, err := req.compile()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidProgram, err.Error())
+		return
+	}
+	key := req.key(img)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	data, hit, err := s.store.Do(ctx, key, func() ([]byte, error) {
+		return s.execute(ctx, key, img, &req)
+	})
+	if err != nil {
+		status, code := mapError(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		s.writeError(w, r, status, code, err.Error())
+		return
+	}
+	resp := RunResponse{
+		Cached:    hit,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:    data,
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+	s.cfg.Log.Printf("run %s %s/%s key=%s cached=%v elapsed=%s",
+		req.Name, req.Arch, req.Mech, key[:12], hit, time.Since(start).Round(time.Microsecond))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.store.Get(key)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no result stored under "+key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.countRequest(r, http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.countRequest(r, http.StatusServiceUnavailable)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.countRequest(r, http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.countRequest(r, http.StatusOK)
+	s.met.render(w, func(w io.Writer) {
+		st := s.store.Stats()
+		fmt.Fprint(w, "# TYPE sdtd_cache_hits_total counter\n")
+		fmt.Fprintf(w, "sdtd_cache_hits_total{layer=\"mem\"} %d\n", st.MemHits)
+		fmt.Fprintf(w, "sdtd_cache_hits_total{layer=\"disk\"} %d\n", st.DiskHits)
+		fmt.Fprintf(w, "# TYPE sdtd_cache_misses_total counter\nsdtd_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# TYPE sdtd_cache_disk_errors_total counter\nsdtd_cache_disk_errors_total %d\n", st.DiskErrors)
+		fmt.Fprintf(w, "# TYPE sdtd_cache_mem_entries gauge\nsdtd_cache_mem_entries %d\n", st.MemEntries)
+		fmt.Fprintf(w, "# TYPE sdtd_cache_evictions_total counter\nsdtd_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "# TYPE sdtd_queue_depth gauge\nsdtd_queue_depth %d\n", s.pool.depth())
+		fmt.Fprintf(w, "# TYPE sdtd_inflight_runs gauge\nsdtd_inflight_runs %d\n", s.inflight.Load())
+		draining := 0
+		if s.draining.Load() {
+			draining = 1
+		}
+		fmt.Fprintf(w, "# TYPE sdtd_draining gauge\nsdtd_draining %d\n", draining)
+	})
+}
+
+// ---- execution ----
+
+// execute submits the run to the pool and waits for it or for ctx. It is
+// always called inside the store's single-flight, so at most one execution
+// per key is in the pool at a time.
+func (s *Server) execute(ctx context.Context, key string, img *program.Image, req *RunRequest) ([]byte, error) {
+	j := newJob(ctx, func(ctx context.Context) ([]byte, error) {
+		return s.runJob(ctx, key, img, req)
+	})
+	if err := s.pool.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.data, j.err
+	case <-ctx.Done():
+		// The worker notices the same ctx and stops shortly; respond now
+		// so the client sees its deadline, not our check granularity.
+		return nil, fmt.Errorf("service: request abandoned: %w", context.Cause(ctx))
+	}
+}
+
+// runJob performs the measurement: native baseline, SDT run, equivalence
+// check, profile extraction. It owns panic isolation and the per-run
+// metrics. The returned bytes are the marshalled RunResult (the store's
+// value), so a given key always maps to one byte sequence.
+func (s *Server) runJob(ctx context.Context, key string, img *program.Image, req *RunRequest) (data []byte, err error) {
+	s.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.inflight.Add(-1)
+		if r := recover(); r != nil {
+			s.met.panics.Inc()
+			err = errors.Join(errJobPanic, errors.New(describePanic(r)))
+		}
+		s.met.runsTotal.get(outcomeLabel(err)).Inc()
+		s.met.runLatency.Observe(time.Since(start).Seconds())
+	}()
+
+	model, err := hostarch.ByName(req.Arch)
+	if err != nil {
+		return nil, err
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = runLimit
+	}
+	native, err := machine.New(img, model)
+	if err != nil {
+		return nil, err
+	}
+	if err := native.RunContext(ctx, limit); err != nil {
+		return nil, fmt.Errorf("native run: %w", err)
+	}
+	cfg, err := ib.Parse(req.Mech)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := core.New(img, cfg.Options(model))
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.RunContext(ctx, limit); err != nil {
+		return nil, fmt.Errorf("sdt run: %w", err)
+	}
+
+	nr, sr := native.Result(), vm.Result()
+	if nr.Checksum != sr.Checksum || nr.Instret != sr.Instret {
+		return nil, errDivergence
+	}
+	res := RunResult{
+		Key:      key,
+		Name:     req.Name,
+		Lang:     req.Lang,
+		Arch:     req.Arch,
+		Mech:     req.Mech,
+		Seed:     req.Seed,
+		Native:   summarize(nr),
+		SDT:      summarize(sr),
+		Slowdown: float64(sr.Cycles) / float64(nr.Cycles),
+		Profile:  summarizeProfile(&vm.Prof),
+	}
+	s.met.fragments.Add(vm.Prof.Translations)
+	s.met.transInsts.Add(vm.Prof.TransInsts)
+	for kind := isa.IBKind(0); kind < isa.NumIBKinds; kind++ {
+		if n := vm.Prof.IBExec[kind]; n > 0 {
+			s.met.ibLookups.get(fmt.Sprintf("mech=%q,kind=%q", req.Mech, kind)).Add(n)
+		}
+	}
+	return json.Marshal(res)
+}
+
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return outcomeOK
+	case errors.Is(err, errJobPanic):
+		return outcomePanic
+	case errors.Is(err, context.DeadlineExceeded):
+		return outcomeDeadline
+	case errors.Is(err, context.Canceled):
+		return outcomeCanceled
+	default:
+		return outcomeError
+	}
+}
+
+// mapError translates an execution error into (HTTP status, error code).
+func mapError(err error) (int, string) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests, CodeQueueFull
+	case errors.Is(err, errPoolClosed):
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		// Nginx's "client closed request"; the client is gone, the status
+		// only lands in logs and metrics.
+		return 499, CodeCanceled
+	case errors.Is(err, errJobPanic):
+		return http.StatusInternalServerError, CodeInternal
+	case errors.Is(err, errDivergence):
+		return http.StatusInternalServerError, CodeDivergence
+	case errors.Is(err, machine.ErrLimit), errors.Is(err, core.ErrLimit):
+		return http.StatusUnprocessableEntity, CodeLimitExceeded
+	default:
+		return http.StatusUnprocessableEntity, CodeRunFailed
+	}
+}
+
+// ---- response plumbing ----
+
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	s.countRequest(r, status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	s.countRequest(r, status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: ErrorInfo{Code: code, Message: msg}})
+	s.cfg.Log.Printf("error %d %s: %s", status, code, msg)
+}
+
+// endpoint collapses parameterized paths so metric label cardinality stays
+// bounded by the route table, not by client input.
+func endpoint(r *http.Request) string {
+	if strings.HasPrefix(r.URL.Path, "/v1/result/") {
+		return "/v1/result"
+	}
+	return r.URL.Path
+}
+
+func (s *Server) countRequest(r *http.Request, status int) {
+	s.met.requestsTotal.get(fmt.Sprintf("path=%q,code=\"%d\"", endpoint(r), status)).Inc()
+}

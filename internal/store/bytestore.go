@@ -1,0 +1,121 @@
+package store
+
+import (
+	"context"
+	"sync"
+)
+
+// ByteStore is the content-addressed result store: a single-flight Group
+// in front of an in-memory LRU in front of an optional on-disk layer.
+// Lookups try memory, then disk (promoting disk hits into memory);
+// successful computations are written through to both. Disk read/write
+// errors never fail a request — the entry is simply treated as absent and
+// the error counted in Stats.
+type ByteStore struct {
+	group *Group[[]byte]
+
+	mu       sync.Mutex
+	mem      *LRU[[]byte]
+	disk     *Disk
+	memHits  uint64
+	diskHits uint64
+	misses   uint64
+	diskErrs uint64
+}
+
+// ByteStoreStats is a snapshot of store counters.
+type ByteStoreStats struct {
+	MemHits    uint64 // lookups served from the in-memory LRU
+	DiskHits   uint64 // lookups served from disk
+	Misses     uint64 // lookups that found nothing and had to compute
+	DiskErrors uint64 // disk reads/writes that failed (entry treated as absent)
+	MemEntries int    // live entries in the in-memory LRU
+	Evictions  uint64 // LRU evictions
+}
+
+// Hits returns total cache hits across both layers.
+func (s ByteStoreStats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// OpenByteStore opens a store with an in-memory LRU of memEntries entries
+// (<= 0 means unbounded) backed by an on-disk layer at dir; an empty dir
+// selects a memory-only store.
+func OpenByteStore(dir string, memEntries int) (*ByteStore, error) {
+	s := &ByteStore{mem: NewLRU[[]byte](memEntries)}
+	if dir != "" {
+		d, err := OpenDisk(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+	}
+	s.group = NewGroup[[]byte](tiered{s})
+	return s, nil
+}
+
+// tiered adapts the two storage layers to the Group's Backend interface
+// without exposing Backend methods on ByteStore itself (ByteStore.Get/Put
+// are the synchronized public equivalents).
+type tiered struct{ s *ByteStore }
+
+func (t tiered) Get(key string) ([]byte, bool) { return t.s.Get(key) }
+func (t tiered) Put(key string, v []byte)      { t.s.Put(key, v) }
+
+// Get returns the stored bytes for key, trying memory then disk. A disk
+// hit is promoted into memory.
+func (s *ByteStore) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.mem.Get(key); ok {
+		s.memHits++
+		return v, true
+	}
+	if s.disk != nil {
+		v, ok, err := s.disk.Get(key)
+		if err != nil {
+			s.diskErrs++
+		} else if ok {
+			s.diskHits++
+			s.mem.Put(key, v)
+			return v, true
+		}
+	}
+	s.misses++
+	return nil, false
+}
+
+// Put writes the entry through both layers. Callers must not mutate data
+// afterwards.
+func (s *ByteStore) Put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem.Put(key, data)
+	if s.disk != nil {
+		if err := s.disk.Put(key, data); err != nil {
+			s.diskErrs++
+		}
+	}
+}
+
+// Do returns the stored bytes for key, computing (and storing) them at
+// most once across concurrent callers. hit reports whether any layer
+// already held the value. See Group.Do for the cancellation contract.
+func (s *ByteStore) Do(ctx context.Context, key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	return s.group.Do(ctx, key, compute)
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *ByteStore) Stats() ByteStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ByteStoreStats{
+		MemHits:    s.memHits,
+		DiskHits:   s.diskHits,
+		Misses:     s.misses,
+		DiskErrors: s.diskErrs,
+		MemEntries: s.mem.Len(),
+		Evictions:  s.mem.Evictions(),
+	}
+}
+
+// Persistent reports whether the store has an on-disk layer.
+func (s *ByteStore) Persistent() bool { return s.disk != nil }

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Disk is a content-addressed on-disk byte store. Each entry lives at
+// <root>/<key[:2]>/<key>; writes go through a temp file plus rename, so a
+// crash mid-write never leaves a truncated entry behind. Keys are expected
+// to be hex digests; anything that could escape the root is rejected.
+type Disk struct{ root string }
+
+// OpenDisk opens (creating if needed) an on-disk store rooted at root.
+func OpenDisk(root string) (*Disk, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening disk layer: %w", err)
+	}
+	return &Disk{root: root}, nil
+}
+
+// Root returns the store's root directory.
+func (d *Disk) Root() string { return d.root }
+
+func validKey(key string) error {
+	if len(key) < 4 || len(key) > 256 {
+		return fmt.Errorf("store: key %q has unreasonable length", key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return fmt.Errorf("store: key %q is not a lowercase hex digest", key)
+		}
+	}
+	return nil
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.root, key[:2], key)
+}
+
+// Get returns the stored bytes for key. A missing entry is (nil, false,
+// nil); an unreadable one reports its error.
+func (d *Disk) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(d.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: reading %s: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// Put atomically stores data under key.
+func (d *Disk) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	dir := filepath.Dir(d.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), d.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", key, werr)
+	}
+	return nil
+}
+
+// Len walks the store and returns the number of entries (it is O(entries);
+// intended for tests and diagnostics, not hot paths).
+func (d *Disk) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(d.root, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() && validKey(de.Name()) == nil {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,155 @@
+// Package store is the shared memoization substrate of the SDT lab: a
+// single-flight computation Group that deduplicates concurrent requests
+// for the same key, pluggable storage backends (unbounded map, bounded
+// LRU), an on-disk content-addressed layer, and ByteStore, which stacks
+// all three into the persistent result store the sdtd service and the
+// bench Runner are built on.
+package store
+
+import (
+	"context"
+	"sync"
+)
+
+// Backend is the storage a Group memoizes into. A Group calls Get and Put
+// with its own lock held, so backends used only through a Group need no
+// internal locking — but they must not call back into the Group.
+type Backend[V any] interface {
+	// Get returns the stored value for key, if present.
+	Get(key string) (V, bool)
+	// Put stores the value for key (replacing any previous value).
+	Put(key string, v V)
+}
+
+// Ranger is optionally implemented by backends that can enumerate their
+// contents (Group.Range uses it).
+type Ranger[V any] interface {
+	Range(f func(key string, v V) bool)
+}
+
+// Group memoizes computations by key with single-flight deduplication:
+// concurrent callers of Do with the same key perform the computation at
+// most once, later callers are served from the backend. A failed
+// computation is not cached; waiters retry it themselves, so one caller's
+// cancellation cannot poison the result for everyone else.
+type Group[V any] struct {
+	mu       sync.Mutex
+	backend  Backend[V]
+	inflight map[string]chan struct{}
+	hits     uint64
+	misses   uint64
+}
+
+// NewGroup returns a Group memoizing into backend. A nil backend selects a
+// fresh unbounded Map.
+func NewGroup[V any](backend Backend[V]) *Group[V] {
+	if backend == nil {
+		backend = NewMap[V]()
+	}
+	return &Group[V]{backend: backend, inflight: make(map[string]chan struct{})}
+}
+
+// Do returns the value for key, computing it if the backend does not hold
+// it. Concurrent calls for the same key compute at most once: the first
+// caller runs compute, the rest wait. hit reports whether the value came
+// from the backend (false exactly when this call ran compute). A waiting
+// caller whose ctx ends returns ctx's cause without disturbing the
+// computation in flight.
+func (g *Group[V]) Do(ctx context.Context, key string, compute func() (V, error)) (v V, hit bool, err error) {
+	g.mu.Lock()
+	for {
+		if v, ok := g.backend.Get(key); ok {
+			g.hits++
+			g.mu.Unlock()
+			return v, true, nil
+		}
+		ch, busy := g.inflight[key]
+		if !busy {
+			break
+		}
+		g.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			var zero V
+			return zero, false, context.Cause(ctx)
+		}
+		g.mu.Lock()
+	}
+	g.misses++
+	ch := make(chan struct{})
+	g.inflight[key] = ch
+	g.mu.Unlock()
+
+	v, err = compute()
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	if err == nil {
+		g.backend.Put(key, v)
+	}
+	close(ch)
+	g.mu.Unlock()
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return v, false, nil
+}
+
+// Get returns the backend's value for key without computing anything. It
+// does not wait for an in-flight computation.
+func (g *Group[V]) Get(key string) (V, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.backend.Get(key)
+}
+
+// Put stores a value directly, bypassing Do.
+func (g *Group[V]) Put(key string, v V) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.backend.Put(key, v)
+}
+
+// Stats returns cumulative backend hit and miss counts observed by Do.
+func (g *Group[V]) Stats() (hits, misses uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses
+}
+
+// Range enumerates the stored values if the backend supports it (it is a
+// no-op otherwise). f must not call back into the Group.
+func (g *Group[V]) Range(f func(key string, v V) bool) {
+	if r, ok := g.backend.(Ranger[V]); ok {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		r.Range(f)
+	}
+}
+
+// Map is the default unbounded Backend: a plain map. Safe only under a
+// Group (or external locking).
+type Map[V any] struct{ m map[string]V }
+
+// NewMap returns an empty Map backend.
+func NewMap[V any]() *Map[V] { return &Map[V]{m: make(map[string]V)} }
+
+// Get implements Backend.
+func (m *Map[V]) Get(key string) (V, bool) { v, ok := m.m[key]; return v, ok }
+
+// Put implements Backend.
+func (m *Map[V]) Put(key string, v V) { m.m[key] = v }
+
+// Len returns the number of stored entries.
+func (m *Map[V]) Len() int { return len(m.m) }
+
+// Range implements Ranger.
+func (m *Map[V]) Range(f func(key string, v V) bool) {
+	for k, v := range m.m {
+		if !f(k, v) {
+			return
+		}
+	}
+}

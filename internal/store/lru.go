@@ -1,0 +1,66 @@
+package store
+
+import "container/list"
+
+// LRU is a bounded Backend evicting the least-recently-used entry once it
+// exceeds its capacity (in entries). Like Map it is unsynchronized; use it
+// under a Group or an external lock.
+type LRU[V any] struct {
+	capacity  int
+	ll        *list.List // front = most recently used
+	index     map[string]*list.Element
+	evictions uint64
+}
+
+type lruEntry[V any] struct {
+	key string
+	v   V
+}
+
+// NewLRU returns an LRU holding at most capacity entries; capacity <= 0
+// means unbounded.
+func NewLRU[V any](capacity int) *LRU[V] {
+	return &LRU[V]{capacity: capacity, ll: list.New(), index: make(map[string]*list.Element)}
+}
+
+// Get implements Backend, refreshing the entry's recency on hit.
+func (l *LRU[V]) Get(key string) (V, bool) {
+	if el, ok := l.index[key]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put implements Backend, evicting the oldest entry when over capacity.
+func (l *LRU[V]) Put(key string, v V) {
+	if el, ok := l.index[key]; ok {
+		el.Value.(*lruEntry[V]).v = v
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.index[key] = l.ll.PushFront(&lruEntry[V]{key: key, v: v})
+	if l.capacity > 0 && l.ll.Len() > l.capacity {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.index, oldest.Value.(*lruEntry[V]).key)
+		l.evictions++
+	}
+}
+
+// Len returns the number of live entries.
+func (l *LRU[V]) Len() int { return l.ll.Len() }
+
+// Evictions returns the cumulative eviction count.
+func (l *LRU[V]) Evictions() uint64 { return l.evictions }
+
+// Range implements Ranger, most recently used first.
+func (l *LRU[V]) Range(f func(key string, v V) bool) {
+	for el := l.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry[V])
+		if !f(e.key, e.v) {
+			return
+		}
+	}
+}

@@ -16,6 +16,12 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+# End-to-end daemon smoke: builds sdtd, starts it on an ephemeral port,
+# exercises cold/cached submissions against direct sdt.Run, deadline
+# cancellation, and SIGTERM drain. See cmd/sdtdsmoke.
+echo "==> sdtd smoke"
+go run ./cmd/sdtdsmoke
+
 # Each fuzz target gets a short randomized smoke on top of its seed
 # corpus. Go only allows one -fuzz pattern per package invocation, so
 # list them explicitly.

@@ -24,6 +24,7 @@
 package sdt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -121,16 +122,41 @@ func Mechanism(spec string) (Handler, bool, error) {
 // RunNative executes img on the reference machine with the named cost
 // model until it halts (limit 0 = default budget).
 func RunNative(img *Image, arch string, limit uint64) (*Machine, error) {
+	return RunNativeContext(context.Background(), img, arch, limit)
+}
+
+// RunNativeContext is RunNative with cancellation: the run also stops when
+// ctx is cancelled or its deadline passes, returning an error that wraps
+// ctx's cause (errors.Is against context.DeadlineExceeded / Canceled
+// works). Cancellation is polled every few thousand retired instructions,
+// so it cannot perturb the cycle accounting of completed runs.
+func RunNativeContext(ctx context.Context, img *Image, arch string, limit uint64) (*Machine, error) {
 	model, err := hostarch.ByName(arch)
 	if err != nil {
 		return nil, err
 	}
-	return machine.RunImage(img, model, limit)
+	m, err := machine.New(img, model)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RunContext(ctx, limit); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Run executes img under the SDT with the named cost model and mechanism
 // spec until it halts (limit 0 = default budget).
 func Run(img *Image, arch, mech string, limit uint64) (*VM, error) {
+	return RunContext(context.Background(), img, arch, mech, limit)
+}
+
+// RunContext is Run with cancellation: the run also stops when ctx is
+// cancelled or its deadline passes, returning an error that wraps ctx's
+// cause. Cancellation is polled every few thousand fragment exits — a
+// runaway guest stops promptly without the dispatch loop paying a
+// per-instruction check.
+func RunContext(ctx context.Context, img *Image, arch, mech string, limit uint64) (*VM, error) {
 	model, err := hostarch.ByName(arch)
 	if err != nil {
 		return nil, err
@@ -143,7 +169,7 @@ func Run(img *Image, arch, mech string, limit uint64) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := vm.Run(limit); err != nil {
+	if err := vm.RunContext(ctx, limit); err != nil {
 		return nil, err
 	}
 	return vm, nil
