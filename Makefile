@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race ci fuzz bench vet smoke
+.PHONY: all test race ci fuzz bench benchgate benchall vet smoke
 
 all: test
 
@@ -20,7 +20,13 @@ ci:              ## full gate: vet + build + race tests + fuzz/bench smokes
 fuzz:            ## longer fuzz session against the differential oracle
 	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzDifferential -fuzztime=5m
 
-bench:
+bench:           ## remeasure the dispatch benchmarks and rewrite the BENCH_3.json baseline
+	scripts/bench.sh -update
+
+benchgate:       ## compare the dispatch benchmarks against the committed baseline
+	scripts/bench.sh
+
+benchall:
 	$(GO) test -run='^$$' -bench=. ./...
 
 smoke:           ## end-to-end sdtd daemon smoke (see cmd/sdtdsmoke)

@@ -1,0 +1,218 @@
+// benchgate is the benchmark-regression gate: it parses `go test -bench`
+// output on stdin, reduces repeated runs (-count N) to per-benchmark
+// medians, and compares them against a committed JSON baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem -count 5 ./internal/core | benchgate -baseline BENCH_3.json
+//	... | benchgate -baseline BENCH_3.json -update
+//
+// Without -update, benchgate exits nonzero when any benchmark's ns/op
+// regresses by more than -threshold percent (default 10, overridable with
+// the BENCH_THRESHOLD environment variable) or its allocs/op grows past a
+// lenient bound (25% + 5 allocs — sync.Pool refills after a GC make exact
+// allocation counts slightly noisy). With -update it rewrites the
+// baseline's "after" section from the measured medians, preserving the
+// "before" section as the historical record of the pre-optimization
+// numbers. See docs/PERF.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's reduced (median) measurement.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	GuestMIPS   float64 `json:"guest_mips,omitempty"`
+}
+
+// Baseline is the committed BENCH_*.json schema. Before is informational
+// (the numbers the optimization started from); After is what the gate
+// compares against.
+type Baseline struct {
+	Note   string             `json:"note,omitempty"`
+	Before map[string]Metrics `json:"before,omitempty"`
+	After  map[string]Metrics `json:"after"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_3.json", "baseline JSON path")
+		update       = flag.Bool("update", false, "rewrite the baseline's after section instead of gating")
+		threshold    = flag.Float64("threshold", defaultThreshold(), "ns/op regression tolerance, percent")
+	)
+	flag.Parse()
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, measured); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(measured), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(base.After) == 0 {
+		fatal(fmt.Errorf("%s: empty after section (run scripts/bench.sh -update first)", *baselinePath))
+	}
+	if err := gate(base.After, measured, *threshold); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", len(measured), *threshold, *baselinePath)
+}
+
+func defaultThreshold() float64 {
+	if s := os.Getenv("BENCH_THRESHOLD"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 10
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+// parseBench reads standard testing benchmark output and returns the
+// median of each metric across repeated runs of the same benchmark.
+func parseBench(f *os.File) (map[string]Metrics, error) {
+	samples := map[string]map[string][]float64{} // name -> unit -> values
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo, so the gate's log still shows raw results
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		if samples[name] == nil {
+			samples[name] = map[string][]float64{}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Metrics, len(samples))
+	for name, units := range samples {
+		out[name] = Metrics{
+			NsPerOp:     median(units["ns/op"]),
+			AllocsPerOp: median(units["allocs/op"]),
+			BytesPerOp:  median(units["B/op"]),
+			GuestMIPS:   median(units["guest-MIPS"]),
+		}
+	}
+	return out, nil
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// gate compares measured medians against the baseline. Benchmarks missing
+// from either side are reported but only regressions fail the gate: the
+// baseline is the contract, new benchmarks join it via -update.
+func gate(base, measured map[string]Metrics, threshold float64) error {
+	var failures []string
+	for name, b := range base {
+		m, ok := measured[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", name))
+			continue
+		}
+		if b.NsPerOp > 0 && m.NsPerOp > b.NsPerOp*(1+threshold/100) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				name, m.NsPerOp, b.NsPerOp, 100*(m.NsPerOp/b.NsPerOp-1), threshold))
+		}
+		// Allocations in steady state are pooled, but a GC mid-benchmark
+		// refills pools from the heap; allow headroom before failing.
+		if allowed := b.AllocsPerOp*1.25 + 5; m.AllocsPerOp > allowed {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (allowed %.0f)",
+				name, m.AllocsPerOp, b.AllocsPerOp, allowed))
+		}
+	}
+	for name := range measured {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchgate: note: %s not in baseline (run with -update to add it)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("regression detected:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// writeBaseline replaces the after section with the measured medians,
+// keeping note and before from any existing file.
+func writeBaseline(path string, measured map[string]Metrics) error {
+	b := &Baseline{}
+	if old, err := readBaseline(path); err == nil {
+		b.Note, b.Before = old.Note, old.Before
+	}
+	b.After = measured
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,11 @@
 //
 //	sdtd [-addr host:port] [-store dir] [-workers n] [-queue n]
 //	     [-mem n] [-timeout d] [-max-timeout d] [-drain-timeout d] [-q]
+//	     [-debug-addr host:port]
+//
+// -debug-addr serves Go's net/http/pprof profiling endpoints on a separate
+// listener (keep it on loopback; it is intentionally not exposed through
+// the service port). See docs/PERF.md for profiling the dispatch loop.
 //
 // The daemon prints "sdtd: listening on http://HOST:PORT" once it is
 // serving (with -addr :0, the chosen port), answers /healthz, and on
@@ -23,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +48,7 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight requests")
 		quiet        = flag.Bool("q", false, "suppress per-request logging")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -71,6 +78,28 @@ func main() {
 	// The startup line goes to stdout, unbuffered, so supervisors (and the
 	// CI smoke driver) can scrape the ephemeral port.
 	fmt.Printf("sdtd: listening on http://%s\n", ln.Addr())
+
+	// The profiling endpoints live on their own listener so they are never
+	// reachable through the service port: the debug address stays on
+	// loopback (or a firewalled interface) while -addr may be public.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("sdtd: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug serve: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

@@ -148,7 +148,9 @@ func (r *Runner) Native(wl, arch string) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: native %s on %s: %w", wl, arch, err)
 		}
-		return &Result{Workload: wl, Arch: arch, Native: m.Result(), Counts: m.Counts}, nil
+		res := &Result{Workload: wl, Arch: arch, Native: m.Result(), Counts: m.Counts}
+		m.Recycle()
+		return res, nil
 	})
 	return res, err
 }
@@ -209,6 +211,7 @@ func (r *Runner) RunWithOptions(wl, arch, spec string, mutate func(*core.Options
 		Workload: wl, Arch: arch, Spec: spec,
 		Native: native.Native, SDT: vm.Result(), Prof: vm.Prof, Counts: native.Counts,
 	}
+	vm.Recycle()
 	if res.SDT.Checksum != res.Native.Checksum || res.SDT.Instret != res.Native.Instret {
 		return nil, fmt.Errorf("bench: %s under %s on %s diverged from native execution", wl, spec, arch)
 	}
@@ -244,6 +247,7 @@ func (r *Runner) RunWithHandler(wl, arch, name string, mk func() core.IBHandler,
 			Workload: wl, Arch: arch, Spec: name,
 			Native: native.Native, SDT: vm.Result(), Prof: vm.Prof, Counts: native.Counts,
 		}
+		vm.Recycle()
 		if res.SDT.Checksum != res.Native.Checksum || res.SDT.Instret != res.Native.Instret {
 			return nil, fmt.Errorf("bench: %s under %s on %s diverged from native execution", wl, name, arch)
 		}
@@ -265,6 +269,7 @@ func (r *Runner) RunWithModel(wl, spec string, model *hostarch.Model) (*Result, 
 		return nil, fmt.Errorf("bench: native %s on %s: %w", wl, model.Name, err)
 	}
 	native := &Result{Workload: wl, Arch: model.Name, Native: m.Result(), Counts: m.Counts}
+	m.Recycle()
 	return r.measure(img, wl, model.Name, spec, model, native)
 }
 
@@ -290,6 +295,7 @@ func (r *Runner) measure(img *program.Image, wl, arch, spec string, model *hosta
 	if h, m := vm.Env.RAS.Stats(); h+m > 0 {
 		res.RASMissRate = float64(m) / float64(h+m)
 	}
+	vm.Recycle()
 	if res.SDT.Checksum != res.Native.Checksum || res.SDT.Instret != res.Native.Instret {
 		return nil, fmt.Errorf("bench: %s under %s on %s diverged from native execution", wl, spec, arch)
 	}

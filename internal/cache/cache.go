@@ -46,10 +46,20 @@ type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint32
-	sets      [][]line
+	tagShift  uint
+	ways      int
+	lines     []line // sets laid out contiguously, ways per set
 	tick      uint64
 	hits      uint64
 	misses    uint64
+
+	// Same-line memo: the line touched by the previous access. Consecutive
+	// references to one line (straight-line code, stack traffic) skip the
+	// set scan. The memoized line cannot be evicted between accesses —
+	// eviction only happens inside Access, which re-points the memo — so
+	// taking the fast path leaves identical state to a full scan hit.
+	lastLine  uint32
+	lastEntry *line
 }
 
 // New builds a cache for the given geometry. It panics if the geometry is
@@ -64,11 +74,9 @@ func New(cfg Config) *Cache {
 	}
 	nsets := cfg.Sets()
 	c := &Cache{cfg: cfg, lineShift: shift, setMask: uint32(nsets - 1)}
-	c.sets = make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
+	c.tagShift = uint(popcount(c.setMask))
+	c.ways = cfg.Ways
+	c.lines = make([]line, nsets*cfg.Ways)
 	return c
 }
 
@@ -78,15 +86,27 @@ func (c *Cache) Config() Config { return c.cfg }
 // Access simulates a reference to addr and reports whether it hit. Misses
 // install the line (allocate-on-miss, for both reads and writes).
 func (c *Cache) Access(addr uint32) bool {
-	c.tick++
 	lineAddr := addr >> c.lineShift
-	set := c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> uint(popcount(c.setMask))
+	if lineAddr == c.lastLine && c.lastEntry != nil {
+		c.tick++
+		c.lastEntry.lru = c.tick
+		c.hits++
+		return true
+	}
+	return c.accessSlow(lineAddr)
+}
+
+func (c *Cache) accessSlow(lineAddr uint32) bool {
+	c.tick++
+	base := int(lineAddr&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	tag := lineAddr >> c.tagShift
 	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.tick
 			c.hits++
+			c.lastLine, c.lastEntry = lineAddr, &set[i]
 			return true
 		}
 		if set[i].lru < set[victim].lru || !set[i].valid && set[victim].valid {
@@ -95,6 +115,7 @@ func (c *Cache) Access(addr uint32) bool {
 	}
 	set[victim] = line{tag: tag, valid: true, lru: c.tick}
 	c.misses++
+	c.lastLine, c.lastEntry = lineAddr, &set[victim]
 	return false
 }
 
@@ -112,12 +133,11 @@ func (c *Cache) MissRate() float64 {
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.tick, c.hits, c.misses = 0, 0, 0
+	c.lastLine, c.lastEntry = 0, nil
 }
 
 func popcount(x uint32) int {

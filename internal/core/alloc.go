@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file holds the VM's allocation machinery: chunked arenas for
+// fragments and IB sites, the dense guest-pc translation table, and the flat
+// open-addressed host-address table. Together they make the dispatch loop
+// allocation-free in steady state and make a flush O(live fragments): the
+// epoch bumps, arena chunks move to a free list (or are dropped wholesale),
+// and no per-fragment map surgery happens at all.
+
+// fragChunkLen is the arena granularity. 256 fragments is a few hot loops'
+// worth of translations per chunk while keeping a chunk small enough that a
+// mostly-empty one is cheap to carry.
+const fragChunkLen = 256
+
+type fragChunk [fragChunkLen]Fragment
+
+// siteChunkLen is smaller because only indirect-branch terminators need a
+// site — typically well under half of all fragments.
+const siteChunkLen = 64
+
+type siteChunk [siteChunkLen]IBSite
+
+// Pools shared across VMs. Chunks are zeroed before they are returned (see
+// VM.Recycle), so a pooled chunk never leaks another run's state.
+var (
+	fragChunkPool = sync.Pool{New: func() any { return new(fragChunk) }}
+	siteChunkPool = sync.Pool{New: func() any { return new(siteChunk) }}
+	fragTabPool   sync.Pool // *[]*Fragment, cleared before Put
+	hostTabPool   sync.Pool // *[]hostEntry, cleared before Put
+)
+
+// limboGens is how many flushes a fragment or site chunk sits out before
+// its storage is reused. Execution legitimately holds pointers into
+// just-flushed fragments for a short window: the run loop dispatches the
+// fragment an exit resolved even if a later translator entry in the same
+// exit flushed it (at most one flush stale), and during that fragment's own
+// exit each translator entry can flush again while its site and link slots
+// are still referenced. Each exit performs at most two translator entries,
+// so no pointer outlives three flushes; three limbo generations keep every
+// such object intact with one generation to spare.
+const limboGens = 3
+
+// newFragment hands out the next arena slot. The caller must overwrite the
+// whole struct (slots reused after a flush still hold their previous
+// fragment's fields).
+func (vm *VM) newFragment() *Fragment {
+	if len(vm.fchunks) == 0 || vm.fused == fragChunkLen {
+		var c *fragChunk
+		if n := len(vm.freeFrag); n > 0 {
+			c = vm.freeFrag[n-1]
+			vm.freeFrag[n-1] = nil
+			vm.freeFrag = vm.freeFrag[:n-1]
+		} else {
+			c = fragChunkPool.Get().(*fragChunk)
+		}
+		vm.fchunks = append(vm.fchunks, c)
+		vm.fused = 0
+	}
+	f := &vm.fchunks[len(vm.fchunks)-1][vm.fused]
+	vm.fused++
+	return f
+}
+
+// newSite is newFragment for IB sites.
+func (vm *VM) newSite() *IBSite {
+	if len(vm.schunks) == 0 || vm.sused == siteChunkLen {
+		var c *siteChunk
+		if n := len(vm.freeSite); n > 0 {
+			c = vm.freeSite[n-1]
+			vm.freeSite[n-1] = nil
+			vm.freeSite = vm.freeSite[:n-1]
+		} else {
+			c = siteChunkPool.Get().(*siteChunk)
+		}
+		vm.schunks = append(vm.schunks, c)
+		vm.sused = 0
+	}
+	s := &vm.schunks[len(vm.schunks)-1][vm.sused]
+	vm.sused++
+	return s
+}
+
+// grabFragTable returns a zeroed dense translation table with one slot per
+// guest code word, reusing a pooled table when it is big enough.
+func grabFragTable(n int) []*Fragment {
+	if p, _ := fragTabPool.Get().(*[]*Fragment); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]*Fragment, n)
+}
+
+// hostEntry is one slot of the host-address table. addr == 0 marks an empty
+// slot; every fragment-cache address is at or above FragBase, so 0 never
+// collides with a key. One entry carries both roles the old maps had: the
+// fragment whose code starts at addr (byHost) and, under fast returns, the
+// guest return pc a hostized return address stands for (hostRet). The
+// latter intentionally survives flushes.
+type hostEntry struct {
+	addr     uint32
+	hasRet   bool
+	guestRet uint32
+	frag     *Fragment
+}
+
+// hostTable is a flat open-addressed hash table keyed by fragment-cache
+// address: multiplicative (Fibonacci) hashing, linear probing, grown at 3/4
+// load. Lookups on the fast-return dispatch path touch one cache line in
+// the common case and never allocate.
+type hostTable struct {
+	entries []hostEntry // power-of-two length
+	used    int
+	shift   uint32 // 32 - log2(len(entries))
+}
+
+const hostTabInitLen = 1 << 10
+
+func hostHash(addr uint32) uint32 { return addr * 2654435761 }
+
+func (t *hostTable) init(entries []hostEntry) {
+	if entries == nil {
+		entries = make([]hostEntry, hostTabInitLen)
+	}
+	t.entries = entries
+	t.used = 0
+	t.shift = 32 - uint32(bits.TrailingZeros(uint(len(entries))))
+}
+
+// get returns the entry for addr, or nil if addr was never inserted.
+func (t *hostTable) get(addr uint32) *hostEntry {
+	mask := uint32(len(t.entries) - 1)
+	for i := hostHash(addr) >> t.shift; ; i++ {
+		e := &t.entries[i&mask]
+		if e.addr == addr {
+			return e
+		}
+		if e.addr == 0 {
+			return nil
+		}
+	}
+}
+
+// put returns the entry for addr, inserting an empty one if needed.
+func (t *hostTable) put(addr uint32) *hostEntry {
+	if (t.used+1)*4 >= len(t.entries)*3 {
+		t.grow()
+	}
+	mask := uint32(len(t.entries) - 1)
+	for i := hostHash(addr) >> t.shift; ; i++ {
+		e := &t.entries[i&mask]
+		if e.addr == addr {
+			return e
+		}
+		if e.addr == 0 {
+			e.addr = addr
+			t.used++
+			return e
+		}
+	}
+}
+
+func (t *hostTable) grow() {
+	old := t.entries
+	t.entries = make([]hostEntry, 2*len(old))
+	t.shift--
+	mask := uint32(len(t.entries) - 1)
+	for i := range old {
+		if old[i].addr == 0 {
+			continue
+		}
+		j := hostHash(old[i].addr) >> t.shift
+		for t.entries[j&mask].addr != 0 {
+			j++
+		}
+		t.entries[j&mask] = old[i]
+	}
+}
+
+// Recycle returns the VM's reusable storage — guest memory, fragment and
+// site arenas, the translation and host tables — to their shared pools. The
+// VM must not be used afterwards, and no *Fragment obtained from it may be
+// dereferenced again.
+func (vm *VM) Recycle() {
+	vm.fchunks = append(vm.fchunks, vm.freeFrag...)
+	for _, gen := range vm.fragLimbo {
+		vm.fchunks = append(vm.fchunks, gen...)
+	}
+	for _, c := range vm.fchunks {
+		*c = fragChunk{}
+		fragChunkPool.Put(c)
+	}
+	vm.fchunks, vm.freeFrag = nil, nil
+	vm.fragLimbo = [limboGens][]*fragChunk{}
+	vm.schunks = append(vm.schunks, vm.freeSite...)
+	for _, gen := range vm.siteLimbo {
+		vm.schunks = append(vm.schunks, gen...)
+	}
+	for _, c := range vm.schunks {
+		*c = siteChunk{}
+		siteChunkPool.Put(c)
+	}
+	vm.schunks, vm.freeSite = nil, nil
+	vm.siteLimbo = [limboGens][]*siteChunk{}
+	if vm.frags != nil {
+		t := vm.frags[:cap(vm.frags)]
+		vm.frags = nil
+		clear(t)
+		fragTabPool.Put(&t)
+	}
+	if vm.hostTab.entries != nil {
+		e := vm.hostTab.entries
+		vm.hostTab.entries = nil
+		clear(e)
+		hostTabPool.Put(&e)
+	}
+	vm.rec = nil
+	vm.State.Recycle()
+}
+
+// grabHostTab fetches a pooled (already cleared) host table backing array,
+// or nil when none is pooled; hostTable.init treats nil as "allocate".
+func grabHostTab() []hostEntry {
+	if p, _ := hostTabPool.Get().(*[]hostEntry); p != nil {
+		return *p
+	}
+	return nil
+}

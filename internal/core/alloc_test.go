@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"fmt"
+	"runtime/debug"
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/program"
+)
+
+// Steady-state allocation budget: once a run's working set is translated,
+// executing more guest instructions must allocate nothing. The test measures
+// this by differencing: a run of N loop iterations and a run of 4N loop
+// iterations perform identical setup (VM construction, handler tables,
+// translation of the same fragments), so any allocation difference is
+// attributable purely to steady-state dispatch — and must be zero.
+//
+// docs/PERF.md documents this budget; the dispatch benchmarks in
+// dispatch_bench_test.go track the same property as allocs/op.
+
+// allocLoopSrc is benchDispatchSrc with a parameterized iteration count:
+// an indirect-jump dispatch loop plus a pair of calls, touching the IB
+// lookup path, the fast-return path and the direct-link path every
+// iteration.
+const allocLoopSrc = `
+	main:
+		li r10, 0
+		li r11, %d
+	loop:
+		andi r2, r10, 3
+		la r1, table
+		slli r2, r2, 2
+		add r1, r1, r2
+		lw r3, (r1)
+		jr r3
+	c0:	addi r12, r12, 1
+		jmp calls
+	c1:	addi r12, r12, 10
+		jmp calls
+	c2:	addi r12, r12, 100
+		jmp calls
+	c3:	addi r12, r12, 1000
+	calls:
+		mov a0, r10
+		call f1
+		add r12, r12, rv
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	f1:
+		addi rv, a0, 1
+		ret
+	.data
+	table: .word c0, c1, c2, c3
+`
+
+func allocImage(t *testing.T, iters int) *program.Image {
+	t.Helper()
+	img, err := asm.Assemble("alloc.s", fmt.Sprintf(allocLoopSrc, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// runAllocs returns the average allocations of one full construct+run+recycle
+// cycle over the given image under spec.
+func runAllocs(t *testing.T, img *program.Image, spec string) float64 {
+	t.Helper()
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		vm, err := core.New(img, core.Options{
+			Model:       hostarch.X86(),
+			Handler:     cfg.Handler,
+			FastReturns: cfg.FastReturns,
+			Traces:      cfg.Traces,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		vm.Recycle()
+	}
+	run() // warm the arena, table and guest-memory pools
+	return testing.AllocsPerRun(5, run)
+}
+
+func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are not meaningful")
+	}
+	// sync.Pool empties on GC, which would charge a pool refill to whichever
+	// run the collector happened to interrupt; disable GC so the measurement
+	// is deterministic.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	short := allocImage(t, 2_000)
+	long := allocImage(t, 8_000)
+	for _, spec := range []string{
+		"translator",
+		"ibtc:4096",
+		"sieve:1024",
+		"retcache+ibtc:4096",
+		"fastret+ibtc:4096",
+		"inline:2+ibtc:4096",
+		"trace+ibtc:4096",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			base := runAllocs(t, short, spec)
+			scaled := runAllocs(t, long, spec)
+			if scaled > base {
+				t.Errorf("steady-state dispatch allocates: %.1f allocs/run at 2k iterations, %.1f at 8k (want no growth)", base, scaled)
+			}
+		})
+	}
+}

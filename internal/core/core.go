@@ -114,6 +114,10 @@ func (o *Options) withDefaults() (Options, error) {
 }
 
 // Fragment is one translated guest basic block in the fragment cache.
+// Fragments are allocated from per-VM arenas (see alloc.go); a fragment is
+// live while its epoch matches the VM's, and its storage may be reused after
+// the next flush, so handlers must not retain a *Fragment across more than
+// one Flush callback.
 type Fragment struct {
 	GuestPC  uint32     // guest address of the first instruction
 	Insts    []isa.Inst // body; the last instruction is the terminator
@@ -123,8 +127,8 @@ type Fragment struct {
 	// Direct-exit links, patched on first use. TakenLink serves branch
 	// taken targets and direct jump/call targets; FallLink serves branch
 	// fall-through and block-split fall-through.
-	TakenLink *Fragment
-	FallLink  *Fragment
+	TakenLink fragLink
+	FallLink  fragLink
 
 	// Site is the indirect-branch site state when the terminator is an
 	// indirect transfer, else nil.
@@ -132,7 +136,7 @@ type Fragment struct {
 
 	// RetFrag caches the return-point fragment for call terminators under
 	// fast returns.
-	RetFrag *Fragment
+	RetFrag fragLink
 
 	// Synth is true when the terminator is a synthesized fall-through
 	// (the block hit MaxBlockInsts without a control instruction).
@@ -142,6 +146,24 @@ type Fragment struct {
 	// the trace seeded at this fragment once one is materialized.
 	Hits  uint64
 	Trace *Trace
+
+	// epoch is the flush generation the fragment was translated in; the
+	// fragment is live while it equals the VM's current epoch.
+	epoch uint64
+
+	// staticCycles is the data-independent body cost (see
+	// machine.StaticBodyCost), precomputed at translation time and charged
+	// in one batch per execution.
+	staticCycles uint64
+}
+
+// fragLink is a patchable direct-exit slot: the target fragment plus the
+// epoch the patch was made in. A link is only followed when its patch epoch
+// matches the VM's current epoch; anything older refers to a flushed target
+// whose storage may since have been reused.
+type fragLink struct {
+	f     *Fragment
+	epoch uint64
 }
 
 // Terminator returns the fragment's final (control) instruction.

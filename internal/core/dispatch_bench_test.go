@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/program"
+)
+
+// Dispatch-heavy benchmark programs. Each spends nearly all of its time in
+// the steady-state dispatch loop (translation is a negligible prefix), so
+// ns/op and allocs/op here measure the simulator's hot path, not setup.
+// These are the benchmarks the perf-regression gate (scripts/bench.sh,
+// BENCH_*.json) tracks; see docs/PERF.md.
+const benchDispatchSrc = `
+	; indirect-jump dispatch loop: a bytecode-interpreter shape where
+	; every iteration executes an indirect jump through a table.
+	main:
+		li r10, 0
+		li r11, 60000
+	loop:
+		andi r2, r10, 3
+		la r1, table
+		slli r2, r2, 2
+		add r1, r1, r2
+		lw r3, (r1)
+		jr r3
+	c0:	addi r12, r12, 1
+		jmp next
+	c1:	addi r12, r12, 10
+		jmp next
+	c2:	addi r12, r12, 100
+		jmp next
+	c3:	addi r12, r12, 1000
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	.data
+	table: .word c0, c1, c2, c3
+`
+
+const benchCallRetSrc = `
+	; call/return-heavy loop: the regime fast returns and return caches
+	; target. Two call sites, shallow nesting, repeated many times.
+	main:
+		li r10, 0
+		li r11, 40000
+	loop:
+		mov a0, r10
+		call f1
+		add r12, r12, rv
+		call f2
+		add r12, r12, rv
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	f1:
+		addi rv, a0, 1
+		ret
+	f2:
+		push ra
+		call f1
+		pop ra
+		add rv, rv, rv
+		ret
+`
+
+const benchLinkedSrc = `
+	; direct-branch-only loop: no indirect branches at all, so every
+	; fragment exit resolves through the direct-link fast path.
+	main:
+		li r10, 0
+		li r11, 120000
+	loop:
+		andi r2, r10, 1
+		beqz r2, even
+		addi r12, r12, 3
+		jmp next
+	even:
+		addi r12, r12, 5
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+`
+
+func benchImage(b *testing.B, src string) *program.Image {
+	b.Helper()
+	img, err := asm.Assemble("bench.s", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+// runDispatchBench measures end-to-end VM construction plus execution of a
+// dispatch-heavy guest under one mechanism spec, reporting retired guest
+// instructions per second.
+func runDispatchBench(b *testing.B, src, spec string) {
+	b.Helper()
+	img := benchImage(b, src)
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm, err := core.New(img, core.Options{
+			Model:       hostarch.X86(),
+			Handler:     cfg.Handler,
+			FastReturns: cfg.FastReturns,
+			Traces:      cfg.Traces,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		insts += vm.State.Instret
+		vm.Recycle()
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}
+
+// The BenchmarkRun family is the dispatch-heavy benchmark set the
+// regression gate tracks (scripts/bench.sh compares them against the
+// committed BENCH_*.json baseline).
+
+func BenchmarkRunDispatchIBTC(b *testing.B) {
+	runDispatchBench(b, benchDispatchSrc, "ibtc:4096")
+}
+
+func BenchmarkRunDispatchSieve(b *testing.B) {
+	runDispatchBench(b, benchDispatchSrc, "sieve:1024")
+}
+
+func BenchmarkRunDispatchTranslator(b *testing.B) {
+	runDispatchBench(b, benchDispatchSrc, "translator")
+}
+
+func BenchmarkRunCallRetFastret(b *testing.B) {
+	runDispatchBench(b, benchCallRetSrc, "fastret+ibtc:4096")
+}
+
+func BenchmarkRunCallRetInline(b *testing.B) {
+	runDispatchBench(b, benchCallRetSrc, "inline:2+ibtc:4096")
+}
+
+func BenchmarkRunLinkedLoop(b *testing.B) {
+	runDispatchBench(b, benchLinkedSrc, "ibtc:4096")
+}
+
+// BenchmarkFlushStorm squeezes the fragment cache far below the working
+// set, so the VM flushes continuously: it measures the cost of flush +
+// retranslation churn. Flush must be O(live fragments) with no wholesale
+// table reallocation — this benchmark regressing means flush pressure got
+// expensive again.
+func BenchmarkFlushStorm(b *testing.B) {
+	img := benchImage(b, benchDispatchSrc)
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, err := ib.Parse("ibtc:64")
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm, err := core.New(img, core.Options{
+			Model:      hostarch.X86(),
+			Handler:    cfg.Handler,
+			CacheBytes: 192,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if vm.Prof.Flushes == 0 {
+			b.Fatal("flush storm never flushed")
+		}
+		insts += vm.State.Instret
+		vm.Recycle()
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core_test
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates on its own, making allocation counts
+// meaningless (see alloc_test.go).
+const raceEnabled = false

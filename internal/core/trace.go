@@ -171,7 +171,7 @@ func (vm *VM) execTrace(tr *Trace) (*Fragment, error) {
 				vm.Prof.TraceGuardMisses++
 			}
 			vm.Prof.TraceExits++
-			return vm.indirect(part, out)
+			return vm.indirect(part, out, vm.epoch)
 		}
 
 		// Direct transfer: resolve through the normal exit (linking,

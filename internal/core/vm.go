@@ -11,6 +11,13 @@ import (
 )
 
 // VM is the software dynamic translator executing one guest image.
+//
+// Lookup structures are allocation-free on the dispatch path: the
+// translation table is a dense slice indexed by guest code word, the
+// host-address index is a flat open-addressed table, and fragments live in
+// pooled arena chunks (alloc.go). Liveness across flushes is tracked by
+// epoch tags instead of map membership, so a flush is an epoch bump plus a
+// constant amount of list surgery rather than a rebuild.
 type VM struct {
 	State *machine.State
 	Env   *machine.CostEnv
@@ -18,11 +25,22 @@ type VM struct {
 
 	opts Options
 	img  *program.Image
-	code []isa.Inst // predecoded guest code section
+	code []isa.Inst // predecoded guest code section (shared, read-only)
 
-	frags   map[uint32]*Fragment // guest pc -> fragment (translation table)
-	byHost  map[uint32]*Fragment // fragment cache addr -> fragment
-	hostRet map[uint32]uint32    // hostized return addr -> guest return pc
+	frags   []*Fragment // dense: (guestPC-CodeBase)/WordSize -> fragment
+	hostTab hostTable   // fragment cache addr -> fragment / guest return pc
+
+	fchunks  []*fragChunk // arena chunks holding this epoch's fragments
+	fused    int          // slots used in the last fragment chunk
+	schunks  []*siteChunk // likewise for IB sites
+	sused    int
+	freeFrag []*fragChunk // chunks past limbo, available for reuse
+	freeSite []*siteChunk
+	// Flushed chunks age through limboGens generations before reuse so
+	// that in-flight pointers into just-flushed fragments stay intact —
+	// see limboGens. Unused (always empty) in trace mode.
+	fragLimbo [limboGens][]*fragChunk
+	siteLimbo [limboGens][]*siteChunk
 
 	codeTop   uint32 // next fragment cache address
 	dataTop   uint32 // next SDT table address
@@ -48,22 +66,17 @@ func New(img *program.Image, opts Options) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
-	code := make([]isa.Inst, len(img.Code))
-	for i, w := range img.Code {
-		code[i] = isa.Decode(w)
-	}
 	vm := &VM{
 		State:   st,
 		Env:     env,
 		opts:    o,
 		img:     img,
-		code:    code,
-		frags:   make(map[uint32]*Fragment),
-		byHost:  make(map[uint32]*Fragment),
-		hostRet: make(map[uint32]uint32),
+		code:    img.Decoded(),
 		codeTop: FragBase,
 		dataTop: TableBase,
 	}
+	vm.frags = grabFragTable(len(vm.code))
+	vm.hostTab.init(grabHostTab())
 	vm.callObs, _ = o.Handler.(CallObserver)
 	o.Handler.Init(vm)
 	return vm, nil
@@ -82,6 +95,13 @@ func (vm *VM) Handler() IBHandler { return vm.opts.Handler }
 // every flush. Handlers can use it to detect stale cached state.
 func (vm *VM) Epoch() uint64 { return vm.epoch }
 
+// Live reports whether f was translated in the current fragment cache
+// epoch, i.e. whether a cached *Fragment may still be dispatched to.
+// Handlers must revalidate pointers they held when their Flush callback
+// runs, and must not retain a pointer across more than one flush: after a
+// second flush the fragment's storage may have been reused.
+func (vm *VM) Live(f *Fragment) bool { return f != nil && f.epoch == vm.epoch }
+
 // AllocCode reserves bytes in the fragment cache (for mechanism stubs such
 // as sieve chain entries) and returns their address.
 func (vm *VM) AllocCode(bytes uint32) uint32 {
@@ -99,19 +119,42 @@ func (vm *VM) AllocData(bytes uint32) uint32 {
 	return addr
 }
 
-// Lookup returns the fragment for a guest pc without charging any cost
+// Lookup returns the live fragment for a guest pc without charging any cost
 // (handlers use it for bookkeeping, not on simulated lookup paths).
-func (vm *VM) Lookup(guest uint32) *Fragment { return vm.frags[guest] }
+func (vm *VM) Lookup(guest uint32) *Fragment { return vm.lookupLive(guest) }
+
+// lookupLive is the host-side translation-table probe: one indexed load
+// plus an epoch check. The GuestPC comparison rejects a slot whose arena
+// storage was reused for a different block after a flush.
+func (vm *VM) lookupLive(guest uint32) *Fragment {
+	idx := (guest - program.CodeBase) / isa.WordSize
+	if guest%isa.WordSize != 0 || int(idx) >= len(vm.frags) {
+		return nil
+	}
+	if f := vm.frags[idx]; f != nil && f.epoch == vm.epoch && f.GuestPC == guest {
+		return f
+	}
+	return nil
+}
 
 // FragmentByHost returns the fragment whose code starts at the given
 // fragment cache address, if it is live in the current epoch.
-func (vm *VM) FragmentByHost(host uint32) *Fragment { return vm.byHost[host] }
+func (vm *VM) FragmentByHost(host uint32) *Fragment {
+	if e := vm.hostTab.get(host); e != nil {
+		if f := e.frag; f != nil && f.epoch == vm.epoch && f.HostAddr == host {
+			return f
+		}
+	}
+	return nil
+}
 
 // GuestOfHostRet translates a hostized return address back to its guest
 // return pc. It reports false for addresses the VM never issued.
 func (vm *VM) GuestOfHostRet(host uint32) (uint32, bool) {
-	g, ok := vm.hostRet[host]
-	return g, ok
+	if e := vm.hostTab.get(host); e != nil && e.hasRet {
+		return e.guestRet, true
+	}
+	return 0, false
 }
 
 // EnterTranslator models the full slow path of an indirect branch or
@@ -132,7 +175,7 @@ func (vm *VM) EnterTranslator(guest uint32) (*Fragment, error) {
 	vm.Env.DTouch(translatorMapAddr + h%(1<<20)&^3)
 	vm.Env.DTouch(translatorMapAddr + (1 << 20) + h/(1<<20)&^3)
 
-	f := vm.frags[guest]
+	f := vm.lookupLive(guest)
 	if f == nil {
 		var err error
 		f, err = vm.translate(guest)
@@ -164,15 +207,19 @@ func (vm *VM) translate(guest uint32) (*Fragment, error) {
 	// first control transfer. With superblock formation, forward direct
 	// jumps are followed (and elided from the emitted code) instead of
 	// ending the block; forward-only following keeps decoding loop-free.
+	// A straight-line block is a subslice of the predecoded code section
+	// (no copy); only a followed jump forces the body into its own buffer.
 	const maxFollows = 8
-	var insts []isa.Inst
+	startIdx := (guest - program.CodeBase) / isa.WordSize
+	var buf []isa.Inst // non-nil once a followed jump breaks contiguity
+	count := 0
 	pc := guest
 	termPC := guest
 	follows := 0
-	for len(insts) < vm.opts.MaxBlockInsts {
+	for count < vm.opts.MaxBlockInsts {
 		in, err := vm.fetchGuest(pc)
 		if err != nil {
-			if len(insts) == 0 {
+			if count == 0 {
 				return nil, err
 			}
 			// The block ran off the end of the code section. Native
@@ -183,11 +230,18 @@ func (vm *VM) translate(guest uint32) (*Fragment, error) {
 			// faults at the architecturally correct instruction count.
 			break
 		}
-		insts = append(insts, in)
+		if buf != nil {
+			buf = append(buf, in)
+		}
+		count++
 		termPC = pc
 		if in.Op.IsControl() {
 			if vm.opts.Superblocks && in.Op == isa.JMP && follows < maxFollows {
 				if target := uint32(in.Imm) * isa.WordSize; target > pc {
+					if buf == nil {
+						buf = make([]isa.Inst, count, vm.opts.MaxBlockInsts)
+						copy(buf, vm.code[startIdx:startIdx+uint32(count)])
+					}
 					pc = target
 					follows++
 					continue
@@ -197,50 +251,91 @@ func (vm *VM) translate(guest uint32) (*Fragment, error) {
 		}
 		pc += isa.WordSize
 	}
-	term := insts[len(insts)-1]
-	bodyBytes := uint32(len(insts) * m.CodeBytesPerInst)
+	insts := buf
+	if insts == nil {
+		end := startIdx + uint32(count)
+		insts = vm.code[startIdx:end:end]
+	}
+	term := insts[count-1]
+	bodyBytes := uint32(count * m.CodeBytesPerInst)
 	size := bodyBytes + uint32(m.StubBytes)
 
 	if vm.cacheUsed+size > vm.opts.CacheBytes {
 		vm.flush()
 	}
 
-	f := &Fragment{
-		GuestPC:  guest,
-		Insts:    insts,
-		HostAddr: vm.AllocCode(size),
-		Bytes:    size,
-		Synth:    !term.Op.IsControl(),
+	f := vm.newFragment()
+	*f = Fragment{
+		GuestPC:      guest,
+		Insts:        insts,
+		HostAddr:     vm.AllocCode(size),
+		Bytes:        size,
+		Synth:        !term.Op.IsControl(),
+		epoch:        vm.epoch,
+		staticCycles: machine.StaticBodyCost(m, insts),
 	}
 	if term.Op.IsIndirect() {
-		f.Site = &IBSite{
+		s := vm.newSite()
+		*s = IBSite{
 			GuestPC:  termPC,
 			Kind:     isa.KindOf(term.Op),
 			HostAddr: f.HostAddr + bodyBytes,
 		}
+		f.Site = s
 		vm.opts.Handler.Attach(vm, f.Site)
 	}
-	vm.frags[guest] = f
-	vm.byHost[f.HostAddr] = f
+	vm.frags[startIdx] = f
+	vm.hostTab.put(f.HostAddr).frag = f
 
-	vm.Env.Charge(m.TransBase + m.TransPerInst*len(insts))
+	vm.Env.Charge(m.TransBase + m.TransPerInst*count)
 	vm.Prof.Translations++
-	vm.Prof.TransInsts += uint64(len(insts))
+	vm.Prof.TransInsts += uint64(count)
 	vm.Prof.CyclesTrans += vm.Env.Cycles - start
 	return f, nil
 }
 
-// flush empties the fragment cache: the translation table, host-address
-// index and all handler state are dropped. Hostized return addresses stay
-// resolvable through hostRet, so fast returns into flushed code fall back
-// to the translator instead of misbehaving.
+// flush empties the fragment cache: the epoch bump invalidates every
+// fragment and every patched link at once, and all handler state is
+// dropped. The dense translation table and the host-address index keep
+// their (now stale) entries — liveness is the epoch tag, so no per-entry
+// work happens. Hostized return addresses stay resolvable through the host
+// table, so fast returns into flushed code fall back to the translator
+// instead of misbehaving.
+//
+// Arena chunks move to a free list for reuse by the next epoch's
+// translations — except in trace mode, where a trace that is mid-execution
+// may legitimately keep reading the bodies of just-flushed fragments, so
+// the chunks are handed to the garbage collector instead.
 func (vm *VM) flush() {
 	vm.epoch++
 	vm.Prof.Flushes++
-	vm.frags = make(map[uint32]*Fragment)
-	vm.byHost = make(map[uint32]*Fragment)
 	vm.rec = nil // any in-progress trace recording holds doomed fragments
 	vm.cacheUsed = 0
+	if vm.opts.Traces {
+		for i := range vm.fchunks {
+			vm.fchunks[i] = nil
+		}
+		for i := range vm.schunks {
+			vm.schunks[i] = nil
+		}
+		vm.fchunks = vm.fchunks[:0]
+		vm.schunks = vm.schunks[:0]
+	} else {
+		// Age the limbo generations: the oldest becomes reusable, this
+		// epoch's chunks enter limbo. The vacated slice header backs the
+		// next epoch's chunk list, so rotation allocates nothing.
+		last := limboGens - 1
+		vm.freeFrag = append(vm.freeFrag, vm.fragLimbo[last]...)
+		ff := vm.fragLimbo[last][:0]
+		copy(vm.fragLimbo[1:], vm.fragLimbo[:last])
+		vm.fragLimbo[0] = vm.fchunks
+		vm.fchunks = ff
+		vm.freeSite = append(vm.freeSite, vm.siteLimbo[last]...)
+		fs := vm.siteLimbo[last][:0]
+		copy(vm.siteLimbo[1:], vm.siteLimbo[:last])
+		vm.siteLimbo[0] = vm.schunks
+		vm.schunks = fs
+	}
 	if !vm.opts.FastReturns && vm.codeTop >= TableBase-vm.opts.CacheBytes {
 		// Reuse the address space; with fast returns it must stay unique
 		// because guest registers may hold old fragment addresses.
@@ -251,24 +346,33 @@ func (vm *VM) flush() {
 
 // link resolves a direct fragment exit through *slot, patching it on first
 // use. With linking disabled, every exit pays a translator entry.
-func (vm *VM) link(f *Fragment, slot **Fragment, guest uint32) (*Fragment, error) {
+//
+// e0 is the epoch observed when f was last known live (at exit entry). In
+// the normal (non-trace) mode the slot is only trusted and only patched
+// while vm.epoch == e0: once a translator entry inside this exit flushes
+// the cache, f's own storage may already have been reused for a different
+// fragment, so both reading and writing its link slots would touch the
+// wrong fragment's state. In trace mode fragment storage is never reused
+// (see flush), so slots stay trustworthy even on stale trace parts and are
+// patched unconditionally — stale parts can recur within one trace
+// execution and the patch legitimately serves the later occurrence.
+func (vm *VM) link(f *Fragment, slot *fragLink, guest uint32, e0 uint64) (*Fragment, error) {
 	if vm.opts.DisableLinking {
 		return vm.EnterTranslator(guest)
 	}
-	if next := *slot; next != nil && next.epochOK(vm) && next.GuestPC == guest {
+	trust := vm.opts.Traces || vm.epoch == e0
+	if next := slot.f; trust && next != nil && slot.epoch == vm.epoch && next.GuestPC == guest {
 		return next, nil
 	}
 	next, err := vm.EnterTranslator(guest)
 	if err != nil {
 		return nil, err
 	}
-	*slot = next
+	if vm.opts.Traces || vm.epoch == e0 {
+		*slot = fragLink{f: next, epoch: vm.epoch}
+	}
 	return next, nil
 }
-
-// epoch tagging: fragments translated before the last flush must not be
-// followed through stale links.
-func (f *Fragment) epochOK(vm *VM) bool { return vm.byHost[f.HostAddr] == f }
 
 // Run executes the guest under translation until it halts or limit
 // instructions retire (0 selects machine.DefaultLimit).
@@ -328,18 +432,30 @@ func (vm *VM) RunContext(ctx context.Context, limit uint64) error {
 // instruction fetches charged at hostBase, returning the terminator's
 // outcome. Exit resolution is the caller's job, which lets trace execution
 // (trace.go) lay the same fragments out at trace-local addresses.
+//
+// The data-independent body cost is charged in one batch up front
+// (f.staticCycles); the per-instruction work is the fetch, the D-cache
+// touch for loads and stores, and the architectural Exec. Because
+// simulated cycles are a pure sum and the cache/predictor access sequence
+// is unchanged, completed runs total bit-identically to per-instruction
+// charging; only runs cut short by a fault or the instruction limit (whose
+// cycle totals nothing compares) can differ.
 func (vm *VM) execBody(f *Fragment, hostBase uint32) (machine.Outcome, error) {
 	env := vm.Env
+	st := vm.State
+	env.Cycles += f.staticCycles
 	cb := uint32(env.Model.CodeBytesPerInst)
 	pc := f.GuestPC
 	last := len(f.Insts) - 1
 	for i, in := range f.Insts {
-		if vm.State.Instret >= vm.limit {
+		if st.Instret >= vm.limit {
 			return machine.Outcome{}, fmt.Errorf("%w (%d instructions)", ErrLimit, vm.limit)
 		}
 		env.IFetch(hostBase + uint32(i)*cb)
-		env.ChargeBody(vm.State, in)
-		out, err := machine.Exec(vm.State, in, pc)
+		if in.Op.IsMem() {
+			env.DTouch(st.Regs[in.Rs1] + uint32(in.Imm))
+		}
+		out, err := machine.Exec(st, in, pc)
 		if err != nil {
 			return machine.Outcome{}, fmt.Errorf("core: in fragment %#x: %w", f.GuestPC, err)
 		}
@@ -362,7 +478,11 @@ func (vm *VM) execFragment(f *Fragment) (*Fragment, error) {
 }
 
 // exit charges and resolves a fragment's terminating control transfer.
+// The epoch at entry is captured and threaded to the link/return-point
+// logic so that a flush triggered mid-exit (by a translator entry) stops
+// any further use of f's patchable slots — see link.
 func (vm *VM) exit(f *Fragment, out machine.Outcome) (*Fragment, error) {
+	e0 := vm.epoch
 	env := vm.Env
 	m := env.Model
 	switch out.Kind {
@@ -372,17 +492,17 @@ func (vm *VM) exit(f *Fragment, out machine.Outcome) (*Fragment, error) {
 	case OutNext:
 		// Synthesized fall-through for an over-long block.
 		env.Charge(m.DirectJump)
-		return vm.link(f, &f.FallLink, out.Target)
+		return vm.link(f, &f.FallLink, out.Target, e0)
 	case OutBranch:
 		if out.Taken {
 			env.Charge(m.BranchTaken)
-			return vm.link(f, &f.TakenLink, out.Target)
+			return vm.link(f, &f.TakenLink, out.Target, e0)
 		}
 		env.Charge(m.BranchNotTaken)
-		return vm.link(f, &f.FallLink, out.Target)
+		return vm.link(f, &f.FallLink, out.Target, e0)
 	case OutJump:
 		env.Charge(m.DirectJump)
-		return vm.link(f, &f.TakenLink, out.Target)
+		return vm.link(f, &f.TakenLink, out.Target, e0)
 	case OutCall:
 		// Direct call (JAL). Exec already set ra to the guest return
 		// address; under fast returns the emitted code loads the
@@ -392,15 +512,15 @@ func (vm *VM) exit(f *Fragment, out machine.Outcome) (*Fragment, error) {
 			vm.callObs.OnCall(vm, guestRet)
 		}
 		if vm.opts.FastReturns {
-			if err := vm.fastCall(f, guestRet); err != nil {
+			if err := vm.fastCall(f, guestRet, e0); err != nil {
 				return nil, err
 			}
 		} else {
 			env.Charge(m.DirectJump)
 		}
-		return vm.link(f, &f.TakenLink, out.Target)
+		return vm.link(f, &f.TakenLink, out.Target, e0)
 	case OutIndirect:
-		return vm.indirect(f, out)
+		return vm.indirect(f, out, e0)
 	}
 	panic("core: unhandled outcome kind")
 }
@@ -415,28 +535,47 @@ const (
 	OutHalt     = machine.OutHalt
 )
 
+// retPoint resolves the return-point fragment for a call with guest return
+// address guestRet, through f's RetFrag slot (same trust/patch discipline
+// as link). It records the hostized return address so a later fast return
+// into flushed code can recover the guest pc.
+func (vm *VM) retPoint(f *Fragment, guestRet uint32, e0 uint64) (*Fragment, error) {
+	trust := vm.opts.Traces || vm.epoch == e0
+	rl := f.RetFrag
+	if rf := rl.f; trust && rf != nil && rl.epoch == vm.epoch && rf.GuestPC == guestRet {
+		return rf, nil
+	}
+	// First execution (or flushed): materialize the return-point fragment
+	// the way the translator does when it rewrites the call.
+	rf, err := vm.EnterTranslator(guestRet)
+	if err != nil {
+		return nil, err
+	}
+	if vm.opts.Traces || vm.epoch == e0 {
+		f.RetFrag = fragLink{f: rf, epoch: vm.epoch}
+	}
+	e := vm.hostTab.put(rf.HostAddr)
+	e.hasRet = true
+	e.guestRet = guestRet
+	return rf, nil
+}
+
 // fastCall rewrites the guest's return-address register to the
 // fragment-cache address of the return point and performs a host call
 // (pushing the return-address stack), realizing the paper's "fast returns".
-func (vm *VM) fastCall(f *Fragment, guestRet uint32) error {
-	if f.RetFrag == nil || !f.RetFrag.epochOK(vm) || f.RetFrag.GuestPC != guestRet {
-		// First execution (or flushed): materialize the return-point
-		// fragment the way the translator does when it rewrites the call.
-		rf, err := vm.EnterTranslator(guestRet)
-		if err != nil {
-			return err
-		}
-		f.RetFrag = rf
-		vm.hostRet[rf.HostAddr] = guestRet
+func (vm *VM) fastCall(f *Fragment, guestRet uint32, e0 uint64) error {
+	rf, err := vm.retPoint(f, guestRet, e0)
+	if err != nil {
+		return err
 	}
-	vm.State.SetReg(isa.RegRA, f.RetFrag.HostAddr)
-	vm.Env.HostCall(f.RetFrag.HostAddr)
+	vm.State.SetReg(isa.RegRA, rf.HostAddr)
+	vm.Env.HostCall(rf.HostAddr)
 	return nil
 }
 
 // indirect dispatches an indirect-branch exit through the configured
 // handler (or the fast-return path), attributing cycles to the IB category.
-func (vm *VM) indirect(f *Fragment, out machine.Outcome) (*Fragment, error) {
+func (vm *VM) indirect(f *Fragment, out machine.Outcome, e0 uint64) (*Fragment, error) {
 	vm.Prof.IBExec[out.IB]++
 	site := f.Site
 	if site == nil {
@@ -466,16 +605,12 @@ func (vm *VM) indirect(f *Fragment, out machine.Outcome) (*Fragment, error) {
 		if vm.opts.FastReturns {
 			// The emitted indirect call is a host call: hostize ra and
 			// push the RAS (the transfer itself was charged by Resolve).
-			if f.RetFrag == nil || !f.RetFrag.epochOK(vm) || f.RetFrag.GuestPC != guestRet {
-				rf, err := vm.EnterTranslator(guestRet)
-				if err != nil {
-					return nil, err
-				}
-				f.RetFrag = rf
-				vm.hostRet[rf.HostAddr] = guestRet
+			rf, err := vm.retPoint(f, guestRet, e0)
+			if err != nil {
+				return nil, err
 			}
-			vm.State.SetReg(isa.RegRA, f.RetFrag.HostAddr)
-			vm.Env.RAS.Push(f.RetFrag.HostAddr)
+			vm.State.SetReg(isa.RegRA, rf.HostAddr)
+			vm.Env.RAS.Push(rf.HostAddr)
 		}
 	}
 	return next, nil
@@ -493,18 +628,20 @@ func (vm *VM) fastReturn(site *IBSite, target uint32) (*Fragment, error) {
 		return vm.opts.Handler.Resolve(vm, site, target)
 	}
 	vm.Env.HostReturn(target)
-	if f := vm.byHost[target]; f != nil {
-		vm.Prof.MechHits++
-		return f, nil
+	if e := vm.hostTab.get(target); e != nil {
+		if f := e.frag; f != nil && f.epoch == vm.epoch && f.HostAddr == target {
+			vm.Prof.MechHits++
+			return f, nil
+		}
+		if e.hasRet {
+			// The fragment was flushed; recover its guest pc and
+			// retranslate.
+			vm.Prof.MechMisses++
+			vm.Prof.IBMiss[isa.IBReturn]++
+			return vm.EnterTranslator(e.guestRet)
+		}
 	}
-	// The fragment was flushed; recover its guest pc and retranslate.
-	guest, ok := vm.hostRet[target]
-	if !ok {
-		return nil, &machine.Fault{PC: site.GuestPC, Addr: target, Msg: "return to unknown fragment-cache address"}
-	}
-	vm.Prof.MechMisses++
-	vm.Prof.IBMiss[isa.IBReturn]++
-	return vm.EnterTranslator(guest)
+	return nil, &machine.Fault{PC: site.GuestPC, Addr: target, Msg: "return to unknown fragment-cache address"}
 }
 
 // Result summarizes the run in the same shape as the native machine's.

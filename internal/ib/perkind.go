@@ -14,6 +14,12 @@ type PerKind struct {
 	Ret  core.IBHandler
 	Jump core.IBHandler
 	Call core.IBHandler
+
+	// subs and obs cache distinct() and its call observers from Init on:
+	// OnCall runs once per executed guest call, so it must not rebuild the
+	// handler list (or allocate) every time.
+	subs []core.IBHandler
+	obs  []core.CallObserver
 }
 
 // NewPerKind builds the combinator. All three fields are required.
@@ -55,7 +61,14 @@ func (c *PerKind) forKind(kind isa.IBKind) core.IBHandler {
 
 // Init implements core.IBHandler.
 func (c *PerKind) Init(vm *core.VM) {
-	for _, h := range c.distinct() {
+	c.subs = c.distinct()
+	c.obs = c.obs[:0]
+	for _, h := range c.subs {
+		if o, ok := h.(core.CallObserver); ok {
+			c.obs = append(c.obs, o)
+		}
+	}
+	for _, h := range c.subs {
 		h.Init(vm)
 	}
 }
@@ -72,7 +85,7 @@ func (c *PerKind) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.
 
 // Flush implements core.IBHandler.
 func (c *PerKind) Flush(vm *core.VM) {
-	for _, h := range c.distinct() {
+	for _, h := range c.subs {
 		h.Flush(vm)
 	}
 }
@@ -80,9 +93,7 @@ func (c *PerKind) Flush(vm *core.VM) {
 // OnCall implements core.CallObserver, forwarding to every distinct
 // sub-handler that observes calls.
 func (c *PerKind) OnCall(vm *core.VM, guestRet uint32) {
-	for _, h := range c.distinct() {
-		if obs, ok := h.(core.CallObserver); ok {
-			obs.OnCall(vm, guestRet)
-		}
+	for _, o := range c.obs {
+		o.OnCall(vm, guestRet)
 	}
 }

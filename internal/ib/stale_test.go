@@ -1,0 +1,108 @@
+package ib_test
+
+import (
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+)
+
+// Fragment storage is arena-allocated and reused across flushes, so a
+// mechanism that held a *Fragment past a flush could see a ghost hit: a
+// pointer that is live again as a different block. Every VM-side liveness
+// probe must reject such pointers the moment the epoch bumps. This test
+// drives each mechanism in the sweep set through repeated flushes and, at
+// the instant the handler's Flush callback runs (epoch already bumped,
+// nothing retranslated yet), asserts that every fragment resolved in the
+// dying epoch now misses through all three lookup paths.
+
+// staleCap snapshots a resolved fragment's identity at capture time; the
+// assertions must not trust fields read from a stale pointer.
+type staleCap struct {
+	f        *core.Fragment
+	guestPC  uint32
+	hostAddr uint32
+}
+
+// staleProbe wraps a real mechanism, recording every fragment its Resolve
+// returns and auditing them when the fragment cache flushes.
+type staleProbe struct {
+	t        *testing.T
+	inner    core.IBHandler
+	captured []staleCap
+	flushes  int
+	checked  int
+}
+
+func (p *staleProbe) Name() string                          { return "staleprobe(" + p.inner.Name() + ")" }
+func (p *staleProbe) Init(vm *core.VM)                      { p.inner.Init(vm) }
+func (p *staleProbe) Attach(vm *core.VM, site *core.IBSite) { p.inner.Attach(vm, site) }
+
+func (p *staleProbe) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	f, err := p.inner.Resolve(vm, site, target)
+	if err == nil && f != nil {
+		p.captured = append(p.captured, staleCap{f: f, guestPC: f.GuestPC, hostAddr: f.HostAddr})
+	}
+	return f, err
+}
+
+// Flush runs after the VM bumped its epoch and before anything is
+// retranslated: the window where a retained pointer is maximally dangerous.
+func (p *staleProbe) Flush(vm *core.VM) {
+	p.flushes++
+	for _, c := range p.captured {
+		if vm.Live(c.f) {
+			p.t.Errorf("flush %d: fragment %#x (guest %#x) still reported live", p.flushes, c.hostAddr, c.guestPC)
+		}
+		if f := vm.Lookup(c.guestPC); f != nil {
+			p.t.Errorf("flush %d: Lookup(%#x) returned %p after flush", p.flushes, c.guestPC, f)
+		}
+		if f := vm.FragmentByHost(c.hostAddr); f != nil {
+			p.t.Errorf("flush %d: FragmentByHost(%#x) returned %p after flush", p.flushes, c.hostAddr, f)
+		}
+		p.checked++
+	}
+	p.captured = p.captured[:0]
+	p.inner.Flush(vm)
+}
+
+// OnCall forwards call observations so pre-filling mechanisms (the return
+// cache) behave identically under the probe.
+func (p *staleProbe) OnCall(vm *core.VM, guestRet uint32) {
+	if obs, ok := p.inner.(core.CallObserver); ok {
+		obs.OnCall(vm, guestRet)
+	}
+}
+
+func TestStaleFragmentsMissAfterFlush(t *testing.T) {
+	src := polyProg(8, 30_000)
+	for _, spec := range ib.SweepSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			cfg, err := ib.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := &staleProbe{t: t, inner: cfg.Handler}
+			vm, err := core.New(assemble(t, src), core.Options{
+				Model:       hostarch.X86(),
+				Handler:     probe,
+				FastReturns: cfg.FastReturns,
+				Traces:      cfg.Traces,
+				CacheBytes:  256, // far below the working set: constant flushing
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.Run(20_000_000); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if probe.flushes == 0 {
+				t.Fatal("cache never flushed; the staleness window was not exercised")
+			}
+			if probe.checked == 0 {
+				t.Fatal("no fragments captured across a flush; probe saw nothing")
+			}
+		})
+	}
+}

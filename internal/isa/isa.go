@@ -231,6 +231,10 @@ func (op Op) IsStore() bool { return op == SW || op == SH || op == SB }
 // IsLoad reports whether op reads memory.
 func (op Op) IsLoad() bool { return op >= LW && op <= LBU }
 
+// IsMem reports whether op accesses memory (load or store); it relies on
+// the loads and stores being contiguous in the opcode enumeration.
+func (op Op) IsMem() bool { return op >= LW && op <= SB }
+
 // IBKind classifies indirect control transfers. The paper's characterization
 // and several mechanisms (fast returns, the return cache) are keyed on it.
 type IBKind uint8

@@ -111,6 +111,36 @@ func (e *CostEnv) ChargeBody(s *State, in isa.Inst) {
 	}
 }
 
+// StaticBodyCost returns the data-independent part of ChargeBody summed
+// over insts: everything except the D-cache accesses of loads and stores
+// (whose addresses are run-time values) and control-flow costs (charged at
+// the exit). The SDT precomputes this per fragment at translation time and
+// charges it in one batch per execution; because simulated cycles are a pure
+// sum, batching the static terms leaves completed-run totals bit-identical
+// to per-instruction charging.
+func StaticBodyCost(m *hostarch.Model, insts []isa.Inst) uint64 {
+	var n uint64
+	for _, in := range insts {
+		switch {
+		case in.Op == isa.MUL:
+			n += uint64(m.Mul)
+		case in.Op == isa.DIV || in.Op == isa.DIVU || in.Op == isa.REM || in.Op == isa.REMU:
+			n += uint64(m.Div)
+		case in.Op.IsLoad():
+			n += uint64(m.Load)
+		case in.Op.IsStore():
+			n += uint64(m.Store)
+		case in.Op == isa.OUT:
+			n += uint64(m.Out)
+		case in.Op.IsControl():
+			// Charged by the control-flow accounting at the fragment exit.
+		default:
+			n += uint64(m.ALU)
+		}
+	}
+	return n
+}
+
 // ChargeControl charges the native cost of a control outcome at pc and
 // updates the predictors the way a directly executing host would.
 func (e *CostEnv) ChargeControl(pc uint32, out Outcome) {

@@ -74,12 +74,12 @@ func New(img *program.Image, model *hostarch.Model) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	code := make([]isa.Inst, len(img.Code))
-	for i, w := range img.Code {
-		code[i] = isa.Decode(w)
-	}
-	return &Machine{State: st, Env: env, img: img, code: code}, nil
+	return &Machine{State: st, Env: env, img: img, code: img.Decoded()}, nil
 }
+
+// Recycle returns the machine's reusable buffers (guest memory) to their
+// pools. The machine must not be used afterwards.
+func (m *Machine) Recycle() { m.State.Recycle() }
 
 // FetchDecoded returns the predecoded instruction at pc, faulting on
 // addresses outside the code section. Execution never leaves the static

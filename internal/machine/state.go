@@ -14,6 +14,7 @@ package machine
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"sdt/internal/isa"
 	"sdt/internal/program"
@@ -75,17 +76,44 @@ type State struct {
 	Instret  uint64 // retired guest instructions
 }
 
+// memPool recycles guest memory buffers between runs. Buffers are zeroed
+// before reuse, so a pooled buffer is indistinguishable from a fresh one;
+// Get falls back to allocation when the pooled buffer is too small.
+var memPool sync.Pool // stores *[]byte
+
+func grabMem(size uint32) []byte {
+	if p, _ := memPool.Get().(*[]byte); p != nil && uint32(cap(*p)) >= size {
+		mem := (*p)[:size]
+		clear(mem)
+		return mem
+	}
+	return make([]byte, size)
+}
+
 // NewState builds the initial state for an image: memory laid out, pc at
 // the entry point, sp at the top of memory and gp at the data base.
+// Guest memory comes from a recycled buffer when one is available (see
+// Recycle), so repeated runs of similar-sized images do not reallocate it.
 func NewState(img *program.Image) (*State, error) {
-	mem, err := img.BuildMemory()
-	if err != nil {
+	mem := grabMem(img.MemBytes())
+	if err := img.LayoutMemory(mem); err != nil {
 		return nil, err
 	}
 	s := &State{PC: img.Entry, Mem: mem}
 	s.Regs[isa.RegSP] = uint32(len(mem))
 	s.Regs[isa.RegGP] = img.DataBase()
 	return s, nil
+}
+
+// Recycle returns the state's memory buffer to the shared pool. The state
+// (and any slice of its memory) must not be used afterwards.
+func (s *State) Recycle() {
+	if s.Mem == nil {
+		return
+	}
+	mem := s.Mem
+	s.Mem = nil
+	memPool.Put(&mem)
 }
 
 // fault builds a Fault at the current pc.

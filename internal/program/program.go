@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"sdt/internal/isa"
 )
@@ -50,6 +51,27 @@ type Image struct {
 	Code    []uint32 // instruction words, loaded at CodeBase
 	Data    []byte   // data section, loaded at DataBase()
 	Symbols map[string]uint32
+
+	decoded atomic.Pointer[[]isa.Inst] // Decoded() memo; nil until first use
+}
+
+// Decoded returns the predecoded code section, decoding it on first use and
+// memoizing the result on the image. Every consumer of one image (the native
+// machine, each of the daemon's repeated SDT runs) shares a single decode
+// pass. The returned slice is shared and must be treated as read-only; it is
+// safe for concurrent callers. Callers must not mutate Code after the first
+// Decoded call.
+func (im *Image) Decoded() []isa.Inst {
+	if p := im.decoded.Load(); p != nil {
+		return *p
+	}
+	code := make([]isa.Inst, len(im.Code))
+	for i, w := range im.Code {
+		code[i] = isa.Decode(w)
+	}
+	// A racing decode produces an identical slice; either winner is fine.
+	im.decoded.Store(&code)
+	return code
 }
 
 // DataBase returns the load address of the data section: the first word
@@ -84,21 +106,42 @@ func (im *Image) Validate() error {
 	return nil
 }
 
+// MemBytes returns the guest memory size the image executes with.
+func (im *Image) MemBytes() uint32 {
+	if im.MemSize == 0 {
+		return DefaultMemSize
+	}
+	return im.MemSize
+}
+
 // BuildMemory lays out a fresh guest memory for executing the image.
 func (im *Image) BuildMemory() ([]byte, error) {
 	if err := im.Validate(); err != nil {
 		return nil, err
 	}
-	size := im.MemSize
-	if size == 0 {
-		size = DefaultMemSize
+	mem := make([]byte, im.MemBytes())
+	im.layout(mem)
+	return mem, nil
+}
+
+// LayoutMemory writes the image into mem, which must be zeroed and exactly
+// MemBytes long — the recycled-buffer path of BuildMemory.
+func (im *Image) LayoutMemory(mem []byte) error {
+	if err := im.Validate(); err != nil {
+		return err
 	}
-	mem := make([]byte, size)
+	if uint32(len(mem)) != im.MemBytes() {
+		return fmt.Errorf("program: memory buffer is %d bytes, image needs %d", len(mem), im.MemBytes())
+	}
+	im.layout(mem)
+	return nil
+}
+
+func (im *Image) layout(mem []byte) {
 	for i, w := range im.Code {
 		binary.LittleEndian.PutUint32(mem[CodeBase+uint32(i)*isa.WordSize:], w)
 	}
 	copy(mem[im.DataBase():], im.Data)
-	return mem, nil
 }
 
 // SymbolAt returns the name of the symbol defined exactly at addr, if any.

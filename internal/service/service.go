@@ -314,7 +314,9 @@ func (s *Server) runJob(ctx context.Context, key string, img *program.Image, req
 	}
 
 	nr, sr := native.Result(), vm.Result()
+	native.Recycle()
 	if nr.Checksum != sr.Checksum || nr.Instret != sr.Instret {
+		vm.Recycle()
 		return nil, errDivergence
 	}
 	res := RunResult{
@@ -336,6 +338,7 @@ func (s *Server) runJob(ctx context.Context, key string, img *program.Image, req
 			s.met.ibLookups.get(fmt.Sprintf("mech=%q,kind=%q", req.Mech, kind)).Add(n)
 		}
 	}
+	vm.Recycle()
 	return json.Marshal(res)
 }
 

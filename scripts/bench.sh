@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate for the dispatch hot path. Runs the tracked
+# benchmark set (BenchmarkRun* and BenchmarkFlushStorm, with -benchmem)
+# several times, reduces to medians, and compares against the committed
+# BENCH_3.json baseline via cmd/benchgate: >10% ns/op regression fails.
+#
+# Usage:
+#   scripts/bench.sh            gate against the committed baseline
+#   scripts/bench.sh -update    remeasure and rewrite the baseline's
+#                               "after" section (the "before" record of the
+#                               pre-optimization numbers is preserved)
+#
+# Tunables (environment):
+#   BENCH_COUNT      repetitions fed to the median (default 5)
+#   BENCH_TIME       go test -benchtime per run (default 1s)
+#   BENCH_THRESHOLD  ns/op tolerance in percent (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT=${BENCH_COUNT:-5}
+TIME=${BENCH_TIME:-1s}
+PATTERN='^(BenchmarkRun|BenchmarkFlushStorm)'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" -benchtime "$TIME" ./internal/core |
+    go run ./cmd/benchgate -baseline BENCH_3.json "$@"
