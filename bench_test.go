@@ -113,7 +113,7 @@ func BenchmarkSimulatorNative(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	img, err := spec.Image(spec.DefaultScale / 8)
+	img, err := spec.Image(spec.ScaledDown(8))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench ... -benchmem -count 5 ./internal/core | benchgate -baseline BENCH_3.json
-//	... | benchgate -baseline BENCH_3.json -update
+//	go test -run '^$' -bench ... -benchmem -count 5 ./internal/core | benchgate -baseline BENCH_4.json
+//	... | benchgate -baseline BENCH_4.json -update
 //
 // Without -update, benchgate exits nonzero when any benchmark's ns/op
 // regresses by more than -threshold percent (default 10, overridable with
 // the BENCH_THRESHOLD environment variable) or its allocs/op grows past a
 // lenient bound (25% + 5 allocs — sync.Pool refills after a GC make exact
-// allocation counts slightly noisy). With -update it rewrites the
-// baseline's "after" section from the measured medians, preserving the
-// "before" section as the historical record of the pre-optimization
-// numbers. See docs/PERF.md.
+// allocation counts slightly noisy). A metric the baseline records but the
+// measurement lacks (a run without -benchmem, say) is a gate failure, not
+// a vacuous pass: absent metrics are represented as absent, never as zero.
+// With -update it rewrites the baseline's "after" section from the
+// measured medians, preserving the "before" section as the historical
+// record of the pre-optimization numbers. See docs/PERF.md.
 package main
 
 import (
@@ -22,18 +24,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Metrics is one benchmark's reduced (median) measurement.
+// Metrics is one benchmark's reduced (median) measurement. NsPerOp is
+// present on every benchmark line; the remaining units only appear under
+// -benchmem (or as custom metrics), so they are pointers — nil means "not
+// measured", which is distinct from a measured zero.
 type Metrics struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	GuestMIPS   float64 `json:"guest_mips,omitempty"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	GuestMIPS   *float64 `json:"guest_mips,omitempty"`
 }
 
 // Baseline is the committed BENCH_*.json schema. Before is informational
@@ -47,13 +53,13 @@ type Baseline struct {
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_3.json", "baseline JSON path")
+		baselinePath = flag.String("baseline", "BENCH_4.json", "baseline JSON path")
 		update       = flag.Bool("update", false, "rewrite the baseline's after section instead of gating")
 		threshold    = flag.Float64("threshold", defaultThreshold(), "ns/op regression tolerance, percent")
 	)
 	flag.Parse()
 
-	measured, err := parseBench(os.Stdin)
+	measured, err := parseBench(os.Stdin, os.Stdout)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,7 +82,11 @@ func main() {
 	if len(base.After) == 0 {
 		fatal(fmt.Errorf("%s: empty after section (run scripts/bench.sh -update first)", *baselinePath))
 	}
-	if err := gate(base.After, measured, *threshold); err != nil {
+	notes, err := gate(base.After, measured, *threshold)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", len(measured), *threshold, *baselinePath)
@@ -98,19 +108,29 @@ func fatal(err error) {
 
 // parseBench reads standard testing benchmark output and returns the
 // median of each metric across repeated runs of the same benchmark.
-func parseBench(f *os.File) (map[string]Metrics, error) {
+// Every input line is echoed to echo (nil discards), so the gate's log
+// still shows the raw results. A benchmark line contributes whatever
+// value/unit pairs it carries; a trailing unpaired field (tool chatter
+// appended to a line) is ignored rather than discarding the whole line.
+func parseBench(r io.Reader, echo io.Writer) (map[string]Metrics, error) {
 	samples := map[string]map[string][]float64{} // name -> unit -> values
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 256<<10), 256<<10)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // echo, so the gate's log still shows raw results
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		fields := strings.Fields(line)
 		// Name, iteration count, then value/unit pairs.
-		if len(fields) < 4 || len(fields)%2 != 0 {
+		if len(fields) < 4 {
 			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // "Benchmark..." prose, not a result line
 		}
 		name := fields[0]
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
@@ -133,35 +153,55 @@ func parseBench(f *os.File) (map[string]Metrics, error) {
 	}
 	out := make(map[string]Metrics, len(samples))
 	for name, units := range samples {
-		out[name] = Metrics{
-			NsPerOp:     median(units["ns/op"]),
-			AllocsPerOp: median(units["allocs/op"]),
-			BytesPerOp:  median(units["B/op"]),
-			GuestMIPS:   median(units["guest-MIPS"]),
+		ns, ok := median(units["ns/op"])
+		if !ok {
+			continue // no timing samples: not a measurement
 		}
+		m := Metrics{NsPerOp: ns}
+		m.AllocsPerOp = medianPtr(units["allocs/op"])
+		m.BytesPerOp = medianPtr(units["B/op"])
+		m.GuestMIPS = medianPtr(units["guest-MIPS"])
+		out[name] = m
 	}
 	return out, nil
 }
 
-func median(vs []float64) float64 {
+// median reduces samples; ok is false when there are none (the caller
+// must treat that as "metric absent", never as zero).
+func median(vs []float64) (v float64, ok bool) {
 	if len(vs) == 0 {
-		return 0
+		return 0, false
 	}
 	s := append([]float64(nil), vs...)
 	sort.Float64s(s)
 	if n := len(s); n%2 == 1 {
-		return s[n/2]
+		return s[n/2], true
 	} else {
-		return (s[n/2-1] + s[n/2]) / 2
+		return (s[n/2-1] + s[n/2]) / 2, true
 	}
 }
 
-// gate compares measured medians against the baseline. Benchmarks missing
-// from either side are reported but only regressions fail the gate: the
-// baseline is the contract, new benchmarks join it via -update.
-func gate(base, measured map[string]Metrics, threshold float64) error {
+func medianPtr(vs []float64) *float64 {
+	if v, ok := median(vs); ok {
+		return &v
+	}
+	return nil
+}
+
+// gate compares measured medians against the baseline. Benchmarks or
+// metrics missing from the measurement fail the gate (a run without
+// -benchmem must not pass the allocs bound vacuously); benchmarks only
+// present in the measurement are reported as notes and join the baseline
+// via -update.
+func gate(base, measured map[string]Metrics, threshold float64) (notes []string, err error) {
 	var failures []string
-	for name, b := range base {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
 		m, ok := measured[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", name))
@@ -173,21 +213,31 @@ func gate(base, measured map[string]Metrics, threshold float64) error {
 		}
 		// Allocations in steady state are pooled, but a GC mid-benchmark
 		// refills pools from the heap; allow headroom before failing.
-		if allowed := b.AllocsPerOp*1.25 + 5; m.AllocsPerOp > allowed {
-			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (allowed %.0f)",
-				name, m.AllocsPerOp, b.AllocsPerOp, allowed))
+		if b.AllocsPerOp != nil {
+			switch {
+			case m.AllocsPerOp == nil:
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op metric missing (baseline has %.0f; run with -benchmem)", name, *b.AllocsPerOp))
+			case *m.AllocsPerOp > *b.AllocsPerOp*1.25+5:
+				failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (allowed %.0f)",
+					name, *m.AllocsPerOp, *b.AllocsPerOp, *b.AllocsPerOp*1.25+5))
+			}
 		}
 	}
+	extra := make([]string, 0)
 	for name := range measured {
 		if _, ok := base[name]; !ok {
-			fmt.Printf("benchgate: note: %s not in baseline (run with -update to add it)\n", name)
+			extra = append(extra, name)
 		}
 	}
-	if len(failures) > 0 {
-		sort.Strings(failures)
-		return fmt.Errorf("regression detected:\n  %s", strings.Join(failures, "\n  "))
+	sort.Strings(extra)
+	for _, name := range extra {
+		notes = append(notes, fmt.Sprintf("benchgate: note: %s not in baseline (run with -update to add it)", name))
 	}
-	return nil
+	if len(failures) > 0 {
+		return notes, fmt.Errorf("regression detected:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return notes, nil
 }
 
 func readBaseline(path string) (*Baseline, error) {

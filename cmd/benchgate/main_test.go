@@ -1,0 +1,166 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+const benchmemOutput = `goos: linux
+goarch: amd64
+pkg: sdt/internal/core
+BenchmarkRunDispatchIBTC-8   	     100	  15256894 ns/op	        42.28 guest-MIPS	 4347643 B/op	      59 allocs/op
+BenchmarkRunDispatchIBTC-8   	     100	  15000000 ns/op	        43.00 guest-MIPS	 4347000 B/op	      61 allocs/op
+BenchmarkRunDispatchIBTC-8   	     100	  16000000 ns/op	        41.00 guest-MIPS	 4348000 B/op	      57 allocs/op
+PASS
+`
+
+// The same benchmark run WITHOUT -benchmem: no allocs/op or B/op samples.
+const noBenchmemOutput = `goos: linux
+BenchmarkRunDispatchIBTC-8   	     100	  15256894 ns/op	        42.28 guest-MIPS
+PASS
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchmemOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["BenchmarkRunDispatchIBTC"]
+	if !ok {
+		t.Fatalf("benchmark not parsed; got %v", got)
+	}
+	if m.NsPerOp != 15256894 {
+		t.Errorf("ns/op median = %v, want 15256894", m.NsPerOp)
+	}
+	if m.AllocsPerOp == nil || *m.AllocsPerOp != 59 {
+		t.Errorf("allocs/op median = %v, want 59", m.AllocsPerOp)
+	}
+	if m.BytesPerOp == nil || *m.BytesPerOp != 4347643 {
+		t.Errorf("B/op median = %v, want 4347643", m.BytesPerOp)
+	}
+	if m.GuestMIPS == nil || *m.GuestMIPS != 42.28 {
+		t.Errorf("guest-MIPS median = %v, want 42.28", m.GuestMIPS)
+	}
+}
+
+// A run without -benchmem must parse with the memory metrics ABSENT —
+// not as a measured 0 (the bug this file pins down: median(nil) used to
+// return 0, letting the allocs bound pass vacuously).
+func TestParseBenchWithoutBenchmemLeavesMetricsAbsent(t *testing.T) {
+	got, err := parseBench(strings.NewReader(noBenchmemOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["BenchmarkRunDispatchIBTC"]
+	if !ok {
+		t.Fatalf("benchmark not parsed; got %v", got)
+	}
+	if m.AllocsPerOp != nil {
+		t.Errorf("allocs/op = %v, want absent (nil)", *m.AllocsPerOp)
+	}
+	if m.BytesPerOp != nil {
+		t.Errorf("B/op = %v, want absent (nil)", *m.BytesPerOp)
+	}
+	if m.NsPerOp != 15256894 {
+		t.Errorf("ns/op = %v, want 15256894", m.NsPerOp)
+	}
+}
+
+// Lines with an odd field count used to be dropped wholesale; the paired
+// prefix must be kept and only the unpaired trailing field ignored.
+func TestParseBenchOddFieldLine(t *testing.T) {
+	odd := "BenchmarkOdd-8   	     100	  123 ns/op	      7 allocs/op	trailing\n"
+	got, err := parseBench(strings.NewReader(odd), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["BenchmarkOdd"]
+	if !ok {
+		t.Fatalf("odd-field line dropped; got %v", got)
+	}
+	if m.NsPerOp != 123 {
+		t.Errorf("ns/op = %v, want 123", m.NsPerOp)
+	}
+	if m.AllocsPerOp == nil || *m.AllocsPerOp != 7 {
+		t.Errorf("allocs/op = %v, want 7", m.AllocsPerOp)
+	}
+}
+
+func TestParseBenchIgnoresProseAndEchoes(t *testing.T) {
+	input := "BenchmarkResults were inconclusive today\nBenchmarkReal-4 10 50 ns/op\n"
+	var echo strings.Builder
+	got, err := parseBench(strings.NewReader(input), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkResults"]; ok {
+		t.Error("prose line starting with Benchmark was parsed as a result")
+	}
+	if m, ok := got["BenchmarkReal"]; !ok || m.NsPerOp != 50 {
+		t.Errorf("real line not parsed: %v", got)
+	}
+	if echo.String() != input {
+		t.Errorf("echo = %q, want the verbatim input", echo.String())
+	}
+}
+
+// The regression this PR fixes: a baseline with an allocs bound gated
+// against a no-benchmem measurement must FAIL with a "missing" report,
+// not pass by comparing against a fabricated zero.
+func TestGateMissingAllocsMetricFails(t *testing.T) {
+	base := map[string]Metrics{
+		"BenchmarkRunDispatchIBTC": {NsPerOp: 15256894, AllocsPerOp: f(59)},
+	}
+	measured, err := parseBench(strings.NewReader(noBenchmemOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gerr := gate(base, measured, 10)
+	if gerr == nil {
+		t.Fatal("gate passed with the allocs metric missing from the measurement")
+	}
+	if !strings.Contains(gerr.Error(), "missing") {
+		t.Errorf("gate error %q does not report the metric as missing", gerr)
+	}
+}
+
+func TestGateAllocsRegression(t *testing.T) {
+	base := map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(10)}}
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(17)}}, 10); err != nil {
+		// Sanity of the lenient bound: 17 is under 10*1.25+5 = 17.5.
+		t.Errorf("unexpected failure at the bound: %v", err)
+	}
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(18)}}, 10); err == nil {
+		t.Error("allocs regression above the lenient bound passed")
+	}
+}
+
+func TestGateNsRegressionAndMissingBenchmark(t *testing.T) {
+	base := map[string]Metrics{"B": {NsPerOp: 100}}
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 109}}, 10); err != nil {
+		t.Errorf("+9%% within 10%% tolerance failed: %v", err)
+	}
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 115}}, 10); err == nil {
+		t.Error("+15% ns/op regression passed a 10% gate")
+	}
+	if _, err := gate(base, map[string]Metrics{"Other": {NsPerOp: 1}}, 10); err == nil {
+		t.Error("baseline benchmark absent from the measurement passed")
+	}
+}
+
+func TestGateNewBenchmarkIsANote(t *testing.T) {
+	base := map[string]Metrics{"B": {NsPerOp: 100}}
+	measured := map[string]Metrics{
+		"B":   {NsPerOp: 100},
+		"New": {NsPerOp: 5},
+	}
+	notes, err := gate(base, measured, 10)
+	if err != nil {
+		t.Fatalf("new benchmark failed the gate: %v", err)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "New") {
+		t.Errorf("notes = %v, want one mentioning New", notes)
+	}
+}

@@ -37,11 +37,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		scale := spec.DefaultScale / *div
-		if scale < 2 {
-			scale = 2
-		}
-		img, err := spec.Image(scale)
+		img, err := spec.Image(spec.ScaledDown(*div))
 		if err != nil {
 			fatal(err)
 		}

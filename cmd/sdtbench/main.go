@@ -15,14 +15,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 
 	"sdt/internal/bench"
+	"sdt/internal/sweep"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 
 	r := bench.NewRunner()
 	r.Scale = *scale
+	r.Parallel = *par
 	r.Verbose = *verbose
 	r.Log = os.Stderr
 	if *wls != "" {
@@ -77,42 +79,32 @@ func main() {
 	}
 }
 
-// runOrdered executes experiments up to par at a time (they share the
-// runner's memoized measurements) while printing results in order.
+// runOrdered executes experiments up to par at a time on the sweep engine
+// (they share the runner's memoized measurements) while printing results
+// in experiment order — the parallel output is byte-identical to a
+// sequential run. On an experiment error its partial output still prints
+// (ordered before the error surfaces); later experiments finish but stay
+// unprinted, matching the sequential contract.
 func runOrdered(r *bench.Runner, selected []bench.Experiment, par int) error {
-	if par < 1 {
-		par = 1
+	eng := &sweep.Engine[bench.Experiment, []byte]{
+		Workers: par,
+		Exec: func(_ context.Context, e bench.Experiment) ([]byte, error) {
+			var buf bytes.Buffer
+			err := bench.RunOne(r, &buf, e)
+			return buf.Bytes(), err
+		},
 	}
-	type slot struct {
-		buf bytes.Buffer
-		err error
-		ok  chan struct{}
-	}
-	slots := make([]*slot, len(selected))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, e := range selected {
-		s := &slot{ok: make(chan struct{})}
-		slots[i] = s
-		wg.Add(1)
-		go func(e bench.Experiment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s.err = bench.RunOne(r, &s.buf, e)
-			close(s.ok)
-		}(e)
-	}
-	for _, s := range slots {
-		<-s.ok
-		os.Stdout.Write(s.buf.Bytes())
-		if s.err != nil {
-			wg.Wait()
-			return s.err
+	var firstErr error
+	if err := eng.Ordered(context.Background(), selected, func(o sweep.Outcome[bench.Experiment, []byte]) {
+		if firstErr != nil {
+			return
 		}
+		os.Stdout.Write(o.Result)
+		firstErr = o.Err
+	}); err != nil {
+		return err
 	}
-	wg.Wait()
-	return nil
+	return firstErr
 }
 
 func fatal(err error) {

@@ -7,7 +7,7 @@
 //
 //	sdtd [-addr host:port] [-store dir] [-workers n] [-queue n]
 //	     [-mem n] [-timeout d] [-max-timeout d] [-drain-timeout d] [-q]
-//	     [-debug-addr host:port]
+//	     [-sweep-cells n] [-sweep-heartbeat d] [-debug-addr host:port]
 //
 // -debug-addr serves Go's net/http/pprof profiling endpoints on a separate
 // listener (keep it on loopback; it is intentionally not exposed through
@@ -47,6 +47,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request run timeout")
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight requests")
+		sweepCells   = flag.Int("sweep-cells", 0, "max cells one /v1/sweep may expand to (0 = default 2048)")
+		sweepBeat    = flag.Duration("sweep-heartbeat", 0, "progress heartbeat interval for sweep streams (0 = default 5s)")
 		quiet        = flag.Bool("q", false, "suppress per-request logging")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
@@ -65,6 +67,8 @@ func main() {
 		MemEntries:     *memEntries,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		MaxSweepCells:  *sweepCells,
+		SweepHeartbeat: *sweepBeat,
 		Log:            reqLog,
 	})
 	if err != nil {

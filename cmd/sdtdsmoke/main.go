@@ -7,9 +7,13 @@
 //     JSON result against a direct in-process sdt.Run/RunNative;
 //  2. re-submits and asserts a cache hit: the store hit counter increments
 //     and the result bytes are identical;
-//  3. submits a never-halting program with a deadline and asserts the
+//  3. streams a small batch sweep and checks completeness, poisoned-cell
+//     isolation, a fully-cached re-submission with byte-identical results,
+//     and that a mid-stream client disconnect cancels the remaining cells
+//     (observable in sdtd_sweep_cells_total);
+//  4. submits a never-halting program with a deadline and asserts the
 //     distinct deadline_exceeded code arrives within 2x the deadline;
-//  4. starts a slow request, SIGTERMs the daemon mid-flight, and asserts
+//  5. starts a slow request, SIGTERMs the daemon mid-flight, and asserts
 //     the response still completes and the daemon exits 0.
 //
 // Exit status 0 means all checks passed.
@@ -18,6 +22,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -147,7 +152,12 @@ func run(bin string) error {
 	}
 	log.Printf("cache hit OK (hits %d -> %d, byte-identical result)", hitsBefore, hitsAfter)
 
-	// 3. Deadline-cancelled run: distinct code, within 2x the deadline.
+	// 3. Batch sweep over built-in workloads.
+	if err := d.sweepSmoke(); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+
+	// 4. Deadline-cancelled run: distinct code, within 2x the deadline.
 	const deadline = 500 * time.Millisecond
 	start := time.Now()
 	status, body, err := d.post(service.RunRequest{Name: "spin.s", Source: spinProg, TimeoutMS: deadline.Milliseconds()})
@@ -167,7 +177,7 @@ func run(bin string) error {
 	}
 	log.Printf("deadline cancel OK (%v for a %v deadline)", elapsed.Round(time.Millisecond), deadline)
 
-	// 4. Graceful drain: SIGTERM mid-request; the response must still
+	// 5. Graceful drain: SIGTERM mid-request; the response must still
 	// arrive and the daemon must exit 0. The deadline run's worker can
 	// outlive its 504 by a few ms, so first wait for the pool to go idle —
 	// otherwise the in-flight gauge we poll below could be its residue.
@@ -201,6 +211,215 @@ func run(bin string) error {
 	}
 	log.Print("graceful drain OK (in-flight response delivered, clean exit)")
 	return nil
+}
+
+// sweepRec is the union of the /v1/sweep NDJSON record shapes — one
+// struct with every field so a single decode handles any record type.
+type sweepRec struct {
+	Type     string             `json:"type"`
+	Total    int                `json:"total"`
+	Index    int                `json:"index"`
+	Workload string             `json:"workload"`
+	Mech     string             `json:"mech"`
+	Cached   bool               `json:"cached"`
+	Result   json.RawMessage    `json:"result"`
+	Error    *service.ErrorInfo `json:"error"`
+	Done     int                `json:"done"`
+	Errors   int                `json:"errors"`
+	Canceled int                `json:"canceled"`
+}
+
+// sweep posts req to /v1/sweep and decodes the whole NDJSON stream.
+func (d *daemon) sweep(req service.SweepRequest) ([]sweepRec, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var recs []sweepRec
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec sweepRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("decoding %q: %w", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// splitSweep indexes a sweep stream: cell records by matrix index, plus
+// the final done record.
+func splitSweep(recs []sweepRec) (cells map[int]sweepRec, done *sweepRec, err error) {
+	cells = map[int]sweepRec{}
+	for i := range recs {
+		switch rec := recs[i]; rec.Type {
+		case "start", "progress":
+		case "cell":
+			if _, dup := cells[rec.Index]; dup {
+				return nil, nil, fmt.Errorf("duplicate cell index %d", rec.Index)
+			}
+			cells[rec.Index] = rec
+		case "done":
+			done = &recs[i]
+		default:
+			return nil, nil, fmt.Errorf("unknown record type %q", rec.Type)
+		}
+	}
+	if done == nil {
+		return nil, nil, fmt.Errorf("stream ended without a done record")
+	}
+	return cells, done, nil
+}
+
+func (d *daemon) sweepSmoke() error {
+	// Completeness: a 2x2 matrix streams one result per cell plus a clean
+	// done record.
+	req := service.SweepRequest{
+		Workloads: []string{"gzip", "vpr"},
+		Mechs:     []string{"ibtc:4096", "sieve:1024"},
+		Limit:     20_000_000,
+	}
+	recs, err := d.sweep(req)
+	if err != nil {
+		return err
+	}
+	cells, done, err := splitSweep(recs)
+	if err != nil {
+		return err
+	}
+	if len(cells) != 4 || done.Done != 4 || done.Errors != 0 || done.Canceled != 0 {
+		return fmt.Errorf("2x2 sweep: %d cells, done=%+v", len(cells), done)
+	}
+	for i := 0; i < 4; i++ {
+		if cells[i].Result == nil {
+			return fmt.Errorf("cell %d has no result: %+v", i, cells[i])
+		}
+	}
+	log.Printf("sweep completeness OK (%d cells, 0 errors)", done.Done)
+
+	// Cached re-submission: every cell served from the store, results
+	// byte-identical per index.
+	again, err := d.sweep(req)
+	if err != nil {
+		return fmt.Errorf("re-submission: %w", err)
+	}
+	cells2, done2, err := splitSweep(again)
+	if err != nil {
+		return fmt.Errorf("re-submission: %w", err)
+	}
+	if done2.Done != 4 || done2.Errors != 0 {
+		return fmt.Errorf("re-submission done=%+v", done2)
+	}
+	for i := 0; i < 4; i++ {
+		if !cells2[i].Cached {
+			return fmt.Errorf("re-submitted cell %d not served from cache", i)
+		}
+		if !bytes.Equal(cells2[i].Result, cells[i].Result) {
+			return fmt.Errorf("re-submitted cell %d result not byte-identical", i)
+		}
+	}
+	log.Print("sweep cached re-submission OK (4/4 cached, byte-identical)")
+
+	// Poisoned-cell isolation: an unknown workload fails only its own cell.
+	recs, err = d.sweep(service.SweepRequest{
+		Workloads: []string{"gzip", "nosuchworkload"},
+		Mechs:     []string{"ibtc:4096"},
+		Limit:     20_000_000,
+	})
+	if err != nil {
+		return fmt.Errorf("poisoned sweep: %w", err)
+	}
+	cells, done, err = splitSweep(recs)
+	if err != nil {
+		return fmt.Errorf("poisoned sweep: %w", err)
+	}
+	if done.Done != 1 || done.Errors != 1 {
+		return fmt.Errorf("poisoned sweep done=%+v", done)
+	}
+	bad := cells[1]
+	if bad.Workload != "nosuchworkload" || bad.Error == nil || bad.Error.Code != service.CodeInvalidArgument {
+		return fmt.Errorf("poisoned cell record: %+v", bad)
+	}
+	log.Print("sweep poisoned-cell isolation OK (1 ok, 1 invalid_argument)")
+
+	// Disconnect cancellation: drop the connection right after the stream
+	// starts; the daemon must cancel the remaining cells and account for
+	// them in sdtd_sweep_cells_total{outcome="canceled"}.
+	canceledBefore, err := d.counterValue(`sdtd_sweep_cells_total{outcome="canceled"}`)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(service.SweepRequest{
+		Workloads: []string{"gcc", "crafty", "eon", "gap", "twolf", "parser"},
+		Mechs:     []string{"inline:2+ibtc:16384", "retcache:1024+ibtc:16384"},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		cancel()
+		return fmt.Errorf("cancel sweep: %w", err)
+	}
+	// Read just the start record so the stream is known to be live, then
+	// hang up.
+	bufio.NewScanner(resp.Body).Scan()
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		canceled, err := d.counterValue(`sdtd_sweep_cells_total{outcome="canceled"}`)
+		if err != nil {
+			return err
+		}
+		if canceled > canceledBefore {
+			log.Printf("sweep disconnect cancel OK (canceled cells %d -> %d)", canceledBefore, canceled)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no canceled sweep cells counted within 20s of disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// counterValue scrapes one exact metric series from /metrics (0 if the
+// series has not been rendered yet).
+func (d *daemon) counterValue(series string) (int, error) {
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, series+" ") {
+			var v int
+			if _, err := fmt.Sscanf(line[len(series)+1:], "%d", &v); err != nil {
+				return 0, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			return v, sc.Err()
+		}
+	}
+	return 0, sc.Err()
 }
 
 // daemon wraps the child sdtd process.

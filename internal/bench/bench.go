@@ -75,6 +75,11 @@ type Runner struct {
 	// Workloads lists the suite used by the whole-suite experiments;
 	// empty selects the twelve SPEC-shaped workloads.
 	Workloads []string
+	// Parallel bounds how many measurements a whole-suite experiment
+	// computes concurrently through the sweep engine (0 = GOMAXPROCS,
+	// 1 = fully sequential). Measurements are deterministic, so the
+	// setting changes wall-clock time, never output.
+	Parallel int
 	// Verbose, when set, logs each run to Log as it happens.
 	Verbose bool
 	Log     io.Writer
@@ -121,10 +126,9 @@ func (r *Runner) image(name string) (*program.Image, error) {
 		}
 		scale := r.Scale
 		if scale == 0 && r.ScaleDivisor > 1 {
-			scale = spec.DefaultScale / r.ScaleDivisor
-			if scale < 2 {
-				scale = 2
-			}
+			// ScaledDown clamps away from 0: an unclamped floor would make
+			// Image silently select the full DefaultScale.
+			scale = spec.ScaledDown(r.ScaleDivisor)
 		}
 		return spec.Image(scale)
 	})

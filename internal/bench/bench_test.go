@@ -176,6 +176,74 @@ func TestScaleDivisorShrinksWork(t *testing.T) {
 	}
 }
 
+// Regression: a divisor exceeding DefaultScale used to risk flooring the
+// scale to 0, which Image interprets as "full DefaultScale" — the huge
+// divisor would silently select the LARGEST run. It must clamp and stay
+// small instead.
+func TestScaleDivisorBeyondDefaultScaleStaysSmall(t *testing.T) {
+	def := NewRunner()
+	def.Workloads = []string{"gzip"}
+	huge := NewRunner()
+	huge.Workloads = []string{"gzip"}
+	huge.ScaleDivisor = 1 << 30
+	rd, err := def.Native("gzip", "x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := huge.Native("gzip", "x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Native.Instret >= rd.Native.Instret {
+		t.Errorf("divisor 2^30 ran %d instructions vs default %d — floor-to-0 selected the full workload",
+			rh.Native.Instret, rd.Native.Instret)
+	}
+}
+
+// Whole-suite experiments route their grids through the sweep engine;
+// the rendered output must be byte-identical to a fully sequential run
+// regardless of worker count (run under -race in CI).
+func TestParallelExperimentOutputDeterministic(t *testing.T) {
+	render := func(parallel int) string {
+		r := testRunner()
+		r.Parallel = parallel
+		var buf strings.Builder
+		for _, id := range []string{"E2", "E7", "E8"} {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := RunOne(r, &buf, e); err != nil {
+				t.Fatalf("%s at parallel=%d: %v", id, parallel, err)
+			}
+		}
+		return buf.String()
+	}
+	sequential := render(1)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != sequential {
+			t.Errorf("output at %d workers differs from sequential:\n%s\n--- vs ---\n%s",
+				workers, got, sequential)
+		}
+	}
+}
+
+// A grid error must surface from the experiment, not crash or hang, and
+// must identify the failing cell.
+func TestGridErrorPropagates(t *testing.T) {
+	r := testRunner()
+	r.Workloads = []string{"gzip", "nosuchworkload"}
+	e, err := ByID("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err = RunOne(r, &buf, e)
+	if err == nil || !strings.Contains(err.Error(), "nosuchworkload") {
+		t.Errorf("E2 with a bad workload: err = %v, want mention of nosuchworkload", err)
+	}
+}
+
 func TestRunnerConcurrentDedup(t *testing.T) {
 	// Concurrent requests for one measurement must produce one
 	// computation and share the result.

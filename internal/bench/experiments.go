@@ -72,6 +72,9 @@ func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
 // ---- E1: characterization -------------------------------------------------
 
 func runE1(r *Runner, w io.Writer) error {
+	if err := r.grid(r.suite(), []string{"x86"}, []string{gridNative}); err != nil {
+		return err
+	}
 	headers := []string{"workload", "class", "inst(M)", "returns", "ijumps", "icalls", "IB/1k", "%ret"}
 	var rows [][]string
 	for _, wl := range r.suite() {
@@ -111,6 +114,9 @@ func (r *Runner) workloadSpec(wl string) (string, error) {
 // ---- E2: naive overhead ---------------------------------------------------
 
 func runE2(r *Runner, w io.Writer) error {
+	if err := r.grid(r.suite(), []string{"x86", "sparc"}, []string{SpecNaive}); err != nil {
+		return err
+	}
 	for _, arch := range []string{"x86", "sparc"} {
 		var labels []string
 		var vals []float64
@@ -136,8 +142,13 @@ var ibtcSizes = []int{16, 64, 256, 1024, 4096, 16384, 65536}
 
 func runE3(r *Runner, w io.Writer) error {
 	xs := make([]string, len(ibtcSizes))
+	specs := make([]string, len(ibtcSizes))
 	for i, n := range ibtcSizes {
 		xs[i] = fmt.Sprintf("%d", n)
+		specs[i] = fmt.Sprintf("ibtc:%d", n)
+	}
+	if err := r.grid(ibHeavy, []string{"x86"}, specs); err != nil {
+		return err
 	}
 	var series []textplot.NamedSeries
 	geo := make([][]float64, len(ibtcSizes))
@@ -166,6 +177,9 @@ func runE3(r *Runner, w io.Writer) error {
 
 func runE4(r *Runner, w io.Writer) error {
 	specs := []string{"ibtc:16384", "ibtc:1024:private", "ibtc:64:private"}
+	if err := r.grid(r.suite(), []string{"x86"}, specs); err != nil {
+		return err
+	}
 	headers := append([]string{"workload"}, specs...)
 	var rows [][]string
 	geo := make([][]float64, len(specs))
@@ -197,8 +211,13 @@ var inlineDepths = []int{1, 2, 3, 4, 6, 8}
 
 func runE5(r *Runner, w io.Writer) error {
 	xs := make([]string, len(inlineDepths))
+	specs := make([]string, len(inlineDepths))
 	for i, k := range inlineDepths {
 		xs[i] = fmt.Sprintf("%d", k)
+		specs[i] = fmt.Sprintf("inline:%d+ibtc:16384", k)
+	}
+	if err := r.grid(ibHeavy, []string{"x86"}, specs); err != nil {
+		return err
 	}
 	var series []textplot.NamedSeries
 	geo := make([][]float64, len(inlineDepths))
@@ -229,8 +248,13 @@ var sieveSizes = []int{1, 4, 16, 64, 256, 1024, 16384}
 
 func runE6(r *Runner, w io.Writer) error {
 	xs := make([]string, len(sieveSizes))
+	specs := make([]string, len(sieveSizes))
 	for i, n := range sieveSizes {
 		xs[i] = fmt.Sprintf("%d", n)
+		specs[i] = fmt.Sprintf("sieve:%d", n)
+	}
+	if err := r.grid(ibHeavy, []string{"x86"}, specs); err != nil {
+		return err
 	}
 	var series []textplot.NamedSeries
 	geo := make([][]float64, len(sieveSizes))
@@ -260,6 +284,9 @@ func runE6(r *Runner, w io.Writer) error {
 func runE7(r *Runner, w io.Writer) error {
 	specs := []string{SpecIBTC, SpecRetCache, SpecFastRet}
 	names := []string{"ibtc-returns", "return-cache", "fast-returns"}
+	if err := r.grid(r.suite(), []string{"x86", "sparc"}, specs); err != nil {
+		return err
+	}
 	for _, arch := range []string{"x86", "sparc"} {
 		headers := append([]string{"workload"}, names...)
 		var rows [][]string
@@ -291,6 +318,9 @@ func runE7(r *Runner, w io.Writer) error {
 // ---- E8/E9: best-of-each comparison ---------------------------------------------
 
 func bestOfEach(r *Runner, w io.Writer, arch string) error {
+	if err := r.grid(r.suite(), []string{arch}, BestSpecs); err != nil {
+		return err
+	}
 	names := []string{"naive", "ibtc", "inline+ibtc", "sieve", "fastret+ibtc", "retcache+ibtc"}
 	headers := append([]string{"workload"}, names...)
 	var rows [][]string
@@ -344,6 +374,9 @@ func runE9(r *Runner, w io.Writer) error { return bestOfEach(r, w, "sparc") }
 // ---- E10: cycle breakdown ----------------------------------------------------
 
 func runE10(r *Runner, w io.Writer) error {
+	if err := r.grid(r.suite(), []string{"x86"}, []string{SpecNaive, SpecIBTC}); err != nil {
+		return err
+	}
 	for _, spec := range []string{SpecNaive, SpecIBTC} {
 		headers := []string{"workload", "slowdown", "body%", "IB%", "ctx%", "trans%", "mech hit%"}
 		var rows [][]string
@@ -408,6 +441,9 @@ func runE11(r *Runner, w io.Writer) error {
 
 func runE12(r *Runner, w io.Writer) error {
 	specs := []string{"ibtc:16384", "ibtc:16384:sharedjump", SpecNaive}
+	if err := r.grid(r.suite(), []string{"x86"}, specs); err != nil {
+		return err
+	}
 	headers := []string{"workload",
 		"per-site jump", "BTB miss%",
 		"shared jump", "BTB miss%",

@@ -41,6 +41,9 @@ func runE17(r *Runner, w io.Writer) error {
 		{"ijumps-only", func() core.IBHandler { return ib.NewPerKind(slow(), fast(), slow()) }},
 		{"icalls-only", func() core.IBHandler { return ib.NewPerKind(slow(), slow(), fast()) }},
 	}
+	if err := r.grid(r.suite(), []string{"x86"}, []string{SpecNaive, SpecIBTC}); err != nil {
+		return err
+	}
 	headers := []string{"workload", "naive"}
 	for _, c := range cols {
 		headers = append(headers, c.name)
@@ -85,6 +88,10 @@ func runE17(r *Runner, w io.Writer) error {
 // ---- E16: traces ---------------------------------------------------------------
 
 func runE16(r *Runner, w io.Writer) error {
+	if err := r.grid(r.suite(), []string{"x86"},
+		[]string{SpecIBTC, "trace+" + SpecIBTC, SpecFastRet}); err != nil {
+		return err
+	}
 	headers := []string{"workload", "ibtc", "trace+ibtc", "fastret+ibtc", "guard hit%", "traces"}
 	var rows [][]string
 	var plain, traced, fast []float64
@@ -202,6 +209,9 @@ func runE14(r *Runner, w io.Writer) error {
 
 func runE15(r *Runner, w io.Writer) error {
 	specs := []string{"ibtc:16", "ibtc:16:4way", "ibtc:16:fib", "ibtc:256", "ibtc:256:4way", "ibtc:16384"}
+	if err := r.grid(ibHeavy, []string{"x86"}, specs); err != nil {
+		return err
+	}
 	headers := append([]string{"workload"}, specs...)
 	var rows [][]string
 	geo := make([][]float64, len(specs))

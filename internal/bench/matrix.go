@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"context"
+
+	"sdt/internal/sweep"
+)
+
+// gridNative is the mech sentinel for a native-baseline cell in a grid
+// (the empty string is not a valid mechanism spec).
+const gridNative = ""
+
+// grid computes every (workload × arch × spec) measurement of an
+// experiment through the sharded sweep engine before the experiment's
+// rendering loop replays them from the runner's memoized caches. The
+// measurements are pure functions of their cell, so executing them in
+// parallel cannot change a single rendered byte — the engine only moves
+// the wall-clock cost of a whole-suite experiment from serial to
+// Workers-wide. A spec of gridNative requests the native baseline.
+//
+// The first error in deterministic matrix order is returned; the other
+// cells still complete (their results stay cached for later experiments).
+// Parallel == 1 skips the prefetch entirely and lets the rendering loop
+// compute sequentially, which is the reference behavior the parallel path
+// is tested against.
+func (r *Runner) grid(wls, archs, specs []string) error {
+	if r.Parallel == 1 || len(wls) == 0 {
+		return nil
+	}
+	m := sweep.Matrix{Workloads: wls, Archs: archs, Mechs: specs}
+	eng := &sweep.Engine[sweep.Cell, *Result]{
+		Workers: r.Parallel,
+		Exec: func(ctx context.Context, c sweep.Cell) (*Result, error) {
+			if c.Mech == gridNative {
+				return r.Native(c.Workload, c.Arch)
+			}
+			return r.Run(c.Workload, c.Arch, c.Mech)
+		},
+	}
+	var firstErr error
+	eng.Ordered(context.Background(), m.Cells(), func(o sweep.Outcome[sweep.Cell, *Result]) {
+		if firstErr == nil && o.Err != nil {
+			firstErr = o.Err
+		}
+	})
+	return firstErr
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -99,6 +100,35 @@ func (h *histogram) Observe(v float64) {
 	h.count++
 }
 
+// quantile estimates the q-quantile from the bucket counts: the upper
+// bound of the first bucket whose cumulative count reaches rank q·count.
+// Observations that overflowed into the +Inf bucket are estimated by the
+// mean (floored at the last finite bound), the only summary available for
+// them. Returns 0 when nothing has been observed.
+func (h *histogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if cum >= rank {
+			return b
+		}
+	}
+	mean := h.sum / float64(h.count)
+	if n := len(h.bounds); n > 0 && mean < h.bounds[n-1] {
+		return h.bounds[n-1]
+	}
+	return mean
+}
+
 func (h *histogram) render(w io.Writer, name string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -138,6 +168,8 @@ type metrics struct {
 	transInsts    *counter    // guest instructions translated
 	ibLookups     *counterVec // mech, kind — executed indirect branches
 	panics        *counter    // recovered job panics
+	sweepsTotal   *counterVec // outcome — one increment per finished sweep stream
+	sweepCells    *counterVec // outcome — one increment per emitted cell record
 }
 
 func newMetrics() *metrics {
@@ -149,6 +181,8 @@ func newMetrics() *metrics {
 		transInsts:    &counter{},
 		ibLookups:     newCounterVec(),
 		panics:        &counter{},
+		sweepsTotal:   newCounterVec(),
+		sweepCells:    newCounterVec(),
 	}
 }
 
@@ -166,6 +200,10 @@ func (m *metrics) render(w io.Writer, gauges func(w io.Writer)) {
 	fmt.Fprint(w, "# TYPE sdtd_ib_lookups_total counter\n")
 	m.ibLookups.render(w, "sdtd_ib_lookups_total")
 	fmt.Fprintf(w, "# TYPE sdtd_job_panics_total counter\nsdtd_job_panics_total %d\n", m.panics.Value())
+	fmt.Fprint(w, "# TYPE sdtd_sweeps_total counter\n")
+	m.sweepsTotal.render(w, "sdtd_sweeps_total")
+	fmt.Fprint(w, "# TYPE sdtd_sweep_cells_total counter\n")
+	m.sweepCells.render(w, "sdtd_sweep_cells_total")
 	if gauges != nil {
 		gauges(w)
 	}

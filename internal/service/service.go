@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -51,6 +53,12 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds the request body (0 = 8 MiB).
 	MaxBodyBytes int64
+	// MaxSweepCells bounds how many cells one POST /v1/sweep may expand
+	// to (0 = 2048).
+	MaxSweepCells int
+	// SweepHeartbeat is the interval between progress records on an idle
+	// sweep stream (0 = 5s).
+	SweepHeartbeat time.Duration
 	// Log receives request/lifecycle lines; nil discards them.
 	Log *log.Logger
 }
@@ -74,6 +82,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 2048
+	}
+	if c.SweepHeartbeat <= 0 {
+		c.SweepHeartbeat = 5 * time.Second
+	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
 	}
@@ -89,6 +103,7 @@ const runLimit = 2_000_000_000
 type Server struct {
 	cfg      Config
 	store    *store.ByteStore
+	images   *store.Group[*program.Image] // sweep cells' assembled workloads, keyed name|scale
 	pool     *pool
 	met      *metrics
 	mux      *http.ServeMux
@@ -105,13 +120,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: st,
-		pool:  newPool(cfg.Workers, cfg.QueueDepth),
-		met:   newMetrics(),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		store:  st,
+		images: store.NewGroup[*program.Image](nil),
+		pool:   newPool(cfg.Workers, cfg.QueueDepth),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -144,7 +161,7 @@ func (s *Server) Close() {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return
 	}
@@ -188,7 +205,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status, code := mapError(err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 		}
 		s.writeError(w, r, status, code, err.Error())
 		return
@@ -382,6 +399,31 @@ func mapError(err error) (int, string) {
 }
 
 // ---- response plumbing ----
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// the current backlog (queued + executing + this request) divided across
+// the workers, paced at the observed median run latency, clamped to
+// [1, 30] seconds. Before any run has been measured the median falls back
+// to a quarter second, which keeps the floor at 1.
+func (s *Server) retryAfterSeconds() int {
+	med := s.met.runLatency.quantile(0.5)
+	if med <= 0 {
+		med = 0.25
+	}
+	backlog := float64(s.pool.depth() + int(s.inflight.Load()) + 1)
+	secs := int(math.Ceil(backlog * med / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	s.countRequest(r, status)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -321,8 +322,13 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, data)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// Retry-After must be present and a computed, sane backoff: an
+	// integer number of seconds within the documented [1, 30] bounds.
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Error("429 response carries no Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 30]", ra)
 	}
 	if e := decodeError(t, data); e.Code != CodeQueueFull {
 		t.Errorf("code = %q, want %q", e.Code, CodeQueueFull)

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/program"
+	"sdt/internal/sweep"
+	"sdt/internal/workload"
+)
+
+// LangWorkload marks results computed from a named generated workload
+// rather than client-supplied source. It appears in RunResult.Lang for
+// sweep cells; it is not accepted as a RunRequest.Lang.
+const LangWorkload = "workload"
+
+// sweepRetries is how many times a cell that bounced off the admission
+// queue (429 territory on /v1/run) is retried before its error record is
+// emitted. Queue-full is the only transient error class: the sweep itself
+// occupies workers, so a full queue clears as cells finish.
+const sweepRetries = 3
+
+// SweepRequest is the body of POST /v1/sweep: a (workloads × archs ×
+// mechs × scales) matrix over the built-in workload generators. Cells are
+// validated individually — an unknown workload, arch, or mechanism spec
+// poisons only its own cells, never the batch.
+type SweepRequest struct {
+	// Workloads names built-in workload generators (required).
+	Workloads []string `json:"workloads"`
+	// Archs names host cost models (default ["x86"]).
+	Archs []string `json:"archs,omitempty"`
+	// Mechs lists IB mechanism specs (default ["ibtc:16384"]).
+	Mechs []string `json:"mechs,omitempty"`
+	// Scales lists workload scales; empty selects each workload's default
+	// (scale 0). Scales must be non-negative.
+	Scales []int `json:"scales,omitempty"`
+	// Seed, Limit and TimeoutMS apply to every cell, with /v1/run
+	// semantics (TimeoutMS bounds each cell, not the whole sweep).
+	Seed      uint64 `json:"seed,omitempty"`
+	Limit     uint64 `json:"limit,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+func (req *SweepRequest) matrix() sweep.Matrix {
+	m := sweep.Matrix{
+		Workloads: req.Workloads,
+		Archs:     req.Archs,
+		Mechs:     req.Mechs,
+		Scales:    req.Scales,
+	}
+	if len(m.Archs) == 0 {
+		m.Archs = []string{"x86"}
+	}
+	if len(m.Mechs) == 0 {
+		m.Mechs = []string{"ibtc:16384"}
+	}
+	return m
+}
+
+// NDJSON stream records. Every record carries Type; clients switch on it
+// and must ignore unknown types.
+type (
+	// SweepStart is the first record: the expanded cell count.
+	SweepStart struct {
+		Type  string `json:"type"` // "start"
+		Total int    `json:"total"`
+	}
+	// SweepCellRecord reports one finished cell, in completion order
+	// (Index places it in the deterministic matrix order: workloads,
+	// then archs, then mechs, then scales). Exactly one of Result and
+	// Error is set.
+	SweepCellRecord struct {
+		Type      string          `json:"type"` // "cell"
+		Index     int             `json:"index"`
+		Workload  string          `json:"workload"`
+		Arch      string          `json:"arch"`
+		Mech      string          `json:"mech"`
+		Scale     int             `json:"scale,omitempty"`
+		Cached    bool            `json:"cached,omitempty"`
+		Attempts  int             `json:"attempts"`
+		ElapsedMS float64         `json:"elapsed_ms"`
+		Result    json.RawMessage `json:"result,omitempty"`
+		Error     *ErrorInfo      `json:"error,omitempty"`
+	}
+	// SweepProgress is a heartbeat emitted between cells on slow sweeps
+	// so proxies do not idle out the connection.
+	SweepProgress struct {
+		Type   string `json:"type"` // "progress"
+		Done   int    `json:"done"`
+		Errors int    `json:"errors"`
+		Total  int    `json:"total"`
+	}
+	// SweepDone is the final record. Canceled counts cells that never
+	// ran (or were cut short) because the client went away or a cell
+	// deadline collapsed the request context.
+	SweepDone struct {
+		Type      string  `json:"type"` // "done"
+		Done      int     `json:"done"`
+		Errors    int     `json:"errors"`
+		Canceled  int     `json:"canceled"`
+		Total     int     `json:"total"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+	}
+)
+
+// cellValue is a sweep engine result: the stored measurement bytes plus
+// whether they came from the store.
+type cellValue struct {
+	data   []byte
+	cached bool
+}
+
+// errCellInvalid marks a cell that failed validation (unknown workload,
+// arch, or mechanism spec) rather than execution.
+var errCellInvalid = errors.New("invalid sweep cell")
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.setRetryAfter(w)
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req SweepRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	if len(req.Workloads) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "workloads must be non-empty")
+		return
+	}
+	for _, sc := range req.Scales {
+		if sc < 0 {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("negative scale %d", sc))
+			return
+		}
+	}
+	m := req.matrix()
+	if n := m.Size(); n > s.cfg.MaxSweepCells {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("sweep expands to %d cells, limit %d", n, s.cfg.MaxSweepCells))
+		return
+	}
+	cells := m.Cells()
+
+	// Committed to streaming from here: request-level errors are over,
+	// everything else is a per-cell record on a 200.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	s.countRequest(r, http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(SweepStart{Type: "start", Total: len(cells)})
+
+	eng := &sweep.Engine[sweep.Cell, cellValue]{
+		Workers: s.cfg.Workers,
+		Retries: sweepRetries,
+		IsTransient: func(err error) bool {
+			return errors.Is(err, errQueueFull)
+		},
+		Exec: func(ctx context.Context, c sweep.Cell) (cellValue, error) {
+			return s.runCell(ctx, c, &req)
+		},
+	}
+
+	// The engine emits from one goroutine; the handler loop interleaves
+	// its outcomes with heartbeat ticks and owns all writes to w.
+	outcomes := make(chan sweep.Outcome[sweep.Cell, cellValue])
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- eng.Stream(r.Context(), cells, func(o sweep.Outcome[sweep.Cell, cellValue]) {
+			outcomes <- o
+		})
+		close(outcomes)
+	}()
+	heartbeat := time.NewTicker(s.cfg.SweepHeartbeat)
+	defer heartbeat.Stop()
+
+	var done, errCount, canceled int
+	for outcomes != nil {
+		select {
+		case o, ok := <-outcomes:
+			if !ok {
+				outcomes = nil
+				continue
+			}
+			rec := SweepCellRecord{
+				Type:      "cell",
+				Index:     o.Index,
+				Workload:  o.Item.Workload,
+				Arch:      o.Item.Arch,
+				Mech:      o.Item.Mech,
+				Scale:     o.Item.Scale,
+				Cached:    o.Result.cached,
+				Attempts:  o.Attempts,
+				ElapsedMS: float64(o.Elapsed.Microseconds()) / 1000,
+			}
+			switch {
+			case o.Err == nil:
+				rec.Result = o.Result.data
+				done++
+				s.met.sweepCells.get(outcomeOK).Inc()
+			case errors.Is(o.Err, context.Canceled):
+				rec.Error = &ErrorInfo{Code: CodeCanceled, Message: o.Err.Error()}
+				canceled++
+				s.met.sweepCells.get(outcomeCanceled).Inc()
+			case errors.Is(o.Err, errCellInvalid):
+				rec.Error = &ErrorInfo{Code: CodeInvalidArgument, Message: o.Err.Error()}
+				errCount++
+				s.met.sweepCells.get(outcomeError).Inc()
+			default:
+				_, code := mapError(o.Err)
+				rec.Error = &ErrorInfo{Code: code, Message: o.Err.Error()}
+				errCount++
+				s.met.sweepCells.get(outcomeError).Inc()
+			}
+			emit(rec)
+		case <-heartbeat.C:
+			emit(SweepProgress{Type: "progress", Done: done, Errors: errCount, Total: len(cells)})
+		}
+	}
+	err := <-streamErr
+	emit(SweepDone{
+		Type:      "done",
+		Done:      done,
+		Errors:    errCount,
+		Canceled:  canceled,
+		Total:     len(cells),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+	s.met.sweepsTotal.get(outcomeLabel(err)).Inc()
+	s.cfg.Log.Printf("sweep %d cells: done=%d errors=%d canceled=%d elapsed=%s",
+		len(cells), done, errCount, canceled, time.Since(start).Round(time.Millisecond))
+}
+
+// runCell executes one cell through the same content-addressed store tier
+// as /v1/run: the cell key is derived from the workload's compiled image,
+// so a sweep cell and a direct submission of the same program share one
+// cache entry, and duplicate cells across concurrent sweeps single-flight.
+func (s *Server) runCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (cellValue, error) {
+	spec, err := workload.Get(c.Workload)
+	if err != nil {
+		return cellValue{}, fmt.Errorf("%w: %v", errCellInvalid, err)
+	}
+	if _, err := hostarch.ByName(c.Arch); err != nil {
+		return cellValue{}, fmt.Errorf("%w: %v", errCellInvalid, err)
+	}
+	if _, err := ib.Parse(c.Mech); err != nil {
+		return cellValue{}, fmt.Errorf("%w: %v", errCellInvalid, err)
+	}
+	img, _, err := s.images.Do(ctx, fmt.Sprintf("%s|%d", c.Workload, c.Scale), func() (*program.Image, error) {
+		return spec.Image(c.Scale)
+	})
+	if err != nil {
+		return cellValue{}, err
+	}
+	rr := &RunRequest{
+		Name:  c.Workload,
+		Lang:  LangWorkload,
+		Arch:  c.Arch,
+		Mech:  c.Mech,
+		Seed:  req.Seed,
+		Limit: req.Limit,
+	}
+	// Scale participates in the key through the image bytes themselves:
+	// a different scale assembles to a different image.
+	key := rr.key(img)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	cellCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	data, hit, err := s.store.Do(cellCtx, key, func() ([]byte, error) {
+		return s.execute(cellCtx, key, img, rr)
+	})
+	if err != nil {
+		return cellValue{}, err
+	}
+	return cellValue{data: data, cached: hit}, nil
+}

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sdt/internal/workload"
+)
+
+func mustWorkload(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	spec, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// sweepRecord is the union of every NDJSON record type, for decoding a
+// stream line by line in tests.
+type sweepRecord struct {
+	Type      string          `json:"type"`
+	Index     int             `json:"index"`
+	Workload  string          `json:"workload"`
+	Arch      string          `json:"arch"`
+	Mech      string          `json:"mech"`
+	Scale     int             `json:"scale"`
+	Cached    bool            `json:"cached"`
+	Attempts  int             `json:"attempts"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Result    json.RawMessage `json:"result"`
+	Error     *ErrorInfo      `json:"error"`
+	Total     int             `json:"total"`
+	Done      int             `json:"done"`
+	Errors    int             `json:"errors"`
+	Canceled  int             `json:"canceled"`
+}
+
+func submitSweep(t *testing.T, ts *httptest.Server, req SweepRequest) (int, []sweepRecord) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []sweepRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec sweepRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("decoding stream line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, recs
+}
+
+// splitSweep indexes a stream by record type.
+func splitSweep(t *testing.T, recs []sweepRecord) (start sweepRecord, cells map[int]sweepRecord, done sweepRecord) {
+	t.Helper()
+	cells = map[int]sweepRecord{}
+	var haveStart, haveDone bool
+	for _, rec := range recs {
+		switch rec.Type {
+		case "start":
+			start, haveStart = rec, true
+		case "cell":
+			if _, dup := cells[rec.Index]; dup {
+				t.Errorf("cell index %d emitted twice", rec.Index)
+			}
+			cells[rec.Index] = rec
+		case "done":
+			done, haveDone = rec, true
+		case "progress":
+			// heartbeats are timing-dependent; ignore
+		default:
+			t.Errorf("unknown record type %q", rec.Type)
+		}
+	}
+	if !haveStart || !haveDone {
+		t.Fatalf("stream missing start (%v) or done (%v) record", haveStart, haveDone)
+	}
+	return start, cells, done
+}
+
+// A small matrix must stream exactly one result record per cell, all
+// successful, with indices covering the matrix in its deterministic
+// expansion order.
+func TestSweepStreamCompleteness(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Workloads: []string{"gzip", "vpr"},
+		Mechs:     []string{"ibtc:4096", "sieve:1024"},
+		Limit:     20_000_000,
+	}
+	status, recs := submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	start, cells, done := splitSweep(t, recs)
+	if start.Total != 4 {
+		t.Errorf("start.total = %d, want 4", start.Total)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cell records, want 4", len(cells))
+	}
+	// Expansion is workload-major: gzip×ibtc, gzip×sieve, vpr×ibtc, vpr×sieve.
+	wantCells := []struct{ wl, mech string }{
+		{"gzip", "ibtc:4096"}, {"gzip", "sieve:1024"},
+		{"vpr", "ibtc:4096"}, {"vpr", "sieve:1024"},
+	}
+	for i, want := range wantCells {
+		c, ok := cells[i]
+		if !ok {
+			t.Errorf("no record for cell %d", i)
+			continue
+		}
+		if c.Workload != want.wl || c.Mech != want.mech || c.Arch != "x86" {
+			t.Errorf("cell %d = %s/%s/%s, want %s/x86/%s", i, c.Workload, c.Arch, c.Mech, want.wl, want.mech)
+		}
+		if c.Error != nil {
+			t.Errorf("cell %d failed: %+v", i, c.Error)
+			continue
+		}
+		var res RunResult
+		if err := json.Unmarshal(c.Result, &res); err != nil {
+			t.Fatalf("cell %d result: %v", i, err)
+		}
+		if res.Name != want.wl || res.Mech != want.mech || res.Lang != LangWorkload {
+			t.Errorf("cell %d result = %s/%s lang %s", i, res.Name, res.Mech, res.Lang)
+		}
+		if res.Slowdown <= 1 {
+			t.Errorf("cell %d slowdown = %v, want > 1", i, res.Slowdown)
+		}
+	}
+	if done.Done != 4 || done.Errors != 0 || done.Canceled != 0 {
+		t.Errorf("done = %+v, want 4/0/0", done)
+	}
+}
+
+// One poisoned cell must produce exactly one error record while every
+// other cell completes — per-cell isolation, never batch failure.
+func TestSweepPoisonedCellIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Workloads: []string{"gzip", "nosuchworkload", "vpr"},
+		Mechs:     []string{"ibtc:1024"},
+		Limit:     20_000_000,
+	}
+	status, recs := submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (errors are per-cell)", status)
+	}
+	_, cells, done := splitSweep(t, recs)
+	if len(cells) != 3 {
+		t.Fatalf("got %d cell records, want 3", len(cells))
+	}
+	for i, c := range cells {
+		if c.Workload == "nosuchworkload" {
+			if c.Error == nil || c.Error.Code != CodeInvalidArgument {
+				t.Errorf("poisoned cell error = %+v, want code %q", c.Error, CodeInvalidArgument)
+			}
+		} else if c.Error != nil {
+			t.Errorf("healthy cell %d (%s) failed: %+v", i, c.Workload, c.Error)
+		}
+	}
+	if done.Done != 2 || done.Errors != 1 {
+		t.Errorf("done = %+v, want done=2 errors=1", done)
+	}
+	if got := s.met.sweepCells.get(outcomeError).Value(); got != 1 {
+		t.Errorf("sweep cell error count = %d, want 1", got)
+	}
+}
+
+// Resubmitting an identical sweep must serve every cell from the store —
+// no new executions — with per-cell result bytes identical to the first
+// stream's.
+func TestSweepCachedResubmit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Workloads: []string{"gzip"},
+		Mechs:     []string{"ibtc:1024", "translator"},
+		Limit:     20_000_000,
+	}
+	status, recs := submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold sweep status = %d", status)
+	}
+	_, cold, _ := splitSweep(t, recs)
+	executed := s.met.runsTotal.total()
+	if executed == 0 {
+		t.Fatal("cold sweep executed nothing")
+	}
+
+	status, recs = submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm sweep status = %d", status)
+	}
+	_, warm, _ := splitSweep(t, recs)
+	if got := s.met.runsTotal.total(); got != executed {
+		t.Errorf("warm sweep executed %d new runs, want 0", got-executed)
+	}
+	for i, c := range warm {
+		if !c.Cached {
+			t.Errorf("warm cell %d not served from cache", i)
+		}
+		if !bytes.Equal(c.Result, cold[i].Result) {
+			t.Errorf("warm cell %d result differs from cold:\n%s\n%s", i, cold[i].Result, c.Result)
+		}
+	}
+}
+
+// A sweep cell and a direct /v1/run of the same program share one cache
+// entry: the sweep populates it, the direct submission hits it.
+func TestSweepSharesStoreWithRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	status, recs := submitSweep(t, ts, SweepRequest{
+		Workloads: []string{"gzip"},
+		Mechs:     []string{"ibtc:1024"},
+		Limit:     20_000_000,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("sweep status = %d", status)
+	}
+	_, cells, _ := splitSweep(t, recs)
+	if cells[0].Error != nil {
+		t.Fatalf("sweep cell failed: %+v", cells[0].Error)
+	}
+	executed := s.met.runsTotal.total()
+
+	// The equivalent direct submission: same generated source, same tuple.
+	spec := mustWorkload(t, "gzip")
+	status, data := submit(t, ts, RunRequest{
+		Name:   "gzip",
+		Source: spec.Generate(0),
+		Mech:   "ibtc:1024",
+		Limit:  20_000_000,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("direct run status = %d, body %s", status, data)
+	}
+	resp, _ := decodeRun(t, data)
+	if !resp.Cached {
+		t.Error("direct /v1/run after the sweep was not served from cache")
+	}
+	if !bytes.Equal(resp.Result, cells[0].Result) {
+		t.Errorf("direct result differs from sweep cell:\n%s\n%s", resp.Result, cells[0].Result)
+	}
+	if got := s.met.runsTotal.total(); got != executed {
+		t.Errorf("direct run executed again (%d -> %d runs)", executed, got)
+	}
+}
+
+// Disconnecting mid-stream must cancel outstanding cells: with a single
+// worker and a wide matrix, most cells never start, which is observable
+// in the run and sweep-cell counters.
+func TestSweepClientDisconnectCancels(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	body, _ := json.Marshal(SweepRequest{
+		Workloads: []string{"gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+			"eon", "perlbmk", "gap", "vortex", "bzip2", "twolf"},
+		Mechs: []string{"ibtc:1024"},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read just the start record, then walk away mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first record: %v", sc.Err())
+	}
+	cancel()
+
+	// The server must notice the disconnect and drain the remaining cells
+	// as canceled without executing them.
+	waitFor(t, "sweep to finish as canceled", func() bool {
+		return s.met.sweepsTotal.get(outcomeCanceled).Value() == 1
+	})
+	if got := s.met.sweepCells.get(outcomeCanceled).Value(); got == 0 {
+		t.Error("no sweep cells recorded as canceled")
+	}
+	if executed := s.met.runsTotal.total(); executed >= 12 {
+		t.Errorf("all %d cells executed despite the disconnect", executed)
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepCells: 3})
+	cases := []struct {
+		name string
+		req  SweepRequest
+	}{
+		{"empty workloads", SweepRequest{Mechs: []string{"ibtc:1024"}}},
+		{"negative scale", SweepRequest{Workloads: []string{"gzip"}, Scales: []int{-1}}},
+		{"cell cap", SweepRequest{Workloads: []string{"gzip", "vpr"}, Mechs: []string{"a", "b"}}},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package sweep is the sharded matrix-execution engine: it expands a
+// (workloads × archs × mechanisms × scales) sweep request into cells,
+// schedules them across a bounded worker pool with work stealing, retries
+// transient failures, and merges the results back into a deterministic
+// order — the parallel output of Ordered is byte-identical to a
+// sequential run of the same items.
+//
+// The engine is generic over the item and result types so the same
+// scheduler serves three layers: sdtd's POST /v1/sweep batch endpoint
+// (cells → stored measurement bytes), the bench Runner's whole-suite
+// experiment grids (cells → *bench.Result), and cmd/sdtbench's
+// experiment-level parallelism (experiments → rendered output). Result
+// deduplication is not the engine's job: executors memoize through the
+// store.Group / store.ByteStore tier, so identical cells — within one
+// sweep or across concurrent sweeps — execute at most once.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Cell is one point of the evaluation matrix.
+type Cell struct {
+	Workload string
+	Arch     string
+	Mech     string
+	// Scale is the workload's iteration parameter (0 = its default).
+	Scale int
+}
+
+// Matrix is a sweep request before expansion. Expansion order is
+// workload-major: workloads, then archs, then mechs, then scales — the
+// order a sequential quadruple loop would visit.
+type Matrix struct {
+	Workloads []string
+	Archs     []string
+	Mechs     []string
+	// Scales may be empty, which selects the single scale 0 (each
+	// workload's default).
+	Scales []int
+}
+
+func (m Matrix) scales() []int {
+	if len(m.Scales) == 0 {
+		return []int{0}
+	}
+	return m.Scales
+}
+
+// Size returns the number of cells the matrix expands to.
+func (m Matrix) Size() int {
+	return len(m.Workloads) * len(m.Archs) * len(m.Mechs) * len(m.scales())
+}
+
+// Cells expands the matrix in deterministic order.
+func (m Matrix) Cells() []Cell {
+	cells := make([]Cell, 0, m.Size())
+	for _, wl := range m.Workloads {
+		for _, arch := range m.Archs {
+			for _, mech := range m.Mechs {
+				for _, scale := range m.scales() {
+					cells = append(cells, Cell{Workload: wl, Arch: arch, Mech: mech, Scale: scale})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Outcome is the terminal state of one item: either Result or Err is
+// meaningful. Attempts counts executions performed — 0 means the engine
+// was cancelled before the item started (Err then carries the context
+// cause), >1 means transient failures were retried.
+type Outcome[T, R any] struct {
+	Index    int
+	Item     T
+	Result   R
+	Err      error
+	Attempts int
+	Elapsed  time.Duration
+}
+
+// Engine schedules items across a bounded worker pool. Items are sharded
+// round-robin across per-worker queues; an idle worker steals from its
+// neighbours, so one shard of slow items cannot strand the rest of the
+// pool. The zero value is not usable: Exec is required.
+type Engine[T, R any] struct {
+	// Workers bounds concurrent Exec calls (0 = GOMAXPROCS). The pool is
+	// never larger than the item count.
+	Workers int
+	// Retries is how many times a transient failure is re-executed on top
+	// of the first attempt (0 = no retries).
+	Retries int
+	// IsTransient classifies an Exec error as retryable. nil disables
+	// retries regardless of Retries.
+	IsTransient func(error) bool
+	// Backoff is the pause before the first retry, growing linearly with
+	// the attempt number (0 = 25ms). The wait is context-aware.
+	Backoff time.Duration
+	// Exec computes one item. It must be safe for concurrent calls.
+	Exec func(ctx context.Context, item T) (R, error)
+}
+
+var errNoExec = errors.New("sweep: Engine.Exec is nil")
+
+func (e *Engine[T, R]) workers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Stream executes every item and calls emit once per item, from a single
+// goroutine, in completion order. When ctx ends, items not yet started
+// are drained as outcomes with Attempts 0 and Err set to the context
+// cause (in-flight items finish or notice ctx themselves), and Stream
+// returns the cause once all outcomes are emitted. emit must not block
+// indefinitely.
+func (e *Engine[T, R]) Stream(ctx context.Context, items []T, emit func(Outcome[T, R])) error {
+	if e.Exec == nil {
+		return errNoExec
+	}
+	if len(items) == 0 {
+		return context.Cause(ctx)
+	}
+	out := make(chan Outcome[T, R], len(items))
+	go e.run(ctx, items, out)
+	for o := range out {
+		emit(o)
+	}
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// Ordered is Stream with a deterministic merge: outcomes are emitted in
+// item order (outcome i only after 0..i-1), so the emitted sequence is
+// byte-identical to a sequential run no matter how many workers raced.
+func (e *Engine[T, R]) Ordered(ctx context.Context, items []T, emit func(Outcome[T, R])) error {
+	buf := make([]*Outcome[T, R], len(items))
+	next := 0
+	return e.Stream(ctx, items, func(o Outcome[T, R]) {
+		buf[o.Index] = &o
+		for next < len(buf) && buf[next] != nil {
+			emit(*buf[next])
+			buf[next] = nil
+			next++
+		}
+	})
+}
+
+// Collect runs every item and returns the outcomes in item order.
+func (e *Engine[T, R]) Collect(ctx context.Context, items []T) ([]Outcome[T, R], error) {
+	res := make([]Outcome[T, R], 0, len(items))
+	err := e.Ordered(ctx, items, func(o Outcome[T, R]) { res = append(res, o) })
+	return res, err
+}
+
+// shard is one worker's queue of item indices. The owner pops from the
+// front; thieves steal from the back, so an owner working through its own
+// shard and a thief draining it from the far end rarely contend on the
+// same item.
+type shard struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (s *shard) pop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	idx := s.items[0]
+	s.items = s.items[1:]
+	return idx, true
+}
+
+func (s *shard) steal() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	idx := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return idx, true
+}
+
+// run shards the items, executes them on the pool, and closes out when
+// every item has produced exactly one outcome.
+func (e *Engine[T, R]) run(ctx context.Context, items []T, out chan<- Outcome[T, R]) {
+	n := e.workers(len(items))
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{}
+	}
+	for idx := range items {
+		s := shards[idx%n]
+		s.items = append(s.items, idx)
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, ok := shards[w].pop()
+				for k := 1; !ok && k < n; k++ {
+					idx, ok = shards[(w+k)%n].steal()
+				}
+				if !ok {
+					return
+				}
+				if ctx.Err() != nil {
+					// Drain without executing: the outcome records why.
+					out <- Outcome[T, R]{Index: idx, Item: items[idx], Err: context.Cause(ctx)}
+					continue
+				}
+				out <- e.attempt(ctx, idx, items[idx])
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(out)
+}
+
+// attempt executes one item, retrying transient failures with linear
+// backoff while the context is live.
+func (e *Engine[T, R]) attempt(ctx context.Context, idx int, item T) Outcome[T, R] {
+	o := Outcome[T, R]{Index: idx, Item: item}
+	start := time.Now()
+	backoff := e.Backoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	for {
+		o.Attempts++
+		o.Result, o.Err = e.Exec(ctx, item)
+		if o.Err == nil || o.Attempts > e.Retries ||
+			e.IsTransient == nil || !e.IsTransient(o.Err) || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-time.After(time.Duration(o.Attempts) * backoff):
+		case <-ctx.Done():
+		}
+	}
+	o.Elapsed = time.Since(start)
+	return o
+}

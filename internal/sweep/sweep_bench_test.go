@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// busyExec is a small CPU-bound cell body (~1µs): enough work that the
+// benchmark measures scheduling overhead relative to real computation,
+// not channel ping-pong alone.
+func busyExec(ctx context.Context, i int) (uint64, error) {
+	h := uint64(i) + 0x9e3779b97f4a7c15
+	for k := 0; k < 400; k++ {
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+	}
+	return h, nil
+}
+
+func benchEngine(b *testing.B, workers int, ordered bool) {
+	items := make([]int, 1024)
+	for i := range items {
+		items[i] = i
+	}
+	e := &Engine[int, uint64]{Workers: workers, Exec: busyExec}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var err error
+		sink := func(o Outcome[int, uint64]) {}
+		if ordered {
+			err = e.Ordered(context.Background(), items, sink)
+		} else {
+			err = e.Stream(context.Background(), items, sink)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkSweepStream measures the engine's raw scheduling throughput in
+// completion-order mode at full parallelism.
+func BenchmarkSweepStream(b *testing.B) {
+	benchEngine(b, runtime.GOMAXPROCS(0), false)
+}
+
+// BenchmarkSweepOrdered adds the deterministic reorder merge.
+func BenchmarkSweepOrdered(b *testing.B) {
+	benchEngine(b, runtime.GOMAXPROCS(0), true)
+}
+
+// BenchmarkSweepSequential is the single-worker anchor the parallel
+// numbers are read against.
+func BenchmarkSweepSequential(b *testing.B) {
+	benchEngine(b, 1, true)
+}
+
+func BenchmarkMatrixExpand(b *testing.B) {
+	wls := make([]string, 12)
+	for i := range wls {
+		wls[i] = fmt.Sprintf("wl%d", i)
+	}
+	m := Matrix{
+		Workloads: wls,
+		Archs:     []string{"x86", "sparc"},
+		Mechs:     []string{"ibtc:16384", "sieve:16384", "inline:2+ibtc:16384"},
+		Scales:    []int{0, 1000, 2000},
+	}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if cells := m.Cells(); len(cells) != m.Size() {
+			b.Fatal("expansion size mismatch")
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMatrixCells(t *testing.T) {
+	m := Matrix{
+		Workloads: []string{"a", "b"},
+		Archs:     []string{"x86"},
+		Mechs:     []string{"m1", "m2"},
+	}
+	if got := m.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4 (empty Scales selects the default scale)", got)
+	}
+	want := []Cell{
+		{"a", "x86", "m1", 0}, {"a", "x86", "m2", 0},
+		{"b", "x86", "m1", 0}, {"b", "x86", "m2", 0},
+	}
+	got := m.Cells()
+	if len(got) != len(want) {
+		t.Fatalf("Cells = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	m.Scales = []int{10, 20}
+	if got := m.Size(); got != 8 {
+		t.Errorf("Size with 2 scales = %d, want 8", got)
+	}
+	if c := m.Cells()[1]; c.Scale != 20 {
+		t.Errorf("second cell scale = %d, want 20", c.Scale)
+	}
+}
+
+// jitterExec computes a result derived only from the item but takes a
+// per-item amount of time, so completion order under parallelism differs
+// wildly from item order.
+func jitterExec(ctx context.Context, i int) ([]byte, error) {
+	time.Sleep(time.Duration((i*37)%5) * time.Millisecond)
+	return []byte(fmt.Sprintf("item %d -> %x\n", i, i*i*2654435761)), nil
+}
+
+// The core determinism contract: Ordered output at many workers is
+// byte-identical to a one-worker (sequential) run. Run under -race in CI.
+func TestOrderedDeterministicAcrossWorkerCounts(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		e := &Engine[int, []byte]{Workers: workers, Exec: jitterExec}
+		if err := e.Ordered(context.Background(), items, func(o Outcome[int, []byte]) {
+			if o.Err != nil {
+				t.Errorf("item %d failed: %v", o.Index, o.Err)
+			}
+			buf.Write(o.Result)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := render(1)
+	for _, workers := range []int{4, 8} {
+		if parallel := render(workers); !bytes.Equal(sequential, parallel) {
+			t.Errorf("%d-worker output differs from sequential:\n%s\n---\n%s",
+				workers, sequential, parallel)
+		}
+	}
+}
+
+func TestStreamEmitsEveryItemOnce(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	seen := make([]int, len(items))
+	e := &Engine[int, []byte]{Workers: 8, Exec: jitterExec}
+	if err := e.Stream(context.Background(), items, func(o Outcome[int, []byte]) {
+		seen[o.Index]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("item %d emitted %d times, want 1", i, n)
+		}
+	}
+}
+
+// One poisoned item must yield exactly one error outcome while every
+// other item completes.
+func TestErrorIsolation(t *testing.T) {
+	boom := errors.New("poisoned")
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	e := &Engine[int, string]{
+		Workers: 4,
+		Exec: func(ctx context.Context, i int) (string, error) {
+			if i == 3 {
+				return "", boom
+			}
+			return fmt.Sprint(i), nil
+		},
+	}
+	outs, err := e.Collect(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, ok int
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+			if o.Index != 3 || !errors.Is(o.Err, boom) {
+				t.Errorf("unexpected failure: index %d err %v", o.Index, o.Err)
+			}
+		} else {
+			ok++
+		}
+	}
+	if failed != 1 || ok != 7 {
+		t.Errorf("failed=%d ok=%d, want 1/7", failed, ok)
+	}
+}
+
+func TestTransientRetry(t *testing.T) {
+	transient := errors.New("transient")
+	permanent := errors.New("permanent")
+	var calls atomic.Int64
+	e := &Engine[int, int]{
+		Workers: 2,
+		Retries: 3,
+		Backoff: time.Millisecond,
+		IsTransient: func(err error) bool {
+			return errors.Is(err, transient)
+		},
+		Exec: func(ctx context.Context, i int) (int, error) {
+			switch i {
+			case 0: // succeeds on the third attempt
+				if calls.Add(1) < 3 {
+					return 0, transient
+				}
+				return 42, nil
+			case 1: // permanent errors are not retried
+				return 0, permanent
+			default:
+				return i, nil
+			}
+		},
+	}
+	outs, err := e.Collect(context.Background(), []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err != nil || outs[0].Result != 42 || outs[0].Attempts != 3 {
+		t.Errorf("retried item: %+v, want success after 3 attempts", outs[0])
+	}
+	if !errors.Is(outs[1].Err, permanent) || outs[1].Attempts != 1 {
+		t.Errorf("permanent failure: %+v, want 1 attempt", outs[1])
+	}
+	if outs[2].Err != nil || outs[2].Attempts != 1 {
+		t.Errorf("healthy item: %+v", outs[2])
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	transient := errors.New("transient")
+	var calls atomic.Int64
+	e := &Engine[int, int]{
+		Workers: 1,
+		Retries: 2,
+		Backoff: time.Millisecond,
+		IsTransient: func(error) bool {
+			return true
+		},
+		Exec: func(ctx context.Context, i int) (int, error) {
+			calls.Add(1)
+			return 0, transient
+		},
+	}
+	outs, err := e.Collect(context.Background(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("exec calls = %d, want 3 (1 + 2 retries)", got)
+	}
+	if outs[0].Attempts != 3 || !errors.Is(outs[0].Err, transient) {
+		t.Errorf("outcome = %+v", outs[0])
+	}
+}
+
+// Cancelling the context mid-run must stop scheduling new items: the
+// unstarted remainder drains as outcomes with Attempts 0 carrying the
+// context cause, and Stream reports the cause.
+func TestCancellationDrainsRemainder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	e := &Engine[int, int]{
+		Workers: 2,
+		Exec: func(ctx context.Context, i int) (int, error) {
+			if i == 0 {
+				cancel()
+				return 0, context.Cause(ctx)
+			}
+			// Simulate a long run that notices cancellation (like the VM's
+			// periodic context poll); the timeout is a liveness backstop.
+			select {
+			case <-ctx.Done():
+				return 0, context.Cause(ctx)
+			case <-time.After(5 * time.Second):
+				return i, nil
+			}
+		},
+	}
+	var executed, skipped int
+	err := e.Stream(ctx, items, func(o Outcome[int, int]) {
+		if o.Attempts == 0 {
+			skipped++
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Errorf("skipped item %d err = %v, want context.Canceled", o.Index, o.Err)
+			}
+		} else {
+			executed++
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Stream error = %v, want context.Canceled", err)
+	}
+	if executed+skipped != len(items) {
+		t.Errorf("executed %d + skipped %d != %d items", executed, skipped, len(items))
+	}
+	if skipped == 0 {
+		t.Error("cancellation skipped no items; expected most of the batch to be cut off")
+	}
+}
+
+// With one overloaded shard, idle workers must steal the stragglers:
+// items land round-robin, so worker 0's shard holds all the slow items
+// when every slow index is ≡ 0 (mod workers). If stealing worked, total
+// wall time is far below the serialized time of the slow shard.
+func TestWorkStealingBalancesShards(t *testing.T) {
+	const workers = 4
+	const slowDelay = 30 * time.Millisecond
+	items := make([]int, 16)
+	for i := range items {
+		items[i] = i
+	}
+	var maxInflight, inflight atomic.Int64
+	e := &Engine[int, int]{
+		Workers: workers,
+		Exec: func(ctx context.Context, i int) (int, error) {
+			cur := inflight.Add(1)
+			defer inflight.Add(-1)
+			for {
+				prev := maxInflight.Load()
+				if cur <= prev || maxInflight.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			if i%workers == 0 { // all slow items in shard 0
+				time.Sleep(slowDelay)
+			}
+			return i, nil
+		},
+	}
+	start := time.Now()
+	if _, err := e.Collect(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	serialized := time.Duration(len(items)/workers) * slowDelay
+	if elapsed >= serialized {
+		t.Errorf("elapsed %v not better than serialized slow shard %v — stealing is not happening", elapsed, serialized)
+	}
+	if got := maxInflight.Load(); got > workers {
+		t.Errorf("max inflight = %d, want <= %d workers", got, workers)
+	}
+}
+
+func TestWorkerCountClamp(t *testing.T) {
+	var maxInflight, inflight atomic.Int64
+	e := &Engine[int, int]{
+		Workers: 64, // far more than items
+		Exec: func(ctx context.Context, i int) (int, error) {
+			cur := inflight.Add(1)
+			defer inflight.Add(-1)
+			for {
+				prev := maxInflight.Load()
+				if cur <= prev || maxInflight.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		},
+	}
+	if _, err := e.Collect(context.Background(), []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxInflight.Load(); got > 3 {
+		t.Errorf("max inflight = %d, want <= 3 (pool clamped to item count)", got)
+	}
+}
+
+func TestNilExec(t *testing.T) {
+	e := &Engine[int, int]{}
+	if err := e.Stream(context.Background(), []int{1}, func(Outcome[int, int]) {}); err == nil {
+		t.Error("nil Exec accepted")
+	}
+}
+
+func TestEmptyItems(t *testing.T) {
+	e := &Engine[int, int]{Exec: func(ctx context.Context, i int) (int, error) { return i, nil }}
+	outs, err := e.Collect(context.Background(), nil)
+	if err != nil || len(outs) != 0 {
+		t.Errorf("Collect(nil) = %v, %v", outs, err)
+	}
+}
+
+// Concurrent engines sharing one memoizing executor must be race-clean
+// (exercised meaningfully under -race).
+func TestConcurrentEngines(t *testing.T) {
+	items := make([]int, 24)
+	for i := range items {
+		items[i] = i
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := &Engine[int, []byte]{Workers: 4, Exec: jitterExec}
+			if _, err := e.Collect(context.Background(), items); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -54,6 +54,24 @@ type Spec struct {
 	Gen func(scale int) string
 }
 
+// ScaledDown returns DefaultScale reduced by div for quick runs, clamped
+// so the result can never reach 0. The clamp matters: Generate and Image
+// interpret scale 0 as "use the full DefaultScale", so an unclamped
+// DefaultScale/div with a large divisor would silently select the
+// *largest* run — the opposite of what the divisor asks for. The floor is
+// 2 rather than 1 because several generators degenerate at scale 1 (empty
+// dispatch tables, zero-iteration loops).
+func (s *Spec) ScaledDown(div int) int {
+	if div <= 1 {
+		return s.DefaultScale
+	}
+	scale := s.DefaultScale / div
+	if scale < 2 {
+		scale = 2
+	}
+	return scale
+}
+
 // Generate returns the workload's assembly source at scale (0 selects
 // DefaultScale).
 func (s *Spec) Generate(scale int) string {

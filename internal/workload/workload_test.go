@@ -14,11 +14,7 @@ import (
 const testScaleDivisor = 10 // shrink default scales to keep tests quick
 
 func testScale(s *workload.Spec) int {
-	scale := s.DefaultScale / testScaleDivisor
-	if scale < 2 {
-		scale = 2
-	}
-	return scale
+	return s.ScaledDown(testScaleDivisor)
 }
 
 func TestRegistry(t *testing.T) {
@@ -33,6 +29,35 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, err := workload.Get("nonexistent"); err == nil {
 		t.Error("Get accepted an unknown name")
+	}
+}
+
+// A divisor larger than DefaultScale must clamp, never floor to 0: scale
+// 0 means "full DefaultScale" to Generate/Image, so an unclamped floor
+// would turn "run tiny" into "run everything".
+func TestScaledDownNeverFloorsToZero(t *testing.T) {
+	for _, name := range workload.Names() {
+		s, _ := workload.Get(name)
+		for _, div := range []int{1, 2, s.DefaultScale, s.DefaultScale * 10, 1 << 30} {
+			got := s.ScaledDown(div)
+			if got < 1 {
+				t.Errorf("%s.ScaledDown(%d) = %d, want >= 1", name, div, got)
+			}
+			if div > 1 && got > s.DefaultScale {
+				t.Errorf("%s.ScaledDown(%d) = %d exceeds DefaultScale %d", name, div, got, s.DefaultScale)
+			}
+		}
+		if got := s.ScaledDown(0); got != s.DefaultScale {
+			t.Errorf("%s.ScaledDown(0) = %d, want DefaultScale %d", name, got, s.DefaultScale)
+		}
+		// The clamped scale must still take effect — the regression this
+		// test pins is scale flooring to 0, which Generate interprets as
+		// the FULL DefaultScale. (Workloads whose DefaultScale is already
+		// at the clamp floor have nothing to shrink.)
+		huge := s.ScaledDown(1 << 30)
+		if huge < s.DefaultScale && s.Generate(huge) == s.Generate(0) {
+			t.Errorf("%s at clamped scale %d generates its full default program", name, huge)
+		}
 	}
 }
 

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Benchmark-regression gate for the dispatch hot path. Runs the tracked
-# benchmark set (BenchmarkRun* and BenchmarkFlushStorm, with -benchmem)
-# several times, reduces to medians, and compares against the committed
-# BENCH_3.json baseline via cmd/benchgate: >10% ns/op regression fails.
+# Benchmark-regression gate for the dispatch hot path and the sweep
+# engine. Runs the tracked benchmark set (BenchmarkRun* and
+# BenchmarkFlushStorm in internal/core; BenchmarkSweep* and
+# BenchmarkMatrixExpand in internal/sweep, all with -benchmem) several
+# times, reduces to medians, and compares against the committed
+# BENCH_4.json baseline via cmd/benchgate: >10% ns/op regression fails.
+# BENCH_3.json remains as the historical dispatch-rewrite record.
 #
 # Usage:
 #   scripts/bench.sh            gate against the committed baseline
@@ -19,7 +22,10 @@ cd "$(dirname "$0")/.."
 
 COUNT=${BENCH_COUNT:-5}
 TIME=${BENCH_TIME:-1s}
-PATTERN='^(BenchmarkRun|BenchmarkFlushStorm)'
+CORE_PATTERN='^(BenchmarkRun|BenchmarkFlushStorm)'
+SWEEP_PATTERN='^(BenchmarkSweep|BenchmarkMatrixExpand)'
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" -benchtime "$TIME" ./internal/core |
-    go run ./cmd/benchgate -baseline BENCH_3.json "$@"
+{
+    go test -run '^$' -bench "$CORE_PATTERN" -benchmem -count "$COUNT" -benchtime "$TIME" ./internal/core
+    go test -run '^$' -bench "$SWEEP_PATTERN" -benchmem -count "$COUNT" -benchtime "$TIME" ./internal/sweep
+} | go run ./cmd/benchgate -baseline BENCH_4.json "$@"

@@ -38,10 +38,10 @@ fuzz ./internal/oracle  FuzzMinimize
 echo "==> bench smoke"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
-# Regression gate: the dispatch-path benchmarks must stay within
-# BENCH_THRESHOLD percent (default 10) of the committed BENCH_3.json
-# baseline. Regenerate the baseline with `make bench` after intentional
-# performance changes. See docs/PERF.md.
+# Regression gate: the dispatch-path and sweep-engine benchmarks must
+# stay within BENCH_THRESHOLD percent (default 10) of the committed
+# BENCH_4.json baseline. Regenerate the baseline with `make bench` after
+# intentional performance changes. See docs/PERF.md.
 echo "==> bench gate"
 scripts/bench.sh
 
