@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race ci fuzz bench benchgate benchall vet smoke
+.PHONY: all test race ci fuzz bench benchgate benchall vet smoke chaos
 
 all: test
 
@@ -31,3 +31,7 @@ benchall:
 
 smoke:           ## end-to-end sdtd daemon smoke (see cmd/sdtdsmoke)
 	$(GO) run ./cmd/sdtdsmoke
+
+chaos:           ## sdtd under deterministic fault injection (see cmd/sdtchaos, docs/ROBUSTNESS.md)
+	$(GO) test -race ./internal/faultinject ./internal/store ./internal/sweep ./internal/service
+	$(GO) run ./cmd/sdtchaos -seed 42

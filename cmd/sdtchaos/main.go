@@ -1,0 +1,619 @@
+// sdtchaos is the hostile-conditions test for the sdtd daemon: it drives
+// the real binary under a deterministic fault-injection plan (see
+// docs/ROBUSTNESS.md) and asserts that robustness machinery never changes
+// what the service computes — only whether a given attempt succeeds.
+//
+// Four phases, all against real child processes on ephemeral ports:
+//
+//  1. Golden: a clean daemon computes a fixed set of runs and a sweep;
+//     their result bytes become the reference.
+//  2. Fault storm: a fresh daemon runs the same work under injected disk
+//     I/O errors, worker panics, transient cell faults, and journal write
+//     failures. Clients retry; every response that eventually succeeds
+//     must be byte-identical to the golden bytes, the daemon must stay
+//     up, and the panic/fault counters must show the storm actually
+//     happened.
+//  3. Corruption: one bit of a stored entry is flipped on disk between
+//     daemon restarts. The entry must be quarantined, counted, and
+//     transparently recomputed to the same bytes (read-repair).
+//  4. Kill + resume: a sweep is half-completed under a hostile plan, the
+//     daemon is SIGKILLed, and a clean daemon resumes the sweep ID. The
+//     journaled cells must be replayed from the store — zero re-executed
+//     runs for them — and the remainder must complete.
+//
+// The -seed flag fixes every pseudo-random choice in the fault plans, so
+// a failure reproduces exactly. Exit status 0 means all checks passed.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"sdt/internal/service"
+)
+
+const chaosAsm = `
+main:
+	li r10, 0
+	li r11, 150
+loop:
+	mov a0, r10
+	call double
+	out rv
+	addi r10, r10, 1
+	blt r10, r11, loop
+	halt
+double:
+	add rv, a0, a0
+	ret
+`
+
+const chaosMiniC = `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { out fib(14); }
+`
+
+// chaosRuns is the fixed /v1/run workload; every phase submits these and
+// compares the result bytes.
+var chaosRuns = []service.RunRequest{
+	{Name: "loop.s", Lang: service.LangAsm, Source: chaosAsm, Arch: "x86", Mech: "ibtc:1024"},
+	{Name: "loop.s", Lang: service.LangAsm, Source: chaosAsm, Arch: "arm", Mech: "sieve:256"},
+	{Name: "fib.mc", Lang: service.LangMiniC, Source: chaosMiniC, Arch: "x86", Mech: "retcache+ibtc:512"},
+	{Name: "fib.mc", Lang: service.LangMiniC, Source: chaosMiniC, Arch: "sparc", Mech: "fastret+sieve:128"},
+}
+
+// chaosSweep is the fixed sweep matrix.
+var chaosSweep = service.SweepRequest{
+	Workloads: []string{"gzip", "vpr"},
+	Mechs:     []string{"ibtc:1024", "sieve:256"},
+	Limit:     10_000_000,
+}
+
+// chaosSweepCells is chaosSweep's expansion size (workloads x mechs).
+const chaosSweepCells = 4
+
+func main() {
+	seed := flag.Uint64("seed", 42, "seed for the fault plans (fixes the whole scenario)")
+	bin := flag.String("bin", "", "path to an sdtd binary (empty = go build one)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("sdtchaos: ")
+
+	if err := run(*bin, *seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CHAOS OK")
+}
+
+func run(bin string, seed uint64) error {
+	tmp, err := os.MkdirTemp("", "sdtchaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	if bin == "" {
+		bin = filepath.Join(tmp, "sdtd")
+		build := exec.Command("go", "build", "-o", bin, "sdt/cmd/sdtd")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building sdtd: %w", err)
+		}
+	}
+
+	golden, err := phaseGolden(bin, tmp)
+	if err != nil {
+		return fmt.Errorf("golden phase: %w", err)
+	}
+	if err := phaseStorm(bin, tmp, seed, golden); err != nil {
+		return fmt.Errorf("fault-storm phase: %w", err)
+	}
+	if err := phaseCorruption(bin, tmp, golden); err != nil {
+		return fmt.Errorf("corruption phase: %w", err)
+	}
+	if err := phaseResume(bin, tmp, seed, golden); err != nil {
+		return fmt.Errorf("kill-resume phase: %w", err)
+	}
+	return nil
+}
+
+// golden holds the reference bytes from the clean daemon.
+type golden struct {
+	runs  [][]byte         // indexed like chaosRuns
+	cells map[int][]byte   // sweep cell index -> result bytes
+	keys  []string         // content-store keys of chaosRuns results
+}
+
+func phaseGolden(bin, tmp string) (*golden, error) {
+	d, err := startDaemon(bin, filepath.Join(tmp, "golden"))
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+
+	g := &golden{cells: map[int][]byte{}}
+	for i, req := range chaosRuns {
+		data, err := d.runOnce(req)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		var res service.RunResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("run %d result: %w", i, err)
+		}
+		g.runs = append(g.runs, data)
+		g.keys = append(g.keys, res.Key)
+	}
+	recs, err := d.sweep(chaosSweep, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if rec.Type != "cell" {
+			continue
+		}
+		if rec.Error != nil {
+			return nil, fmt.Errorf("golden sweep cell %d failed: %+v", rec.Index, rec.Error)
+		}
+		g.cells[rec.Index] = rec.Result
+	}
+	if len(g.cells) != chaosSweepCells {
+		return nil, fmt.Errorf("golden sweep produced %d cells, want %d", len(g.cells), chaosSweepCells)
+	}
+	log.Printf("golden OK (%d runs, %d sweep cells)", len(g.runs), len(g.cells))
+	return g, nil
+}
+
+// phaseStorm re-runs the whole workload under a hostile plan. Cadenced
+// points guarantee the classes we assert on actually fire; limits
+// guarantee the storm eventually drains so retries converge.
+func phaseStorm(bin, tmp string, seed uint64, g *golden) error {
+	plan := fmt.Sprintf(`{"seed":%d,"points":[`+
+		`{"site":"store.disk.read","class":"io","every":4,"limit":25},`+
+		`{"site":"store.disk.write","class":"io","every":3,"limit":25},`+
+		`{"site":"store.disk.rename","class":"io","every":5,"limit":10},`+
+		`{"site":"service.job","class":"panic","every":3,"limit":4},`+
+		`{"site":"sweep.cell","class":"transient","prob":0.35,"limit":20},`+
+		`{"site":"service.sweep.journal","class":"io","every":2,"limit":6}]}`, seed)
+	d, err := startDaemon(bin, filepath.Join(tmp, "storm"),
+		"-fault-plan", plan, "-allow-faults", "-breaker-cooldown", "50ms")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	for i, req := range chaosRuns {
+		data, err := d.runRetry(req, 15)
+		if err != nil {
+			return fmt.Errorf("run %d never succeeded: %w", i, err)
+		}
+		if !bytes.Equal(data, g.runs[i]) {
+			return fmt.Errorf("run %d bytes differ under faults:\n%s\nvs golden\n%s", i, data, g.runs[i])
+		}
+	}
+	log.Printf("storm runs OK (%d/%d byte-identical)", len(chaosRuns), len(chaosRuns))
+
+	// The sweep may lose cells to exhausted retries; re-submitting under
+	// the same ID replays journaled successes and retries the rest. The
+	// fault limits guarantee convergence.
+	want := chaosSweepCells
+	sweepDone := false
+	for attempt := 0; attempt < 8 && !sweepDone; attempt++ {
+		recs, err := d.sweep(chaosSweep, "storm")
+		if err != nil {
+			return err
+		}
+		okCells := 0
+		for _, rec := range recs {
+			if rec.Type != "cell" || rec.Error != nil {
+				continue
+			}
+			if !bytes.Equal(rec.Result, g.cells[rec.Index]) {
+				return fmt.Errorf("sweep cell %d bytes differ under faults", rec.Index)
+			}
+			okCells++
+		}
+		sweepDone = okCells == want
+	}
+	if !sweepDone {
+		return fmt.Errorf("sweep did not converge to %d clean cells", want)
+	}
+	log.Printf("storm sweep OK (%d cells byte-identical)", want)
+
+	// The storm must actually have happened, and the daemon survived it.
+	panics, err := d.counterValue("sdtd_job_panics_total")
+	if err != nil {
+		return err
+	}
+	if panics == 0 {
+		return errors.New("panic faults were planned but sdtd_job_panics_total is 0")
+	}
+	injected, err := d.counterSum("sdtd_faults_injected_total{")
+	if err != nil {
+		return err
+	}
+	if injected == 0 {
+		return errors.New("sdtd_faults_injected_total shows no injections")
+	}
+	if err := d.checkHealthStatus(http.StatusOK); err != nil {
+		return err
+	}
+	log.Printf("storm survived OK (%d faults injected, %d panics recovered)", injected, panics)
+	return nil
+}
+
+// phaseCorruption flips one stored bit between restarts and asserts
+// quarantine + read-repair.
+func phaseCorruption(bin, tmp string, g *golden) error {
+	dir := filepath.Join(tmp, "corrupt")
+	d, err := startDaemon(bin, dir)
+	if err != nil {
+		return err
+	}
+	if _, err := d.runOnce(chaosRuns[0]); err != nil {
+		d.kill()
+		return err
+	}
+	d.kill() // stored entries are durable before the response is sent
+
+	key := g.keys[0]
+	path := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading stored entry: %w", err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return err
+	}
+
+	d, err = startDaemon(bin, dir)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+	data, err := d.runOnce(chaosRuns[0])
+	if err != nil {
+		return fmt.Errorf("run over corrupt entry: %w", err)
+	}
+	if !bytes.Equal(data, g.runs[0]) {
+		return errors.New("recomputed result differs from golden bytes")
+	}
+	corruptions, err := d.counterValue("sdtd_store_corruption_total")
+	if err != nil {
+		return err
+	}
+	if corruptions != 1 {
+		return fmt.Errorf("sdtd_store_corruption_total = %d, want 1", corruptions)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key)); err != nil {
+		return fmt.Errorf("corrupt entry not quarantined: %w", err)
+	}
+	// The write-back must verify again: a fresh restart serves it from
+	// disk without a recompute.
+	log.Printf("corruption OK (flipped bit quarantined, recomputed byte-identical)")
+	return nil
+}
+
+// phaseResume half-completes a checkpointed sweep under a hostile plan,
+// SIGKILLs the daemon, and resumes on a clean one. Journaled cells must
+// be replayed, not re-executed.
+func phaseResume(bin, tmp string, seed uint64, g *golden) error {
+	dir := filepath.Join(tmp, "resume")
+	plan := fmt.Sprintf(`{"seed":%d,"points":[`+
+		`{"site":"sweep.cell","class":"permanent","every":1,"after":2}]}`, seed)
+	d, err := startDaemon(bin, dir, "-fault-plan", plan, "-allow-faults", "-workers", "1")
+	if err != nil {
+		return err
+	}
+	recs, err := d.sweep(chaosSweep, "resume")
+	if err != nil {
+		d.kill()
+		return err
+	}
+	okCells := 0
+	for _, rec := range recs {
+		if rec.Type == "cell" && rec.Error == nil {
+			okCells++
+		}
+	}
+	d.kill() // hard kill: the journal must already be durable
+
+	// The journal on disk knows exactly which cells completed.
+	jraw, err := os.ReadFile(filepath.Join(dir, "sweeps", "resume.json"))
+	if err != nil {
+		return fmt.Errorf("journal after kill: %w", err)
+	}
+	var journal struct {
+		Cells []struct {
+			Index int    `json:"index"`
+			Key   string `json:"key"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(jraw, &journal); err != nil {
+		return fmt.Errorf("decoding journal: %w", err)
+	}
+	if len(journal.Cells) != okCells || okCells == 0 {
+		return fmt.Errorf("journal holds %d cells, sweep completed %d", len(journal.Cells), okCells)
+	}
+	total := chaosSweepCells
+	log.Printf("killed mid-sweep with %d/%d cells journaled", okCells, total)
+
+	d, err = startDaemon(bin, dir, "-workers", "1")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+	runsBefore, err := d.counterSum("sdtd_runs_total{")
+	if err != nil {
+		return err
+	}
+	recs, err = d.sweep(chaosSweep, "resume")
+	if err != nil {
+		return err
+	}
+	replayed, done := 0, 0
+	for _, rec := range recs {
+		switch rec.Type {
+		case "cell":
+			if rec.Error != nil {
+				return fmt.Errorf("resumed cell %d failed: %+v", rec.Index, rec.Error)
+			}
+			if !bytes.Equal(rec.Result, g.cells[rec.Index]) {
+				return fmt.Errorf("resumed cell %d bytes differ from golden", rec.Index)
+			}
+			if rec.Replayed == true {
+				replayed++
+			}
+			done++
+		case "start":
+			if rec.Resumed != okCells {
+				return fmt.Errorf("start.resumed = %d, want %d", rec.Resumed, okCells)
+			}
+		}
+	}
+	if done != total || replayed != okCells {
+		return fmt.Errorf("resume: done=%d replayed=%d, want %d/%d", done, replayed, total, okCells)
+	}
+	runsAfter, err := d.counterSum("sdtd_runs_total{")
+	if err != nil {
+		return err
+	}
+	if delta := runsAfter - runsBefore; delta != total-okCells {
+		return fmt.Errorf("resume executed %d runs, want %d (journaled cells must not re-execute)", delta, total-okCells)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sweeps", "resume.json")); !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("journal not retired after full completion (err=%v)", err)
+	}
+	log.Printf("resume OK (%d replayed, %d executed, journal retired)", replayed, total-okCells)
+	return nil
+}
+
+// ---- daemon plumbing ----
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	done chan error
+}
+
+func startDaemon(bin, storeDir string, extra ...string) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-store", storeDir, "-q"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addr <- m[1]
+			}
+		}
+	}()
+	go func() { d.done <- cmd.Wait() }()
+	select {
+	case d.base = <-addr:
+		return d, nil
+	case err := <-d.done:
+		return nil, fmt.Errorf("sdtd exited before listening: %v", err)
+	case <-time.After(20 * time.Second):
+		d.kill()
+		return nil, errors.New("sdtd did not report a listen address in 20s")
+	}
+}
+
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+		<-d.done
+	}
+}
+
+// runOnce submits one request and requires immediate success.
+func (d *daemon) runOnce(req service.RunRequest) ([]byte, error) {
+	status, body, err := d.post(req)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", status, body)
+	}
+	var resp service.RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// runRetry submits one request, retrying server-side failures (the storm
+// injects them on purpose) up to attempts times.
+func (d *daemon) runRetry(req service.RunRequest, attempts int) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		status, body, err := d.post(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		case status == http.StatusOK:
+			var resp service.RunResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				return nil, err
+			}
+			return resp.Result, nil
+		case status >= 500 || status == http.StatusTooManyRequests:
+			lastErr = fmt.Errorf("status %d: %s", status, body)
+		default:
+			// 4xx other than 429 is a real bug, not storm damage.
+			return nil, fmt.Errorf("non-retryable status %d: %s", status, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func (d *daemon) post(req service.RunRequest) (int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data := new(bytes.Buffer)
+	if _, err := data.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data.Bytes(), nil
+}
+
+// chaosRec is the union of the sweep NDJSON record shapes.
+type chaosRec struct {
+	Type     string             `json:"type"`
+	Index    int                `json:"index"`
+	Resumed  int                `json:"resumed"`
+	// Replayed is bool on cell records and int on the done record.
+	Replayed any                `json:"replayed"`
+	Result   json.RawMessage    `json:"result"`
+	Error    *service.ErrorInfo `json:"error"`
+	Done     int                `json:"done"`
+	Errors   int                `json:"errors"`
+	Total    int                `json:"total"`
+}
+
+// sweep streams one /v1/sweep request (with an optional checkpoint ID)
+// and returns every record.
+func (d *daemon) sweep(req service.SweepRequest, id string) ([]chaosRec, error) {
+	req.ID = id
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data := new(bytes.Buffer)
+		data.ReadFrom(resp.Body)
+		return nil, fmt.Errorf("sweep status %d: %s", resp.StatusCode, data.Bytes())
+	}
+	var recs []chaosRec
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec chaosRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("decoding stream line %q: %w", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// counterValue scrapes one exact metric series (0 if absent).
+func (d *daemon) counterValue(series string) (int, error) {
+	return d.scrape(func(line string) (int, bool) {
+		if strings.HasPrefix(line, series+" ") {
+			var v int
+			fmt.Sscanf(line[len(series)+1:], "%d", &v)
+			return v, true
+		}
+		return 0, false
+	})
+}
+
+// counterSum sums every series whose name starts with prefix (e.g. all
+// outcome labels of one counter family).
+func (d *daemon) counterSum(prefix string) (int, error) {
+	total := 0
+	_, err := d.scrape(func(line string) (int, bool) {
+		if strings.HasPrefix(line, prefix) {
+			if sp := strings.LastIndexByte(line, ' '); sp >= 0 {
+				var v int
+				fmt.Sscanf(line[sp+1:], "%d", &v)
+				total += v
+			}
+		}
+		return 0, false
+	})
+	return total, err
+}
+
+func (d *daemon) scrape(f func(line string) (int, bool)) (int, error) {
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if v, ok := f(sc.Text()); ok {
+			return v, nil
+		}
+	}
+	return 0, sc.Err()
+}
+
+func (d *daemon) checkHealthStatus(want int) error {
+	resp, err := http.Get(d.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon unreachable after storm: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("healthz = %d, want %d", resp.StatusCode, want)
+	}
+	return nil
+}

@@ -8,6 +8,12 @@
 //	sdtd [-addr host:port] [-store dir] [-workers n] [-queue n]
 //	     [-mem n] [-timeout d] [-max-timeout d] [-drain-timeout d] [-q]
 //	     [-sweep-cells n] [-sweep-heartbeat d] [-debug-addr host:port]
+//	     [-breaker-threshold n] [-breaker-cooldown d]
+//	     [-fault-plan file|json -allow-faults]
+//
+// -fault-plan arms deterministic fault injection (see docs/ROBUSTNESS.md
+// for the plan format and site names). It deliberately makes the daemon
+// misbehave, so it is refused unless -allow-faults is also given.
 //
 // -debug-addr serves Go's net/http/pprof profiling endpoints on a separate
 // listener (keep it on loopback; it is intentionally not exposed through
@@ -34,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdt/internal/faultinject"
 	"sdt/internal/service"
 )
 
@@ -51,6 +58,10 @@ func main() {
 		sweepBeat    = flag.Duration("sweep-heartbeat", 0, "progress heartbeat interval for sweep streams (0 = default 5s)")
 		quiet        = flag.Bool("q", false, "suppress per-request logging")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		faultPlan    = flag.String("fault-plan", "", "deterministic fault-injection plan: a file path or inline JSON (testing only; requires -allow-faults)")
+		allowFaults  = flag.Bool("allow-faults", false, "acknowledge that -fault-plan deliberately breaks this daemon")
+		breakerN     = flag.Int("breaker-threshold", 0, "consecutive disk failures that trip the store breaker (0 = default 5, < 0 = disabled)")
+		breakerWait  = flag.Duration("breaker-cooldown", 0, "store breaker open -> half-open wait (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -60,16 +71,34 @@ func main() {
 		reqLog = log.New(io.Discard, "", 0)
 	}
 
+	// A fault plan turns the daemon hostile on purpose; refuse it unless
+	// the operator states that is what they want.
+	var inj *faultinject.Injector
+	if *faultPlan != "" {
+		if !*allowFaults {
+			logger.Fatal("-fault-plan is a testing feature that deliberately injects failures; pass -allow-faults to confirm")
+		}
+		plan, err := faultinject.ParsePlan(*faultPlan)
+		if err != nil {
+			logger.Fatalf("parsing -fault-plan: %v", err)
+		}
+		inj = faultinject.New(plan)
+		logger.Printf("fault injection armed: seed=%d points=%d", plan.Seed, len(plan.Points))
+	}
+
 	srv, err := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		StoreDir:       *storeDir,
-		MemEntries:     *memEntries,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxSweepCells:  *sweepCells,
-		SweepHeartbeat: *sweepBeat,
-		Log:            reqLog,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		StoreDir:              *storeDir,
+		MemEntries:            *memEntries,
+		DefaultTimeout:        *timeout,
+		MaxTimeout:            *maxTimeout,
+		MaxSweepCells:         *sweepCells,
+		SweepHeartbeat:        *sweepBeat,
+		StoreBreakerThreshold: *breakerN,
+		StoreBreakerCooldown:  *breakerWait,
+		Faults:                inj,
+		Log:                   reqLog,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -119,6 +119,11 @@ func run(bin string) error {
 	}
 	defer d.kill()
 
+	// 0. Health report shape: 200 with a JSON body describing the store.
+	if err := d.checkHealth(); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
 	// 1. Cold submissions, checked against in-process runs.
 	asmRes, err := d.submitChecked("prog.s", service.LangAsm, asmProg, "ibtc:4096")
 	if err != nil {
@@ -467,6 +472,31 @@ func startDaemon(bin, tmp string) (*daemon, error) {
 	}
 	log.Printf("daemon up at %s", d.base)
 	return d, nil
+}
+
+// checkHealth asserts the /healthz contract: HTTP 200 while serving, and
+// a JSON service.Health body reporting a persistent, non-degraded store.
+func (d *daemon) checkHealth() error {
+	resp, err := http.Get(d.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d, want 200", resp.StatusCode)
+	}
+	var h service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("body is not a JSON health report: %v", err)
+	}
+	if h.Status != service.HealthOK {
+		return fmt.Errorf("status field %q, want %q", h.Status, service.HealthOK)
+	}
+	if !h.Store.Persistent || h.Store.Degraded {
+		return fmt.Errorf("store section %+v, want persistent and not degraded", h.Store)
+	}
+	log.Printf("healthz OK (status=%s persistent=%v)", h.Status, h.Store.Persistent)
+	return nil
 }
 
 func (d *daemon) kill() {

@@ -1,0 +1,328 @@
+// Package faultinject is the repo's deterministic fault-injection
+// substrate: a seeded Plan arms named fault sites (store disk I/O, worker
+// job boundaries, sweep cells, sweep journals) with a probability or a
+// deterministic cadence, an error class, optional latency and a fire
+// limit. A compiled Injector is consulted at each site; with no plan the
+// injector is nil and every consumer guards the call behind a single
+// pointer comparison, so the hooks cost nothing on production hot paths.
+//
+// Determinism: each site owns an independent splitmix64 stream seeded
+// from (plan seed, site name), and cadence counters advance only on
+// calls that could fire for that site's class. Two runs with the same
+// plan, the same seed and the same per-site call sequence therefore
+// inject exactly the same faults — failures found by cmd/sdtchaos replay.
+//
+// Plans are written in JSON, inline or in a file (see ParsePlan):
+//
+//	{
+//	  "seed": 42,
+//	  "points": [
+//	    {"site": "store.disk.read", "class": "corrupt", "prob": 0.2},
+//	    {"site": "store.disk.write", "class": "io", "every": 3, "limit": 10},
+//	    {"site": "service.job", "class": "panic", "prob": 0.05},
+//	    {"site": "sweep.cell", "class": "transient", "prob": 0.1, "latency_ms": 2}
+//	  ]
+//	}
+package faultinject
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault classes a Point may carry.
+const (
+	// ClassIO is a generic injected I/O failure (not retryable).
+	ClassIO = "io"
+	// ClassTransient is a failure retry classifiers should retry.
+	ClassTransient = "transient"
+	// ClassPermanent is a failure that must never be retried.
+	ClassPermanent = "permanent"
+	// ClassCorrupt flips one bit of the data passing through the site
+	// (delivered via Injector.Corrupt; Injector.Fail ignores it).
+	ClassCorrupt = "corrupt"
+	// ClassPanic panics at the site (exercising recover paths).
+	ClassPanic = "panic"
+	// ClassLatency injects only the configured delay, no error.
+	ClassLatency = "latency"
+)
+
+var knownClasses = map[string]bool{
+	ClassIO: true, ClassTransient: true, ClassPermanent: true,
+	ClassCorrupt: true, ClassPanic: true, ClassLatency: true,
+}
+
+// Point arms one fault site. Exactly one of Prob and Every selects when
+// the site fires: Prob fires pseudo-randomly (deterministically, from the
+// site's seeded stream), Every fires on every Every-th eligible call.
+type Point struct {
+	// Site names the instrumented location (see each package's Site*
+	// constants, e.g. store.SiteDiskRead).
+	Site string `json:"site"`
+	// Class is one of the Class* constants.
+	Class string `json:"class"`
+	// Prob is the per-call fire probability in [0, 1].
+	Prob float64 `json:"prob,omitempty"`
+	// Every fires deterministically every Every-th call (1 = every call).
+	Every int `json:"every,omitempty"`
+	// After skips the first After calls before the site can fire.
+	After int `json:"after,omitempty"`
+	// Limit caps total fires at the site (0 = unlimited).
+	Limit int `json:"limit,omitempty"`
+	// LatencyMS is a delay injected whenever the point fires.
+	LatencyMS int `json:"latency_ms,omitempty"`
+}
+
+func (p Point) validate() error {
+	if p.Site == "" {
+		return errors.New("faultinject: point with empty site")
+	}
+	if !knownClasses[p.Class] {
+		return fmt.Errorf("faultinject: point %s: unknown class %q", p.Site, p.Class)
+	}
+	if p.Prob < 0 || p.Prob > 1 {
+		return fmt.Errorf("faultinject: point %s: prob %v outside [0, 1]", p.Site, p.Prob)
+	}
+	if p.Every < 0 || p.After < 0 || p.Limit < 0 || p.LatencyMS < 0 {
+		return fmt.Errorf("faultinject: point %s: negative cadence/limit/latency", p.Site)
+	}
+	if p.Prob > 0 && p.Every > 0 {
+		return fmt.Errorf("faultinject: point %s: prob and every are mutually exclusive", p.Site)
+	}
+	if p.Prob == 0 && p.Every == 0 {
+		return fmt.Errorf("faultinject: point %s: neither prob nor every set (would never fire)", p.Site)
+	}
+	return nil
+}
+
+// Plan is a full fault plan: a seed plus one Point per armed site.
+type Plan struct {
+	Seed   uint64  `json:"seed"`
+	Points []Point `json:"points"`
+}
+
+// Validate checks every point and rejects duplicate sites.
+func (p *Plan) Validate() error {
+	seen := make(map[string]bool, len(p.Points))
+	for _, pt := range p.Points {
+		if err := pt.validate(); err != nil {
+			return err
+		}
+		if seen[pt.Site] {
+			return fmt.Errorf("faultinject: duplicate point for site %s", pt.Site)
+		}
+		seen[pt.Site] = true
+	}
+	return nil
+}
+
+// ParsePlan reads a plan from spec: an inline JSON object (first
+// non-space byte '{') or the path of a JSON file. The plan is validated.
+func ParsePlan(spec string) (*Plan, error) {
+	raw := []byte(spec)
+	if !strings.HasPrefix(strings.TrimSpace(spec), "{") {
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: reading plan: %w", err)
+		}
+		raw = data
+	}
+	var plan Plan
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&plan); err != nil {
+		return nil, fmt.Errorf("faultinject: decoding plan: %w", err)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &plan, nil
+}
+
+// ErrInjected matches (via errors.Is) every error produced by an
+// Injector, whatever its class.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Error is an injected failure, carrying its site and class.
+type Error struct {
+	Site  string
+	Class string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected %s fault at %s", e.Class, e.Site)
+}
+
+// Is reports true for ErrInjected, so errors.Is(err, ErrInjected) holds
+// for any injected fault.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// IsTransient reports whether err is an injected fault of ClassTransient
+// (false for nil and for every non-injected error).
+func IsTransient(err error) bool {
+	var ie *Error
+	return errors.As(err, &ie) && ie.Class == ClassTransient
+}
+
+// IsInjected reports whether err (or anything it wraps) was produced by
+// an Injector.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// PointStats is the observed activity of one site.
+type PointStats struct {
+	Calls uint64 // eligible consultations of the site
+	Fired uint64 // faults actually injected
+}
+
+// Injector is a compiled Plan. All methods are safe on a nil receiver
+// (no-ops), so callers may thread a nil *Injector through without
+// guards — though hot paths should still skip the call entirely.
+type Injector struct {
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+type siteState struct {
+	point Point
+	rng   uint64
+	calls uint64
+	fired uint64
+}
+
+// New compiles plan into an Injector. A nil or empty plan compiles to a
+// nil Injector.
+func New(plan *Plan) *Injector {
+	if plan == nil || len(plan.Points) == 0 {
+		return nil
+	}
+	in := &Injector{sites: make(map[string]*siteState, len(plan.Points))}
+	for _, pt := range plan.Points {
+		h := fnv.New64a()
+		h.Write([]byte(pt.Site))
+		in.sites[pt.Site] = &siteState{point: pt, rng: plan.Seed ^ h.Sum64()}
+	}
+	return in
+}
+
+// splitmix64 advances *x and returns the next value of its stream.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d49fb133111eb3
+	return z ^ (z >> 31)
+}
+
+// hit decides whether site fires on this call. wantCorrupt selects which
+// consumer entry point is asking: Fail handles every class but corrupt,
+// Corrupt handles only corrupt — a site of the other kind is ignored
+// without consuming cadence, keeping the two entry points independent.
+// draw is an extra deterministic value for the caller (bit selection).
+func (in *Injector) hit(site string, wantCorrupt bool) (pt Point, draw uint64, fire bool) {
+	if in == nil {
+		return Point{}, 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.sites[site]
+	if st == nil || (st.point.Class == ClassCorrupt) != wantCorrupt {
+		return Point{}, 0, false
+	}
+	st.calls++
+	if st.calls <= uint64(st.point.After) {
+		return Point{}, 0, false
+	}
+	if st.point.Limit > 0 && st.fired >= uint64(st.point.Limit) {
+		return Point{}, 0, false
+	}
+	if st.point.Every > 0 {
+		fire = (st.calls-uint64(st.point.After))%uint64(st.point.Every) == 0
+	} else {
+		fire = float64(splitmix64(&st.rng)>>11)/(1<<53) < st.point.Prob
+	}
+	if !fire {
+		return Point{}, 0, false
+	}
+	st.fired++
+	return st.point, splitmix64(&st.rng), true
+}
+
+// Fail consults the plan at site and, when it fires, applies the point's
+// latency and returns the injected error (nil for latency-only points).
+// Panic-class points panic with an *Error value. Corrupt-class points
+// never fire here; use Corrupt.
+func (in *Injector) Fail(site string) error {
+	pt, _, fire := in.hit(site, false)
+	if !fire {
+		return nil
+	}
+	if pt.LatencyMS > 0 {
+		time.Sleep(time.Duration(pt.LatencyMS) * time.Millisecond)
+	}
+	switch pt.Class {
+	case ClassPanic:
+		panic(&Error{Site: site, Class: ClassPanic})
+	case ClassLatency:
+		return nil
+	default:
+		return &Error{Site: site, Class: pt.Class}
+	}
+}
+
+// Corrupt consults a corrupt-class point at site and, when it fires,
+// returns a copy of data with one deterministically chosen bit flipped.
+// ok reports whether corruption was injected; data is returned unchanged
+// (and aliased) otherwise. Empty data is never corrupted.
+func (in *Injector) Corrupt(site string, data []byte) (out []byte, ok bool) {
+	pt, draw, fire := in.hit(site, true)
+	if !fire || len(data) == 0 {
+		return data, false
+	}
+	if pt.LatencyMS > 0 {
+		time.Sleep(time.Duration(pt.LatencyMS) * time.Millisecond)
+	}
+	out = make([]byte, len(data))
+	copy(out, data)
+	bit := draw % uint64(len(data)*8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out, true
+}
+
+// Stats snapshots per-site activity (nil map on a nil Injector).
+func (in *Injector) Stats() map[string]PointStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]PointStats, len(in.sites))
+	for name, st := range in.sites {
+		out[name] = PointStats{Calls: st.calls, Fired: st.fired}
+	}
+	return out
+}
+
+// String summarizes the injector's activity, sites sorted, one per line.
+func (in *Injector) String() string {
+	if in == nil {
+		return "faultinject: no plan"
+	}
+	stats := in.Stats()
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s: fired %d of %d calls\n", n, stats[n].Fired, stats[n].Calls)
+	}
+	return b.String()
+}

@@ -192,6 +192,36 @@ const (
 	CodeInternal         = "internal"          // panic or other server-side failure
 )
 
+// Health statuses reported by GET /healthz.
+const (
+	HealthOK       = "ok"       // fully operational (200)
+	HealthDegraded = "degraded" // serving, but the disk store is bypassed (200)
+	HealthDraining = "draining" // shutting down, stop routing here (503)
+)
+
+// StoreHealth is the result-store section of a Health report.
+type StoreHealth struct {
+	// Persistent reports whether the store was opened with a disk layer.
+	Persistent bool `json:"persistent"`
+	// Degraded reports whether the disk layer is currently bypassed by
+	// its circuit breaker (memory-LRU-only operation).
+	Degraded bool `json:"degraded"`
+	// Corruptions counts entries that failed integrity verification.
+	Corruptions uint64 `json:"corruptions"`
+	// Quarantined counts corrupt entries preserved under quarantine/.
+	Quarantined uint64 `json:"quarantined"`
+	// DiskErrors counts disk reads/writes that failed outright.
+	DiskErrors uint64 `json:"disk_errors"`
+}
+
+// Health is the body of GET /healthz. The HTTP status stays coarse for
+// load balancers (200 while serving — including degraded — 503 while
+// draining); the body carries the detail.
+type Health struct {
+	Status string      `json:"status"` // HealthOK, HealthDegraded or HealthDraining
+	Store  StoreHealth `json:"store"`
+}
+
 // ErrorInfo is the machine-readable error in an ErrorResponse.
 type ErrorInfo struct {
 	Code    string `json:"code"`

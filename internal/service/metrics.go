@@ -170,6 +170,8 @@ type metrics struct {
 	panics        *counter    // recovered job panics
 	sweepsTotal   *counterVec // outcome — one increment per finished sweep stream
 	sweepCells    *counterVec // outcome — one increment per emitted cell record
+	sweepReplayed *counter    // cells served from a checkpoint journal on resume
+	journalErrs   *counter    // sweep-journal persistence failures (best-effort)
 }
 
 func newMetrics() *metrics {
@@ -183,6 +185,8 @@ func newMetrics() *metrics {
 		panics:        &counter{},
 		sweepsTotal:   newCounterVec(),
 		sweepCells:    newCounterVec(),
+		sweepReplayed: &counter{},
+		journalErrs:   &counter{},
 	}
 }
 
@@ -204,6 +208,8 @@ func (m *metrics) render(w io.Writer, gauges func(w io.Writer)) {
 	m.sweepsTotal.render(w, "sdtd_sweeps_total")
 	fmt.Fprint(w, "# TYPE sdtd_sweep_cells_total counter\n")
 	m.sweepCells.render(w, "sdtd_sweep_cells_total")
+	fmt.Fprintf(w, "# TYPE sdtd_sweep_replayed_cells_total counter\nsdtd_sweep_replayed_cells_total %d\n", m.sweepReplayed.Value())
+	fmt.Fprintf(w, "# TYPE sdtd_sweep_journal_errors_total counter\nsdtd_sweep_journal_errors_total %d\n", m.journalErrs.Value())
 	if gauges != nil {
 		gauges(w)
 	}

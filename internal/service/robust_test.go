@@ -1,0 +1,342 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sdt/internal/faultinject"
+	"sdt/internal/store"
+)
+
+func getHealth(t *testing.T, ts *httptest.Server) (int, Health) {
+	t.Helper()
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var h Health
+	if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz body is not JSON: %v", err)
+	}
+	return res.StatusCode, h
+}
+
+func TestHealthzBodyShape(t *testing.T) {
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+
+	code, h := getHealth(t, ts)
+	if code != http.StatusOK || h.Status != HealthOK {
+		t.Fatalf("healthz = %d %q, want 200 %q", code, h.Status, HealthOK)
+	}
+	if !h.Store.Persistent || h.Store.Degraded {
+		t.Fatalf("store health = %+v, want persistent and not degraded", h.Store)
+	}
+
+	s.StartDrain()
+	code, h = getHealth(t, ts)
+	if code != http.StatusServiceUnavailable || h.Status != HealthDraining {
+		t.Fatalf("draining healthz = %d %q, want 503 %q", code, h.Status, HealthDraining)
+	}
+}
+
+// A tripped store breaker must surface as status "degraded" on a 200 —
+// the daemon still serves correct results from memory — and the body
+// must carry the disk-error detail.
+func TestHealthzDegradedUnderDiskFaults(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{Seed: 7, Points: []faultinject.Point{
+		{Site: store.SiteDiskRead, Class: faultinject.ClassIO, Every: 1},
+		{Site: store.SiteDiskWrite, Class: faultinject.ClassIO, Every: 1},
+	}})
+	_, ts := newTestServer(t, Config{
+		StoreDir:              t.TempDir(),
+		Faults:                inj,
+		StoreBreakerThreshold: 2,
+		StoreBreakerCooldown:  time.Hour, // stay open for the whole test
+	})
+	req := RunRequest{Name: "quick.s", Source: quickSrc, Arch: "x86", Mech: "ibtc:4096"}
+
+	for seed := uint64(0); seed < 3; seed++ {
+		req.Seed = seed
+		status, data := submit(t, ts, req)
+		if status != http.StatusOK {
+			t.Fatalf("run under disk faults = %d: %s", status, data)
+		}
+	}
+	code, h := getHealth(t, ts)
+	if code != http.StatusOK || h.Status != HealthDegraded {
+		t.Fatalf("healthz = %d %q, want 200 %q", code, h.Status, HealthDegraded)
+	}
+	if !h.Store.Degraded || h.Store.DiskErrors < 2 {
+		t.Fatalf("store health = %+v, want degraded with >= 2 disk errors", h.Store)
+	}
+}
+
+// An injected panic at the job boundary must be recovered by the worker
+// (500 internal, panic counted) and must not poison a retry of the same
+// request.
+func TestRunInjectedPanicRecovered(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: siteJob, Class: faultinject.ClassPanic, Every: 1, Limit: 1},
+	}})
+	s, ts := newTestServer(t, Config{Faults: inj})
+	req := RunRequest{Name: "quick.s", Source: quickSrc, Arch: "x86", Mech: "ibtc:4096"}
+
+	status, data := submit(t, ts, req)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicked run = %d: %s", status, data)
+	}
+	if e := decodeError(t, data); e.Code != CodeInternal {
+		t.Fatalf("error code = %q, want %q", e.Code, CodeInternal)
+	}
+	if got := s.met.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// The plan is exhausted (Limit 1): the retry must compute cleanly.
+	status, data = submit(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("retry after panic = %d: %s", status, data)
+	}
+	if code, h := getHealth(t, ts); code != http.StatusOK || h.Status != HealthOK {
+		t.Fatalf("healthz after recovered panic = %d %q", code, h.Status)
+	}
+}
+
+// Read-repair end to end: flip one bit in a stored entry, restart the
+// service over the same directory, and re-submit. The corrupt entry must
+// be quarantined, the result recomputed byte-identically, and the repair
+// visible in the store counters.
+func TestServiceReadRepair(t *testing.T) {
+	dir := t.TempDir()
+	req := RunRequest{Name: "quick.s", Source: quickSrc, Arch: "x86", Mech: "ibtc:4096"}
+
+	_, ts1 := newTestServer(t, Config{StoreDir: dir})
+	status, data := submit(t, ts1, req)
+	if status != http.StatusOK {
+		t.Fatalf("seeding run = %d: %s", status, data)
+	}
+	resp1, res1 := decodeRun(t, data)
+	ts1.Close()
+
+	path := filepath.Join(dir, res1.Key[:2], res1.Key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	status, data = submit(t, ts2, req)
+	if status != http.StatusOK {
+		t.Fatalf("run over corrupt entry = %d: %s", status, data)
+	}
+	resp2, _ := decodeRun(t, data)
+	if resp2.Cached {
+		t.Fatal("corrupt entry was served as a cache hit")
+	}
+	if !bytes.Equal(resp1.Result, resp2.Result) {
+		t.Fatalf("recomputed result differs from original:\n%s\nvs\n%s", resp1.Result, resp2.Result)
+	}
+	st := s2.Store().Stats()
+	if st.Corruptions != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want exactly one corruption and one quarantine", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", res1.Key)); err != nil {
+		t.Fatalf("quarantined entry missing: %v", err)
+	}
+	// The repaired entry must verify again on a fresh read.
+	status, data = submit(t, ts2, req)
+	if status != http.StatusOK {
+		t.Fatalf("post-repair run = %d: %s", status, data)
+	}
+}
+
+// Checkpointed sweep end to end: a sweep under a hostile plan completes
+// some cells and fails the rest; a resume on a clean daemon over the same
+// store replays exactly the journaled cells and executes only the
+// remainder, then retires the journal.
+func TestSweepCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	req := SweepRequest{
+		ID:        "resume-e2e",
+		Workloads: []string{"gzip"},
+		Mechs:     []string{"ibtc:256", "sieve:64", "retcache+ibtc:128", "fastret+sieve:32"},
+		Limit:     5_000_000,
+	}
+
+	// Phase 1: the first two cell attempts pass, every later one fails
+	// with a permanent (non-retried) fault.
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: "sweep.cell", Class: faultinject.ClassPermanent, Every: 1, After: 2},
+	}})
+	cfg := Config{StoreDir: dir, Workers: 1, Faults: inj}
+	_, ts1 := newTestServer(t, cfg)
+	status, recs := submitSweep(t, ts1, req)
+	if status != http.StatusOK {
+		t.Fatalf("phase-1 sweep status = %d", status)
+	}
+	_, cells1, done1 := splitSweep(t, recs)
+	if done1.Done != 2 || done1.Errors != 2 {
+		t.Fatalf("phase-1 done = %+v, want 2 successes and 2 errors", done1)
+	}
+	ts1.Close()
+	if _, err := os.Stat(filepath.Join(dir, "sweeps", req.ID+".json")); err != nil {
+		t.Fatalf("journal missing after partial sweep: %v", err)
+	}
+
+	// Phase 2: clean daemon, same store, same ID.
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir, Workers: 1})
+	status, recs = submitSweep(t, ts2, req)
+	if status != http.StatusOK {
+		t.Fatalf("resume status = %d", status)
+	}
+	start2, cells2, done2 := splitSweep(t, recs)
+	if start2.Resumed != 2 {
+		t.Fatalf("start.resumed = %d, want 2", start2.Resumed)
+	}
+	if done2.Done != 4 || done2.Errors != 0 {
+		t.Fatalf("resume done = %+v, want all 4 cells successful", done2)
+	}
+	replayed := 0
+	for idx, rec := range cells2 {
+		if rec.Error != nil {
+			t.Fatalf("resumed cell %d errored: %v", idx, rec.Error)
+		}
+		if rec.Replayed == true {
+			replayed++
+			if !rec.Cached {
+				t.Fatalf("replayed cell %d not marked cached", idx)
+			}
+			// A replayed cell must carry the bytes the original sweep
+			// produced.
+			orig, ok := cells1[idx]
+			if !ok || orig.Error != nil {
+				t.Fatalf("cell %d replayed but was not a phase-1 success", idx)
+			}
+			if !bytes.Equal(rec.Result, orig.Result) {
+				t.Fatalf("replayed cell %d bytes differ from original", idx)
+			}
+		}
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d cells, want 2", replayed)
+	}
+	// Only the two unjournaled cells may have executed.
+	if got := s2.met.runsTotal.total(); got != 2 {
+		t.Fatalf("resume executed %d runs, want 2", got)
+	}
+	if got := s2.met.sweepReplayed.Value(); got != 2 {
+		t.Fatalf("sweepReplayed = %d, want 2", got)
+	}
+	// Fully successful: the journal must be gone.
+	if _, err := os.Stat(filepath.Join(dir, "sweeps", req.ID+".json")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("journal still present after full completion (err=%v)", err)
+	}
+}
+
+// A resume whose matrix does not match the journal must be refused
+// before any streaming starts.
+func TestSweepResumeMatrixMismatch(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{StoreDir: dir, Workers: 1})
+
+	// Seed a journal that survives: one valid cell, one invalid mech.
+	req := SweepRequest{
+		ID:        "mismatch",
+		Workloads: []string{"gzip"},
+		Mechs:     []string{"ibtc:256", "bogus:1"},
+		Limit:     5_000_000,
+	}
+	status, recs := submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("seed sweep status = %d", status)
+	}
+	if _, _, done := splitSweep(t, recs); done.Done != 1 || done.Errors != 1 {
+		t.Fatalf("seed sweep done = %+v, want one success, one error", done)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sweeps", "mismatch.json")); err != nil {
+		t.Fatalf("journal missing after erroring sweep: %v", err)
+	}
+
+	// Same ID, different matrix: must 400.
+	req.Mechs = []string{"ibtc:256"}
+	body, _ := json.Marshal(req)
+	res, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched resume status = %d, want 400", res.StatusCode)
+	}
+}
+
+func TestSweepIDValidation(t *testing.T) {
+	_, tsMem := newTestServer(t, Config{}) // memory-only
+	_, tsDisk := newTestServer(t, Config{StoreDir: t.TempDir()})
+	base := SweepRequest{Workloads: []string{"gzip"}, Mechs: []string{"ibtc:256"}, Limit: 1_000_000}
+
+	post := func(ts *httptest.Server, req SweepRequest, query string) int {
+		body, _ := json.Marshal(req)
+		res, err := http.Post(ts.URL+"/v1/sweep"+query, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		return res.StatusCode
+	}
+
+	bad := base
+	bad.ID = "../escape"
+	if code := post(tsDisk, bad, ""); code != http.StatusBadRequest {
+		t.Fatalf("path-escaping id accepted: %d", code)
+	}
+	if code := post(tsDisk, base, "?resume=.hidden"); code != http.StatusBadRequest {
+		t.Fatalf("dot-leading resume id accepted: %d", code)
+	}
+	ok := base
+	ok.ID = "fine-id.v1"
+	if code := post(tsMem, ok, ""); code != http.StatusBadRequest {
+		t.Fatalf("checkpointing without a disk store accepted: %d", code)
+	}
+	if code := post(tsDisk, ok, ""); code != http.StatusOK {
+		t.Fatalf("valid checkpointed sweep refused: %d", code)
+	}
+}
+
+// Injected journal-write faults must not fail the sweep — persistence is
+// best-effort — but must be counted.
+func TestSweepJournalFaultsBestEffort(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: siteJournal, Class: faultinject.ClassIO, Every: 1},
+	}})
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir(), Workers: 1, Faults: inj})
+	req := SweepRequest{
+		ID:        "journal-faults",
+		Workloads: []string{"gzip"},
+		Mechs:     []string{"ibtc:256", "sieve:64"},
+		Limit:     5_000_000,
+	}
+	status, recs := submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("sweep status = %d", status)
+	}
+	if _, _, done := splitSweep(t, recs); done.Done != 2 {
+		t.Fatalf("done = %+v, want both cells successful", done)
+	}
+	if got := s.met.journalErrs.Value(); got == 0 {
+		t.Fatal("journal faults fired but journalErrs stayed 0")
+	}
+}

@@ -10,12 +10,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"sdt/internal/core"
+	"sdt/internal/faultinject"
 	"sdt/internal/hostarch"
 	"sdt/internal/ib"
 	"sdt/internal/isa"
@@ -23,6 +25,11 @@ import (
 	"sdt/internal/program"
 	"sdt/internal/store"
 )
+
+// siteJob is the fault-injection site at the worker job boundary,
+// consulted once per job after panic isolation is armed — so an injected
+// panic exercises the same recovery path a real one would.
+const siteJob = "service.job"
 
 // errJobPanic marks a job that panicked; the worker recovered it and the
 // pool stayed up.
@@ -59,6 +66,16 @@ type Config struct {
 	// SweepHeartbeat is the interval between progress records on an idle
 	// sweep stream (0 = 5s).
 	SweepHeartbeat time.Duration
+	// StoreBreakerThreshold is how many consecutive disk failures trip
+	// the store's circuit breaker (0 = store default, < 0 = disabled).
+	StoreBreakerThreshold int
+	// StoreBreakerCooldown is the breaker's base open -> half-open wait
+	// (0 = store default).
+	StoreBreakerCooldown time.Duration
+	// Faults arms deterministic fault injection across the store, the
+	// sweep engine, the job boundary and sweep-journal persistence
+	// (nil = no injection; the hot paths pay a single nil check).
+	Faults *faultinject.Injector
 	// Log receives request/lifecycle lines; nil discards them.
 	Log *log.Logger
 }
@@ -115,7 +132,18 @@ type Server struct {
 // Callers must Close it.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	st, err := store.OpenByteStore(cfg.StoreDir, cfg.MemEntries)
+	opts := store.Options{
+		Dir:              cfg.StoreDir,
+		MemEntries:       cfg.MemEntries,
+		BreakerThreshold: cfg.StoreBreakerThreshold,
+		BreakerCooldown:  cfg.StoreBreakerCooldown,
+	}
+	if cfg.Faults != nil {
+		// Assign only when armed: a typed-nil *Injector in the interface
+		// field would defeat the store's nil fast path.
+		opts.Faults = cfg.Faults
+	}
+	st, err := store.OpenByteStoreWith(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,14 +260,38 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.countRequest(r, http.StatusServiceUnavailable)
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+// health snapshots the server's health report. Degraded (store running
+// memory-only behind a tripped breaker) is still a 200: the daemon
+// serves correct results, just without persistence — load balancers
+// should keep routing, operators should look at the body.
+func (s *Server) health() Health {
+	st := s.store.Stats()
+	h := Health{
+		Status: HealthOK,
+		Store: StoreHealth{
+			Persistent:  s.store.Persistent(),
+			Degraded:    st.Degraded,
+			Corruptions: st.Corruptions,
+			Quarantined: st.Quarantined,
+			DiskErrors:  st.DiskErrors,
+		},
 	}
-	s.countRequest(r, http.StatusOK)
-	io.WriteString(w, "ok\n")
+	if st.Degraded {
+		h.Status = HealthDegraded
+	}
+	if s.draining.Load() {
+		h.Status = HealthDraining
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	status := http.StatusOK
+	if h.Status == HealthDraining {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, r, status, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +313,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			draining = 1
 		}
 		fmt.Fprintf(w, "# TYPE sdtd_draining gauge\nsdtd_draining %d\n", draining)
+		fmt.Fprintf(w, "# TYPE sdtd_store_corruption_total counter\nsdtd_store_corruption_total %d\n", st.Corruptions)
+		fmt.Fprintf(w, "# TYPE sdtd_store_quarantined_total counter\nsdtd_store_quarantined_total %d\n", st.Quarantined)
+		fmt.Fprintf(w, "# TYPE sdtd_store_breaker_trips_total counter\nsdtd_store_breaker_trips_total %d\n", st.BreakerTrips)
+		degraded := 0
+		if st.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# TYPE sdtd_store_degraded gauge\nsdtd_store_degraded %d\n", degraded)
+		if s.cfg.Faults != nil {
+			fmt.Fprint(w, "# TYPE sdtd_faults_injected_total counter\n")
+			stats := s.cfg.Faults.Stats()
+			sites := make([]string, 0, len(stats))
+			for site := range stats {
+				sites = append(sites, site)
+			}
+			sort.Strings(sites)
+			for _, site := range sites {
+				fmt.Fprintf(w, "sdtd_faults_injected_total{site=%q} %d\n", site, stats[site].Fired)
+			}
+		}
 	})
 }
 
@@ -302,6 +374,15 @@ func (s *Server) runJob(ctx context.Context, key string, img *program.Image, req
 		s.met.runsTotal.get(outcomeLabel(err)).Inc()
 		s.met.runLatency.Observe(time.Since(start).Seconds())
 	}()
+
+	if inj := s.cfg.Faults; inj != nil {
+		// Inside the recover scope: an injected panic is recovered and
+		// counted like a real one; an injected error maps through the
+		// normal outcome/response path.
+		if ferr := inj.Fail(siteJob); ferr != nil {
+			return nil, fmt.Errorf("service: worker fault: %w", ferr)
+		}
+	}
 
 	model, err := hostarch.ByName(req.Arch)
 	if err != nil {

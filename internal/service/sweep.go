@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"time"
 
+	"sdt/internal/faultinject"
 	"sdt/internal/hostarch"
 	"sdt/internal/ib"
 	"sdt/internal/program"
@@ -31,6 +33,13 @@ const sweepRetries = 3
 // validated individually — an unknown workload, arch, or mechanism spec
 // poisons only its own cells, never the batch.
 type SweepRequest struct {
+	// ID, when set, checkpoints the sweep: completed cells are journaled
+	// under the on-disk store, and a later request with the same ID (or
+	// ?resume=<id>) replays them from the store instead of re-executing.
+	// Requires an on-disk store; 1-64 chars of [A-Za-z0-9._-] starting
+	// with an alphanumeric. The journal is deleted once every cell has
+	// succeeded.
+	ID string `json:"id,omitempty"`
 	// Workloads names built-in workload generators (required).
 	Workloads []string `json:"workloads"`
 	// Archs names host cost models (default ["x86"]).
@@ -66,10 +75,13 @@ func (req *SweepRequest) matrix() sweep.Matrix {
 // NDJSON stream records. Every record carries Type; clients switch on it
 // and must ignore unknown types.
 type (
-	// SweepStart is the first record: the expanded cell count.
+	// SweepStart is the first record: the expanded cell count, and — on
+	// a checkpointed resume — how many cells will be replayed from the
+	// journal rather than executed.
 	SweepStart struct {
-		Type  string `json:"type"` // "start"
-		Total int    `json:"total"`
+		Type    string `json:"type"` // "start"
+		Total   int    `json:"total"`
+		Resumed int    `json:"resumed,omitempty"`
 	}
 	// SweepCellRecord reports one finished cell, in completion order
 	// (Index places it in the deterministic matrix order: workloads,
@@ -83,6 +95,7 @@ type (
 		Mech      string          `json:"mech"`
 		Scale     int             `json:"scale,omitempty"`
 		Cached    bool            `json:"cached,omitempty"`
+		Replayed  bool            `json:"replayed,omitempty"`
 		Attempts  int             `json:"attempts"`
 		ElapsedMS float64         `json:"elapsed_ms"`
 		Result    json.RawMessage `json:"result,omitempty"`
@@ -104,16 +117,27 @@ type (
 		Done      int     `json:"done"`
 		Errors    int     `json:"errors"`
 		Canceled  int     `json:"canceled"`
+		Replayed  int     `json:"replayed,omitempty"`
 		Total     int     `json:"total"`
 		ElapsedMS float64 `json:"elapsed_ms"`
 	}
 )
 
-// cellValue is a sweep engine result: the stored measurement bytes plus
-// whether they came from the store.
+// cellValue is a sweep engine result: the stored measurement bytes, the
+// content-store key they live under (what the checkpoint journal
+// records), and whether they came from the store.
 type cellValue struct {
+	key    string
 	data   []byte
 	cached bool
+}
+
+// idxCell carries a cell through the engine together with its position
+// in the full matrix, so a resumed sweep — which only schedules the
+// unfinished remainder — still reports original matrix indices.
+type idxCell struct {
+	idx  int
+	cell sweep.Cell
 }
 
 // errCellInvalid marks a cell that failed validation (unknown workload,
@@ -154,6 +178,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := m.Cells()
 
+	// Checkpointing: ?resume=<id> overrides (or supplies) the body ID; an
+	// ID binds this sweep to a journal of completed cells so a broken
+	// connection can be resumed without re-executing finished work.
+	if id := r.URL.Query().Get("resume"); id != "" {
+		req.ID = id
+	}
+	var jr *sweepJournal
+	if req.ID != "" {
+		if !validSweepID(req.ID) {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+				"sweep id must be 1-64 chars of [A-Za-z0-9._-] starting with an alphanumeric")
+			return
+		}
+		if s.cfg.StoreDir == "" {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+				"sweep checkpointing requires an on-disk store")
+			return
+		}
+		var jerr error
+		jr, jerr = openSweepJournal(filepath.Join(s.cfg.StoreDir, "sweeps"),
+			req.ID, sweepDigest(m, req.Seed, req.Limit), s.cfg.Faults, s.journalError)
+		if jerr != nil {
+			// The only surfaced open error is a matrix mismatch — resuming
+			// someone else's journal would serve cells from the wrong
+			// experiment.
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, jerr.Error())
+			return
+		}
+	}
+
+	// Split the matrix into journaled cells replayable from the store and
+	// the remainder to execute. A journaled cell whose stored bytes are
+	// gone (evicted memory-only copy, quarantined entry) falls back to
+	// execution — the journal is an optimization, never an authority.
+	type replayedCell struct {
+		idx  int
+		data []byte
+	}
+	var replays []replayedCell
+	work := make([]idxCell, 0, len(cells))
+	for i, c := range cells {
+		if jr != nil {
+			if key, ok := jr.have[i]; ok {
+				if data, ok := s.store.Get(key); ok {
+					replays = append(replays, replayedCell{idx: i, data: data})
+					continue
+				}
+			}
+		}
+		work = append(work, idxCell{idx: i, cell: c})
+	}
+
 	// Committed to streaming from here: request-level errors are over,
 	// everything else is a per-cell record on a 200.
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -167,25 +243,48 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	emit(SweepStart{Type: "start", Total: len(cells)})
+	emit(SweepStart{Type: "start", Total: len(cells), Resumed: len(replays)})
 
-	eng := &sweep.Engine[sweep.Cell, cellValue]{
+	var done, errCount, canceled int
+	for _, rp := range replays {
+		c := cells[rp.idx]
+		emit(SweepCellRecord{
+			Type:     "cell",
+			Index:    rp.idx,
+			Workload: c.Workload,
+			Arch:     c.Arch,
+			Mech:     c.Mech,
+			Scale:    c.Scale,
+			Cached:   true,
+			Replayed: true,
+			Result:   rp.data,
+		})
+		done++
+		s.met.sweepCells.get(outcomeOK).Inc()
+		s.met.sweepReplayed.Inc()
+	}
+
+	eng := &sweep.Engine[idxCell, cellValue]{
 		Workers: s.cfg.Workers,
 		Retries: sweepRetries,
 		IsTransient: func(err error) bool {
-			return errors.Is(err, errQueueFull)
+			return errors.Is(err, errQueueFull) || faultinject.IsTransient(err)
 		},
-		Exec: func(ctx context.Context, c sweep.Cell) (cellValue, error) {
-			return s.runCell(ctx, c, &req)
+		Exec: func(ctx context.Context, ic idxCell) (cellValue, error) {
+			return s.runCell(ctx, ic.cell, &req)
 		},
+	}
+	if s.cfg.Faults != nil {
+		eng.Faults = s.cfg.Faults
 	}
 
 	// The engine emits from one goroutine; the handler loop interleaves
-	// its outcomes with heartbeat ticks and owns all writes to w.
-	outcomes := make(chan sweep.Outcome[sweep.Cell, cellValue])
+	// its outcomes with heartbeat ticks and owns all writes to w (and all
+	// journal updates).
+	outcomes := make(chan sweep.Outcome[idxCell, cellValue])
 	streamErr := make(chan error, 1)
 	go func() {
-		streamErr <- eng.Stream(r.Context(), cells, func(o sweep.Outcome[sweep.Cell, cellValue]) {
+		streamErr <- eng.Stream(r.Context(), work, func(o sweep.Outcome[idxCell, cellValue]) {
 			outcomes <- o
 		})
 		close(outcomes)
@@ -193,7 +292,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	heartbeat := time.NewTicker(s.cfg.SweepHeartbeat)
 	defer heartbeat.Stop()
 
-	var done, errCount, canceled int
 	for outcomes != nil {
 		select {
 		case o, ok := <-outcomes:
@@ -203,11 +301,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			rec := SweepCellRecord{
 				Type:      "cell",
-				Index:     o.Index,
-				Workload:  o.Item.Workload,
-				Arch:      o.Item.Arch,
-				Mech:      o.Item.Mech,
-				Scale:     o.Item.Scale,
+				Index:     o.Item.idx,
+				Workload:  o.Item.cell.Workload,
+				Arch:      o.Item.cell.Arch,
+				Mech:      o.Item.cell.Mech,
+				Scale:     o.Item.cell.Scale,
 				Cached:    o.Result.cached,
 				Attempts:  o.Attempts,
 				ElapsedMS: float64(o.Elapsed.Microseconds()) / 1000,
@@ -217,6 +315,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				rec.Result = o.Result.data
 				done++
 				s.met.sweepCells.get(outcomeOK).Inc()
+				if jr != nil {
+					jr.record(o.Item.idx, o.Result.key)
+				}
 			case errors.Is(o.Err, context.Canceled):
 				rec.Error = &ErrorInfo{Code: CodeCanceled, Message: o.Err.Error()}
 				canceled++
@@ -237,17 +338,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	err := <-streamErr
+	if jr != nil && done == len(cells) {
+		// Every cell succeeded: the checkpoint has served its purpose.
+		// A sweep with errors keeps its journal, so a retry under the
+		// same ID replays the successes and re-attempts only the errors.
+		jr.remove()
+	}
 	emit(SweepDone{
 		Type:      "done",
 		Done:      done,
 		Errors:    errCount,
 		Canceled:  canceled,
+		Replayed:  len(replays),
 		Total:     len(cells),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
 	s.met.sweepsTotal.get(outcomeLabel(err)).Inc()
-	s.cfg.Log.Printf("sweep %d cells: done=%d errors=%d canceled=%d elapsed=%s",
-		len(cells), done, errCount, canceled, time.Since(start).Round(time.Millisecond))
+	s.cfg.Log.Printf("sweep %d cells: done=%d errors=%d canceled=%d replayed=%d elapsed=%s",
+		len(cells), done, errCount, canceled, len(replays), time.Since(start).Round(time.Millisecond))
+}
+
+// journalError counts and logs a best-effort journal failure.
+func (s *Server) journalError(err error) {
+	s.met.journalErrs.Inc()
+	s.cfg.Log.Printf("sweep journal: %v", err)
 }
 
 // runCell executes one cell through the same content-addressed store tier
@@ -299,5 +413,5 @@ func (s *Server) runCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (
 	if err != nil {
 		return cellValue{}, err
 	}
-	return cellValue{data: data, cached: hit}, nil
+	return cellValue{key: key, data: data, cached: hit}, nil
 }

@@ -31,6 +31,10 @@ type sweepRecord struct {
 	Mech      string          `json:"mech"`
 	Scale     int             `json:"scale"`
 	Cached    bool            `json:"cached"`
+	// Replayed is bool on cell records and int on the done record; any
+	// absorbs both shapes.
+	Replayed  any             `json:"replayed"`
+	Resumed   int             `json:"resumed"`
 	Attempts  int             `json:"attempts"`
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Result    json.RawMessage `json:"result"`

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// breaker states.
+const (
+	breakerClosed = iota // normal operation
+	breakerOpen          // disk bypassed until the cooldown elapses
+	breakerHalfOpen      // one probe in flight decides reopen vs close
+)
+
+// breaker is a consecutive-failure circuit breaker guarding the disk
+// layer. Closed is normal operation; Threshold consecutive I/O failures
+// open it, and while open every allow() is refused — the ByteStore then
+// runs memory-LRU-only (degraded mode) instead of hammering a dying
+// disk. After a jittered cooldown the breaker goes half-open and admits
+// a single probe operation: success closes it, failure re-opens it and
+// restarts the cooldown. Integrity failures (ErrCorrupt) are data
+// problems, not availability problems, and must be reported as success.
+type breaker struct {
+	threshold int           // consecutive failures to open (<= 0 disables)
+	cooldown  time.Duration // base open -> half-open wait, jittered ±50%
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive failures while closed
+	until    time.Time // earliest half-open probe while open
+	probing  bool      // a half-open probe is in flight
+	trips    uint64    // closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// jittered spreads reopen probes so a fleet sharing one sick disk does
+// not thundering-herd it (determinism is not needed here; fault plans
+// stay deterministic because injection decisions never consult this).
+func (b *breaker) jittered() time.Duration {
+	return time.Duration((0.5 + rand.Float64()) * float64(b.cooldown))
+}
+
+// allow reports whether a disk operation may proceed, transitioning
+// open -> half-open when the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: only the single probe proceeds
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a disk operation that completed at the I/O level.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state == breakerHalfOpen {
+		b.state = breakerClosed
+		b.probing = false
+	}
+}
+
+// failure records a disk I/O failure, opening the breaker when the
+// consecutive-failure threshold is reached (or immediately on a failed
+// half-open probe).
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip must be called with the lock held.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.failures = 0
+	b.probing = false
+	b.until = time.Now().Add(b.jittered())
+	b.trips++
+}
+
+// degraded reports whether the disk is currently bypassed (open) or on
+// probation (half-open).
+func (b *breaker) degraded() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// tripCount returns how many times the breaker has opened.
+func (b *breaker) tripCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

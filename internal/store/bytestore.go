@@ -2,7 +2,9 @@ package store
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"time"
 )
 
 // ByteStore is the content-addressed result store: a single-flight Group
@@ -10,9 +12,19 @@ import (
 // Lookups try memory, then disk (promoting disk hits into memory);
 // successful computations are written through to both. Disk read/write
 // errors never fail a request — the entry is simply treated as absent and
-// the error counted in Stats.
+// the error counted in Stats. Two self-healing behaviours sit on top:
+//
+//   - Integrity: the disk layer verifies a checksummed header on every
+//     read. A corrupt entry is quarantined and counted, the lookup misses,
+//     and the recomputed value is written back through Put — read-repair,
+//     serialized by the Group's single-flight.
+//   - Availability: consecutive disk I/O failures trip a circuit breaker
+//     (closed -> open -> half-open with jittered backoff). While the
+//     breaker is not closed the store runs memory-LRU-only; Degraded
+//     reports that state so the service can surface it on /healthz.
 type ByteStore struct {
 	group *Group[[]byte]
+	br    *breaker
 
 	mu       sync.Mutex
 	mem      *LRU[[]byte]
@@ -25,27 +37,60 @@ type ByteStore struct {
 
 // ByteStoreStats is a snapshot of store counters.
 type ByteStoreStats struct {
-	MemHits    uint64 // lookups served from the in-memory LRU
-	DiskHits   uint64 // lookups served from disk
-	Misses     uint64 // lookups that found nothing and had to compute
-	DiskErrors uint64 // disk reads/writes that failed (entry treated as absent)
-	MemEntries int    // live entries in the in-memory LRU
-	Evictions  uint64 // LRU evictions
+	MemHits     uint64 // lookups served from the in-memory LRU
+	DiskHits    uint64 // lookups served from disk
+	Misses      uint64 // lookups that found nothing and had to compute
+	DiskErrors  uint64 // disk reads/writes that failed (entry treated as absent)
+	MemEntries  int    // live entries in the in-memory LRU
+	Evictions   uint64 // LRU evictions
+	Corruptions uint64 // entries that failed integrity verification
+	Quarantined uint64 // corrupt entries preserved under quarantine/
+	BreakerTrips uint64 // times the disk circuit breaker opened
+	Degraded    bool   // disk currently bypassed by the breaker
 }
 
 // Hits returns total cache hits across both layers.
 func (s ByteStoreStats) Hits() uint64 { return s.MemHits + s.DiskHits }
 
+// Options parameterizes OpenByteStoreWith.
+type Options struct {
+	// Dir is the on-disk layer root ("" = memory only).
+	Dir string
+	// MemEntries bounds the in-memory LRU (<= 0 = unbounded).
+	MemEntries int
+	// Faults arms the disk layer's fault-injection seam (nil = none).
+	Faults Faults
+	// BreakerThreshold is how many consecutive disk I/O failures trip the
+	// circuit breaker (0 = 5, < 0 = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the base open -> half-open wait, jittered ±50%
+	// (0 = 1s).
+	BreakerCooldown time.Duration
+}
+
 // OpenByteStore opens a store with an in-memory LRU of memEntries entries
 // (<= 0 means unbounded) backed by an on-disk layer at dir; an empty dir
 // selects a memory-only store.
 func OpenByteStore(dir string, memEntries int) (*ByteStore, error) {
-	s := &ByteStore{mem: NewLRU[[]byte](memEntries)}
-	if dir != "" {
-		d, err := OpenDisk(dir)
+	return OpenByteStoreWith(Options{Dir: dir, MemEntries: memEntries})
+}
+
+// OpenByteStoreWith opens a store with explicit Options.
+func OpenByteStoreWith(o Options) (*ByteStore, error) {
+	threshold := o.BreakerThreshold
+	if threshold == 0 {
+		threshold = 5
+	}
+	s := &ByteStore{
+		mem: NewLRU[[]byte](o.MemEntries),
+		br:  newBreaker(threshold, o.BreakerCooldown),
+	}
+	if o.Dir != "" {
+		d, err := OpenDisk(o.Dir)
 		if err != nil {
 			return nil, err
 		}
+		d.SetFaults(o.Faults)
 		s.disk = d
 	}
 	s.group = NewGroup[[]byte](tiered{s})
@@ -69,14 +114,25 @@ func (s *ByteStore) Get(key string) ([]byte, bool) {
 		s.memHits++
 		return v, true
 	}
-	if s.disk != nil {
+	if s.disk != nil && s.br.allow() {
 		v, ok, err := s.disk.Get(key)
-		if err != nil {
-			s.diskErrs++
-		} else if ok {
+		switch {
+		case err == nil && ok:
+			s.br.success()
 			s.diskHits++
 			s.mem.Put(key, v)
 			return v, true
+		case err == nil:
+			s.br.success() // a clean miss is healthy I/O
+		case errors.Is(err, ErrCorrupt):
+			// Verification failure: the disk answered, the data was rot.
+			// Quarantine already happened in the layer below; the miss
+			// below triggers recomputation and Put writes fresh bytes
+			// back (read-repair).
+			s.br.success()
+		default:
+			s.diskErrs++
+			s.br.failure()
 		}
 	}
 	s.misses++
@@ -89,9 +145,12 @@ func (s *ByteStore) Put(key string, data []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mem.Put(key, data)
-	if s.disk != nil {
+	if s.disk != nil && s.br.allow() {
 		if err := s.disk.Put(key, data); err != nil {
 			s.diskErrs++
+			s.br.failure()
+		} else {
+			s.br.success()
 		}
 	}
 }
@@ -107,15 +166,26 @@ func (s *ByteStore) Do(ctx context.Context, key string, compute func() ([]byte, 
 func (s *ByteStore) Stats() ByteStoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return ByteStoreStats{
-		MemHits:    s.memHits,
-		DiskHits:   s.diskHits,
-		Misses:     s.misses,
-		DiskErrors: s.diskErrs,
-		MemEntries: s.mem.Len(),
-		Evictions:  s.mem.Evictions(),
+	st := ByteStoreStats{
+		MemHits:      s.memHits,
+		DiskHits:     s.diskHits,
+		Misses:       s.misses,
+		DiskErrors:   s.diskErrs,
+		MemEntries:   s.mem.Len(),
+		Evictions:    s.mem.Evictions(),
+		BreakerTrips: s.br.tripCount(),
+		Degraded:     s.br.degraded(),
 	}
+	if s.disk != nil {
+		st.Corruptions = s.disk.Corruptions()
+		st.Quarantined = s.disk.Quarantined()
+	}
+	return st
 }
+
+// Degraded reports whether the disk layer is currently bypassed by the
+// circuit breaker (the store is serving memory-LRU-only).
+func (s *ByteStore) Degraded() bool { return s.br.degraded() }
 
 // Persistent reports whether the store has an on-disk layer.
 func (s *ByteStore) Persistent() bool { return s.disk != nil }

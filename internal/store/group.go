@@ -54,7 +54,10 @@ func NewGroup[V any](backend Backend[V]) *Group[V] {
 // caller runs compute, the rest wait. hit reports whether the value came
 // from the backend (false exactly when this call ran compute). A waiting
 // caller whose ctx ends returns ctx's cause without disturbing the
-// computation in flight.
+// computation in flight; in particular a waiter whose ctx is already over
+// when the leader fails returns the cause instead of retrying as the new
+// leader. A stored value is always served, even to a dead ctx — the hit
+// is free — but a dead ctx never starts a computation.
 func (g *Group[V]) Do(ctx context.Context, key string, compute func() (V, error)) (v V, hit bool, err error) {
 	g.mu.Lock()
 	for {
@@ -65,6 +68,11 @@ func (g *Group[V]) Do(ctx context.Context, key string, compute func() (V, error)
 		}
 		ch, busy := g.inflight[key]
 		if !busy {
+			if ctx.Err() != nil {
+				g.mu.Unlock()
+				var zero V
+				return zero, false, context.Cause(ctx)
+			}
 			break
 		}
 		g.mu.Unlock()

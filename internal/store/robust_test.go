@@ -1,0 +1,346 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdt/internal/faultinject"
+)
+
+// flipOneBit corrupts the on-disk entry file for key in place.
+func flipOneBit(t *testing.T, d *Disk, key string) {
+	t.Helper()
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Satellite: orphaned temp files left by a crash mid-Put are swept at
+// OpenDisk time; real entries and quarantined files survive.
+func TestOpenDiskSweepsOrphanTmp(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "deadbeef00"
+	if err := d.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant crash debris: a tmp file in a shard dir, one at the root, and
+	// a file in quarantine that must NOT be touched.
+	orphan1 := filepath.Join(root, "de", "."+key+".tmp12345")
+	orphan2 := filepath.Join(root, ".cafecafe00.tmp9")
+	qfile := filepath.Join(root, quarantineDirName, ".weird.tmpname")
+	for _, f := range []string{orphan1, orphan2} {
+		if err := os.WriteFile(f, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(qfile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(qfile, []byte("preserved"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.OrphansSwept(); got != 2 {
+		t.Errorf("OrphansSwept = %d, want 2", got)
+	}
+	for _, f := range []string{orphan1, orphan2} {
+		if _, err := os.Stat(f); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphan %s survived the sweep", f)
+		}
+	}
+	if _, err := os.Stat(qfile); err != nil {
+		t.Errorf("quarantined file was swept: %v", err)
+	}
+	if data, ok, err := d2.Get(key); err != nil || !ok || string(data) != "payload" {
+		t.Errorf("real entry damaged by sweep: (%q, %v, %v)", data, ok, err)
+	}
+}
+
+func TestDiskQuarantinesCorruptEntry(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "cafe456789"
+	if err := d.Put(key, []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	flipOneBit(t, d, key)
+
+	data, ok, err := d.Get(key)
+	if ok || data != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on corrupt entry = (%q, %v, %v), want ErrCorrupt", data, ok, err)
+	}
+	if d.Corruptions() != 1 || d.Quarantined() != 1 {
+		t.Fatalf("counters = (%d, %d), want (1, 1)", d.Corruptions(), d.Quarantined())
+	}
+	// The entry is out of the serving tree and preserved in quarantine.
+	if _, err := os.Stat(d.path(key)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("corrupt entry still present in the serving tree")
+	}
+	if _, err := os.Stat(filepath.Join(d.QuarantineDir(), key)); err != nil {
+		t.Errorf("corrupt entry not preserved in quarantine: %v", err)
+	}
+	// The next Get is a clean miss, and a fresh Put fully heals the key.
+	if _, ok, err := d.Get(key); ok || err != nil {
+		t.Fatalf("Get after quarantine = (%v, %v), want clean miss", ok, err)
+	}
+	if err := d.Put(key, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok, err := d.Get(key); err != nil || !ok || string(data) != "fresh" {
+		t.Fatalf("Get after re-Put = (%q, %v, %v)", data, ok, err)
+	}
+	// A garbage file that never had a valid header is also quarantined.
+	key2 := "beefbeef22"
+	if err := os.MkdirAll(filepath.Dir(d.path(key2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(key2), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get(key2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("headerless entry error = %v, want ErrCorrupt", err)
+	}
+}
+
+// The store tier recomputes through the single-flight and writes the
+// fresh bytes back: a flipped bit costs one recomputation, after which
+// the disk entry verifies again.
+func TestByteStoreReadRepair(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenByteStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abcd1234"
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("value"), nil }
+	if _, _, err := s.Do(context.Background(), key, compute); err != nil {
+		t.Fatal(err)
+	}
+	flipOneBit(t, s.disk, key)
+
+	// A fresh store over the same dir (cold memory) must detect the rot,
+	// recompute, and repair the disk entry.
+	s2, err := OpenByteStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, hit, err := s2.Do(context.Background(), key, compute)
+	if err != nil || hit || string(data) != "value" {
+		t.Fatalf("Do over corrupt entry = (%q, hit=%v, %v), want recompute", data, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (original + repair)", calls)
+	}
+	st := s2.Stats()
+	if st.Corruptions != 1 || st.Quarantined != 1 || st.DiskErrors != 0 || st.Degraded {
+		t.Fatalf("stats after repair = %+v", st)
+	}
+	// Third store: the repaired entry must verify and hit on disk.
+	s3, err := OpenByteStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, hit, err = s3.Do(context.Background(), key, compute)
+	if err != nil || !hit || string(data) != "value" || calls != 2 {
+		t.Fatalf("post-repair Do = (%q, hit=%v, %v), calls=%d", data, hit, err, calls)
+	}
+}
+
+// Sustained disk I/O failure trips the breaker into degraded
+// (memory-only) mode; once the disk heals, a half-open probe closes it.
+func TestByteStoreBreakerDegradesAndRecovers(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		// Every disk write fails for the first 10 fires, then the "disk"
+		// heals.
+		{Site: SiteDiskWrite, Class: faultinject.ClassIO, Every: 1, Limit: 10},
+	}})
+	s, err := OpenByteStoreWith(Options{
+		Dir:              t.TempDir(),
+		MemEntries:       16,
+		Faults:           inj,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive failing operations until the breaker opens.
+	for i := 0; i < 3; i++ {
+		s.Put("aaaa000"+string(rune('0'+i)), []byte("v"))
+	}
+	st := s.Stats()
+	if !st.Degraded || st.BreakerTrips != 1 || st.DiskErrors != 3 {
+		t.Fatalf("stats after 3 failures = %+v, want degraded after one trip", st)
+	}
+	// Degraded mode still serves from memory.
+	if v, ok := s.Get("aaaa0000"); !ok || string(v) != "v" {
+		t.Fatalf("memory layer lost data in degraded mode: (%q, %v)", v, ok)
+	}
+	// While open, disk is bypassed: error count must not grow.
+	s.Put("bbbb0000", []byte("w"))
+	if got := s.Stats().DiskErrors; got != 3 {
+		t.Fatalf("disk touched while breaker open (%d errors, want 3)", got)
+	}
+
+	// The injector still has fires left; half-open probes keep failing and
+	// re-open the breaker. Eventually the limit exhausts, a probe
+	// succeeds, and the store leaves degraded mode.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after faults exhausted: %+v\n%s", s.Stats(), inj)
+		}
+		time.Sleep(5 * time.Millisecond)
+		s.Put("cccc0000", []byte("x"))
+	}
+	// Healed: a fresh write round-trips through disk again.
+	s.Put("dddd0000", []byte("y"))
+	if v, ok, err := s.disk.Get("dddd0000"); err != nil || !ok || string(v) != "y" {
+		t.Fatalf("disk after recovery = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+// Satellite: waiters whose contexts are already cancelled when the
+// leader fails must return the context cause, never retry as leader.
+func TestGroupWaiterCancelledDuringLeaderFailure(t *testing.T) {
+	g := NewGroup[int](nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 0, errors.New("leader failed")
+	})
+	<-started
+
+	cause := errors.New("waiter gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var retried atomic.Int64
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := g.Do(ctx, "k", func() (int, error) {
+				retried.Add(1)
+				return 1, nil
+			})
+			results[i] = err
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters block on the leader
+	cancel(cause)                     // every waiter's ctx is now over...
+	time.Sleep(5 * time.Millisecond)
+	close(release) // ...when the leader fails
+
+	wg.Wait()
+	if n := retried.Load(); n != 0 {
+		t.Fatalf("%d cancelled waiters retried as leader, want 0", n)
+	}
+	for i, err := range results {
+		if !errors.Is(err, cause) {
+			t.Errorf("waiter %d error = %v, want the cancellation cause", i, err)
+		}
+	}
+	// And an entirely fresh Do with a dead ctx must not compute either.
+	if _, _, err := g.Do(ctx, "k", func() (int, error) {
+		retried.Add(1)
+		return 1, nil
+	}); !errors.Is(err, cause) || retried.Load() != 0 {
+		t.Fatalf("pre-cancelled Do = %v (computed %d times), want cause without compute", err, retried.Load())
+	}
+	// A stored value is still served to a dead ctx: hits are free.
+	g.Put("k2", 7)
+	if v, hit, err := g.Do(ctx, "k2", nil); err != nil || !hit || v != 7 {
+		t.Fatalf("hit with dead ctx = (%d, %v, %v), want (7, true, nil)", v, hit, err)
+	}
+}
+
+// Injected write/rename failures surface as Put errors; injected read
+// failures surface as Get errors — and none of them panic or corrupt the
+// good path once the plan's fires are exhausted.
+func TestDiskFaultSites(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: SiteDiskWrite, Class: faultinject.ClassIO, Every: 1, Limit: 1},
+		{Site: SiteDiskRename, Class: faultinject.ClassIO, Every: 1, Limit: 1},
+		{Site: SiteDiskRead, Class: faultinject.ClassIO, Every: 1, Limit: 1},
+	}})
+	d.SetFaults(inj)
+	key := "feedface01"
+	if err := d.Put(key, []byte("v")); !faultinject.IsInjected(err) {
+		t.Fatalf("first Put error = %v, want injected write fault", err)
+	}
+	if err := d.Put(key, []byte("v")); !faultinject.IsInjected(err) {
+		t.Fatalf("second Put error = %v, want injected rename fault", err)
+	}
+	// The failed rename must not leave a temp file behind.
+	matches, _ := filepath.Glob(filepath.Join(d.Root(), key[:2], ".*tmp*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left after injected rename failure: %v", matches)
+	}
+	if err := d.Put(key, []byte("v")); err != nil {
+		t.Fatalf("post-exhaustion Put = %v", err)
+	}
+	if _, _, err := d.Get(key); !faultinject.IsInjected(err) {
+		t.Fatalf("first Get error = %v, want injected read fault", err)
+	}
+	if data, ok, err := d.Get(key); err != nil || !ok || string(data) != "v" {
+		t.Fatalf("post-exhaustion Get = (%q, %v, %v)", data, ok, err)
+	}
+}
+
+// Injected corruption on the read path composes with quarantine and
+// read-repair exactly like real bit rot.
+func TestDiskInjectedCorruption(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789"
+	if err := d.Put(key, []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(faultinject.New(&faultinject.Plan{Seed: 11, Points: []faultinject.Point{
+		{Site: SiteDiskRead, Class: faultinject.ClassCorrupt, Every: 1, Limit: 1},
+	}}))
+	if _, _, err := d.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get under injected corruption = %v, want ErrCorrupt", err)
+	}
+	if d.Corruptions() != 1 {
+		t.Fatalf("Corruptions = %d, want 1", d.Corruptions())
+	}
+	// The entry was quarantined (even though the underlying file was
+	// healthy, simulated rot must behave like real rot); re-Put heals.
+	if _, ok, err := d.Get(key); ok || err != nil {
+		t.Fatalf("Get after injected corruption = (%v, %v), want clean miss", ok, err)
+	}
+}

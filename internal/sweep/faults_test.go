@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdt/internal/faultinject"
+)
+
+// Satellite coverage: retry classification under injected faults. A
+// transient fault burns bounded retries and then succeeds; a permanent
+// fault is never retried; an always-firing transient site exhausts the
+// retry budget and stops — bounded retries are actually bounded.
+
+func newFaultEngine(inj *faultinject.Injector, retries int, execs *atomic.Int64) *Engine[int, int] {
+	return &Engine[int, int]{
+		Workers:     1,
+		Retries:     retries,
+		Backoff:     time.Millisecond,
+		IsTransient: faultinject.IsTransient,
+		Faults:      inj,
+		Exec: func(ctx context.Context, i int) (int, error) {
+			execs.Add(1)
+			return i * 10, nil
+		},
+	}
+}
+
+func TestInjectedTransientFaultRetriedToSuccess(t *testing.T) {
+	// The site fires on the first two attempts, then exhausts its limit;
+	// the third attempt reaches Exec and succeeds.
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: SiteCell, Class: faultinject.ClassTransient, Every: 1, Limit: 2},
+	}})
+	var execs atomic.Int64
+	outs, err := newFaultEngine(inj, 3, &execs).Collect(context.Background(), []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outs[0]
+	if o.Err != nil || o.Result != 70 || o.Attempts != 3 {
+		t.Fatalf("outcome = %+v, want success on attempt 3", o)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("Exec ran %d times, want 1 (injected attempts must not execute)", got)
+	}
+}
+
+func TestInjectedPermanentFaultNeverRetried(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: SiteCell, Class: faultinject.ClassPermanent, Every: 1},
+	}})
+	var execs atomic.Int64
+	outs, err := newFaultEngine(inj, 5, &execs).Collect(context.Background(), []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outs[0]
+	if !faultinject.IsInjected(o.Err) || faultinject.IsTransient(o.Err) {
+		t.Fatalf("error = %v, want an injected permanent fault", o.Err)
+	}
+	if o.Attempts != 1 {
+		t.Fatalf("permanent fault retried: %d attempts, want 1", o.Attempts)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("Exec ran %d times past a permanent fault", execs.Load())
+	}
+	if st := inj.Stats()[SiteCell]; st.Fired != 1 {
+		t.Fatalf("site fired %d times, want exactly 1", st.Fired)
+	}
+}
+
+func TestInjectedTransientFaultBudgetBounded(t *testing.T) {
+	// The site always fires: the engine must stop at 1 + Retries attempts
+	// and report the transient error, not loop forever.
+	inj := faultinject.New(&faultinject.Plan{Points: []faultinject.Point{
+		{Site: SiteCell, Class: faultinject.ClassTransient, Every: 1},
+	}})
+	var execs atomic.Int64
+	outs, err := newFaultEngine(inj, 2, &execs).Collect(context.Background(), []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outs[0]
+	if !faultinject.IsTransient(o.Err) {
+		t.Fatalf("error = %v, want the exhausted transient fault", o.Err)
+	}
+	if o.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", o.Attempts)
+	}
+	if st := inj.Stats()[SiteCell]; st.Fired != 3 {
+		t.Fatalf("site fired %d times, want 3", st.Fired)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("Exec ran %d times under an always-firing site", execs.Load())
+	}
+}
+
+func TestInjectedFaultsMixWithRealResults(t *testing.T) {
+	// Probabilistic transient injection across a batch: every item must
+	// still end in success (retries absorb the faults) and the output
+	// must be the correct per-item result.
+	inj := faultinject.New(&faultinject.Plan{Seed: 21, Points: []faultinject.Point{
+		{Site: SiteCell, Class: faultinject.ClassTransient, Prob: 0.4, Limit: 30},
+	}})
+	var execs atomic.Int64
+	items := make([]int, 24)
+	for i := range items {
+		items[i] = i
+	}
+	e := newFaultEngine(inj, 40, &execs)
+	e.Workers = 4
+	outs, err := e.Collect(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("item %d failed: %v (attempts %d)", o.Index, o.Err, o.Attempts)
+		}
+		if o.Result != o.Item*10 {
+			t.Fatalf("item %d result = %d, want %d", o.Index, o.Result, o.Item*10)
+		}
+		if o.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("plan injected nothing — probability stream looks dead")
+	}
+	if got := execs.Load(); got != int64(len(items)) {
+		t.Fatalf("Exec ran %d times, want exactly %d (one success per item)", got, len(items))
+	}
+}
+
+// An engine without Faults must not consult anything (nil fast path) and
+// must behave identically to the pre-hook engine.
+func TestNilFaultsFastPath(t *testing.T) {
+	e := &Engine[int, int]{
+		Workers: 2,
+		Exec:    func(ctx context.Context, i int) (int, error) { return i, nil },
+	}
+	outs, err := e.Collect(context.Background(), []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Err != nil || o.Result != i+1 || o.Attempts != 1 {
+			t.Fatalf("outcome %d = %+v", i, o)
+		}
+	}
+	if errors.Is(outs[0].Err, faultinject.ErrInjected) {
+		t.Fatal("impossible: nil-faults engine produced an injected error")
+	}
+}

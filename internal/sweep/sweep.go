@@ -71,6 +71,19 @@ func (m Matrix) Cells() []Cell {
 	return cells
 }
 
+// SiteCell is the engine's fault-injection site, consulted once per
+// execution attempt when Faults is armed (see internal/faultinject).
+const SiteCell = "sweep.cell"
+
+// Faults is the engine's seam for deterministic fault injection
+// (*faultinject.Injector satisfies it). A nil Faults disables injection;
+// the attempt loop guards the call behind a single nil check, so the
+// unarmed hot path pays nothing.
+type Faults interface {
+	// Fail returns the error to inject at site, or nil.
+	Fail(site string) error
+}
+
 // Outcome is the terminal state of one item: either Result or Err is
 // meaningful. Attempts counts executions performed — 0 means the engine
 // was cancelled before the item started (Err then carries the context
@@ -103,6 +116,10 @@ type Engine[T, R any] struct {
 	Backoff time.Duration
 	// Exec computes one item. It must be safe for concurrent calls.
 	Exec func(ctx context.Context, item T) (R, error)
+	// Faults, when non-nil, is consulted at SiteCell before every Exec
+	// attempt; an injected error replaces the execution and is classified
+	// (and retried) exactly like an Exec error.
+	Faults Faults
 }
 
 var errNoExec = errors.New("sweep: Engine.Exec is nil")
@@ -248,7 +265,13 @@ func (e *Engine[T, R]) attempt(ctx context.Context, idx int, item T) Outcome[T, 
 	}
 	for {
 		o.Attempts++
-		o.Result, o.Err = e.Exec(ctx, item)
+		o.Err = nil
+		if e.Faults != nil {
+			o.Err = e.Faults.Fail(SiteCell)
+		}
+		if o.Err == nil {
+			o.Result, o.Err = e.Exec(ctx, item)
+		}
 		if o.Err == nil || o.Attempts > e.Retries ||
 			e.IsTransient == nil || !e.IsTransient(o.Err) || ctx.Err() != nil {
 			break

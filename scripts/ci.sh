@@ -22,6 +22,13 @@ go test -race ./...
 echo "==> sdtd smoke"
 go run ./cmd/sdtdsmoke
 
+# Hostile-conditions gate: the same daemon under a deterministic fault
+# plan — injected disk errors, corruption, worker panics, a SIGKILLed
+# checkpointed sweep — must stay up and keep returning byte-identical
+# results. Fixed seed so a failure reproduces. See docs/ROBUSTNESS.md.
+echo "==> sdtd chaos"
+go run ./cmd/sdtchaos -seed 42
+
 # Each fuzz target gets a short randomized smoke on top of its seed
 # corpus. Go only allows one -fuzz pattern per package invocation, so
 # list them explicitly.
