@@ -23,7 +23,7 @@ PASS
 `
 
 func TestParseBenchMedians(t *testing.T) {
-	got, err := parseBench(strings.NewReader(benchmemOutput), nil)
+	got, _, err := parseBench(strings.NewReader(benchmemOutput), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestParseBenchMedians(t *testing.T) {
 // not as a measured 0 (the bug this file pins down: median(nil) used to
 // return 0, letting the allocs bound pass vacuously).
 func TestParseBenchWithoutBenchmemLeavesMetricsAbsent(t *testing.T) {
-	got, err := parseBench(strings.NewReader(noBenchmemOutput), nil)
+	got, _, err := parseBench(strings.NewReader(noBenchmemOutput), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestParseBenchWithoutBenchmemLeavesMetricsAbsent(t *testing.T) {
 // prefix must be kept and only the unpaired trailing field ignored.
 func TestParseBenchOddFieldLine(t *testing.T) {
 	odd := "BenchmarkOdd-8   	     100	  123 ns/op	      7 allocs/op	trailing\n"
-	got, err := parseBench(strings.NewReader(odd), nil)
+	got, _, err := parseBench(strings.NewReader(odd), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestParseBenchOddFieldLine(t *testing.T) {
 func TestParseBenchIgnoresProseAndEchoes(t *testing.T) {
 	input := "BenchmarkResults were inconclusive today\nBenchmarkReal-4 10 50 ns/op\n"
 	var echo strings.Builder
-	got, err := parseBench(strings.NewReader(input), &echo)
+	got, _, err := parseBench(strings.NewReader(input), &echo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +113,11 @@ func TestGateMissingAllocsMetricFails(t *testing.T) {
 	base := map[string]Metrics{
 		"BenchmarkRunDispatchIBTC": {NsPerOp: 15256894, AllocsPerOp: f(59)},
 	}
-	measured, err := parseBench(strings.NewReader(noBenchmemOutput), nil)
+	measured, _, err := parseBench(strings.NewReader(noBenchmemOutput), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, gerr := gate(base, measured, 10)
+	_, gerr := gate(base, measured, nil, 10)
 	if gerr == nil {
 		t.Fatal("gate passed with the allocs metric missing from the measurement")
 	}
@@ -128,24 +128,24 @@ func TestGateMissingAllocsMetricFails(t *testing.T) {
 
 func TestGateAllocsRegression(t *testing.T) {
 	base := map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(10)}}
-	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(17)}}, 10); err != nil {
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(17)}}, nil, 10); err != nil {
 		// Sanity of the lenient bound: 17 is under 10*1.25+5 = 17.5.
 		t.Errorf("unexpected failure at the bound: %v", err)
 	}
-	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(18)}}, 10); err == nil {
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 100, AllocsPerOp: f(18)}}, nil, 10); err == nil {
 		t.Error("allocs regression above the lenient bound passed")
 	}
 }
 
 func TestGateNsRegressionAndMissingBenchmark(t *testing.T) {
 	base := map[string]Metrics{"B": {NsPerOp: 100}}
-	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 109}}, 10); err != nil {
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 109}}, nil, 10); err != nil {
 		t.Errorf("+9%% within 10%% tolerance failed: %v", err)
 	}
-	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 115}}, 10); err == nil {
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 115}}, nil, 10); err == nil {
 		t.Error("+15% ns/op regression passed a 10% gate")
 	}
-	if _, err := gate(base, map[string]Metrics{"Other": {NsPerOp: 1}}, 10); err == nil {
+	if _, err := gate(base, map[string]Metrics{"Other": {NsPerOp: 1}}, nil, 10); err == nil {
 		t.Error("baseline benchmark absent from the measurement passed")
 	}
 }
@@ -156,11 +156,66 @@ func TestGateNewBenchmarkIsANote(t *testing.T) {
 		"B":   {NsPerOp: 100},
 		"New": {NsPerOp: 5},
 	}
-	notes, err := gate(base, measured, 10)
+	notes, err := gate(base, measured, nil, 10)
 	if err != nil {
 		t.Fatalf("new benchmark failed the gate: %v", err)
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "New") {
 		t.Errorf("notes = %v, want one mentioning New", notes)
+	}
+}
+
+// Repetition spread is (max-min)/median of the ns/op samples, in percent.
+func TestParseBenchReportsSpread(t *testing.T) {
+	_, spread, err := parseBench(strings.NewReader(benchmemOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples 15256894, 15000000, 16000000: median 15256894,
+	// spread = (16000000-15000000)/15256894 = 6.5544...%.
+	got := spread["BenchmarkRunDispatchIBTC"]
+	if got < 6.5 || got > 6.6 {
+		t.Errorf("spread = %v%%, want ~6.55%%", got)
+	}
+	if s := spreadPct([]float64{100}); s != 0 {
+		t.Errorf("single-sample spread = %v, want 0 (strict gating)", s)
+	}
+	if s := spreadPct(nil); s != 0 {
+		t.Errorf("no-sample spread = %v, want 0", s)
+	}
+}
+
+// The noise-adaptive gate: a median shift smaller than the run's own
+// repetition spread passes (with a note naming the relaxation), while a
+// regression beyond the spread still fails.
+func TestGateRelaxesToMeasurementSpread(t *testing.T) {
+	base := map[string]Metrics{"B": {NsPerOp: 100}}
+	noisy := map[string]float64{"B": 20}
+
+	notes, err := gate(base, map[string]Metrics{"B": {NsPerOp: 112}}, noisy, 5)
+	if err != nil {
+		t.Errorf("+12%% inside a 20%% spread failed a 5%% gate: %v", err)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "spread") && strings.Contains(n, "B") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes = %v, want one reporting the spread relaxation", notes)
+	}
+
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 125}}, noisy, 5); err == nil {
+		t.Error("+25% beyond a 20% spread passed")
+	}
+
+	// A quiet machine (spread below tolerance) keeps the strict gate.
+	quiet := map[string]float64{"B": 2}
+	if _, err := gate(base, map[string]Metrics{"B": {NsPerOp: 108}}, quiet, 5); err == nil {
+		t.Error("+8% with 2% spread passed a 5% gate")
+	}
+	if notes, err := gate(base, map[string]Metrics{"B": {NsPerOp: 104}}, quiet, 5); err != nil || len(notes) != 0 {
+		t.Errorf("+4%% with 2%% spread: err=%v notes=%v, want clean pass", err, notes)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"sdt/internal/cache"
+	"sdt/internal/predictor"
 )
 
 // CostModelVersion identifies the current calibration of the built-in
@@ -32,7 +33,10 @@ import (
 // internal/service), so persisted measurements are invalidated when the
 // numbers change. Bump it whenever any built-in model's parameters, the
 // cache/predictor geometries, or the cost-charging rules move.
-const CostModelVersion = 1
+//
+// Version 2: parameterized predictor geometries (set-associative/two-level
+// BTB, RAS overflow+repair policies) and the arm model's two-level BTB.
+const CostModelVersion = 2
 
 // Model prices host-level operations in cycles.
 type Model struct {
@@ -66,7 +70,14 @@ type Model struct {
 	// and zero (instruction fetch overlaps); misses add the penalties.
 	DMissPenalty, IMissPenalty int
 	ICache, DCache             cache.Config
-	BTBEntries, RASDepth       int
+
+	// Predictor geometries. BTBL2HitPenalty is the extra cost of an
+	// indirect transfer predicted by the BTB's second level (zero for
+	// single-level models): the promoted prediction arrives later than a
+	// first-level hit but far earlier than a mispredict redirect.
+	BTB             predictor.BTBConfig
+	RAS             predictor.RASConfig
+	BTBL2HitPenalty int
 
 	// Code layout: emitted host-code bytes per translated guest
 	// instruction and per dispatch stub. These set the fragment cache's
@@ -92,6 +103,7 @@ func (m *Model) Validate() error {
 		"CtxSave": m.CtxSave, "CtxRestore": m.CtxRestore, "MapProbe": m.MapProbe,
 		"TransBase": m.TransBase, "TransPerInst": m.TransPerInst,
 		"DMissPenalty": m.DMissPenalty, "IMissPenalty": m.IMissPenalty,
+		"BTBL2HitPenalty": m.BTBL2HitPenalty,
 	}
 	for name, v := range nonneg {
 		if v < 0 {
@@ -104,11 +116,14 @@ func (m *Model) Validate() error {
 	if err := m.DCache.Validate(); err != nil {
 		return fmt.Errorf("hostarch: %s D-cache: %w", m.Name, err)
 	}
-	if m.BTBEntries <= 0 || m.BTBEntries&(m.BTBEntries-1) != 0 {
-		return fmt.Errorf("hostarch: %s BTBEntries = %d, want positive power of two", m.Name, m.BTBEntries)
+	if err := m.BTB.Validate(); err != nil {
+		return fmt.Errorf("hostarch: %s BTB: %w", m.Name, err)
 	}
-	if m.RASDepth <= 0 {
-		return fmt.Errorf("hostarch: %s RASDepth = %d, want positive", m.Name, m.RASDepth)
+	if err := m.RAS.Validate(); err != nil {
+		return fmt.Errorf("hostarch: %s RAS: %w", m.Name, err)
+	}
+	if m.BTB.Levels == 1 && m.BTBL2HitPenalty != 0 {
+		return fmt.Errorf("hostarch: %s BTBL2HitPenalty = %d but the BTB has one level", m.Name, m.BTBL2HitPenalty)
 	}
 	if m.CodeBytesPerInst <= 0 || m.StubBytes <= 0 {
 		return fmt.Errorf("hostarch: %s code layout sizes must be positive", m.Name)
@@ -128,9 +143,10 @@ func X86() *Model {
 		CtxSave: 100, CtxRestore: 100, MapProbe: 30,
 		TransBase: 400, TransPerInst: 40,
 		DMissPenalty: 18, IMissPenalty: 30,
-		ICache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
-		DCache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
-		BTBEntries: 512, RASDepth: 16,
+		ICache:           cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		DCache:           cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		BTB:              predictor.DirectMapped(512),
+		RAS:              predictor.FixedDepth(16),
 		CodeBytesPerInst: 6, StubBytes: 16,
 	}
 }
@@ -141,7 +157,14 @@ func X86() *Model {
 // compare sequences can usually use a scratch condition field but not
 // always. Not part of the paper's evaluation; useful for the
 // cross-architecture experiments' robustness and available to every CLI
-// via -arch arm.
+// via -arch arm (alias arm-like).
+//
+// Its BTB follows the organization reverse-engineered on real Arm cores: a
+// tiny fully-probed first level (the "micro-BTB") backed by a larger
+// set-associative second level with a hashed index, promotion on L2 hit,
+// and a small extra cost for L2-predicted transfers. Its RAS checkpoints
+// the top-of-stack pointer, so a mispredicted return does not consume the
+// frame the next real return needs.
 func ARM() *Model {
 	return &Model{
 		Name: "arm",
@@ -153,9 +176,18 @@ func ARM() *Model {
 		CtxSave: 70, CtxRestore: 70, MapProbe: 24,
 		TransBase: 350, TransPerInst: 35,
 		DMissPenalty: 22, IMissPenalty: 22,
-		ICache:     cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2},
-		DCache:     cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2},
-		BTBEntries: 64, RASDepth: 8,
+		ICache: cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2},
+		DCache: cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2},
+		BTB: predictor.BTBConfig{
+			Sets: 8, Ways: 4, // 32-entry micro-BTB
+			Levels: 2,
+			L2Sets: 64, L2Ways: 4, // 256-entry main BTB
+			SiteShift: 2,
+			Hash:      predictor.HashFib,
+			Replace:   predictor.ReplaceLRU,
+		},
+		RAS:              predictor.RASConfig{Depth: 8, Overflow: predictor.OverflowWrap, Repair: predictor.RepairTop},
+		BTBL2HitPenalty:  2,
 		CodeBytesPerInst: 4, StubBytes: 12,
 	}
 }
@@ -172,9 +204,10 @@ func SPARC() *Model {
 		CtxSave: 160, CtxRestore: 160, MapProbe: 30,
 		TransBase: 500, TransPerInst: 50,
 		DMissPenalty: 26, IMissPenalty: 26,
-		ICache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2},
-		DCache:     cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2},
-		BTBEntries: 128, RASDepth: 8,
+		ICache:           cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2},
+		DCache:           cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2},
+		BTB:              predictor.DirectMapped(128),
+		RAS:              predictor.FixedDepth(8),
 		CodeBytesPerInst: 8, StubBytes: 16,
 	}
 }
@@ -184,14 +217,16 @@ func Models() map[string]*Model {
 	return map[string]*Model{"x86": X86(), "sparc": SPARC(), "arm": ARM()}
 }
 
-// ByName returns a fresh copy of the named built-in model.
+// ByName returns a fresh copy of the named built-in model. Each model is
+// also reachable under a "-like" alias ("x86-like", "sparc-like",
+// "arm-like") — the models are calibrated flavours, not specific parts.
 func ByName(name string) (*Model, error) {
 	switch name {
-	case "x86":
+	case "x86", "x86-like":
 		return X86(), nil
-	case "sparc":
+	case "sparc", "sparc-like":
 		return SPARC(), nil
-	case "arm":
+	case "arm", "arm-like":
 		return ARM(), nil
 	}
 	return nil, fmt.Errorf("hostarch: unknown model %q (want x86, sparc or arm)", name)

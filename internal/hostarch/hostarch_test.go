@@ -1,6 +1,10 @@
 package hostarch
 
-import "testing"
+import (
+	"testing"
+
+	"sdt/internal/predictor"
+)
 
 func TestBuiltinModelsValid(t *testing.T) {
 	for name, m := range Models() {
@@ -25,6 +29,28 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestByNameAliases: every shipped model is reachable under its "-like"
+// alias, resolves to the canonical model, and passes Validate.
+func TestByNameAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{
+		"x86-like":   "x86",
+		"sparc-like": "sparc",
+		"arm-like":   "arm",
+	} {
+		m, err := ByName(alias)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", alias, err)
+			continue
+		}
+		if m.Name != canonical {
+			t.Errorf("ByName(%q).Name = %q, want %q", alias, m.Name, canonical)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("aliased model %q invalid: %v", alias, err)
+		}
+	}
+}
+
 func TestByNameReturnsFreshCopies(t *testing.T) {
 	a, _ := ByName("x86")
 	b, _ := ByName("x86")
@@ -44,9 +70,24 @@ func TestValidateCatchesBadFields(t *testing.T) {
 		{"negative flags", func(m *Model) { m.FlagsSave = -3 }},
 		{"bad icache", func(m *Model) { m.ICache.LineBytes = 48 }},
 		{"bad dcache", func(m *Model) { m.DCache.SizeBytes = 0 }},
-		{"bad btb", func(m *Model) { m.BTBEntries = 100 }},
-		{"zero btb", func(m *Model) { m.BTBEntries = 0 }},
-		{"zero ras", func(m *Model) { m.RASDepth = 0 }},
+		{"non-power-of-two btb sets", func(m *Model) { m.BTB.Sets = 100 }},
+		{"zero btb sets", func(m *Model) { m.BTB.Sets = 0 }},
+		{"non-power-of-two btb ways", func(m *Model) { m.BTB.Ways = 3 }},
+		{"zero btb ways", func(m *Model) { m.BTB.Ways = 0 }},
+		{"zero btb levels", func(m *Model) { m.BTB.Levels = 0 }},
+		{"three btb levels", func(m *Model) { m.BTB.Levels = 3 }},
+		{"levels=2 without L2 geometry", func(m *Model) { m.BTB.Levels = 2 }},
+		{"L2 geometry without levels=2", func(m *Model) { m.BTB.L2Sets = 8; m.BTB.L2Ways = 2 }},
+		{"absurd site shift", func(m *Model) { m.BTB.SiteShift = 99 }},
+		{"negative site shift", func(m *Model) { m.BTB.SiteShift = -1 }},
+		{"unknown btb hash", func(m *Model) { m.BTB.Hash = predictor.BTBHash(99) }},
+		{"unknown btb replacement", func(m *Model) { m.BTB.Replace = predictor.BTBReplace(99) }},
+		{"zero ras depth", func(m *Model) { m.RAS.Depth = 0 }},
+		{"negative ras depth", func(m *Model) { m.RAS.Depth = -8 }},
+		{"unknown ras overflow", func(m *Model) { m.RAS.Overflow = predictor.RASOverflow(99) }},
+		{"unknown ras repair", func(m *Model) { m.RAS.Repair = predictor.RASRepair(99) }},
+		{"L2 penalty on single-level btb", func(m *Model) { m.BTBL2HitPenalty = 2 }},
+		{"negative L2 penalty", func(m *Model) { m.BTBL2HitPenalty = -1 }},
 		{"zero code bytes", func(m *Model) { m.CodeBytesPerInst = 0 }},
 		{"zero stub bytes", func(m *Model) { m.StubBytes = 0 }},
 	}
@@ -58,6 +99,52 @@ func TestValidateCatchesBadFields(t *testing.T) {
 				t.Errorf("Validate accepted model with %s", tt.name)
 			}
 		})
+	}
+
+	// The same mutations must be caught on a two-level model where the
+	// second level, not the first, is malformed.
+	l2muts := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"non-power-of-two L2 sets", func(m *Model) { m.BTB.L2Sets = 100 }},
+		{"zero L2 sets", func(m *Model) { m.BTB.L2Sets = 0 }},
+		{"non-power-of-two L2 ways", func(m *Model) { m.BTB.L2Ways = 5 }},
+	}
+	for _, tt := range l2muts {
+		t.Run(tt.name, func(t *testing.T) {
+			m := ARM()
+			tt.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted model with %s", tt.name)
+			}
+		})
+	}
+}
+
+// TestPredictorGeometryPinned pins the geometry each shipped model feeds
+// the predictors: x86/sparc keep the historical flat organization (so the
+// calibrated results stand), arm carries the two-level BTB and repairing
+// RAS the profile exists to exercise.
+func TestPredictorGeometryPinned(t *testing.T) {
+	x := X86()
+	if x.BTB != predictor.DirectMapped(512) || x.RAS != predictor.FixedDepth(16) {
+		t.Errorf("x86 predictor geometry moved: BTB %+v RAS %+v", x.BTB, x.RAS)
+	}
+	s := SPARC()
+	if s.BTB != predictor.DirectMapped(128) || s.RAS != predictor.FixedDepth(8) {
+		t.Errorf("sparc predictor geometry moved: BTB %+v RAS %+v", s.BTB, s.RAS)
+	}
+	a := ARM()
+	if a.BTB.Levels != 2 || a.BTB.Hash != predictor.HashFib || a.BTBL2HitPenalty <= 0 {
+		t.Errorf("arm must model a two-level hashed BTB with an L2 penalty, got %+v penalty %d",
+			a.BTB, a.BTBL2HitPenalty)
+	}
+	if a.RAS.Repair != predictor.RepairTop {
+		t.Errorf("arm RAS must checkpoint the TOS pointer, got %v", a.RAS.Repair)
+	}
+	if a.BTB.Entries() <= a.BTB.Sets*a.BTB.Ways {
+		t.Error("arm's second level must add capacity")
 	}
 }
 

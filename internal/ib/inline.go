@@ -115,6 +115,7 @@ func (c *Inline) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.F
 		if slot.tag == target {
 			slot.used = s.tick
 			vm.Prof.MechHits++
+			vm.Prof.InlineHits++
 			env.Charge(m.FlagsRestore + m.DirectJump)
 			return slot.frag, nil
 		}

@@ -1,0 +1,190 @@
+package ib_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+	"sdt/internal/isa"
+	"sdt/internal/machine"
+)
+
+// predAcctProg exercises all three IB kinds every iteration — a 3-way
+// polymorphic indirect jump, a 2-way polymorphic indirect call, direct
+// calls nesting two deep, and the matching returns — with no manufactured
+// return addresses and a working set far below flush pressure. That makes
+// the predictor-event ledger exact: every IB's BTB/RAS traffic is decided
+// solely by which mechanism family handled it.
+const predAcctProg = `
+main:
+	li r10, 0
+	li r11, 40
+	li r12, 3
+	li r14, 2
+loop:
+	rem r2, r10, r12
+	la r1, jtab
+	slli r2, r2, 2
+	add r1, r1, r2
+	lw r3, (r1)
+	jr r3
+jt0:
+	addi r13, r13, 1
+	jmp jdone
+jt1:
+	addi r13, r13, 2
+	jmp jdone
+jt2:
+	addi r13, r13, 3
+	jmp jdone
+jdone:
+	call fn_a
+	rem r2, r10, r14
+	la r1, ctab
+	slli r2, r2, 2
+	add r1, r1, r2
+	lw r3, (r1)
+	callr r3
+	addi r10, r10, 1
+	blt r10, r11, loop
+	out r13
+	halt
+fn_a:
+	push ra
+	call fn_b
+	pop ra
+	ret
+fn_b:
+	addi r13, r13, 5
+	ret
+cf0:
+	addi r13, r13, 7
+	ret
+cf1:
+	addi r13, r13, 9
+	ret
+.data
+jtab:
+	.word jt0
+	.word jt1
+	.word jt2
+ctab:
+	.word cf0
+	.word cf1
+`
+
+// sieveKinds reports which IB kinds a spec routes to a sieve component,
+// mirroring the composition rules of the specs in ib.SweepSpecs(): a
+// retcache chain peels off returns, and the fastret policy keeps returns
+// off the handler entirely. If a future sweep spec composes a sieve some
+// other way, the reconciliation below fails loudly — extend this map with
+// the new routing rather than loosening the accounting.
+func sieveKinds(spec string, fastret bool) []isa.IBKind {
+	if !strings.Contains(spec, "sieve") {
+		return nil
+	}
+	kinds := []isa.IBKind{isa.IBJump, isa.IBCall}
+	if !strings.Contains(spec, "retcache") && !fastret {
+		kinds = append(kinds, isa.IBReturn)
+	}
+	return kinds
+}
+
+// TestPredictorAccountingReconciles: for every mechanism in the sweep
+// registry, the predictor statistics reconcile exactly with the profile
+// layer's IB counts — no mechanism bypasses predictor accounting.
+//
+// The ledger, per executed IB:
+//   - a trace-guard hit stays on trace: no predictor event;
+//   - an inline-cache hit is a direct jump: no predictor event;
+//   - a fast return is a host return: one RAS pop, no BTB event;
+//   - everything else performs exactly one BTB transfer on its final
+//     dispatch, plus one extra per sieve miss (the bucket jump precedes
+//     the translator-exit jump).
+func TestPredictorAccountingReconciles(t *testing.T) {
+	for _, spec := range ib.SweepSpecs() {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			cfg, err := ib.Parse(spec)
+			if err != nil {
+				t.Fatalf("parse %q: %v", spec, err)
+			}
+			vm := runSpec(t, predAcctProg, spec)
+			p := vm.Prof
+
+			if p.Flushes != 0 {
+				t.Fatalf("program caused %d flushes; the ledger requires none", p.Flushes)
+			}
+
+			total := p.IBTotal()
+			returns := p.IBExec[isa.IBReturn]
+			btbHits, btbMisses := vm.Env.BTB.Stats()
+			btbEvents := btbHits + btbMisses
+			rasHits, rasMisses := vm.Env.RAS.Stats()
+			rasPops := rasHits + rasMisses
+
+			if total == 0 || p.IBExec[isa.IBJump] == 0 || p.IBExec[isa.IBCall] == 0 || returns == 0 {
+				t.Fatalf("program must exercise all IB kinds, got %v", p.IBExec)
+			}
+
+			// Returns: with fast returns every return is one RAS pop (the
+			// program manufactures no return addresses, so none escape);
+			// without, the RAS is never consulted by the SDT.
+			wantPops := uint64(0)
+			if cfg.FastReturns {
+				wantPops = returns
+			}
+			if rasPops != wantPops {
+				t.Errorf("RAS pops = %d, want %d (returns=%d fastret=%v)",
+					rasPops, wantPops, returns, cfg.FastReturns)
+			}
+
+			var sieveExtra uint64
+			for _, k := range sieveKinds(spec, cfg.FastReturns) {
+				sieveExtra += p.IBMiss[k]
+			}
+
+			want := total - p.TraceGuardHits - p.InlineHits - wantPops + sieveExtra
+			if btbEvents != want {
+				t.Errorf("BTB events = %d, want %d = IBs %d - guard hits %d - inline hits %d - RAS returns %d + sieve misses %d",
+					btbEvents, want, total, p.TraceGuardHits, p.InlineHits, wantPops, sieveExtra)
+			}
+
+			// Inline hits are a subset of mechanism hits; specs without an
+			// inline component must report none.
+			if p.InlineHits > p.MechHits {
+				t.Errorf("inline hits %d exceed mechanism hits %d", p.InlineHits, p.MechHits)
+			}
+			if !strings.Contains(spec, "inline") && p.InlineHits != 0 {
+				t.Errorf("spec without inline caches reported %d inline hits", p.InlineHits)
+			}
+		})
+	}
+}
+
+// TestNativePredictorAccounting pins the native side of the same ledger: a
+// directly executing host performs one BTB transfer per indirect jump and
+// call, and one RAS pop per return — nothing else touches the predictors.
+func TestNativePredictorAccounting(t *testing.T) {
+	img := assemble(t, predAcctProg)
+	for _, arch := range []string{"x86", "sparc", "arm-like"} {
+		model, err := hostarch.ByName(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.RunImage(img, model, 20_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		btbHits, btbMisses := m.Env.BTB.Stats()
+		rasHits, rasMisses := m.Env.RAS.Stats()
+		wantBTB := m.Counts.IB[isa.IBJump] + m.Counts.IB[isa.IBCall]
+		if btbHits+btbMisses != wantBTB {
+			t.Errorf("%s: native BTB events = %d, want %d", arch, btbHits+btbMisses, wantBTB)
+		}
+		if rasHits+rasMisses != m.Counts.IB[isa.IBReturn] {
+			t.Errorf("%s: native RAS pops = %d, want %d", arch, rasHits+rasMisses, m.Counts.IB[isa.IBReturn])
+		}
+	}
+}

@@ -29,8 +29,8 @@ func NewCostEnv(m *hostarch.Model) (*CostEnv, error) {
 		Model:  m,
 		ICache: cache.New(m.ICache),
 		DCache: cache.New(m.DCache),
-		BTB:    predictor.NewBTB(m.BTBEntries),
-		RAS:    predictor.NewRAS(m.RASDepth),
+		BTB:    predictor.NewBTB(m.BTB),
+		RAS:    predictor.NewRAS(m.RAS),
 	}, nil
 }
 
@@ -53,15 +53,20 @@ func (e *CostEnv) DTouch(addr uint32) {
 }
 
 // IndirectTransfer models a host indirect jump at site to target through
-// the BTB and reports whether it predicted.
+// the BTB and reports whether it predicted. A second-level hit pays the
+// model's promotion penalty on top of the hit cost.
 func (e *CostEnv) IndirectTransfer(site, target uint32) bool {
-	hit := e.BTB.Lookup(site, target)
-	if hit {
+	switch e.BTB.Lookup(site, target) {
+	case predictor.HitL1:
 		e.Cycles += uint64(e.Model.IndirectHit)
-	} else {
+		return true
+	case predictor.HitL2:
+		e.Cycles += uint64(e.Model.IndirectHit + e.Model.BTBL2HitPenalty)
+		return true
+	default:
 		e.Cycles += uint64(e.Model.IndirectMiss)
+		return false
 	}
-	return hit
 }
 
 // HostCall models a host call instruction: charges the call cost and pushes

@@ -45,7 +45,8 @@ const DefaultLimit = 5_000_000
 
 // Config selects one differential comparison.
 type Config struct {
-	// Arch names the host cost model ("x86", "sparc", "arm").
+	// Arch names the host cost model ("x86", "sparc", "arm", or a
+	// "-like" alias of any of them).
 	Arch string
 	// Spec is the IB mechanism spec, ib.Parse grammar.
 	Spec string

@@ -1,0 +1,193 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The pre-geometry predictor implementations, kept verbatim as reference
+// oracles: a direct-mapped always-training BTB indexed by (site>>2)&mask,
+// and a wrap-on-overflow RAS that consumes the top entry on every pop.
+// The parameterized structures must be observationally equivalent to these
+// under the legacy geometry, or every calibrated x86/sparc result moves.
+
+type legacyBTB struct {
+	entries []struct {
+		site, target uint32
+		valid        bool
+	}
+	mask uint32
+}
+
+func newLegacyBTB(entries int) *legacyBTB {
+	l := &legacyBTB{mask: uint32(entries - 1)}
+	l.entries = make([]struct {
+		site, target uint32
+		valid        bool
+	}, entries)
+	return l
+}
+
+func (b *legacyBTB) lookup(site, target uint32) bool {
+	e := &b.entries[(site>>2)&b.mask]
+	hit := e.valid && e.site == site && e.target == target
+	e.site, e.target, e.valid = site, target, true
+	return hit
+}
+
+type legacyRAS struct {
+	stack      []uint32
+	top, depth int
+}
+
+func newLegacyRAS(depth int) *legacyRAS { return &legacyRAS{stack: make([]uint32, depth)} }
+
+func (r *legacyRAS) push(ret uint32) {
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+func (r *legacyRAS) pop(actual uint32) bool {
+	if r.depth == 0 {
+		return false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top] == actual
+}
+
+// TestBTBLegacyEquivalence: for every power-of-two size, a ways=1 levels=1
+// shift=2 mask-indexed BTB agrees with the legacy direct-mapped BTB on
+// random site/target streams, lookup by lookup.
+func TestBTBLegacyEquivalence(t *testing.T) {
+	f := func(seed int64, sizeSel uint8, n uint16) bool {
+		sizes := []int{1, 2, 8, 64, 512}
+		size := sizes[int(sizeSel)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		oldB := newLegacyBTB(size)
+		newB := NewBTB(DirectMapped(size))
+		for i := 0; i < int(n)%2048; i++ {
+			// Small site space forces aliasing; occasional misalignment
+			// exercises the sub-shift bits; two targets per site force
+			// retraining.
+			site := rng.Uint32() & 0x1fff
+			tgt := uint32(0xa000 + rng.Intn(2)*0x100)
+			if oldB.lookup(site, tgt) != newB.Lookup(site, tgt).Hit() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRASLegacyEquivalence: wrap + no-repair matches the legacy RAS on
+// random push/pop streams, operation by operation.
+func TestRASLegacyEquivalence(t *testing.T) {
+	f := func(seed int64, depthSel uint8, n uint16) bool {
+		depths := []int{1, 2, 4, 8, 16}
+		depth := depths[int(depthSel)%len(depths)]
+		rng := rand.New(rand.NewSource(seed))
+		oldR := newLegacyRAS(depth)
+		newR := NewRAS(FixedDepth(depth))
+		for i := 0; i < int(n)%2048; i++ {
+			addr := rng.Uint32() & 0x3f // small space so pops sometimes match
+			if rng.Intn(2) == 0 {
+				oldR.push(addr)
+				newR.Push(addr)
+			} else if oldR.pop(addr) != newR.Pop(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomBTBConfig draws a valid geometry from a seeded rng.
+func randomBTBConfig(rng *rand.Rand) BTBConfig {
+	cfg := BTBConfig{
+		Sets:      1 << rng.Intn(6),
+		Ways:      1 << rng.Intn(3),
+		Levels:    1 + rng.Intn(2),
+		SiteShift: rng.Intn(5),
+		Hash:      BTBHash(rng.Intn(int(numBTBHash))),
+		Replace:   BTBReplace(rng.Intn(int(numBTBReplace))),
+	}
+	if cfg.Levels == 2 {
+		cfg.L2Sets = 1 << rng.Intn(6)
+		cfg.L2Ways = 1 << rng.Intn(3)
+	}
+	return cfg
+}
+
+// TestBTBConservationAllGeometries: for random valid geometries and random
+// streams, L1 hits + L2 hits + misses == lookups, and single-level BTBs
+// never report L2 hits.
+func TestBTBConservationAllGeometries(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomBTBConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("generated invalid config %+v: %v", cfg, err)
+		}
+		b := NewBTB(cfg)
+		lookups := int(n) % 1024
+		for i := 0; i < lookups; i++ {
+			b.Lookup(rng.Uint32()&0xfff, rng.Uint32()&0xff)
+		}
+		l1, l2, m := b.LevelStats()
+		if cfg.Levels == 1 && l2 != 0 {
+			return false
+		}
+		h, m2 := b.Stats()
+		return l1+l2+m == uint64(lookups) && h == l1+l2 && m == m2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRASRepairInvariants: on random streams, RepairTop never shrinks the
+// stack on a mispredict, and every policy conserves hits+misses == pops.
+func TestRASRepairInvariants(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := RASConfig{
+			Depth:    1 << rng.Intn(5),
+			Overflow: RASOverflow(rng.Intn(int(numRASOverflow))),
+			Repair:   RASRepair(rng.Intn(int(numRASRepair))),
+		}
+		r := NewRAS(cfg)
+		pops := uint64(0)
+		for i := 0; i < int(n)%1024; i++ {
+			addr := rng.Uint32() & 0x3f
+			if rng.Intn(2) == 0 {
+				r.Push(addr)
+				continue
+			}
+			before := r.Depth()
+			hit := r.Pop(addr)
+			pops++
+			if !hit && cfg.Repair != RepairNone && r.Depth() != before {
+				return false // repairing policies must not consume on a miss
+			}
+			if hit && before > 0 && r.Depth() != before-1 {
+				return false // hits always consume
+			}
+		}
+		h, m := r.Stats()
+		return h+m == pops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

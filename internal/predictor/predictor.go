@@ -8,104 +8,535 @@
 //   - the return address stack (RAS), which predicts returns perfectly for
 //     call/return-disciplined code — an SDT that turns returns into table
 //     lookups forfeits it, and "fast returns" exist to win it back.
+//
+// Both structures are parameterized by geometry configs (BTBConfig,
+// RASConfig) so a hostarch.Model can describe anything from the flat
+// direct-mapped BTB of the original cost models to the multi-level,
+// set-associative organizations documented by BTB reverse-engineering work
+// on real Arm cores. The closed-form behaviour of every geometry knob is
+// pinned by the probe suite in probes.go.
 package predictor
 
-// BTB is a direct-mapped branch target buffer indexed and tagged by branch
-// site address.
-type BTB struct {
-	entries []btbEntry
-	mask    uint32
-	hits    uint64
-	misses  uint64
+import "fmt"
+
+// BTBHash selects how a branch-site address is folded into a set index.
+type BTBHash int
+
+const (
+	// HashMask takes the low index bits of the shifted site address.
+	HashMask BTBHash = iota
+	// HashFib multiplies the shifted site by the 32-bit Fibonacci constant
+	// and takes the high bits, spreading strided site layouts across sets.
+	HashFib
+
+	numBTBHash
+)
+
+func (h BTBHash) String() string {
+	switch h {
+	case HashMask:
+		return "mask"
+	case HashFib:
+		return "fib"
+	}
+	return fmt.Sprintf("BTBHash(%d)", int(h))
 }
+
+// BTBReplace selects the within-set replacement policy.
+type BTBReplace int
+
+const (
+	// ReplaceLRU evicts the least recently touched way.
+	ReplaceLRU BTBReplace = iota
+	// ReplaceRoundRobin evicts ways in rotation, ignoring recency.
+	ReplaceRoundRobin
+
+	numBTBReplace
+)
+
+func (r BTBReplace) String() string {
+	switch r {
+	case ReplaceLRU:
+		return "lru"
+	case ReplaceRoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("BTBReplace(%d)", int(r))
+}
+
+// BTBConfig describes a set-associative, optionally two-level BTB.
+//
+// Level 1 is the small fast array probed on every indirect transfer. With
+// Levels == 2, a larger second-level array backs it exclusively (an entry
+// lives in exactly one level): an L1 miss probes L2, and an L2 hit promotes
+// the entry into L1, demoting L1's victim back into L2. That is the
+// micro-BTB/main-BTB split reverse-engineered on modern Arm cores.
+type BTBConfig struct {
+	Sets int // level-1 sets (positive power of two)
+	Ways int // level-1 ways (positive power of two)
+
+	Levels int // 1 or 2
+	L2Sets int // level-2 sets; zero unless Levels == 2
+	L2Ways int // level-2 ways; zero unless Levels == 2
+
+	// SiteShift is the number of low site-address bits folded out before
+	// indexing: log2 of the assumed branch-site alignment. The historical
+	// implementation hardwired 2 (word-aligned sites); making it geometry
+	// keeps misaligned or byte-addressed site streams from aliasing by
+	// construction. Tags always use the full site address, so two sites
+	// that collide on an index can never hit each other's entry.
+	SiteShift int
+
+	Hash    BTBHash
+	Replace BTBReplace
+}
+
+// DirectMapped returns the geometry equivalent to the original flat BTB:
+// single-level, one way per set, word-aligned sites, mask indexing.
+func DirectMapped(entries int) BTBConfig {
+	return BTBConfig{Sets: entries, Ways: 1, Levels: 1, SiteShift: 2}
+}
+
+// Entries returns the total capacity across levels.
+func (c BTBConfig) Entries() int { return c.Sets*c.Ways + c.L2Sets*c.L2Ways }
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate reports whether the geometry is well-formed.
+func (c BTBConfig) Validate() error {
+	if !pow2(c.Sets) {
+		return fmt.Errorf("predictor: BTB sets = %d, want positive power of two", c.Sets)
+	}
+	if !pow2(c.Ways) {
+		return fmt.Errorf("predictor: BTB ways = %d, want positive power of two", c.Ways)
+	}
+	switch c.Levels {
+	case 1:
+		if c.L2Sets != 0 || c.L2Ways != 0 {
+			return fmt.Errorf("predictor: BTB level-2 geometry (%dx%d) set but Levels = 1", c.L2Sets, c.L2Ways)
+		}
+	case 2:
+		if !pow2(c.L2Sets) {
+			return fmt.Errorf("predictor: BTB L2 sets = %d, want positive power of two", c.L2Sets)
+		}
+		if !pow2(c.L2Ways) {
+			return fmt.Errorf("predictor: BTB L2 ways = %d, want positive power of two", c.L2Ways)
+		}
+	default:
+		return fmt.Errorf("predictor: BTB levels = %d, want 1 or 2", c.Levels)
+	}
+	if c.SiteShift < 0 || c.SiteShift > 16 {
+		return fmt.Errorf("predictor: BTB site shift = %d, want 0..16", c.SiteShift)
+	}
+	if c.Hash < 0 || c.Hash >= numBTBHash {
+		return fmt.Errorf("predictor: unknown BTB hash %d", int(c.Hash))
+	}
+	if c.Replace < 0 || c.Replace >= numBTBReplace {
+		return fmt.Errorf("predictor: unknown BTB replacement policy %d", int(c.Replace))
+	}
+	return nil
+}
+
+// Outcome classifies one BTB lookup.
+type Outcome uint8
+
+const (
+	Miss  Outcome = iota // no level predicted the target
+	HitL1                // predicted by the first-level array
+	HitL2                // predicted by the second-level array (promoted)
+)
+
+// Hit reports whether any level predicted the target.
+func (o Outcome) Hit() bool { return o != Miss }
 
 type btbEntry struct {
 	site   uint32
 	target uint32
+	stamp  uint64 // recency for LRU
 	valid  bool
 }
 
-// NewBTB builds a BTB with the given number of entries (a power of two).
-func NewBTB(entries int) *BTB {
-	if entries <= 0 || entries&(entries-1) != 0 {
-		panic("predictor: BTB entries must be a positive power of two")
-	}
-	return &BTB{entries: make([]btbEntry, entries), mask: uint32(entries - 1)}
+// btbLevel is one set-associative array.
+type btbLevel struct {
+	entries  []btbEntry // sets*ways, set-major
+	rr       []uint32   // per-set round-robin cursor
+	mask     uint32     // sets-1
+	fibShift uint32     // 32 - log2(sets), for HashFib
+	ways     int
+	shift    uint32 // site shift
+	hash     BTBHash
+	replace  BTBReplace
 }
 
-// Lookup simulates an indirect transfer at site jumping to target. It
-// reports whether the BTB predicted correctly, then trains the entry.
-func (b *BTB) Lookup(site, target uint32) bool {
-	e := &b.entries[(site>>2)&b.mask]
-	hit := e.valid && e.site == site && e.target == target
-	e.site, e.target, e.valid = site, target, true
-	if hit {
-		b.hits++
-	} else {
-		b.misses++
+const fibMul32 = 2654435761 // 2^32 / golden ratio, as in the IBTC's fib hash
+
+func newBTBLevel(sets, ways int, cfg BTBConfig) btbLevel {
+	fibShift := uint32(32)
+	for n := sets; n > 1; n >>= 1 {
+		fibShift--
 	}
-	return hit
+	var rr []uint32
+	if cfg.Replace == ReplaceRoundRobin {
+		rr = make([]uint32, sets)
+	}
+	return btbLevel{
+		entries:  make([]btbEntry, sets*ways),
+		rr:       rr,
+		mask:     uint32(sets - 1),
+		fibShift: fibShift,
+		ways:     ways,
+		shift:    uint32(cfg.SiteShift),
+		hash:     cfg.Hash,
+		replace:  cfg.Replace,
+	}
 }
 
-// Stats returns cumulative predicted/mispredicted counts.
-func (b *BTB) Stats() (hits, misses uint64) { return b.hits, b.misses }
-
-// Reset clears all entries and statistics.
-func (b *BTB) Reset() {
-	for i := range b.entries {
-		b.entries[i] = btbEntry{}
+func (l *btbLevel) index(site uint32) uint32 {
+	key := site >> l.shift
+	if l.hash == HashFib {
+		return (key * fibMul32) >> l.fibShift & l.mask
 	}
-	b.hits, b.misses = 0, 0
+	return key & l.mask
 }
 
-// RAS is a fixed-depth return address stack with wraparound, matching the
-// overwrite-on-overflow behaviour of hardware return predictors.
-type RAS struct {
-	stack  []uint32
-	top    int // index of next push slot
-	depth  int // live entries, capped at len(stack)
-	hits   uint64
+// find returns the set index for site and the resident entry tagged with
+// site, or nil if no way in the set holds it.
+func (l *btbLevel) find(site uint32) (uint32, *btbEntry) {
+	set := l.index(site)
+	base := int(set) * l.ways
+	for i := base; i < base+l.ways; i++ {
+		if e := &l.entries[i]; e.valid && e.site == site {
+			return set, e
+		}
+	}
+	return set, nil
+}
+
+// victim returns the way of set to (re)fill: an invalid way if one exists,
+// else the way chosen by the replacement policy.
+func (l *btbLevel) victim(set uint32) *btbEntry {
+	base := int(set) * l.ways
+	oldest := &l.entries[base]
+	for i := base; i < base+l.ways; i++ {
+		e := &l.entries[i]
+		if !e.valid {
+			return e
+		}
+		if e.stamp < oldest.stamp {
+			oldest = e
+		}
+	}
+	if l.replace == ReplaceRoundRobin {
+		w := l.rr[set]
+		l.rr[set] = (w + 1) % uint32(l.ways)
+		return &l.entries[base+int(w)]
+	}
+	return oldest
+}
+
+func (l *btbLevel) reset() {
+	for i := range l.entries {
+		l.entries[i] = btbEntry{}
+	}
+	for i := range l.rr {
+		l.rr[i] = 0
+	}
+}
+
+// BTB is a set-associative, optionally two-level branch target buffer
+// indexed by hashed site address and tagged by full site address.
+//
+// flat marks the degenerate geometry of the original cost models
+// (single level, one way, mask indexing): with one way per set there is
+// no replacement decision and no recency to track, so Lookup takes a
+// branch-free direct-mapped path that costs the same as the historical
+// implementation. The x86 and sparc models live on this path; the
+// equivalence quick-checks in equiv_test.go pin both paths to identical
+// observable behaviour.
+type BTB struct {
+	cfg    BTBConfig
+	flat   bool
+	l1     btbLevel
+	l2     btbLevel
+	tick   uint64
+	l1hits uint64
+	l2hits uint64
 	misses uint64
 }
 
-// NewRAS builds a return address stack with the given depth.
-func NewRAS(depth int) *RAS {
-	if depth <= 0 {
-		panic("predictor: RAS depth must be positive")
+// NewBTB builds a BTB with the given geometry. It panics on an invalid
+// config; validate first when the geometry is untrusted.
+func NewBTB(cfg BTBConfig) *BTB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	return &RAS{stack: make([]uint32, depth)}
+	b := &BTB{
+		cfg:  cfg,
+		flat: cfg.Ways == 1 && cfg.Levels == 1 && cfg.Hash == HashMask,
+		l1:   newBTBLevel(cfg.Sets, cfg.Ways, cfg),
+	}
+	if cfg.Levels == 2 {
+		b.l2 = newBTBLevel(cfg.L2Sets, cfg.L2Ways, cfg)
+	}
+	return b
 }
 
-// Push records a call's return address.
+// Config returns the geometry the BTB was built with.
+func (b *BTB) Config() BTBConfig { return b.cfg }
+
+// Lookup simulates an indirect transfer at site jumping to target: it
+// reports at which level (if any) the BTB predicted correctly, then trains.
+// A tag hit with the wrong target retrains the entry in place; an L2 hit
+// swaps the entry into L1 (demoting L1's victim); a full miss installs into
+// L1 and demotes the victim into L2 when one exists.
+func (b *BTB) Lookup(site, target uint32) Outcome {
+	if b.flat {
+		// Direct-mapped fast path: one candidate way, always retrain.
+		// Same observable behaviour as lookupAssoc for this geometry,
+		// minus the recency bookkeeping a 1-way set never uses. Kept
+		// small so Lookup stays inlinable at its dispatch call sites.
+		e := &b.l1.entries[(site>>b.l1.shift)&b.l1.mask]
+		if e.valid && e.site == site && e.target == target {
+			b.l1hits++
+			return HitL1
+		}
+		e.site, e.target, e.valid = site, target, true
+		b.misses++
+		return Miss
+	}
+	return b.lookupAssoc(site, target)
+}
+
+// lookupAssoc is the general set-associative, optionally two-level path.
+func (b *BTB) lookupAssoc(site, target uint32) Outcome {
+	b.tick++
+	set1, e1 := b.l1.find(site)
+	if e1 != nil {
+		e1.stamp = b.tick
+		if e1.target == target {
+			b.l1hits++
+			return HitL1
+		}
+		e1.target = target
+		b.misses++
+		return Miss
+	}
+	if b.cfg.Levels == 2 {
+		_, e2 := b.l2.find(site)
+		if e2 != nil {
+			e2.stamp = b.tick
+			if e2.target != target {
+				e2.target = target
+				b.misses++
+				return Miss
+			}
+			// Promote into L1; the displaced L1 entry moves down to L2
+			// (exclusive levels: the promoted entry leaves L2).
+			e2.valid = false
+			b.install(&b.l1, set1, site, target)
+			b.l2hits++
+			return HitL2
+		}
+	}
+	b.install(&b.l1, set1, site, target)
+	b.misses++
+	return Miss
+}
+
+// install fills a way of l's set with (site,target), demoting the evicted
+// entry into the next level when the BTB has one.
+func (b *BTB) install(l *btbLevel, set uint32, site, target uint32) {
+	v := l.victim(set)
+	old := *v
+	*v = btbEntry{site: site, target: target, stamp: b.tick, valid: true}
+	if old.valid && b.cfg.Levels == 2 && l == &b.l1 {
+		set2, _ := b.l2.find(old.site)
+		w := b.l2.victim(set2)
+		old.stamp = b.tick
+		*w = old
+	}
+}
+
+// Stats returns cumulative predicted/mispredicted counts. Hits sum both
+// levels; LevelStats splits them.
+func (b *BTB) Stats() (hits, misses uint64) { return b.l1hits + b.l2hits, b.misses }
+
+// LevelStats returns per-level hit counts and the miss count.
+func (b *BTB) LevelStats() (l1Hits, l2Hits, misses uint64) {
+	return b.l1hits, b.l2hits, b.misses
+}
+
+// Reset clears all entries and statistics.
+func (b *BTB) Reset() {
+	b.l1.reset()
+	if b.cfg.Levels == 2 {
+		b.l2.reset()
+	}
+	b.tick, b.l1hits, b.l2hits, b.misses = 0, 0, 0, 0
+}
+
+// RASOverflow selects what a push does to a full return address stack.
+type RASOverflow int
+
+const (
+	// OverflowWrap overwrites the oldest entry (hardware circular buffer).
+	OverflowWrap RASOverflow = iota
+	// OverflowDrop discards the pushed address, keeping the oldest frames.
+	OverflowDrop
+
+	numRASOverflow
+)
+
+func (o RASOverflow) String() string {
+	switch o {
+	case OverflowWrap:
+		return "wrap"
+	case OverflowDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("RASOverflow(%d)", int(o))
+}
+
+// RASRepair selects what a mispredicted pop does to the stack.
+type RASRepair int
+
+const (
+	// RepairNone consumes the top entry on a mispredict anyway — the
+	// historical behaviour, matching a RAS that commits speculative pops.
+	RepairNone RASRepair = iota
+	// RepairTop restores the top-of-stack pointer on a mispredict: the
+	// entry is kept for the next return (checkpointed TOS pointer).
+	RepairTop
+	// RepairFull restores the pointer and rewrites the top entry with the
+	// actual target, resynchronizing the stack with the real call chain.
+	RepairFull
+
+	numRASRepair
+)
+
+func (r RASRepair) String() string {
+	switch r {
+	case RepairNone:
+		return "none"
+	case RepairTop:
+		return "top"
+	case RepairFull:
+		return "full"
+	}
+	return fmt.Sprintf("RASRepair(%d)", int(r))
+}
+
+// RASConfig describes a return address stack.
+type RASConfig struct {
+	Depth    int
+	Overflow RASOverflow
+	Repair   RASRepair
+}
+
+// FixedDepth returns the geometry equivalent to the original RAS:
+// wrap on overflow, no mispredict repair.
+func FixedDepth(depth int) RASConfig { return RASConfig{Depth: depth} }
+
+// Validate reports whether the geometry is well-formed.
+func (c RASConfig) Validate() error {
+	if c.Depth <= 0 {
+		return fmt.Errorf("predictor: RAS depth = %d, want positive", c.Depth)
+	}
+	if c.Overflow < 0 || c.Overflow >= numRASOverflow {
+		return fmt.Errorf("predictor: unknown RAS overflow policy %d", int(c.Overflow))
+	}
+	if c.Repair < 0 || c.Repair >= numRASRepair {
+		return fmt.Errorf("predictor: unknown RAS repair policy %d", int(c.Repair))
+	}
+	return nil
+}
+
+// RAS is a fixed-depth return address stack with configurable overflow and
+// mispredict-repair behaviour.
+type RAS struct {
+	cfg     RASConfig
+	stack   []uint32
+	top     int  // index of next push slot
+	depth   int  // live entries, capped at len(stack)
+	consume bool // Repair == RepairNone: a mispredicted pop still consumes
+	rewrite bool // Repair == RepairFull: a mispredicted pop rewrites the top
+	hits    uint64
+	misses  uint64
+	drops   uint64
+}
+
+// NewRAS builds a return address stack with the given geometry. It panics
+// on an invalid config; validate first when the geometry is untrusted.
+func NewRAS(cfg RASConfig) *RAS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &RAS{
+		cfg:     cfg,
+		stack:   make([]uint32, cfg.Depth),
+		consume: cfg.Repair == RepairNone,
+		rewrite: cfg.Repair == RepairFull,
+	}
+}
+
+// Config returns the geometry the RAS was built with.
+func (r *RAS) Config() RASConfig { return r.cfg }
+
+// Push records a call's return address. On a full stack, OverflowWrap
+// overwrites the oldest entry and OverflowDrop discards retAddr.
 func (r *RAS) Push(retAddr uint32) {
+	if r.depth == len(r.stack) && r.cfg.Overflow == OverflowDrop {
+		r.drops++
+		return
+	}
 	r.stack[r.top] = retAddr
-	r.top = (r.top + 1) % len(r.stack)
+	r.top++
+	if r.top == len(r.stack) {
+		r.top = 0
+	}
 	if r.depth < len(r.stack) {
 		r.depth++
 	}
 }
 
 // Pop simulates a return to actual and reports whether the RAS predicted
-// it. An empty RAS always mispredicts.
+// it. An empty RAS always mispredicts. On a mispredict the repair policy
+// decides whether the top entry is consumed, kept, or rewritten to actual.
 func (r *RAS) Pop(actual uint32) bool {
 	if r.depth == 0 {
 		r.misses++
 		return false
 	}
-	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
-	r.depth--
-	if r.stack[r.top] == actual {
+	i := r.top - 1
+	if i < 0 {
+		i = len(r.stack) - 1
+	}
+	if r.stack[i] == actual {
+		r.top = i
+		r.depth--
 		r.hits++
 		return true
 	}
 	r.misses++
+	if r.consume {
+		r.top = i
+		r.depth--
+	} else if r.rewrite {
+		r.stack[i] = actual
+	}
 	return false
 }
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }
 
 // Stats returns cumulative predicted/mispredicted counts.
 func (r *RAS) Stats() (hits, misses uint64) { return r.hits, r.misses }
 
+// Drops returns the number of pushes discarded by OverflowDrop.
+func (r *RAS) Drops() uint64 { return r.drops }
+
 // Reset empties the stack and clears statistics.
 func (r *RAS) Reset() {
-	r.top, r.depth, r.hits, r.misses = 0, 0, 0, 0
+	r.top, r.depth, r.hits, r.misses, r.drops = 0, 0, 0, 0, 0
 }

@@ -7,12 +7,12 @@ import (
 )
 
 func TestBTBMonomorphicSite(t *testing.T) {
-	b := NewBTB(16)
-	if b.Lookup(0x100, 0x200) {
+	b := NewBTB(DirectMapped(16))
+	if b.Lookup(0x100, 0x200).Hit() {
 		t.Error("cold BTB lookup should miss")
 	}
 	for i := 0; i < 10; i++ {
-		if !b.Lookup(0x100, 0x200) {
+		if !b.Lookup(0x100, 0x200).Hit() {
 			t.Error("stable target should always predict after training")
 		}
 	}
@@ -23,31 +23,31 @@ func TestBTBMonomorphicSite(t *testing.T) {
 }
 
 func TestBTBPolymorphicSite(t *testing.T) {
-	b := NewBTB(16)
+	b := NewBTB(DirectMapped(16))
 	// Alternating targets at one site never predict.
 	for i := 0; i < 10; i++ {
-		if b.Lookup(0x100, uint32(0x200+(i%2)*0x100)) {
+		if b.Lookup(0x100, uint32(0x200+(i%2)*0x100)).Hit() {
 			t.Error("alternating targets must mispredict")
 		}
 	}
 }
 
 func TestBTBAliasing(t *testing.T) {
-	b := NewBTB(4) // sites 4*4=16 bytes apart alias
+	b := NewBTB(DirectMapped(4)) // sites 4*4=16 bytes apart alias
 	b.Lookup(0x0, 0xa)
 	b.Lookup(0x10, 0xb) // evicts site 0x0's entry
-	if b.Lookup(0x0, 0xa) {
+	if b.Lookup(0x0, 0xa).Hit() {
 		t.Error("aliased site should have been evicted")
 	}
 }
 
 func TestBTBDistinctSites(t *testing.T) {
-	b := NewBTB(64)
+	b := NewBTB(DirectMapped(64))
 	for site := uint32(0); site < 32; site++ {
 		b.Lookup(site*4, site+0x1000)
 	}
 	for site := uint32(0); site < 32; site++ {
-		if !b.Lookup(site*4, site+0x1000) {
+		if !b.Lookup(site*4, site+0x1000).Hit() {
 			t.Errorf("site %d should predict", site)
 		}
 	}
@@ -56,28 +56,63 @@ func TestBTBDistinctSites(t *testing.T) {
 func TestBTBTagCheck(t *testing.T) {
 	// Two sites mapping to the same entry must not predict each other's
 	// target even when the target matches.
-	b := NewBTB(4)
+	b := NewBTB(DirectMapped(4))
 	b.Lookup(0x0, 0xa)
-	if b.Lookup(0x10, 0xa) {
+	if b.Lookup(0x10, 0xa).Hit() {
 		t.Error("different site must not hit despite equal target")
 	}
 }
 
-func TestBTBNewPanics(t *testing.T) {
-	for _, n := range []int{0, -1, 3, 12} {
+func TestNewBTBPanicsOnBadGeometry(t *testing.T) {
+	bad := []BTBConfig{
+		{},                             // zero sets/ways/levels
+		DirectMapped(0),                // zero sets
+		DirectMapped(-1),               // negative sets
+		DirectMapped(3),                // non-power-of-two sets
+		{Sets: 16, Ways: 3, Levels: 1}, // non-power-of-two ways
+		{Sets: 16, Ways: 1, Levels: 0}, // zero levels
+		{Sets: 16, Ways: 1, Levels: 3}, // too many levels
+		{Sets: 16, Ways: 1, Levels: 2}, // missing L2 geometry
+		{Sets: 16, Ways: 1, Levels: 1, L2Sets: 8, L2Ways: 1},   // L2 geometry without level 2
+		{Sets: 16, Ways: 1, Levels: 1, SiteShift: 99},          // absurd shift
+		{Sets: 16, Ways: 1, Levels: 1, Hash: numBTBHash},       // unknown hash
+		{Sets: 16, Ways: 1, Levels: 1, Replace: numBTBReplace}, // unknown policy
+	}
+	for _, cfg := range bad {
+		cfg := cfg
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewBTB(%d) should panic", n)
+					t.Errorf("NewBTB(%+v) should panic", cfg)
 				}
 			}()
-			NewBTB(n)
+			NewBTB(cfg)
+		}()
+	}
+}
+
+func TestNewRASPanicsOnBadGeometry(t *testing.T) {
+	bad := []RASConfig{
+		{},                                   // zero depth
+		{Depth: -4},                          // negative depth
+		{Depth: 8, Overflow: numRASOverflow}, // unknown overflow
+		{Depth: 8, Repair: numRASRepair},     // unknown repair
+	}
+	for _, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRAS(%+v) should panic", cfg)
+				}
+			}()
+			NewRAS(cfg)
 		}()
 	}
 }
 
 func TestRASBalancedCalls(t *testing.T) {
-	r := NewRAS(16)
+	r := NewRAS(FixedDepth(16))
 	// Property: balanced call/return nesting within depth predicts 100%.
 	var walk func(depth int, addr uint32)
 	walk = func(depth int, addr uint32) {
@@ -103,7 +138,7 @@ func TestRASBalancedCalls(t *testing.T) {
 }
 
 func TestRASOverflowWraps(t *testing.T) {
-	r := NewRAS(4)
+	r := NewRAS(FixedDepth(4))
 	for i := uint32(0); i < 6; i++ {
 		r.Push(i)
 	}
@@ -119,7 +154,7 @@ func TestRASOverflowWraps(t *testing.T) {
 }
 
 func TestRASEmptyPopMisses(t *testing.T) {
-	r := NewRAS(8)
+	r := NewRAS(FixedDepth(8))
 	if r.Pop(0x100) {
 		t.Error("empty RAS must mispredict")
 	}
@@ -131,7 +166,7 @@ func TestRASEmptyPopMisses(t *testing.T) {
 }
 
 func TestRASMismatchedReturn(t *testing.T) {
-	r := NewRAS(8)
+	r := NewRAS(FixedDepth(8))
 	r.Push(0x100)
 	if r.Pop(0x104) {
 		t.Error("wrong return address must mispredict")
@@ -139,21 +174,24 @@ func TestRASMismatchedReturn(t *testing.T) {
 }
 
 func TestResetClearsState(t *testing.T) {
-	b := NewBTB(16)
+	b := NewBTB(BTBConfig{Sets: 4, Ways: 2, Levels: 2, L2Sets: 4, L2Ways: 2, SiteShift: 2})
 	b.Lookup(0x100, 0x200)
 	b.Reset()
 	if h, m := b.Stats(); h != 0 || m != 0 {
 		t.Error("BTB Reset did not clear stats")
 	}
-	if b.Lookup(0x100, 0x200) {
+	if b.Lookup(0x100, 0x200).Hit() {
 		t.Error("BTB Reset did not clear entries")
 	}
 
-	r := NewRAS(8)
+	r := NewRAS(RASConfig{Depth: 8, Overflow: OverflowDrop, Repair: RepairFull})
 	r.Push(0x1)
 	r.Reset()
 	if r.Pop(0x1) {
 		t.Error("RAS Reset did not clear the stack")
+	}
+	if r.Drops() != 0 || r.Depth() != 0 {
+		t.Error("RAS Reset did not clear drops/depth")
 	}
 }
 
@@ -161,13 +199,15 @@ func TestStatsConservation(t *testing.T) {
 	// Property: hits+misses equals the number of Lookup/Pop calls.
 	f := func(seed int64, n uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		b := NewBTB(32)
-		r := NewRAS(8)
+		b := NewBTB(DirectMapped(32))
+		r := NewRAS(FixedDepth(8))
 		pops := 0
+		lookups := 0
 		for i := 0; i < int(n); i++ {
 			switch rng.Intn(3) {
 			case 0:
 				b.Lookup(rng.Uint32()&0xfff, rng.Uint32()&0xfff)
+				lookups++
 			case 1:
 				r.Push(rng.Uint32())
 			case 2:
@@ -177,7 +217,7 @@ func TestStatsConservation(t *testing.T) {
 		}
 		bh, bm := b.Stats()
 		rh, rm := r.Stats()
-		return int(rh+rm) == pops && bh+bm <= uint64(n)
+		return int(rh+rm) == pops && int(bh+bm) == lookups
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -1,0 +1,342 @@
+// Microbenchmark-style validation probes for the predictor models.
+//
+// Each probe is the simulation-side analogue of the guest programs BTB
+// reverse-engineering work runs on real silicon: a synthetic site/target
+// stream crafted so one geometry property (capacity, associativity,
+// index hashing, level promotion, RAS depth, dispatch corruption, repair
+// policy) fully determines the hit/miss counts, which the probe states in
+// closed form. A model change that silently alters predictor semantics
+// breaks a probe's exact expectation rather than nudging an end-to-end
+// slowdown ratio nobody rechecks.
+package predictor
+
+// ProbeCounts is the observable outcome of a probe run: predictor event
+// counts, exact, no rates.
+type ProbeCounts struct {
+	Hits   uint64 // BTB level-1 hits, or RAS hits
+	L2Hits uint64 // BTB level-2 hits (zero for RAS probes)
+	Misses uint64
+	Drops  uint64 // RAS pushes discarded by OverflowDrop
+}
+
+// Probe is one self-contained predictor experiment with a closed-form
+// expected outcome.
+type Probe struct {
+	Name     string // slash-qualified identifier, e.g. "btb/capacity-fits"
+	Property string // geometry property the probe isolates
+	Doc      string // what the stream does and why the expectation holds
+	Run      func() (got, want ProbeCounts)
+}
+
+// Distinct Property values; Probes() covers each at least once.
+const (
+	PropCapacity      = "btb-capacity"
+	PropAssociativity = "btb-associativity"
+	PropIndexGeometry = "btb-index-geometry"
+	PropMultiLevel    = "btb-multi-level"
+	PropRASDepth      = "ras-depth-overflow"
+	PropRASCorruption = "ras-dispatch-corruption"
+	PropRASRepair     = "ras-repair"
+)
+
+func btbCounts(b *BTB) ProbeCounts {
+	l1, l2, m := b.LevelStats()
+	return ProbeCounts{Hits: l1, L2Hits: l2, Misses: m}
+}
+
+func rasCounts(r *RAS) ProbeCounts {
+	h, m := r.Stats()
+	return ProbeCounts{Hits: h, Misses: m, Drops: r.Drops()}
+}
+
+// site returns the i-th word-aligned branch-site address.
+func site(i int) uint32 { return 0x1000 + uint32(i)*4 }
+
+// target returns a distinct stable target for the i-th site.
+func target(i int) uint32 { return 0x8000 + uint32(i)*16 }
+
+// Probes returns the validation suite. Every probe's want counts are
+// derived in its Doc; the table-driven test asserts got == want exactly.
+func Probes() []Probe {
+	const rounds = 8
+	return []Probe{
+		{
+			Name:     "btb/capacity-fits",
+			Property: PropCapacity,
+			Doc: "32 monomorphic sites cycle through a 16-set x 2-way BTB (capacity 32). " +
+				"Round 1 is compulsory misses; every later round hits: misses = 32, hits = 32*(rounds-1).",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 16, Ways: 2, Levels: 1, SiteShift: 2})
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < 32; i++ {
+						b.Lookup(site(i), target(i))
+					}
+				}
+				return btbCounts(b), ProbeCounts{Hits: 32 * (rounds - 1), Misses: 32}
+			},
+		},
+		{
+			Name:     "btb/capacity-thrash",
+			Property: PropCapacity,
+			Doc: "3 sites mapping to one 2-way LRU set: the working set exceeds the set by one, " +
+				"so cyclic access always evicts the next site needed. Every lookup misses.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 1, Ways: 2, Levels: 1, SiteShift: 2})
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < 3; i++ {
+						b.Lookup(site(i), target(i))
+					}
+				}
+				return btbCounts(b), ProbeCounts{Misses: 3 * rounds}
+			},
+		},
+		{
+			Name:     "btb/associativity-conflict",
+			Property: PropAssociativity,
+			Doc: "Two sites one index-stride apart alias to the same set. Direct-mapped they evict " +
+				"each other every access (all misses after neither can stay resident).",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(DirectMapped(4)) // sites 16 bytes apart alias
+				for r := 0; r < rounds; r++ {
+					b.Lookup(0x1000, 0xa)
+					b.Lookup(0x1010, 0xb)
+				}
+				return btbCounts(b), ProbeCounts{Misses: 2 * rounds}
+			},
+		},
+		{
+			Name:     "btb/associativity-resolves-conflict",
+			Property: PropAssociativity,
+			Doc: "The same aliasing stream against 2 ways: both sites become resident, so only the " +
+				"two compulsory misses remain: misses = 2, hits = 2*(rounds-1).",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 4, Ways: 2, Levels: 1, SiteShift: 2})
+				for r := 0; r < rounds; r++ {
+					b.Lookup(0x1000, 0xa)
+					b.Lookup(0x1010, 0xb)
+				}
+				return btbCounts(b), ProbeCounts{Hits: 2 * (rounds - 1), Misses: 2}
+			},
+		},
+		{
+			Name:     "btb/misaligned-sites-distinct-tags",
+			Property: PropIndexGeometry,
+			Doc: "Sites 0x1001 and 0x1002 differ only below SiteShift=2, so they share an index, but " +
+				"tags are full addresses: with 2 ways and an identical target both train independently " +
+				"and neither ever hits the other's entry. misses = 2 compulsory, hits = 2*(rounds-1).",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 4, Ways: 2, Levels: 1, SiteShift: 2})
+				for r := 0; r < rounds; r++ {
+					b.Lookup(0x1001, 0xa)
+					b.Lookup(0x1002, 0xa) // same target: a tag-less BTB would false-hit
+				}
+				return btbCounts(b), ProbeCounts{Hits: 2 * (rounds - 1), Misses: 2}
+			},
+		},
+		{
+			Name:     "btb/site-shift-moves-aliases",
+			Property: PropIndexGeometry,
+			Doc: "With SiteShift=4 the index stride grows to sets<<4 = 64 bytes: the pair 16 bytes " +
+				"apart that thrashed a direct-mapped BTB at shift 2 now lands in different sets and " +
+				"coexists, while a 64-byte-apart pair aliases and thrashes. Stream interleaves both " +
+				"pairs: the near pair contributes 2 compulsory misses then hits, the far pair always misses.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 4, Ways: 1, Levels: 1, SiteShift: 4})
+				for r := 0; r < rounds; r++ {
+					b.Lookup(0x1000, 0xa) // near pair: sets 0 and 1 at shift 4
+					b.Lookup(0x1010, 0xb)
+					b.Lookup(0x1020, 0xc) // far pair: both set 2 at shift 4
+					b.Lookup(0x1060, 0xd)
+				}
+				return btbCounts(b), ProbeCounts{Hits: 2 * (rounds - 1), Misses: 2 + 2*rounds}
+			},
+		},
+		{
+			Name:     "btb/two-level-promotion",
+			Property: PropMultiLevel,
+			Doc: "3 sites against L1 = 1x2 backed by L2 = 1x2 (exclusive). Round 1: 3 compulsory " +
+				"misses, the L1 victim demotes into L2. Every later access misses L1 (the cyclic " +
+				"pattern always wants the demoted site) but hits L2 and swap-promotes: " +
+				"misses = 3, L2 hits = 3*(rounds-1), L1 hits = 0.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 1, Ways: 2, Levels: 2, L2Sets: 1, L2Ways: 2, SiteShift: 2})
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < 3; i++ {
+						b.Lookup(site(i), target(i))
+					}
+				}
+				return btbCounts(b), ProbeCounts{L2Hits: 3 * (rounds - 1), Misses: 3}
+			},
+		},
+		{
+			Name:     "btb/two-level-capacity",
+			Property: PropMultiLevel,
+			Doc: "6 sites against L1 = 1x2 + L2 = 1x4: combined capacity exactly holds the working " +
+				"set that thrashed a single level. After 6 compulsory misses, steady state is all " +
+				"L2 hits (each access promotes, demoting the previous resident): " +
+				"misses = 6, L2 hits = 6*(rounds-1).",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				b := NewBTB(BTBConfig{Sets: 1, Ways: 2, Levels: 2, L2Sets: 1, L2Ways: 4, SiteShift: 2})
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < 6; i++ {
+						b.Lookup(site(i), target(i))
+					}
+				}
+				return btbCounts(b), ProbeCounts{L2Hits: 6 * (rounds - 1), Misses: 6}
+			},
+		},
+		{
+			Name:     "ras/depth-within",
+			Property: PropRASDepth,
+			Doc: "Balanced call/return nesting to exactly the RAS depth (8): every return pops the " +
+				"address just pushed. hits = 8*rounds, misses = 0.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				r := NewRAS(RASConfig{Depth: 8})
+				for k := 0; k < rounds; k++ {
+					for i := 0; i < 8; i++ {
+						r.Push(site(i))
+					}
+					for i := 7; i >= 0; i-- {
+						r.Pop(site(i))
+					}
+				}
+				return rasCounts(r), ProbeCounts{Hits: 8 * rounds}
+			},
+		},
+		{
+			Name:     "ras/overflow-wrap",
+			Property: PropRASDepth,
+			Doc: "Nesting to depth 10 on an 8-deep wrapping RAS: the two outermost frames are " +
+				"overwritten. The 8 innermost returns hit; the 2 outermost miss (stack drained). " +
+				"Per round: hits = 8, misses = 2.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				r := NewRAS(RASConfig{Depth: 8, Overflow: OverflowWrap})
+				for k := 0; k < rounds; k++ {
+					for i := 0; i < 10; i++ {
+						r.Push(site(i))
+					}
+					for i := 9; i >= 0; i-- {
+						r.Pop(site(i))
+					}
+				}
+				return rasCounts(r), ProbeCounts{Hits: 8 * rounds, Misses: 2 * rounds}
+			},
+		},
+		{
+			Name:     "ras/overflow-drop-repair-top",
+			Property: PropRASDepth,
+			Doc: "The same depth-10 nesting on an 8-deep dropping RAS with TOS repair: the two " +
+				"innermost pushes are dropped (drops = 2), their returns mispredict but leave the " +
+				"stack intact, and the remaining 8 returns all hit. Per round: hits = 8, misses = 2, " +
+				"drops = 2 — drop+repair matches wrap on this stream.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				r := NewRAS(RASConfig{Depth: 8, Overflow: OverflowDrop, Repair: RepairTop})
+				for k := 0; k < rounds; k++ {
+					for i := 0; i < 10; i++ {
+						r.Push(site(i))
+					}
+					for i := 9; i >= 0; i-- {
+						r.Pop(site(i))
+					}
+				}
+				return rasCounts(r), ProbeCounts{Hits: 8 * rounds, Misses: 2 * rounds, Drops: 2 * rounds}
+			},
+		},
+		{
+			Name:     "ras/overflow-drop-no-repair",
+			Property: PropRASDepth,
+			Doc: "Depth-10 nesting on an 8-deep dropping RAS without repair: the two mispredicted " +
+				"innermost returns each consume a good frame, desynchronizing every later pop " +
+				"(each return finds the frame two calls older) until the stack drains empty. " +
+				"All 10 returns miss each round: hits = 0, misses = 10*rounds, drops = 2*rounds.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				r := NewRAS(RASConfig{Depth: 8, Overflow: OverflowDrop, Repair: RepairNone})
+				for k := 0; k < rounds; k++ {
+					for i := 0; i < 10; i++ {
+						r.Push(site(i))
+					}
+					for i := 9; i >= 0; i-- {
+						r.Pop(site(i))
+					}
+				}
+				return rasCounts(r), ProbeCounts{Misses: 10 * rounds, Drops: 2 * rounds}
+			},
+		},
+		{
+			Name:     "ras/dispatch-corruption",
+			Property: PropRASCorruption,
+			Doc: "Guest code nests to the full RAS depth (8), then the SDT dispatcher makes 3 " +
+				"helper calls of its own: on a wrapping RAS they overwrite the 3 oldest guest " +
+				"frames. The dispatcher's returns hit (3), the 5 surviving guest returns hit, the " +
+				"3 clobbered ones miss. Per round: hits = 8, misses = 3 — exactly why retcache/" +
+				"fastret keep dispatch off the RAS.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				r := NewRAS(RASConfig{Depth: 8, Overflow: OverflowWrap})
+				for k := 0; k < rounds; k++ {
+					for i := 0; i < 8; i++ {
+						r.Push(site(i)) // guest frames
+					}
+					for i := 0; i < 3; i++ {
+						r.Push(target(i)) // dispatcher frames clobber guest frames
+					}
+					for i := 2; i >= 0; i-- {
+						r.Pop(target(i))
+					}
+					for i := 7; i >= 0; i-- {
+						r.Pop(site(i))
+					}
+				}
+				return rasCounts(r), ProbeCounts{Hits: 8 * rounds, Misses: 3 * rounds}
+			},
+		},
+		{
+			Name:     "ras/repair-none",
+			Property: PropRASRepair,
+			Doc: "Corruption stream [push A, push B, ret X, ret B, ret A, ret A] without repair: " +
+				"the spurious return consumes B, so B's real return pops A (miss, consumed), and " +
+				"both returns to A find an empty stack. hits = 0, misses = 4.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				got := runRepairStream(RepairNone)
+				return got, ProbeCounts{Misses: 4}
+			},
+		},
+		{
+			Name:     "ras/repair-top",
+			Property: PropRASRepair,
+			Doc: "The same stream with TOS-pointer repair: the spurious return leaves B in place, " +
+				"so ret B and ret A both hit; the final duplicate ret A finds an empty stack. " +
+				"hits = 2, misses = 2.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				got := runRepairStream(RepairTop)
+				return got, ProbeCounts{Hits: 2, Misses: 2}
+			},
+		},
+		{
+			Name:     "ras/repair-full",
+			Property: PropRASRepair,
+			Doc: "The same stream with full repair: each mispredict rewrites the top entry with " +
+				"the actual target (X, then B, then A), so only the final duplicate ret A hits " +
+				"the resynchronized entry. hits = 1, misses = 3.",
+			Run: func() (ProbeCounts, ProbeCounts) {
+				got := runRepairStream(RepairFull)
+				return got, ProbeCounts{Hits: 1, Misses: 3}
+			},
+		},
+	}
+}
+
+// runRepairStream drives the shared repair-policy corruption stream: two
+// real calls, one spurious return (target X never pushed), then the real
+// returns plus one duplicate. The three policies produce three distinct
+// hit/miss splits, pinning each policy's semantics.
+func runRepairStream(rp RASRepair) ProbeCounts {
+	const a, bAddr, x = 0x100, 0x200, 0x999
+	r := NewRAS(RASConfig{Depth: 8, Repair: rp})
+	r.Push(a)
+	r.Push(bAddr)
+	r.Pop(x)
+	r.Pop(bAddr)
+	r.Pop(a)
+	r.Pop(a)
+	return rasCounts(r)
+}

@@ -1,0 +1,58 @@
+package predictor
+
+import "testing"
+
+// TestProbes runs every validation probe and asserts the simulated counts
+// equal the closed-form expectation exactly — no tolerances.
+func TestProbes(t *testing.T) {
+	for _, p := range Probes() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			got, want := p.Run()
+			if got != want {
+				t.Errorf("%s:\n  got  %+v\n  want %+v\ndoc: %s", p.Name, got, want, p.Doc)
+			}
+		})
+	}
+}
+
+// TestProbeSuiteCoverage pins the acceptance shape of the suite: at least
+// six distinct predictor properties, each probe documented and named.
+func TestProbeSuiteCoverage(t *testing.T) {
+	props := map[string]int{}
+	names := map[string]bool{}
+	for _, p := range Probes() {
+		if p.Name == "" || p.Doc == "" || p.Property == "" {
+			t.Errorf("probe %+q missing name/doc/property", p.Name)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate probe name %q", p.Name)
+		}
+		names[p.Name] = true
+		props[p.Property]++
+	}
+	want := []string{
+		PropCapacity, PropAssociativity, PropIndexGeometry,
+		PropMultiLevel, PropRASDepth, PropRASCorruption, PropRASRepair,
+	}
+	for _, w := range want {
+		if props[w] == 0 {
+			t.Errorf("no probe covers property %q", w)
+		}
+	}
+	if len(props) < 6 {
+		t.Errorf("suite covers %d properties, want >= 6", len(props))
+	}
+}
+
+// TestProbesAreDeterministic reruns the suite and asserts identical counts:
+// probes must not depend on shared or ambient state.
+func TestProbesAreDeterministic(t *testing.T) {
+	for _, p := range Probes() {
+		a, _ := p.Run()
+		b, _ := p.Run()
+		if a != b {
+			t.Errorf("%s not deterministic: %+v then %+v", p.Name, a, b)
+		}
+	}
+}

@@ -21,6 +21,7 @@ type Profile struct {
 	MechHits     uint64 // fast-path hits (IBTC/inline/sieve/fast-return)
 	MechMisses   uint64 // fast-path misses
 	InlineProbes uint64 // inline-cache compares executed
+	InlineHits   uint64 // IBs resolved by an inline probe (direct jump, no BTB)
 	SieveProbes  uint64 // sieve chain stubs walked
 
 	// Translator activity.

@@ -40,7 +40,8 @@ type RunRequest struct {
 	Lang string `json:"lang,omitempty"`
 	// Source is the guest program text.
 	Source string `json:"source"`
-	// Arch names the host cost model: "x86" (default), "sparc" or "arm".
+	// Arch names the host cost model: "x86" (default), "sparc" or "arm",
+	// each also reachable under its "-like" alias (e.g. "arm-like").
 	Arch string `json:"arch,omitempty"`
 	// Mech is the indirect-branch mechanism spec (default "ibtc:16384").
 	Mech string `json:"mech,omitempty"`

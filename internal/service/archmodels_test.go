@@ -1,0 +1,64 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"testing"
+
+	"sdt/internal/hostarch"
+)
+
+// Every shipped hostarch model — and every "-like" alias — must validate
+// and be reachable as a sweep dimension: a registry-style guarantee that
+// adding a model (arm-like arrived with the two-level BTB work) wires it
+// into the /v1/sweep API with no further plumbing.
+func TestAllModelsReachableFromSweepAPI(t *testing.T) {
+	var archs []string
+	for name := range hostarch.Models() {
+		archs = append(archs, name, name+"-like")
+	}
+	sort.Strings(archs)
+
+	for _, arch := range archs {
+		m, err := hostarch.ByName(arch)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", arch, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("model %q invalid: %v", arch, err)
+		}
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Workloads: []string{"micro.ret"},
+		Archs:     archs,
+		Mechs:     []string{"ibtc:256"},
+		Scales:    []int{2000},
+		Limit:     20_000_000,
+	}
+	status, recs := submitSweep(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	_, cells, done := splitSweep(t, recs)
+	if len(cells) != len(archs) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(archs))
+	}
+	for i, arch := range archs {
+		c, ok := cells[i]
+		if !ok {
+			t.Errorf("no cell for arch %q", arch)
+			continue
+		}
+		if c.Arch != arch {
+			t.Errorf("cell %d arch = %q, want %q", i, c.Arch, arch)
+		}
+		if c.Error != nil {
+			t.Errorf("arch %q cell failed: %+v", arch, c.Error)
+		}
+	}
+	if done.Errors != 0 || done.Done != len(archs) {
+		t.Errorf("done = %+v, want %d clean cells", done, len(archs))
+	}
+}

@@ -16,6 +16,16 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+# Predictor validation probes: each probe asserts closed-form hit/miss
+# counts for one BTB/RAS geometry property (capacity, associativity,
+# index hashing, two-level promotion, RAS depth/corruption/repair), plus
+# the quick-check equivalence of the parameterized structures to the
+# legacy flat predictors. Covered by the -race run above; re-run -v so a
+# probe regression is named in the CI log. See docs/MODEL.md,
+# "Predictor fidelity".
+echo "==> predictor probe suite"
+go test -race -v -run '^(TestProbes|TestProbeSuiteCoverage|TestBTBLegacyEquivalence|TestRASLegacyEquivalence)$' ./internal/predictor
+
 # End-to-end daemon smoke: builds sdtd, starts it on an ephemeral port,
 # exercises cold/cached submissions against direct sdt.Run, deadline
 # cancellation, and SIGTERM drain. See cmd/sdtdsmoke.
@@ -46,9 +56,10 @@ echo "==> bench smoke"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
 # Regression gate: the dispatch-path and sweep-engine benchmarks must
-# stay within BENCH_THRESHOLD percent (default 10) of the committed
-# BENCH_4.json baseline. Regenerate the baseline with `make bench` after
-# intentional performance changes. See docs/PERF.md.
+# stay within BENCH_THRESHOLD percent (default 5) of the committed
+# BENCH_4.json baseline, with zero steady-state allocation growth.
+# Regenerate the baseline with `make bench` after intentional
+# performance changes. See docs/PERF.md.
 echo "==> bench gate"
 scripts/bench.sh
 

@@ -90,7 +90,7 @@ func Assemble(name, src string) (*Image, error) { return asm.Assemble(name, src)
 func CompileMiniC(name, src string) (*Image, error) { return minic.CompileToImage(name, src) }
 
 // Arch returns a fresh copy of a built-in host cost model: "x86", "sparc"
-// or "arm".
+// or "arm", each also accepted under its "-like" alias (e.g. "arm-like").
 func Arch(name string) (*Model, error) { return hostarch.ByName(name) }
 
 // Configure builds complete VM options from an arch name and a mechanism
