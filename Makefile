@@ -32,6 +32,6 @@ benchall:
 smoke:           ## end-to-end sdtd daemon smoke (see cmd/sdtdsmoke)
 	$(GO) run ./cmd/sdtdsmoke
 
-chaos:           ## sdtd under deterministic fault injection (see cmd/sdtchaos, docs/ROBUSTNESS.md)
-	$(GO) test -race ./internal/faultinject ./internal/store ./internal/sweep ./internal/service
+chaos:           ## sdtd under deterministic fault injection (see cmd/sdtchaos, docs/ROBUSTNESS.md, docs/CLUSTER.md)
+	$(GO) test -race ./internal/faultinject ./internal/store ./internal/sweep ./internal/cluster ./internal/service
 	$(GO) run ./cmd/sdtchaos -seed 42

@@ -3,7 +3,7 @@
 // docs/ROBUSTNESS.md) and asserts that robustness machinery never changes
 // what the service computes — only whether a given attempt succeeds.
 //
-// Four phases, all against real child processes on ephemeral ports:
+// Five phases, all against real child processes on ephemeral ports:
 //
 //  1. Golden: a clean daemon computes a fixed set of runs and a sweep;
 //     their result bytes become the reference.
@@ -20,6 +20,12 @@
 //     daemon is SIGKILLed, and a clean daemon resumes the sweep ID. The
 //     journaled cells must be replayed from the store — zero re-executed
 //     runs for them — and the remainder must complete.
+//  5. Cluster kill: three daemons form a cluster (docs/CLUSTER.md), a
+//     /v1/cluster/sweep fans out across them, and one worker node is
+//     SIGKILLed mid-shard. The merged stream must still be byte-identical
+//     to a single-node run of the same matrix, the coordinator must count
+//     reassigned cells, and a follow-up sweep must recompute only the
+//     results that died with the killed node.
 //
 // The -seed flag fixes every pseudo-random choice in the fault plans, so
 // a failure reproduces exactly. Exit status 0 means all checks passed.
@@ -34,14 +40,17 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"time"
 
+	"sdt/internal/cluster"
 	"sdt/internal/service"
 )
 
@@ -130,14 +139,17 @@ func run(bin string, seed uint64) error {
 	if err := phaseResume(bin, tmp, seed, golden); err != nil {
 		return fmt.Errorf("kill-resume phase: %w", err)
 	}
+	if err := phaseCluster(bin, tmp, seed); err != nil {
+		return fmt.Errorf("cluster phase: %w", err)
+	}
 	return nil
 }
 
 // golden holds the reference bytes from the clean daemon.
 type golden struct {
-	runs  [][]byte         // indexed like chaosRuns
-	cells map[int][]byte   // sweep cell index -> result bytes
-	keys  []string         // content-store keys of chaosRuns results
+	runs  [][]byte       // indexed like chaosRuns
+	cells map[int][]byte // sweep cell index -> result bytes
+	keys  []string       // content-store keys of chaosRuns results
 }
 
 func phaseGolden(bin, tmp string) (*golden, error) {
@@ -405,14 +417,240 @@ func phaseResume(bin, tmp string, seed uint64, g *golden) error {
 	return nil
 }
 
+// clusterChaosSweep is the phase-5 matrix: 12 cells, so every node of a
+// 3-member ring owns a few and the killed node leaves real work behind.
+var clusterChaosSweep = service.SweepRequest{
+	Workloads: []string{"gzip", "vpr", "mcf", "twolf"},
+	Mechs:     []string{"ibtc:1024", "sieve:256", "retcache+ibtc:512"},
+	Limit:     10_000_000,
+}
+
+// phaseCluster boots a 3-node cluster, SIGKILLs a worker node while its
+// shard of a cluster sweep is mid-cell, and holds the coordinator to the
+// tentpole guarantee: merged output byte-identical to a single node, the
+// dead node's cells reassigned, and a follow-up sweep recomputing only
+// what died with it.
+func phaseCluster(bin, tmp string, seed uint64) error {
+	total := len(clusterChaosSweep.Workloads) * len(clusterChaosSweep.Mechs)
+
+	// Golden pass: the same matrix through /v1/cluster/sweep on a lone
+	// uncluttered daemon (it degenerates to one local shard), plus a
+	// shard call to learn each cell's content-store key.
+	gd, err := startDaemon(bin, filepath.Join(tmp, "cluster-golden"))
+	if err != nil {
+		return err
+	}
+	goldenStream, recs, err := gd.clusterSweep(clusterChaosSweep, "")
+	if err != nil {
+		gd.kill()
+		return fmt.Errorf("golden cluster sweep: %w", err)
+	}
+	for _, rec := range recs {
+		if rec.Type == "cell" && rec.Error != nil {
+			gd.kill()
+			return fmt.Errorf("golden cell %d failed: %+v", rec.Index, rec.Error)
+		}
+	}
+	keys := make([]string, total)
+	shardCells := make([]int, total)
+	for i := range shardCells {
+		shardCells[i] = i
+	}
+	srecs, err := gd.sweepShard(clusterChaosSweep, shardCells)
+	gd.kill()
+	if err != nil {
+		return fmt.Errorf("golden shard: %w", err)
+	}
+	for _, rec := range srecs {
+		if rec.Type == "cell" {
+			keys[rec.Index] = rec.Key
+		}
+	}
+
+	// Three fixed addresses (listen, record, close) so the membership
+	// list exists before any daemon does, then a client-side replica of
+	// the ring to learn which node owns which cell. The victim is the
+	// non-coordinator owning the most cells: killing it mid-shard is
+	// guaranteed to strand unfinished work.
+	urls, err := reservePorts(3)
+	if err != nil {
+		return err
+	}
+	ringView, err := cluster.New(cluster.Config{Self: urls[0], Peers: urls, ProbeInterval: -1})
+	if err != nil {
+		return err
+	}
+	owned := map[string]int{}
+	for _, key := range keys {
+		owned[ringView.Owner(key).Name()]++
+	}
+	victim := 1
+	if owned[memberName(urls[2])] > owned[memberName(urls[1])] {
+		victim = 2
+	}
+	if owned[memberName(urls[victim])] < 2 {
+		return fmt.Errorf("ring distribution left the victim %d cells of %d; ephemeral ports made a degenerate ring, rerun", owned[memberName(urls[victim])], total)
+	}
+
+	// The victim runs one worker with injected per-cell latency, so the
+	// kill lands mid-cell deterministically.
+	plan := fmt.Sprintf(`{"seed":%d,"points":[{"site":"sweep.cell","class":"latency","every":1,"latency_ms":300}]}`, seed)
+	peersArg := strings.Join(urls, ",")
+	nodes := make([]*daemon, 3)
+	for i := range nodes {
+		args := []string{"-addr", memberName(urls[i]), "-peers", peersArg, "-self", urls[i], "-peer-probe", "150ms"}
+		if i == victim {
+			args = append(args, "-workers", "1", "-fault-plan", plan, "-allow-faults")
+		}
+		nodes[i], err = startDaemon(bin, filepath.Join(tmp, fmt.Sprintf("cluster-%d", i)), args...)
+		if err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, d := range nodes {
+			if d != nil {
+				d.kill()
+			}
+		}
+	}()
+
+	// The coordinator's first health probe ran before its peers were
+	// listening, so they start the session marked down; wait for a probe
+	// cycle to see the whole membership up or the sweep degenerates to a
+	// single local shard.
+	if err := nodes[0].waitClusterUp(3, 10*time.Second); err != nil {
+		return err
+	}
+
+	type streamResult struct {
+		canonical []byte
+		recs      []chaosRec
+		err       error
+	}
+	res := make(chan streamResult, 1)
+	go func() {
+		canonical, recs, err := nodes[0].clusterSweep(clusterChaosSweep, "cluster")
+		res <- streamResult{canonical, recs, err}
+	}()
+
+	// SIGKILL the victim as soon as it has completed one cell: with one
+	// worker and 300ms injected latency it is necessarily mid-way
+	// through its next one.
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			return errors.New("victim never completed a cell")
+		}
+		select {
+		case r := <-res:
+			return fmt.Errorf("sweep finished before the victim ran a cell (err=%v, %d records, owned=%v, victim=%s)",
+				r.err, len(r.recs), owned, memberName(urls[victim]))
+		default:
+		}
+		n, err := nodes[victim].counterSum("sdtd_runs_total{")
+		if err == nil && n >= 1 {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	nodes[victim].kill()
+	log.Printf("cluster: killed %s mid-shard (%d cells owned)", memberName(urls[victim]), owned[memberName(urls[victim])])
+
+	r := <-res
+	if r.err != nil {
+		return fmt.Errorf("cluster sweep through a kill: %w", r.err)
+	}
+	for _, rec := range r.recs {
+		if rec.Type == "cell" && rec.Error != nil {
+			return fmt.Errorf("cell %d failed after the kill: %+v", rec.Index, rec.Error)
+		}
+	}
+	if !bytes.Equal(r.canonical, goldenStream) {
+		return fmt.Errorf("merged 3-node stream differs from single-node golden through a kill:\n--- golden\n%s--- merged\n%s", goldenStream, r.canonical)
+	}
+	reassigned, err := nodes[0].counterValue("sdtd_cluster_sweep_reassigned_cells_total")
+	if err != nil {
+		return err
+	}
+	if reassigned == 0 {
+		return errors.New("a node died mid-shard but no cells were counted reassigned")
+	}
+	log.Printf("cluster: merged stream byte-identical through the kill (%d cells reassigned)", reassigned)
+
+	// Every surviving result must be reused: the follow-up sweep may
+	// recompute only the cells whose sole copy died with the victim.
+	survivorRuns := 0
+	for _, i := range []int{0, 1, 2} {
+		if i == victim {
+			continue
+		}
+		n, err := nodes[i].counterSum("sdtd_runs_total{")
+		if err != nil {
+			return err
+		}
+		survivorRuns += n
+	}
+	lost := total - survivorRuns
+	if lost < 0 {
+		return fmt.Errorf("survivors ran %d cells for a %d-cell matrix: duplicated work", survivorRuns, total)
+	}
+	canonical2, _, err := nodes[0].clusterSweep(clusterChaosSweep, "cluster")
+	if err != nil {
+		return fmt.Errorf("follow-up sweep: %w", err)
+	}
+	if !bytes.Equal(canonical2, goldenStream) {
+		return errors.New("follow-up sweep stream differs from golden")
+	}
+	rerun := -survivorRuns
+	for _, i := range []int{0, 1, 2} {
+		if i == victim {
+			continue
+		}
+		n, err := nodes[i].counterSum("sdtd_runs_total{")
+		if err != nil {
+			return err
+		}
+		rerun += n
+	}
+	if rerun != lost {
+		return fmt.Errorf("follow-up recomputed %d cells, want exactly the %d lost with the victim", rerun, lost)
+	}
+	log.Printf("cluster OK (recovered %d lost cells, %d served from surviving stores)", lost, total-lost)
+	return nil
+}
+
+// reservePorts grabs n distinct loopback addresses and releases them, so
+// a static cluster membership can be written down before any daemon
+// starts.
+func reservePorts(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return urls, nil
+}
+
+func memberName(url string) string { return strings.TrimPrefix(url, "http://") }
+
 // ---- daemon plumbing ----
 
 var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
 
 type daemon struct {
-	cmd  *exec.Cmd
-	base string
-	done chan error
+	cmd    *exec.Cmd
+	base   string
+	done   chan error
+	killed sync.Once
 }
 
 func startDaemon(bin, storeDir string, extra ...string) (*daemon, error) {
@@ -448,11 +686,15 @@ func startDaemon(bin, storeDir string, extra ...string) (*daemon, error) {
 	}
 }
 
+// kill is idempotent: phase-5 SIGKILLs a node mid-scenario and the
+// deferred cleanup kills it again.
 func (d *daemon) kill() {
-	if d.cmd.Process != nil {
-		d.cmd.Process.Kill()
-		<-d.done
-	}
+	d.killed.Do(func() {
+		if d.cmd.Process != nil {
+			d.cmd.Process.Kill()
+			<-d.done
+		}
+	})
 }
 
 // runOnce submits one request and requires immediate success.
@@ -516,11 +758,12 @@ func (d *daemon) post(req service.RunRequest) (int, []byte, error) {
 
 // chaosRec is the union of the sweep NDJSON record shapes.
 type chaosRec struct {
-	Type     string             `json:"type"`
-	Index    int                `json:"index"`
-	Resumed  int                `json:"resumed"`
+	Type    string `json:"type"`
+	Index   int    `json:"index"`
+	Resumed int    `json:"resumed"`
 	// Replayed is bool on cell records and int on the done record.
 	Replayed any                `json:"replayed"`
+	Key      string             `json:"key"`
 	Result   json.RawMessage    `json:"result"`
 	Error    *service.ErrorInfo `json:"error"`
 	Done     int                `json:"done"`
@@ -556,6 +799,81 @@ func (d *daemon) sweep(req service.SweepRequest, id string) ([]chaosRec, error) 
 		var rec chaosRec
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return nil, fmt.Errorf("decoding stream line %q: %w", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// clusterSweep streams one /v1/cluster/sweep request and returns the
+// canonical bytes (heartbeat progress records filtered out, per
+// docs/CLUSTER.md) plus every non-progress record.
+func (d *daemon) clusterSweep(req service.SweepRequest, id string) ([]byte, []chaosRec, error) {
+	req.ID = id
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/cluster/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data := new(bytes.Buffer)
+		data.ReadFrom(resp.Body)
+		return nil, nil, fmt.Errorf("cluster sweep status %d: %s", resp.StatusCode, data.Bytes())
+	}
+	var canonical bytes.Buffer
+	var recs []chaosRec
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec chaosRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("decoding stream line %q: %w", sc.Text(), err)
+		}
+		if rec.Type == "progress" {
+			continue
+		}
+		canonical.Write(line)
+		canonical.WriteByte('\n')
+		recs = append(recs, rec)
+	}
+	return canonical.Bytes(), recs, sc.Err()
+}
+
+// sweepShard streams one /v1/sweep/shard request; its cell records
+// carry each cell's content-store key.
+func (d *daemon) sweepShard(req service.SweepRequest, cells []int) ([]chaosRec, error) {
+	body, err := json.Marshal(service.ShardRequest{Sweep: req, Cells: cells})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/sweep/shard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data := new(bytes.Buffer)
+		data.ReadFrom(resp.Body)
+		return nil, fmt.Errorf("shard status %d: %s", resp.StatusCode, data.Bytes())
+	}
+	var recs []chaosRec
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec chaosRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("decoding shard line %q: %w", sc.Text(), err)
 		}
 		recs = append(recs, rec)
 	}
@@ -604,6 +922,39 @@ func (d *daemon) scrape(f func(line string) (int, bool)) (int, error) {
 		}
 	}
 	return 0, sc.Err()
+}
+
+// waitClusterUp polls /healthz until the daemon's cluster view lists n
+// members all up.
+func (d *daemon) waitClusterUp(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var h struct {
+			Cluster []struct {
+				Up bool `json:"up"`
+			} `json:"cluster"`
+		}
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+		}
+		if err == nil && len(h.Cluster) == n {
+			up := 0
+			for _, p := range h.Cluster {
+				if p.Up {
+					up++
+				}
+			}
+			if up == n {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster never converged to %d members up", n)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 func (d *daemon) checkHealthStatus(want int) error {

@@ -9,7 +9,15 @@
 //	     [-mem n] [-timeout d] [-max-timeout d] [-drain-timeout d] [-q]
 //	     [-sweep-cells n] [-sweep-heartbeat d] [-debug-addr host:port]
 //	     [-breaker-threshold n] [-breaker-cooldown d]
+//	     [-peers url,url,... -self url] [-peer-probe d]
+//	     [-peer-breaker-threshold n] [-peer-breaker-cooldown d]
 //	     [-fault-plan file|json -allow-faults]
+//
+// -peers joins a static-membership cluster (see docs/CLUSTER.md): the
+// comma-separated base URLs name every member, -self says which one this
+// daemon is, and must appear in the list. Clustered daemons serve results
+// from each other's stores and accept /v1/cluster/sweep, which fans a
+// sweep matrix out across the fleet.
 //
 // -fault-plan arms deterministic fault injection (see docs/ROBUSTNESS.md
 // for the plan format and site names). It deliberately makes the daemon
@@ -37,9 +45,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sdt/internal/cluster"
 	"sdt/internal/faultinject"
 	"sdt/internal/service"
 )
@@ -62,6 +72,11 @@ func main() {
 		allowFaults  = flag.Bool("allow-faults", false, "acknowledge that -fault-plan deliberately breaks this daemon")
 		breakerN     = flag.Int("breaker-threshold", 0, "consecutive disk failures that trip the store breaker (0 = default 5, < 0 = disabled)")
 		breakerWait  = flag.Duration("breaker-cooldown", 0, "store breaker open -> half-open wait (0 = default 1s)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster member (empty = standalone)")
+		self         = flag.String("self", "", "this daemon's own base URL; must appear in -peers")
+		peerProbe    = flag.Duration("peer-probe", 0, "peer health probe interval (0 = default 2s, < 0 = disabled)")
+		peerBreakerN = flag.Int("peer-breaker-threshold", 0, "consecutive fetch failures that open a peer's circuit (0 = default 3)")
+		peerBreakerW = flag.Duration("peer-breaker-cooldown", 0, "peer breaker open -> half-open wait (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -86,6 +101,37 @@ func main() {
 		logger.Printf("fault injection armed: seed=%d points=%d", plan.Seed, len(plan.Points))
 	}
 
+	// Cluster membership is static and named by URL, so it is resolved
+	// here, before the service exists; the server takes lifecycle
+	// ownership (arms the peer store tier, starts and stops the prober).
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *self == "" {
+			logger.Fatal("-peers requires -self (this daemon's own URL, present in the peer list)")
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		c, err := cluster.New(cluster.Config{
+			Self:             *self,
+			Peers:            members,
+			ProbeInterval:    *peerProbe,
+			BreakerThreshold: *peerBreakerN,
+			BreakerCooldown:  *peerBreakerW,
+			Faults:           inj,
+		})
+		if err != nil {
+			logger.Fatalf("forming cluster: %v", err)
+		}
+		cl = c
+		logger.Printf("cluster member %s of %d peers", cl.SelfName(), cl.Size())
+	} else if *self != "" {
+		logger.Fatal("-self is meaningless without -peers")
+	}
+
 	srv, err := service.New(service.Config{
 		Workers:               *workers,
 		QueueDepth:            *queue,
@@ -98,6 +144,7 @@ func main() {
 		StoreBreakerThreshold: *breakerN,
 		StoreBreakerCooldown:  *breakerWait,
 		Faults:                inj,
+		Cluster:               cl,
 		Log:                   reqLog,
 	})
 	if err != nil {

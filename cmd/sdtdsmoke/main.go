@@ -14,7 +14,11 @@
 //  4. submits a never-halting program with a deadline and asserts the
 //     distinct deadline_exceeded code arrives within 2x the deadline;
 //  5. starts a slow request, SIGTERMs the daemon mid-flight, and asserts
-//     the response still completes and the daemon exits 0.
+//     the response still completes and the daemon exits 0;
+//  6. forms a two-node cluster (docs/CLUSTER.md) and asserts the peer
+//     store tier: results computed on one node are served by the other
+//     as byte-identical cache hits, and killing a peer leaves the
+//     survivor degraded but serving.
 //
 // Exit status 0 means all checks passed.
 package main
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"sdt"
+	"sdt/internal/cluster"
 	"sdt/internal/service"
 )
 
@@ -215,6 +221,159 @@ func run(bin string) error {
 		return err
 	}
 	log.Print("graceful drain OK (in-flight response delivered, clean exit)")
+
+	// 6. Peer store tier across a two-node cluster.
+	if err := peerSmoke(bin, tmp); err != nil {
+		return fmt.Errorf("peer tier: %w", err)
+	}
+	return nil
+}
+
+// peerSmoke boots a two-node cluster and checks the remote store tier
+// end to end: node B serves node A's results as cache hits, and
+// outliving A leaves B degraded but functional.
+func peerSmoke(bin, tmp string) error {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		urls = append(urls, "http://"+ln.Addr().String())
+		ln.Close()
+	}
+	peersArg := urls[0] + "," + urls[1]
+	nodes := make([]*daemon, 2)
+	for i := range nodes {
+		var err error
+		nodes[i], err = startDaemon(bin, tmp,
+			"-addr", strings.TrimPrefix(urls[i], "http://"),
+			"-store", filepath.Join(tmp, fmt.Sprintf("peer-%d", i)),
+			"-peers", peersArg, "-self", urls[i], "-peer-probe", "100ms")
+		if err != nil {
+			return err
+		}
+		defer nodes[i].kill()
+	}
+
+	// Each daemon's first health probe fires at startup, possibly before
+	// its sibling is listening; a peer marked down then stays down until
+	// the next probe tick, so wait for both views to converge before
+	// relying on the peer tier.
+	if err := waitClusterUp(nodes, 10*time.Second); err != nil {
+		return err
+	}
+
+	// A client-side replica of the ring (same membership, same hash)
+	// says which results node A owns — those are the ones node B must
+	// fetch over the wire rather than recompute.
+	ring, err := cluster.New(cluster.Config{Self: urls[0], Peers: urls, ProbeInterval: -1})
+	if err != nil {
+		return err
+	}
+	selfA := ring.SelfName()
+	type seeded struct {
+		seed   uint64
+		result json.RawMessage
+	}
+	var onA []seeded
+	for seed := uint64(0); seed < 8; seed++ {
+		resp, err := nodes[0].submit(service.RunRequest{
+			Name: "prog.s", Lang: service.LangAsm, Source: asmProg, Mech: "ibtc:4096", Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("seeding node A (seed %d): %w", seed, err)
+		}
+		var res service.RunResult
+		if err := json.Unmarshal(resp.Result, &res); err != nil {
+			return err
+		}
+		if ring.Owner(res.Key).Name() == selfA {
+			onA = append(onA, seeded{seed, resp.Result})
+		}
+	}
+	if len(onA) == 0 {
+		return fmt.Errorf("none of 8 seeded results hash to node A; ephemeral ports made a degenerate ring, rerun")
+	}
+	for _, s := range onA {
+		resp, err := nodes[1].submit(service.RunRequest{
+			Name: "prog.s", Lang: service.LangAsm, Source: asmProg, Mech: "ibtc:4096", Seed: s.seed,
+		})
+		if err != nil {
+			return fmt.Errorf("peer fetch (seed %d): %w", s.seed, err)
+		}
+		if !resp.Cached {
+			return fmt.Errorf("seed %d owned by node A was recomputed on node B, want a peer cache hit", s.seed)
+		}
+		if !bytes.Equal(resp.Result, s.result) {
+			return fmt.Errorf("seed %d peer-fetched bytes differ from node A's original", s.seed)
+		}
+	}
+	peerHits, err := nodes[1].counterValue(`sdtd_cache_hits_total{layer="peer"}`)
+	if err != nil {
+		return err
+	}
+	if peerHits < len(onA) {
+		return fmt.Errorf("peer hit counter = %d, want >= %d", peerHits, len(onA))
+	}
+	log.Printf("peer tier OK (%d/8 results owned by node A, all served to node B byte-identical)", len(onA))
+
+	// Outage: B must degrade, not die.
+	nodes[0].kill()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(nodes[1].base + "/healthz")
+		if err != nil {
+			return err
+		}
+		var h service.Health
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK && h.Status == service.HealthDegraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node B never reported degraded after its peer died (last: %d %q)", resp.StatusCode, h.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := nodes[1].submit(service.RunRequest{
+		Name: "prog.s", Lang: service.LangAsm, Source: asmProg, Mech: "ibtc:4096", Seed: 99,
+	}); err != nil {
+		return fmt.Errorf("node B stopped serving after its peer died: %w", err)
+	}
+	log.Print("peer outage OK (survivor degraded but serving)")
+	return nil
+}
+
+// waitClusterUp blocks until every node's /healthz reports every cluster
+// member up, or the timeout passes.
+func waitClusterUp(nodes []*daemon, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, d := range nodes {
+		for {
+			up := 0
+			resp, err := http.Get(d.base + "/healthz")
+			if err == nil {
+				var h service.Health
+				if json.NewDecoder(resp.Body).Decode(&h) == nil {
+					for _, p := range h.Cluster {
+						if p.Up {
+							up++
+						}
+					}
+				}
+				resp.Body.Close()
+			}
+			if up == len(nodes) {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster never converged: %s sees %d/%d members up", d.base, up, len(nodes))
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 	return nil
 }
 
@@ -436,11 +595,15 @@ type daemon struct {
 
 var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
 
-func startDaemon(bin, tmp string) (*daemon, error) {
-	cmd := exec.Command(bin,
+// startDaemon boots an sdtd child. extra flags come after the base set,
+// so (flag package, last one wins) they may override -addr or -store —
+// the clustered step needs fixed ports and per-node stores.
+func startDaemon(bin, tmp string, extra ...string) (*daemon, error) {
+	args := append([]string{
 		"-addr", "127.0.0.1:0",
 		"-store", filepath.Join(tmp, "results"),
-		"-queue", "64")
+		"-queue", "64"}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdt/internal/store"
+)
+
+// Fault-injection site names for the cluster layer (armed by a
+// faultinject.Plan; see docs/ROBUSTNESS.md).
+const (
+	// SiteFetch fires around a peer-tier fetch. An io-class point fails
+	// the fetch as if the owner were unreachable (feeding its breaker);
+	// a corrupt-class point flips a bit in the sealed response so the
+	// integrity check rejects it.
+	SiteFetch = "cluster.peer.fetch"
+	// SiteShard fires before the coordinator dispatches a sweep shard
+	// to a peer. An io-class point fails the dispatch, exercising the
+	// reassignment path without killing a process.
+	SiteShard = "cluster.sweep.shard"
+)
+
+// PeerResultPath is the local-only sealed-entry endpoint prefix peers
+// fetch from (the key is appended). The handler serves via the strictly
+// local ByteStore.Get, so a fetch can never cascade into further peer
+// fetches.
+const PeerResultPath = "/v1/peer/result/"
+
+// maxEntryBytes bounds a fetched sealed entry. Results are small JSON
+// documents; anything near this size is a protocol error, not data.
+const maxEntryBytes = 16 << 20
+
+// Config parameterizes New.
+type Config struct {
+	// Self is this node's own base URL and must appear in Peers —
+	// every member must agree on the membership list or consistent
+	// hashing would send keys to different owners on different nodes.
+	Self string
+	// Peers is the full static membership, Self included, as base URLs
+	// (e.g. http://10.0.0.1:8080). Order is irrelevant.
+	Peers []string
+	// BreakerThreshold is how many consecutive fetch failures open a
+	// peer's circuit breaker (0 = 3, < 0 = breakers disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the base open -> half-open wait (0 = 1s).
+	BreakerCooldown time.Duration
+	// ProbeInterval is how often the background prober checks each
+	// peer's /healthz (0 = 2s, < 0 = no prober; fetch and dispatch
+	// outcomes still update liveness).
+	ProbeInterval time.Duration
+	// FetchTimeout bounds one peer fetch or probe (0 = 5s).
+	FetchTimeout time.Duration
+	// VNodes is the virtual nodes per member on the ring (0 = 64).
+	// All members must use the same value.
+	VNodes int
+	// Client is the HTTP client for fetches and probes (nil = a
+	// dedicated default client).
+	Client *http.Client
+	// Faults arms the cluster's fault-injection seam (nil = none).
+	Faults store.Faults
+}
+
+// Peer is one fleet member as seen from the local node.
+type Peer struct {
+	name string // host:port, the ring identity
+	url  string // normalized base URL
+	self bool
+
+	br *store.Breaker
+	up atomic.Bool // last probe/dispatch verdict; optimistic start
+
+	hits    atomic.Uint64 // fetches that returned a verified entry
+	misses  atomic.Uint64 // fetches the owner answered 404
+	errors  atomic.Uint64 // fetches that failed (network, status, corrupt)
+	skipped atomic.Uint64 // fetches refused by the open breaker
+}
+
+// Name returns the peer's ring identity (host:port of its URL).
+func (p *Peer) Name() string { return p.name }
+
+// URL returns the peer's normalized base URL.
+func (p *Peer) URL() string { return p.url }
+
+// Self reports whether this peer is the local node.
+func (p *Peer) Self() bool { return p.self }
+
+// Up reports the peer's last known liveness (probe or dispatch
+// outcome). Self is always up.
+func (p *Peer) Up() bool { return p.self || p.up.Load() }
+
+// MarkDown records an out-of-band liveness failure (e.g. a sweep shard
+// dispatch that died mid-stream). The prober will mark the peer up
+// again once /healthz answers.
+func (p *Peer) MarkDown() {
+	if !p.self {
+		p.up.Store(false)
+	}
+}
+
+// Degraded reports whether the peer's fetch breaker is open or
+// half-open.
+func (p *Peer) Degraded() bool { return !p.self && p.br.Degraded() }
+
+// PeerHealth is one peer's externally visible state, reported under
+// /healthz and rendered as sdtd_peer_* metrics.
+type PeerHealth struct {
+	Name         string `json:"name"`
+	URL          string `json:"url"`
+	Self         bool   `json:"self"`
+	Up           bool   `json:"up"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	Hits         uint64 `json:"fetch_hits,omitempty"`
+	Misses       uint64 `json:"fetch_misses,omitempty"`
+	Errors       uint64 `json:"fetch_errors,omitempty"`
+	Skipped      uint64 `json:"fetch_skipped,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+}
+
+// Cluster is the local node's view of the fleet: the ring, one Peer
+// per member, and the fetch/probe machinery. It implements
+// store.Remote, so it slots directly into ByteStore as the tier behind
+// disk.
+type Cluster struct {
+	self    *Peer
+	members []*Peer // sorted by name; indices match the ring
+	ring    *ring
+	client  *http.Client
+	timeout time.Duration
+	faults  store.Faults
+
+	probeEvery time.Duration
+	stop       chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+}
+
+// peerName derives the ring identity from a base URL.
+func peerName(raw string) (name, normalized string, err error) {
+	u, err := url.Parse(strings.TrimRight(raw, "/"))
+	if err != nil {
+		return "", "", fmt.Errorf("cluster: peer url %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", "", fmt.Errorf("cluster: peer url %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" || u.Path != "" || u.RawQuery != "" {
+		return "", "", fmt.Errorf("cluster: peer url %q: want scheme://host:port with no path", raw)
+	}
+	return u.Host, u.Scheme + "://" + u.Host, nil
+}
+
+// New builds the local node's view of the fleet. Self must be one of
+// Peers; names (host:port) must be distinct. The prober is not started
+// until Start.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty membership")
+	}
+	selfName, _, err := peerName(cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	members := make([]*Peer, 0, len(cfg.Peers))
+	for _, raw := range cfg.Peers {
+		name, normalized, err := peerName(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate peer %s", name)
+		}
+		seen[name] = true
+		p := &Peer{
+			name: name,
+			url:  normalized,
+			self: name == selfName,
+			br:   store.NewBreaker(threshold, cfg.BreakerCooldown),
+		}
+		p.up.Store(true) // optimistic: usable before the first probe lands
+		members = append(members, p)
+	}
+	if !seen[selfName] {
+		return nil, fmt.Errorf("cluster: self %s is not in the peer list (every member must share one membership list)", selfName)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
+	names := make([]string, len(members))
+	var self *Peer
+	for i, p := range members {
+		names[i] = p.name
+		if p.self {
+			self = p
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	timeout := cfg.FetchTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	probe := cfg.ProbeInterval
+	if probe == 0 {
+		probe = 2 * time.Second
+	}
+	return &Cluster{
+		self:       self,
+		members:    members,
+		ring:       newRing(names, cfg.VNodes),
+		client:     client,
+		timeout:    timeout,
+		faults:     cfg.Faults,
+		probeEvery: probe,
+		stop:       make(chan struct{}),
+	}, nil
+}
+
+// SetFaults arms the cluster's fault-injection seam (nil disarms). Not
+// safe to call concurrently with Fetch.
+func (c *Cluster) SetFaults(f store.Faults) { c.faults = f }
+
+// SelfName returns the local node's ring identity.
+func (c *Cluster) SelfName() string { return c.self.name }
+
+// HTTPClient returns the client used for all peer traffic.
+func (c *Cluster) HTTPClient() *http.Client { return c.client }
+
+// Size returns the number of members, self included.
+func (c *Cluster) Size() int { return len(c.members) }
+
+// Members returns the fleet sorted by name. The slice is shared and
+// must not be mutated.
+func (c *Cluster) Members() []*Peer { return c.members }
+
+// Owner returns the peer owning key on the ring.
+func (c *Cluster) Owner(key string) *Peer { return c.members[c.ring.owner(key)] }
+
+// Assign returns the first peer in key's deterministic failover order
+// accepted by ok. With a nil ok it is Owner. It falls back to self if
+// ok rejects every member, so work always has somewhere to run.
+func (c *Cluster) Assign(key string, ok func(*Peer) bool) *Peer {
+	if ok == nil {
+		return c.Owner(key)
+	}
+	for _, m := range c.ring.successors(key) {
+		if ok(c.members[m]) {
+			return c.members[m]
+		}
+	}
+	return c.self
+}
+
+// Health returns a per-peer snapshot, sorted by name.
+func (c *Cluster) Health() []PeerHealth {
+	out := make([]PeerHealth, len(c.members))
+	for i, p := range c.members {
+		out[i] = PeerHealth{
+			Name:     p.name,
+			URL:      p.url,
+			Self:     p.self,
+			Up:       p.Up(),
+			Degraded: p.Degraded(),
+			Hits:     p.hits.Load(),
+			Misses:   p.misses.Load(),
+			Errors:   p.errors.Load(),
+			Skipped:  p.skipped.Load(),
+		}
+		if !p.self {
+			out[i].BreakerTrips = p.br.TripCount()
+		}
+	}
+	return out
+}
+
+// Fetch implements store.Remote: it asks the consistent-hash owner of
+// key for its sealed entry. Keys owned locally (or by a peer whose
+// breaker is open) miss without an RPC; a fetched entry is verified
+// with store.OpenEntry before it is returned, so a corrupt peer
+// response is rejected exactly like local disk rot — an availability
+// Success (the peer answered) but a fetch error, leaving the caller to
+// recompute.
+func (c *Cluster) Fetch(key string) ([]byte, bool, error) {
+	p := c.Owner(key)
+	if p.self {
+		return nil, false, nil
+	}
+	if !p.br.Allow() {
+		p.skipped.Add(1)
+		return nil, false, nil
+	}
+	data, ok, err := c.fetchFrom(p, key)
+	if err != nil {
+		p.errors.Add(1)
+		return nil, false, fmt.Errorf("cluster: fetch %s from %s: %w", key, p.name, err)
+	}
+	if ok {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return data, ok, nil
+}
+
+// fetchFrom performs one peer fetch, feeding p's breaker.
+func (c *Cluster) fetchFrom(p *Peer, key string) ([]byte, bool, error) {
+	if c.faults != nil {
+		if err := c.faults.Fail(SiteFetch); err != nil {
+			p.br.Failure()
+			return nil, false, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+PeerResultPath+key, nil)
+	if err != nil {
+		p.br.Failure()
+		return nil, false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.br.Failure()
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		p.br.Success()
+		return nil, false, nil
+	default:
+		p.br.Failure()
+		return nil, false, fmt.Errorf("owner answered %s", resp.Status)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil {
+		p.br.Failure()
+		return nil, false, err
+	}
+	if len(raw) > maxEntryBytes {
+		p.br.Failure()
+		return nil, false, fmt.Errorf("entry exceeds %d bytes", maxEntryBytes)
+	}
+	if c.faults != nil {
+		raw, _ = c.faults.Corrupt(SiteFetch, raw)
+	}
+	payload, err := store.OpenEntry(raw)
+	if err != nil {
+		// The peer answered; its data was rot. Availability is fine.
+		p.br.Success()
+		return nil, false, fmt.Errorf("sealed entry rejected: %w", err)
+	}
+	p.br.Success()
+	return payload, true, nil
+}
+
+// Start launches the background health prober (a no-op when the
+// configured interval is negative or the cluster was already started).
+func (c *Cluster) Start() {
+	if c.probeEvery < 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.probeEvery)
+		defer t.Stop()
+		c.probeAll()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober and waits for it to exit.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// probeAll checks every remote peer's /healthz concurrently. Any HTTP
+// 200 marks the peer up (a degraded-store 200 still serves results);
+// errors and non-200s — including a draining node's 503 — mark it
+// down so the sweep coordinator stops assigning it new work.
+func (c *Cluster) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range c.members {
+		if p.self {
+			continue
+		}
+		wg.Add(1)
+		go func(p *Peer) {
+			defer wg.Done()
+			p.up.Store(c.probe(p))
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) probe(p *Peer) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"sdt/internal/asm"
+	"sdt/internal/cluster"
 	"sdt/internal/hostarch"
 	"sdt/internal/isa"
 	"sdt/internal/machine"
@@ -221,6 +222,11 @@ type StoreHealth struct {
 type Health struct {
 	Status string      `json:"status"` // HealthOK, HealthDegraded or HealthDraining
 	Store  StoreHealth `json:"store"`
+	// Cluster is the per-peer fleet view when this node runs clustered
+	// (absent single-node). Any down or breaker-guarded peer reports
+	// the node degraded: it keeps serving, but results owned elsewhere
+	// may be recomputed locally instead of fetched.
+	Cluster []cluster.PeerHealth `json:"cluster,omitempty"`
 }
 
 // ErrorInfo is the machine-readable error in an ErrorResponse.

@@ -1,0 +1,684 @@
+package service
+
+// Cluster endpoints: the peer-facing sealed-entry store, the peer-facing
+// sweep shard executor, and the client-facing sweep coordinator. The
+// protocol is documented in docs/CLUSTER.md; membership and the fetch
+// path live in internal/cluster.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"sdt/internal/cluster"
+	"sdt/internal/faultinject"
+	"sdt/internal/store"
+	"sdt/internal/sweep"
+)
+
+// ShardRequest is the body of POST /v1/sweep/shard: the coordinator's
+// full sweep request plus the global matrix indices this node should
+// execute. Every node expands the matrix with the same deterministic
+// code, so indices are a complete cell description.
+type ShardRequest struct {
+	Sweep SweepRequest `json:"sweep"`
+	Cells []int        `json:"cells"`
+}
+
+// Coordinator stream records. Unlike /v1/sweep, the cluster stream is
+// canonical: cells are emitted in matrix order and carry only fields
+// derived from (matrix, seed, limit) — no timings, attempt counts or
+// cache provenance — so the merged output of an N-node sweep is
+// byte-identical to a 1-node run of the same request. Heartbeat
+// progress records (type "progress") are the one timing-dependent
+// exception; deterministic consumers filter them out.
+type (
+	clusterStart struct {
+		Type    string `json:"type"` // "start"
+		Total   int    `json:"total"`
+		Resumed int    `json:"resumed,omitempty"`
+	}
+	clusterCell struct {
+		Type     string          `json:"type"` // "cell"
+		Index    int             `json:"index"`
+		Workload string          `json:"workload"`
+		Arch     string          `json:"arch"`
+		Mech     string          `json:"mech"`
+		Scale    int             `json:"scale,omitempty"`
+		Result   json.RawMessage `json:"result,omitempty"`
+		Error    *ErrorInfo      `json:"error,omitempty"`
+	}
+	clusterDone struct {
+		Type     string `json:"type"` // "done"
+		Done     int    `json:"done"`
+		Errors   int    `json:"errors"`
+		Canceled int    `json:"canceled,omitempty"`
+		Total    int    `json:"total"`
+	}
+)
+
+// plannedCell is a validated sweep cell with its content-store key —
+// the unit the coordinator partitions, dispatches and journals.
+type plannedCell struct {
+	idx  int
+	cell sweep.Cell
+	key  string
+}
+
+// handlePeerResult serves the sealed entry for a locally stored result.
+// It reads through ByteStore.Get, which is strictly local — so a fleet
+// of nodes serving each other can never cascade a fetch into further
+// peer fetches. The sealed framing lets the fetching node verify
+// integrity exactly as it would a local disk read.
+func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.store.Get(key)
+	if !ok {
+		s.countRequest(r, http.StatusNotFound)
+		http.Error(w, "no result stored under "+key, http.StatusNotFound)
+		return
+	}
+	s.countRequest(r, http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(store.SealEntry(data))
+}
+
+// handleSweepShard executes a subset of a sweep matrix on behalf of a
+// cluster coordinator, streaming /v1/sweep-shaped records (with the
+// result's store key attached) in completion order. Shards are
+// journal-less: checkpointing is the coordinator's job.
+func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.setRetryAfter(w)
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req ShardRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	if req.Sweep.ID != "" {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "shard requests are journal-less; checkpointing belongs to the coordinator")
+		return
+	}
+	if len(req.Sweep.Workloads) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "workloads must be non-empty")
+		return
+	}
+	for _, sc := range req.Sweep.Scales {
+		if sc < 0 {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("negative scale %d", sc))
+			return
+		}
+	}
+	m := req.Sweep.matrix()
+	if n := m.Size(); n > s.cfg.MaxSweepCells {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("sweep expands to %d cells, limit %d", n, s.cfg.MaxSweepCells))
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "cells must be non-empty")
+		return
+	}
+	cells := m.Cells()
+	work := make([]idxCell, 0, len(req.Cells))
+	seen := make(map[int]bool, len(req.Cells))
+	for _, idx := range req.Cells {
+		if idx < 0 || idx >= len(cells) || seen[idx] {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("cell index %d out of range or duplicated (matrix has %d cells)", idx, len(cells)))
+			return
+		}
+		seen[idx] = true
+		work = append(work, idxCell{idx: idx, cell: cells[idx]})
+	}
+
+	// A drain mid-shard cancels this context like any other sweep; the
+	// coordinator sees canceled cell records and reassigns them.
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	sweepID := s.registerSweep(cancel)
+	defer s.unregisterSweep(sweepID)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	s.countRequest(r, http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(SweepStart{Type: "start", Total: len(work)})
+
+	eng := &sweep.Engine[idxCell, cellValue]{
+		Workers: s.cfg.Workers,
+		Retries: sweepRetries,
+		IsTransient: func(err error) bool {
+			return errors.Is(err, errQueueFull) || faultinject.IsTransient(err)
+		},
+		Exec: func(ctx context.Context, ic idxCell) (cellValue, error) {
+			return s.runCell(ctx, ic.cell, &req.Sweep)
+		},
+	}
+	if s.cfg.Faults != nil {
+		eng.Faults = s.cfg.Faults
+	}
+	outcomes := make(chan sweep.Outcome[idxCell, cellValue])
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- eng.Stream(ctx, work, func(o sweep.Outcome[idxCell, cellValue]) {
+			outcomes <- o
+		})
+		close(outcomes)
+	}()
+	heartbeat := time.NewTicker(s.cfg.SweepHeartbeat)
+	defer heartbeat.Stop()
+
+	var done, errCount, canceled int
+	for outcomes != nil {
+		select {
+		case o, ok := <-outcomes:
+			if !ok {
+				outcomes = nil
+				continue
+			}
+			rec := SweepCellRecord{
+				Type:      "cell",
+				Index:     o.Item.idx,
+				Workload:  o.Item.cell.Workload,
+				Arch:      o.Item.cell.Arch,
+				Mech:      o.Item.cell.Mech,
+				Scale:     o.Item.cell.Scale,
+				Key:       o.Result.key,
+				Cached:    o.Result.cached,
+				Attempts:  o.Attempts,
+				ElapsedMS: float64(o.Elapsed.Microseconds()) / 1000,
+			}
+			rec.Result, rec.Error = cellOutcome(o.Err, o.Result.data)
+			switch {
+			case o.Err == nil:
+				done++
+				s.met.sweepCells.get(outcomeOK).Inc()
+			case errors.Is(o.Err, context.Canceled):
+				canceled++
+				s.met.sweepCells.get(outcomeCanceled).Inc()
+			default:
+				errCount++
+				s.met.sweepCells.get(outcomeError).Inc()
+			}
+			emit(rec)
+		case <-heartbeat.C:
+			emit(SweepProgress{Type: "progress", Done: done, Errors: errCount, Total: len(work)})
+		}
+	}
+	err := <-streamErr
+	emit(SweepDone{
+		Type:      "done",
+		Done:      done,
+		Errors:    errCount,
+		Canceled:  canceled,
+		Total:     len(work),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+	s.met.sweepsTotal.get(outcomeLabel(err)).Inc()
+	s.cfg.Log.Printf("sweep shard %d cells: done=%d errors=%d canceled=%d elapsed=%s",
+		len(work), done, errCount, canceled, time.Since(start).Round(time.Millisecond))
+}
+
+// cellOutcome maps a cell execution outcome to the (result, error)
+// pair of its stream record. Exactly one is set.
+func cellOutcome(err error, data []byte) (json.RawMessage, *ErrorInfo) {
+	switch {
+	case err == nil:
+		return data, nil
+	case errors.Is(err, context.Canceled):
+		return nil, &ErrorInfo{Code: CodeCanceled, Message: err.Error()}
+	case errors.Is(err, errCellInvalid):
+		return nil, &ErrorInfo{Code: CodeInvalidArgument, Message: err.Error()}
+	default:
+		_, code := mapError(err)
+		return nil, &ErrorInfo{Code: code, Message: err.Error()}
+	}
+}
+
+// reassignable reports whether a shard cell record describes work that
+// died with its node (drain/cancellation) rather than a real per-cell
+// outcome, and should therefore be run somewhere else.
+func reassignable(e *ErrorInfo) bool {
+	return e != nil && (e.Code == CodeCanceled || e.Code == CodeDraining)
+}
+
+// handleClusterSweep coordinates a sweep across the fleet: it expands
+// and validates the matrix, computes every cell's content-store key,
+// partitions cells by the ring owner of their key (so results land on
+// the node that owns them), dispatches each partition as a shard,
+// merges the returned streams back into matrix order, and reassigns the
+// unfinished cells of any shard that dies. With no cluster configured
+// it degenerates to a single local shard — emitting the same canonical
+// stream, which is what makes N-node output comparable to 1-node.
+func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.setRetryAfter(w)
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req SweepRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	if len(req.Workloads) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, "workloads must be non-empty")
+		return
+	}
+	for _, sc := range req.Scales {
+		if sc < 0 {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("negative scale %d", sc))
+			return
+		}
+	}
+	m := req.matrix()
+	if n := m.Size(); n > s.cfg.MaxSweepCells {
+		s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("sweep expands to %d cells, limit %d", n, s.cfg.MaxSweepCells))
+		return
+	}
+	cells := m.Cells()
+
+	// Checkpointing works exactly as on /v1/sweep: the journal lives on
+	// the coordinator, binding cell indices to store keys. Keys are
+	// location-independent, so a resumed coordinator replays what it
+	// holds locally and lets the content-addressed store (local tiers,
+	// then peers) absorb the rest without re-execution.
+	if id := r.URL.Query().Get("resume"); id != "" {
+		req.ID = id
+	}
+	var jr *sweepJournal
+	if req.ID != "" {
+		if !validSweepID(req.ID) {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+				"sweep id must be 1-64 chars of [A-Za-z0-9._-] starting with an alphanumeric")
+			return
+		}
+		if s.cfg.StoreDir == "" {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
+				"sweep checkpointing requires an on-disk store")
+			return
+		}
+		var jerr error
+		jr, jerr = openSweepJournal(filepath.Join(s.cfg.StoreDir, "sweeps"),
+			req.ID, sweepDigest(m, req.Seed, req.Limit), s.cfg.Faults, s.journalError)
+		if jerr != nil {
+			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, jerr.Error())
+			return
+		}
+	}
+
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	sweepID := s.registerSweep(cancel)
+	defer s.unregisterSweep(sweepID)
+
+	// Plan every cell: validate and derive its store key. Planning
+	// compiles each workload|scale image once (memoized in s.images).
+	// Invalid cells become canonical error records without dispatch;
+	// journaled cells whose bytes are still held locally are replayed.
+	type replay struct {
+		pc   plannedCell
+		data []byte
+	}
+	var (
+		invalid []plannedCell
+		errInfo = make(map[int]*ErrorInfo)
+		replays []replay
+		pending = make(map[int]plannedCell, len(cells))
+	)
+	for i, c := range cells {
+		key, err := s.planCell(ctx, c, &req)
+		if err != nil {
+			pc := plannedCell{idx: i, cell: c}
+			invalid = append(invalid, pc)
+			_, code := mapError(err)
+			if errors.Is(err, errCellInvalid) {
+				code = CodeInvalidArgument
+			}
+			errInfo[i] = &ErrorInfo{Code: code, Message: err.Error()}
+			continue
+		}
+		pc := plannedCell{idx: i, cell: c, key: key}
+		if jr != nil {
+			if key, ok := jr.have[i]; ok {
+				if data, ok := s.store.Get(key); ok {
+					replays = append(replays, replay{pc: pc, data: data})
+					continue
+				}
+			}
+		}
+		pending[i] = pc
+	}
+
+	// Committed to streaming.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	s.countRequest(r, http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var wmu sync.Mutex
+	writeRec := func(v any) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeRec(clusterStart{Type: "start", Total: len(cells), Resumed: len(replays)})
+
+	merge := cluster.NewMerge[clusterCell](len(cells), func(_ int, rec clusterCell) {
+		writeRec(rec)
+	})
+
+	var (
+		mu       sync.Mutex // guards counters, alive, pending, jr
+		done     int
+		errCount int
+		canceled int
+	)
+	canonical := func(pc plannedCell, result json.RawMessage, e *ErrorInfo) clusterCell {
+		return clusterCell{
+			Type:     "cell",
+			Index:    pc.idx,
+			Workload: pc.cell.Workload,
+			Arch:     pc.cell.Arch,
+			Mech:     pc.cell.Mech,
+			Scale:    pc.cell.Scale,
+			Result:   result,
+			Error:    e,
+		}
+	}
+	for _, pc := range invalid {
+		errCount++
+		s.met.clusterCells.get(outcomeError).Inc()
+		merge.Add(pc.idx, canonical(pc, nil, errInfo[pc.idx]))
+	}
+	for _, rp := range replays {
+		done++
+		s.met.clusterCells.get(outcomeOK).Inc()
+		s.met.sweepReplayed.Inc()
+		merge.Add(rp.pc.idx, canonical(rp.pc, rp.data, nil))
+	}
+
+	// finalize merges one dispatched cell's terminal outcome. Called
+	// concurrently from local shard engines and peer stream readers.
+	finalize := func(pc plannedCell, result json.RawMessage, e *ErrorInfo) {
+		mu.Lock()
+		if _, live := pending[pc.idx]; !live {
+			mu.Unlock()
+			return // duplicate delivery (e.g. a record racing a reassignment)
+		}
+		delete(pending, pc.idx)
+		switch {
+		case e == nil:
+			done++
+			s.met.clusterCells.get(outcomeOK).Inc()
+			if jr != nil {
+				jr.record(pc.idx, pc.key)
+			}
+		case e.Code == CodeCanceled || e.Code == CodeDraining:
+			canceled++
+			s.met.clusterCells.get(outcomeCanceled).Inc()
+		default:
+			errCount++
+			s.met.clusterCells.get(outcomeError).Inc()
+		}
+		mu.Unlock()
+		merge.Add(pc.idx, canonical(pc, result, e))
+	}
+
+	heartbeat := time.NewTicker(s.cfg.SweepHeartbeat)
+	hbStop := make(chan struct{})
+	go func() {
+		defer heartbeat.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-heartbeat.C:
+				mu.Lock()
+				p := SweepProgress{Type: "progress", Done: done, Errors: errCount, Total: len(cells)}
+				mu.Unlock()
+				writeRec(p)
+			}
+		}
+	}()
+
+	// Liveness for this sweep: start from the prober's view, and stop
+	// trusting any peer whose shard fails mid-flight. Once distrusted a
+	// peer is excluded for the rest of the sweep, so the dispatch loop
+	// terminates: every round either finishes the matrix or shrinks the
+	// candidate set, and self always accepts work.
+	alive := make(map[string]bool)
+	peerByName := make(map[string]*cluster.Peer)
+	selfName := ""
+	if c := s.cfg.Cluster; c != nil {
+		selfName = c.SelfName()
+		for _, p := range c.Members() {
+			alive[p.Name()] = p.Up()
+			peerByName[p.Name()] = p
+		}
+	}
+	reassigned := 0
+	for round := 0; ; round++ {
+		mu.Lock()
+		if len(pending) == 0 {
+			mu.Unlock()
+			break
+		}
+		if round > 0 {
+			reassigned += len(pending)
+			s.met.clusterReassigned.Add(uint64(len(pending)))
+		}
+		idxs := make([]int, 0, len(pending))
+		for i := range pending {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		shards := make(map[string][]plannedCell)
+		for _, i := range idxs {
+			pc := pending[i]
+			name := selfName
+			if c := s.cfg.Cluster; c != nil {
+				name = c.Assign(pc.key, func(p *cluster.Peer) bool { return p.Self() || alive[p.Name()] }).Name()
+			}
+			shards[name] = append(shards[name], pc)
+		}
+		mu.Unlock()
+
+		var wg sync.WaitGroup
+		for name, batch := range shards {
+			if s.cfg.Cluster == nil || name == selfName {
+				wg.Add(1)
+				go func(batch []plannedCell) {
+					defer wg.Done()
+					s.runShardLocal(ctx, &req, batch, finalize)
+				}(batch)
+				continue
+			}
+			wg.Add(1)
+			go func(p *cluster.Peer, batch []plannedCell) {
+				defer wg.Done()
+				if err := s.dispatchShard(ctx, p, &req, batch, finalize); err != nil {
+					s.cfg.Log.Printf("cluster sweep: shard on %s failed: %v", p.Name(), err)
+					p.MarkDown()
+					mu.Lock()
+					alive[p.Name()] = false
+					mu.Unlock()
+				}
+			}(peerByName[name], batch)
+		}
+		wg.Wait()
+	}
+	close(hbStop)
+
+	mu.Lock()
+	if jr != nil {
+		if done == len(cells) {
+			jr.remove()
+		} else {
+			jr.persist()
+		}
+	}
+	final := clusterDone{Type: "done", Done: done, Errors: errCount, Canceled: canceled, Total: len(cells)}
+	mu.Unlock()
+	writeRec(final)
+	s.met.clusterSweeps.get(outcomeLabel(context.Cause(ctx))).Inc()
+	s.cfg.Log.Printf("cluster sweep %d cells: done=%d errors=%d canceled=%d replayed=%d reassigned=%d elapsed=%s",
+		len(cells), final.Done, final.Errors, final.Canceled, len(replays), reassigned, time.Since(start).Round(time.Millisecond))
+}
+
+// planCell validates one cell and returns its content-store key,
+// compiling the workload image through the memoized image group. An
+// invalid cell reports errCellInvalid.
+func (s *Server) planCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (string, error) {
+	rr, img, err := s.prepareCell(ctx, c, req)
+	if err != nil {
+		return "", err
+	}
+	return rr.key(img), nil
+}
+
+// runShardLocal executes a batch of planned cells through the local
+// sweep engine, delivering each terminal outcome to finalize. It is the
+// coordinator's "self shard": unlike a peer dispatch it cannot fail as
+// a unit, which is what guarantees the dispatch loop terminates.
+func (s *Server) runShardLocal(ctx context.Context, req *SweepRequest, batch []plannedCell, finalize func(plannedCell, json.RawMessage, *ErrorInfo)) {
+	byIdx := make(map[int]plannedCell, len(batch))
+	work := make([]idxCell, len(batch))
+	for i, pc := range batch {
+		byIdx[pc.idx] = pc
+		work[i] = idxCell{idx: pc.idx, cell: pc.cell}
+	}
+	eng := &sweep.Engine[idxCell, cellValue]{
+		Workers: s.cfg.Workers,
+		Retries: sweepRetries,
+		IsTransient: func(err error) bool {
+			return errors.Is(err, errQueueFull) || faultinject.IsTransient(err)
+		},
+		Exec: func(ctx context.Context, ic idxCell) (cellValue, error) {
+			return s.runCell(ctx, ic.cell, req)
+		},
+	}
+	if s.cfg.Faults != nil {
+		eng.Faults = s.cfg.Faults
+	}
+	eng.Stream(ctx, work, func(o sweep.Outcome[idxCell, cellValue]) {
+		result, e := cellOutcome(o.Err, o.Result.data)
+		finalize(byIdx[o.Item.idx], result, e)
+	})
+}
+
+// dispatchShard sends one peer its shard and consumes the returned
+// NDJSON stream, delivering terminal cell outcomes to finalize. Cells
+// the shard reports as canceled (its node draining, or the stream dying
+// with the node) are NOT finalized — they stay pending for
+// reassignment — unless this coordinator itself is shutting down. Any
+// error return means the peer should be distrusted for the rest of the
+// sweep.
+func (s *Server) dispatchShard(ctx context.Context, p *cluster.Peer, req *SweepRequest, batch []plannedCell, finalize func(plannedCell, json.RawMessage, *ErrorInfo)) error {
+	if s.cfg.Faults != nil {
+		if err := s.cfg.Faults.Fail(cluster.SiteShard); err != nil {
+			return err
+		}
+	}
+	byIdx := make(map[int]plannedCell, len(batch))
+	indices := make([]int, len(batch))
+	for i, pc := range batch {
+		byIdx[pc.idx] = pc
+		indices[i] = pc.idx
+	}
+	shardReq := ShardRequest{Sweep: *req, Cells: indices}
+	shardReq.Sweep.ID = "" // journaling is the coordinator's job
+	body, err := json.Marshal(shardReq)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL()+"/v1/sweep/shard", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := s.shardClient().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard dispatch answered %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	abandoned := false
+	for {
+		var rec SweepCellRecord
+		if derr := dec.Decode(&rec); derr != nil {
+			if derr == io.EOF {
+				return fmt.Errorf("shard stream ended without a done record")
+			}
+			return fmt.Errorf("shard stream died: %w", derr)
+		}
+		switch rec.Type {
+		case "cell":
+			pc, ok := byIdx[rec.Index]
+			if !ok {
+				return fmt.Errorf("shard answered for cell %d it was never assigned", rec.Index)
+			}
+			if reassignable(rec.Error) && ctx.Err() == nil {
+				// The cell died with the shard (drain), not on its own
+				// merits: leave it pending for reassignment.
+				abandoned = true
+				continue
+			}
+			finalize(pc, rec.Result, rec.Error)
+		case "done":
+			if abandoned {
+				return fmt.Errorf("shard abandoned cells while draining")
+			}
+			return nil
+		}
+	}
+}
+
+// shardClient is the HTTP client used for shard dispatch: the
+// cluster's (so tests and operators configure one transport for all
+// peer traffic), falling back to the default client. Shard streams are
+// long-lived, so requests are bounded by their context, not a client
+// timeout.
+func (s *Server) shardClient() *http.Client {
+	if c := s.cfg.Cluster; c != nil {
+		return c.HTTPClient()
+	}
+	return http.DefaultClient
+}

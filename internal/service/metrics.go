@@ -172,6 +172,10 @@ type metrics struct {
 	sweepCells    *counterVec // outcome — one increment per emitted cell record
 	sweepReplayed *counter    // cells served from a checkpoint journal on resume
 	journalErrs   *counter    // sweep-journal persistence failures (best-effort)
+
+	clusterSweeps     *counterVec // outcome — one increment per coordinated sweep
+	clusterCells      *counterVec // outcome — one increment per merged cell record
+	clusterReassigned *counter    // cells reassigned away from a failed shard
 }
 
 func newMetrics() *metrics {
@@ -187,6 +191,10 @@ func newMetrics() *metrics {
 		sweepCells:    newCounterVec(),
 		sweepReplayed: &counter{},
 		journalErrs:   &counter{},
+
+		clusterSweeps:     newCounterVec(),
+		clusterCells:      newCounterVec(),
+		clusterReassigned: &counter{},
 	}
 }
 
@@ -210,6 +218,11 @@ func (m *metrics) render(w io.Writer, gauges func(w io.Writer)) {
 	m.sweepCells.render(w, "sdtd_sweep_cells_total")
 	fmt.Fprintf(w, "# TYPE sdtd_sweep_replayed_cells_total counter\nsdtd_sweep_replayed_cells_total %d\n", m.sweepReplayed.Value())
 	fmt.Fprintf(w, "# TYPE sdtd_sweep_journal_errors_total counter\nsdtd_sweep_journal_errors_total %d\n", m.journalErrs.Value())
+	fmt.Fprint(w, "# TYPE sdtd_cluster_sweeps_total counter\n")
+	m.clusterSweeps.render(w, "sdtd_cluster_sweeps_total")
+	fmt.Fprint(w, "# TYPE sdtd_cluster_sweep_cells_total counter\n")
+	m.clusterCells.render(w, "sdtd_cluster_sweep_cells_total")
+	fmt.Fprintf(w, "# TYPE sdtd_cluster_sweep_reassigned_cells_total counter\nsdtd_cluster_sweep_reassigned_cells_total %d\n", m.clusterReassigned.Value())
 	if gauges != nil {
 		gauges(w)
 	}

@@ -13,9 +13,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"sdt/internal/cluster"
 	"sdt/internal/core"
 	"sdt/internal/faultinject"
 	"sdt/internal/hostarch"
@@ -72,9 +74,16 @@ type Config struct {
 	// StoreBreakerCooldown is the breaker's base open -> half-open wait
 	// (0 = store default).
 	StoreBreakerCooldown time.Duration
+	// Cluster is the fleet view when this node is part of one (nil =
+	// single-node). The server takes lifecycle ownership: New arms it as
+	// the store's remote tier and starts its health prober, Close stops
+	// it. It is caller-constructed because membership (the node's own
+	// URL) is only known once the listener is bound.
+	Cluster *cluster.Cluster
 	// Faults arms deterministic fault injection across the store, the
-	// sweep engine, the job boundary and sweep-journal persistence
-	// (nil = no injection; the hot paths pay a single nil check).
+	// sweep engine, the job boundary, sweep-journal persistence and the
+	// cluster's peer fetch/dispatch seams (nil = no injection; the hot
+	// paths pay a single nil check).
 	Faults *faultinject.Injector
 	// Log receives request/lifecycle lines; nil discards them.
 	Log *log.Logger
@@ -126,6 +135,12 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight atomic.Int64 // jobs currently executing on a worker
+
+	// Active sweep streams, so StartDrain can cancel them (flushing
+	// their checkpoint journals) instead of waiting a whole matrix out.
+	sweepMu  sync.Mutex
+	sweeps   map[int]context.CancelCauseFunc
+	sweepSeq int
 }
 
 // New builds a Server (opening the on-disk store, starting the pool).
@@ -154,12 +169,23 @@ func New(cfg Config) (*Server, error) {
 		pool:   newPool(cfg.Workers, cfg.QueueDepth),
 		met:    newMetrics(),
 		mux:    http.NewServeMux(),
+		sweeps: make(map[int]context.CancelCauseFunc),
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/cluster/sweep", s.handleClusterSweep)
+	s.mux.HandleFunc("POST /v1/sweep/shard", s.handleSweepShard)
 	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		// The cluster becomes the store's remote tier (mem -> disk ->
+		// peer) and starts probing. Single-node servers never pay more
+		// than a nil check for this.
+		st.SetRemote(cfg.Cluster)
+		cfg.Cluster.Start()
+	}
 	return s, nil
 }
 
@@ -169,10 +195,46 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store exposes the result store (tests and diagnostics).
 func (s *Server) Store() *store.ByteStore { return s.store }
 
+// errDraining is the cancellation cause handed to active sweep streams
+// when the server starts draining.
+var errDraining = errors.New("service: server draining")
+
 // StartDrain flips the server into drain mode: /healthz answers 503 so
 // load balancers stop routing here, and new submissions are rejected.
-// In-flight and queued jobs keep running.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// In-flight and queued jobs keep running, but active sweep streams are
+// cancelled — each one emits cancellation records for its unfinished
+// cells, flushes its checkpoint journal a final time, and ends its
+// stream, so a SIGTERM mid-sweep leaves a resumable journal behind
+// instead of an abandoned matrix.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	for _, cancel := range s.sweeps {
+		cancel(errDraining)
+	}
+}
+
+// registerSweep tracks an active sweep stream's cancel function for
+// StartDrain; the returned id unregisters it. A sweep that starts after
+// drain began is cancelled immediately (the handler has already
+// rejected new sweeps by then; this closes the race).
+func (s *Server) registerSweep(cancel context.CancelCauseFunc) int {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	s.sweepSeq++
+	s.sweeps[s.sweepSeq] = cancel
+	if s.draining.Load() {
+		cancel(errDraining)
+	}
+	return s.sweepSeq
+}
+
+func (s *Server) unregisterSweep(id int) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	delete(s.sweeps, id)
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -182,6 +244,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Close() {
 	s.StartDrain()
 	s.pool.close()
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Close()
+	}
 }
 
 // ---- HTTP handlers ----
@@ -279,6 +344,16 @@ func (s *Server) health() Health {
 	if st.Degraded {
 		h.Status = HealthDegraded
 	}
+	if c := s.cfg.Cluster; c != nil {
+		h.Cluster = c.Health()
+		// A down or breaker-guarded peer degrades this node's report:
+		// results owned elsewhere may have to be recomputed locally.
+		for _, p := range h.Cluster {
+			if !p.Self && (!p.Up || p.Degraded) {
+				h.Status = HealthDegraded
+			}
+		}
+	}
 	if s.draining.Load() {
 		h.Status = HealthDraining
 	}
@@ -302,8 +377,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "# TYPE sdtd_cache_hits_total counter\n")
 		fmt.Fprintf(w, "sdtd_cache_hits_total{layer=\"mem\"} %d\n", st.MemHits)
 		fmt.Fprintf(w, "sdtd_cache_hits_total{layer=\"disk\"} %d\n", st.DiskHits)
+		fmt.Fprintf(w, "sdtd_cache_hits_total{layer=\"peer\"} %d\n", st.PeerHits)
 		fmt.Fprintf(w, "# TYPE sdtd_cache_misses_total counter\nsdtd_cache_misses_total %d\n", st.Misses)
 		fmt.Fprintf(w, "# TYPE sdtd_cache_disk_errors_total counter\nsdtd_cache_disk_errors_total %d\n", st.DiskErrors)
+		fmt.Fprintf(w, "# TYPE sdtd_cache_peer_errors_total counter\nsdtd_cache_peer_errors_total %d\n", st.PeerErrors)
 		fmt.Fprintf(w, "# TYPE sdtd_cache_mem_entries gauge\nsdtd_cache_mem_entries %d\n", st.MemEntries)
 		fmt.Fprintf(w, "# TYPE sdtd_cache_evictions_total counter\nsdtd_cache_evictions_total %d\n", st.Evictions)
 		fmt.Fprintf(w, "# TYPE sdtd_queue_depth gauge\nsdtd_queue_depth %d\n", s.pool.depth())
@@ -321,6 +398,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			degraded = 1
 		}
 		fmt.Fprintf(w, "# TYPE sdtd_store_degraded gauge\nsdtd_store_degraded %d\n", degraded)
+		if c := s.cfg.Cluster; c != nil {
+			peers := c.Health()
+			fmt.Fprint(w, "# TYPE sdtd_peer_up gauge\n")
+			for _, p := range peers {
+				up := 0
+				if p.Up {
+					up = 1
+				}
+				fmt.Fprintf(w, "sdtd_peer_up{peer=%q} %d\n", p.Name, up)
+			}
+			fmt.Fprint(w, "# TYPE sdtd_peer_fetches_total counter\n")
+			for _, p := range peers {
+				if p.Self {
+					continue
+				}
+				fmt.Fprintf(w, "sdtd_peer_fetches_total{peer=%q,outcome=\"hit\"} %d\n", p.Name, p.Hits)
+				fmt.Fprintf(w, "sdtd_peer_fetches_total{peer=%q,outcome=\"miss\"} %d\n", p.Name, p.Misses)
+				fmt.Fprintf(w, "sdtd_peer_fetches_total{peer=%q,outcome=\"error\"} %d\n", p.Name, p.Errors)
+				fmt.Fprintf(w, "sdtd_peer_fetches_total{peer=%q,outcome=\"skipped\"} %d\n", p.Name, p.Skipped)
+			}
+			fmt.Fprint(w, "# TYPE sdtd_peer_breaker_trips_total counter\n")
+			for _, p := range peers {
+				if !p.Self {
+					fmt.Fprintf(w, "sdtd_peer_breaker_trips_total{peer=%q} %d\n", p.Name, p.BreakerTrips)
+				}
+			}
+		}
 		if s.cfg.Faults != nil {
 			fmt.Fprint(w, "# TYPE sdtd_faults_injected_total counter\n")
 			stats := s.cfg.Faults.Stats()
@@ -460,7 +564,10 @@ func mapError(err error) (int, string) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests, CodeQueueFull
-	case errors.Is(err, errPoolClosed):
+	case errors.Is(err, errPoolClosed), errors.Is(err, errDraining):
+		// errDraining reaches here as the cancellation cause of a sweep
+		// cut short by StartDrain; it must map to a drain code so cluster
+		// coordinators know the cell is reassignable, not failed.
 		return http.StatusServiceUnavailable, CodeDraining
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, CodeDeadlineExceeded
@@ -524,6 +631,9 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 // endpoint collapses parameterized paths so metric label cardinality stays
 // bounded by the route table, not by client input.
 func endpoint(r *http.Request) string {
+	if strings.HasPrefix(r.URL.Path, "/v1/peer/result/") {
+		return "/v1/peer/result"
+	}
 	if strings.HasPrefix(r.URL.Path, "/v1/result/") {
 		return "/v1/result"
 	}

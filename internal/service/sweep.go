@@ -88,12 +88,16 @@ type (
 	// then archs, then mechs, then scales). Exactly one of Result and
 	// Error is set.
 	SweepCellRecord struct {
-		Type      string          `json:"type"` // "cell"
-		Index     int             `json:"index"`
-		Workload  string          `json:"workload"`
-		Arch      string          `json:"arch"`
-		Mech      string          `json:"mech"`
-		Scale     int             `json:"scale,omitempty"`
+		Type     string `json:"type"` // "cell"
+		Index    int    `json:"index"`
+		Workload string `json:"workload"`
+		Arch     string `json:"arch"`
+		Mech     string `json:"mech"`
+		Scale    int    `json:"scale,omitempty"`
+		// Key is the result's content-store address. It is set on
+		// /v1/sweep/shard streams — the cluster coordinator journals it
+		// — and omitted on client-facing /v1/sweep streams.
+		Key       string          `json:"key,omitempty"`
 		Cached    bool            `json:"cached,omitempty"`
 		Replayed  bool            `json:"replayed,omitempty"`
 		Attempts  int             `json:"attempts"`
@@ -230,6 +234,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		work = append(work, idxCell{idx: i, cell: c})
 	}
 
+	// Register with the drain machinery: a SIGTERM mid-sweep cancels
+	// this context, the engine stops scheduling, unfinished cells emit
+	// cancellation records, and the journal gets a final flush below —
+	// leaving a resumable checkpoint instead of an abandoned matrix.
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	sweepID := s.registerSweep(cancel)
+	defer s.unregisterSweep(sweepID)
+
 	// Committed to streaming from here: request-level errors are over,
 	// everything else is a per-cell record on a 200.
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -284,7 +297,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	outcomes := make(chan sweep.Outcome[idxCell, cellValue])
 	streamErr := make(chan error, 1)
 	go func() {
-		streamErr <- eng.Stream(r.Context(), work, func(o sweep.Outcome[idxCell, cellValue]) {
+		streamErr <- eng.Stream(ctx, work, func(o sweep.Outcome[idxCell, cellValue]) {
 			outcomes <- o
 		})
 		close(outcomes)
@@ -338,11 +351,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	err := <-streamErr
-	if jr != nil && done == len(cells) {
-		// Every cell succeeded: the checkpoint has served its purpose.
-		// A sweep with errors keeps its journal, so a retry under the
-		// same ID replays the successes and re-attempts only the errors.
-		jr.remove()
+	if jr != nil {
+		if done == len(cells) {
+			// Every cell succeeded: the checkpoint has served its purpose.
+			// A sweep with errors keeps its journal, so a retry under the
+			// same ID replays the successes and re-attempts only the errors.
+			jr.remove()
+		} else {
+			// Incomplete (errors, cancellation, drain): flush once more so
+			// the journal durably covers every recorded cell even if an
+			// earlier best-effort persist failed mid-sweep.
+			jr.persist()
+		}
 	}
 	emit(SweepDone{
 		Type:      "done",
@@ -364,26 +384,26 @@ func (s *Server) journalError(err error) {
 	s.cfg.Log.Printf("sweep journal: %v", err)
 }
 
-// runCell executes one cell through the same content-addressed store tier
-// as /v1/run: the cell key is derived from the workload's compiled image,
-// so a sweep cell and a direct submission of the same program share one
-// cache entry, and duplicate cells across concurrent sweeps single-flight.
-func (s *Server) runCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (cellValue, error) {
+// prepareCell validates one cell and builds its run request and
+// compiled image (memoized across cells sharing workload|scale). It is
+// shared by cell execution and by the cluster coordinator's planning
+// pass, so both derive identical content-store keys.
+func (s *Server) prepareCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (*RunRequest, *program.Image, error) {
 	spec, err := workload.Get(c.Workload)
 	if err != nil {
-		return cellValue{}, fmt.Errorf("%w: %v", errCellInvalid, err)
+		return nil, nil, fmt.Errorf("%w: %v", errCellInvalid, err)
 	}
 	if _, err := hostarch.ByName(c.Arch); err != nil {
-		return cellValue{}, fmt.Errorf("%w: %v", errCellInvalid, err)
+		return nil, nil, fmt.Errorf("%w: %v", errCellInvalid, err)
 	}
 	if _, err := ib.Parse(c.Mech); err != nil {
-		return cellValue{}, fmt.Errorf("%w: %v", errCellInvalid, err)
+		return nil, nil, fmt.Errorf("%w: %v", errCellInvalid, err)
 	}
 	img, _, err := s.images.Do(ctx, fmt.Sprintf("%s|%d", c.Workload, c.Scale), func() (*program.Image, error) {
 		return spec.Image(c.Scale)
 	})
 	if err != nil {
-		return cellValue{}, err
+		return nil, nil, err
 	}
 	rr := &RunRequest{
 		Name:  c.Workload,
@@ -392,6 +412,18 @@ func (s *Server) runCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (
 		Mech:  c.Mech,
 		Seed:  req.Seed,
 		Limit: req.Limit,
+	}
+	return rr, img, nil
+}
+
+// runCell executes one cell through the same content-addressed store tier
+// as /v1/run: the cell key is derived from the workload's compiled image,
+// so a sweep cell and a direct submission of the same program share one
+// cache entry, and duplicate cells across concurrent sweeps single-flight.
+func (s *Server) runCell(ctx context.Context, c sweep.Cell, req *SweepRequest) (cellValue, error) {
+	rr, img, err := s.prepareCell(ctx, c, req)
+	if err != nil {
+		return cellValue{}, err
 	}
 	// Scale participates in the key through the image bytes themselves:
 	// a different scale assembles to a different image.

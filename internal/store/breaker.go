@@ -6,22 +6,24 @@ import (
 	"time"
 )
 
-// breaker states.
+// Breaker states.
 const (
-	breakerClosed = iota // normal operation
-	breakerOpen          // disk bypassed until the cooldown elapses
-	breakerHalfOpen      // one probe in flight decides reopen vs close
+	breakerClosed   = iota // normal operation
+	breakerOpen            // guarded resource bypassed until the cooldown elapses
+	breakerHalfOpen        // one probe in flight decides reopen vs close
 )
 
-// breaker is a consecutive-failure circuit breaker guarding the disk
-// layer. Closed is normal operation; Threshold consecutive I/O failures
-// open it, and while open every allow() is refused — the ByteStore then
-// runs memory-LRU-only (degraded mode) instead of hammering a dying
-// disk. After a jittered cooldown the breaker goes half-open and admits
-// a single probe operation: success closes it, failure re-opens it and
-// restarts the cooldown. Integrity failures (ErrCorrupt) are data
-// problems, not availability problems, and must be reported as success.
-type breaker struct {
+// Breaker is a consecutive-failure circuit breaker guarding an unreliable
+// resource — the ByteStore's disk layer, or one remote peer in
+// internal/cluster. Closed is normal operation; Threshold consecutive I/O
+// failures open it, and while open every Allow is refused — the caller
+// then skips the resource (memory-LRU-only for the disk, miss-without-RPC
+// for a peer) instead of hammering something that is down. After a
+// jittered cooldown the breaker goes half-open and admits a single probe
+// operation: success closes it, failure re-opens it and restarts the
+// cooldown. Integrity failures (ErrCorrupt, a bad peer payload) are data
+// problems, not availability problems, and must be reported as Success.
+type Breaker struct {
 	threshold int           // consecutive failures to open (<= 0 disables)
 	cooldown  time.Duration // base open -> half-open wait, jittered ±50%
 
@@ -33,23 +35,26 @@ type breaker struct {
 	trips    uint64    // closed/half-open -> open transitions
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
+// NewBreaker returns a Breaker that opens after threshold consecutive
+// failures (<= 0 disables it) and waits cooldown (0 = 1s), jittered ±50%,
+// before probing again.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = time.Second
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
 }
 
 // jittered spreads reopen probes so a fleet sharing one sick disk does
 // not thundering-herd it (determinism is not needed here; fault plans
 // stay deterministic because injection decisions never consult this).
-func (b *breaker) jittered() time.Duration {
+func (b *Breaker) jittered() time.Duration {
 	return time.Duration((0.5 + rand.Float64()) * float64(b.cooldown))
 }
 
-// allow reports whether a disk operation may proceed, transitioning
+// Allow reports whether an operation may proceed, transitioning
 // open -> half-open when the cooldown has elapsed.
-func (b *breaker) allow() bool {
+func (b *Breaker) Allow() bool {
 	if b.threshold <= 0 {
 		return true
 	}
@@ -74,8 +79,8 @@ func (b *breaker) allow() bool {
 	}
 }
 
-// success records a disk operation that completed at the I/O level.
-func (b *breaker) success() {
+// Success records an operation that completed at the I/O level.
+func (b *Breaker) Success() {
 	if b.threshold <= 0 {
 		return
 	}
@@ -88,10 +93,10 @@ func (b *breaker) success() {
 	}
 }
 
-// failure records a disk I/O failure, opening the breaker when the
+// Failure records an I/O failure, opening the breaker when the
 // consecutive-failure threshold is reached (or immediately on a failed
 // half-open probe).
-func (b *breaker) failure() {
+func (b *Breaker) Failure() {
 	if b.threshold <= 0 {
 		return
 	}
@@ -109,7 +114,7 @@ func (b *breaker) failure() {
 }
 
 // trip must be called with the lock held.
-func (b *breaker) trip() {
+func (b *Breaker) trip() {
 	b.state = breakerOpen
 	b.failures = 0
 	b.probing = false
@@ -117,9 +122,9 @@ func (b *breaker) trip() {
 	b.trips++
 }
 
-// degraded reports whether the disk is currently bypassed (open) or on
-// probation (half-open).
-func (b *breaker) degraded() bool {
+// Degraded reports whether the resource is currently bypassed (open) or
+// on probation (half-open).
+func (b *Breaker) Degraded() bool {
 	if b.threshold <= 0 {
 		return false
 	}
@@ -128,8 +133,8 @@ func (b *breaker) degraded() bool {
 	return b.state != breakerClosed
 }
 
-// tripCount returns how many times the breaker has opened.
-func (b *breaker) tripCount() uint64 {
+// TripCount returns how many times the breaker has opened.
+func (b *Breaker) TripCount() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Fault-injection site names for the disk layer (armed by a
@@ -53,8 +54,18 @@ const (
 // post-mortem under <root>/quarantine/<key>.
 const quarantineDirName = "quarantine"
 
-// sealEntry frames payload with the integrity header.
-func sealEntry(payload []byte) []byte {
+// DefaultQuarantineTTL is how long quarantined corrupt entries are kept
+// for post-mortem before OpenDisk sweeps them. Quarantine is evidence,
+// not storage: unbounded retention would let a slowly-rotting disk fill
+// itself with its own corpses.
+const DefaultQuarantineTTL = 7 * 24 * time.Hour
+
+// SealEntry frames payload with the store's integrity header (magic plus
+// the SHA-256 of the payload). It is the on-disk entry format, and also
+// the peer-transfer format of internal/cluster: a fetched entry is
+// verified with OpenEntry on the receiving node, so a corrupt peer
+// response is detected exactly like a flipped bit on local disk.
+func SealEntry(payload []byte) []byte {
 	sum := sha256.Sum256(payload)
 	buf := make([]byte, 0, entryHeaderSize+len(payload))
 	buf = append(buf, entryMagic...)
@@ -62,8 +73,8 @@ func sealEntry(payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// openEntry verifies raw's framing and digest and returns the payload.
-func openEntry(raw []byte) ([]byte, error) {
+// OpenEntry verifies raw's framing and digest and returns the payload.
+func OpenEntry(raw []byte) ([]byte, error) {
 	if len(raw) < entryHeaderSize || !bytes.HasPrefix(raw, []byte(entryMagic)) {
 		return nil, errors.New("bad entry header")
 	}
@@ -90,16 +101,31 @@ type Disk struct {
 	corruptions atomic.Uint64 // entries that failed verification
 	quarantined atomic.Uint64 // corrupt entries preserved in quarantine/
 	orphans     atomic.Uint64 // tmp files swept at open
+	qswept      atomic.Uint64 // aged-out quarantine files swept at open
 }
 
 // OpenDisk opens (creating if needed) an on-disk store rooted at root,
-// sweeping any orphaned temp files a previous crash left behind.
+// sweeping any orphaned temp files a previous crash left behind and any
+// quarantined entries older than DefaultQuarantineTTL.
 func OpenDisk(root string) (*Disk, error) {
+	return OpenDiskTTL(root, 0)
+}
+
+// OpenDiskTTL is OpenDisk with an explicit quarantine retention: files
+// under <root>/quarantine/ older than ttl are removed at open (0 selects
+// DefaultQuarantineTTL, < 0 keeps quarantined entries forever).
+func OpenDiskTTL(root string, ttl time.Duration) (*Disk, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: opening disk layer: %w", err)
 	}
 	d := &Disk{root: root}
 	d.sweepOrphans()
+	if ttl == 0 {
+		ttl = DefaultQuarantineTTL
+	}
+	if ttl > 0 {
+		d.sweepQuarantine(ttl)
+	}
 	return d, nil
 }
 
@@ -123,6 +149,10 @@ func (d *Disk) Quarantined() uint64 { return d.quarantined.Load() }
 // OrphansSwept returns how many crash-orphaned temp files OpenDisk
 // removed.
 func (d *Disk) OrphansSwept() uint64 { return d.orphans.Load() }
+
+// QuarantineSwept returns how many aged-out quarantined entries OpenDisk
+// removed.
+func (d *Disk) QuarantineSwept() uint64 { return d.qswept.Load() }
 
 func validKey(key string) error {
 	if len(key) < 4 || len(key) > 256 {
@@ -171,6 +201,30 @@ func (d *Disk) sweepOrphans() {
 	})
 }
 
+// sweepQuarantine removes quarantined entries whose modification time —
+// set when quarantine moved them, i.e. when the corruption was detected —
+// is older than ttl. Mirrors the orphan-.tmp sweep: best effort, at open
+// only, so quarantine keeps recent evidence without growing forever.
+func (d *Disk) sweepQuarantine(ttl time.Duration) {
+	cutoff := time.Now().Add(-ttl)
+	entries, err := os.ReadDir(d.QuarantineDir())
+	if err != nil {
+		return // no quarantine directory yet, or unreadable: nothing to age out
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || !info.ModTime().Before(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(d.QuarantineDir(), de.Name())) == nil {
+			d.qswept.Add(1)
+		}
+	}
+}
+
 // Get returns the stored bytes for key. A missing entry is (nil, false,
 // nil); an unreadable one reports its error; one that fails integrity
 // verification is quarantined and reported as an error matching
@@ -194,7 +248,7 @@ func (d *Disk) Get(key string) ([]byte, bool, error) {
 	if d.faults != nil {
 		raw, _ = d.faults.Corrupt(SiteDiskRead, raw)
 	}
-	payload, verr := openEntry(raw)
+	payload, verr := OpenEntry(raw)
 	if verr != nil {
 		d.corruptions.Add(1)
 		d.quarantine(key)
@@ -237,7 +291,7 @@ func (d *Disk) Put(key string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: writing %s: %w", key, err)
 	}
-	_, werr := tmp.Write(sealEntry(data))
+	_, werr := tmp.Write(SealEntry(data))
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr

@@ -28,14 +28,17 @@ go test -race -v -run '^(TestProbes|TestProbeSuiteCoverage|TestBTBLegacyEquivale
 
 # End-to-end daemon smoke: builds sdtd, starts it on an ephemeral port,
 # exercises cold/cached submissions against direct sdt.Run, deadline
-# cancellation, and SIGTERM drain. See cmd/sdtdsmoke.
+# cancellation, SIGTERM drain, and a two-node cluster serving each
+# other's result stores (docs/CLUSTER.md). See cmd/sdtdsmoke.
 echo "==> sdtd smoke"
 go run ./cmd/sdtdsmoke
 
 # Hostile-conditions gate: the same daemon under a deterministic fault
 # plan — injected disk errors, corruption, worker panics, a SIGKILLed
-# checkpointed sweep — must stay up and keep returning byte-identical
-# results. Fixed seed so a failure reproduces. See docs/ROBUSTNESS.md.
+# checkpointed sweep, and a three-node cluster losing a member
+# mid-sweep — must stay up and keep returning byte-identical results.
+# Fixed seed so a failure reproduces. See docs/ROBUSTNESS.md and
+# docs/CLUSTER.md.
 echo "==> sdtd chaos"
 go run ./cmd/sdtchaos -seed 42
 
