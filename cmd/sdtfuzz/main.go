@@ -16,6 +16,10 @@
 //	-specs list   comma-separated mechanism specs (default: registry sweep set)
 //	-archs list   comma-separated host models (default x86,sparc)
 //	-limit n      per-run instruction budget (default 5e6)
+//	-mine         rank recurring fusable op n-grams from the corpus by
+//	              dynamic frequency (super-op candidates; see hostarch)
+//	-len n        maximum n-gram length for -mine (default 4)
+//	-top n        ranked n-grams printed by -mine (default 20, 0 = all)
 //	-minimize     shrink the -seed program to a minimal diverging repro
 //	-seed n       randprog seed for -minimize (default 1)
 //	-spec s       mechanism spec for -minimize (default ibtc:2)
@@ -47,6 +51,9 @@ func main() {
 	specs := flag.String("specs", "", "comma-separated mechanism specs (default: registry sweep set)")
 	archs := flag.String("archs", "x86,sparc", "comma-separated host models")
 	limit := flag.Uint64("limit", oracle.DefaultLimit, "per-run instruction budget")
+	mine := flag.Bool("mine", false, "mine the corpus for fusable super-op candidates")
+	mineLen := flag.Int("len", 4, "maximum n-gram length for -mine")
+	mineTop := flag.Int("top", 20, "how many ranked n-grams -mine prints (0 = all)")
 	minimize := flag.Bool("minimize", false, "minimize a diverging program")
 	seed := flag.Int64("seed", 1, "randprog seed for -minimize")
 	spec := flag.String("spec", "ibtc:2", "mechanism spec for -minimize")
@@ -62,6 +69,10 @@ func main() {
 		}
 	case *sweep:
 		if err := runSweep(*seeds, *specs, *archs, *limit); err != nil {
+			fatal(err)
+		}
+	case *mine:
+		if err := runMine(*seeds, *mineLen, *mineTop, *limit); err != nil {
 			fatal(err)
 		}
 	case *minimize:

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdt/internal/asm"
+	"sdt/internal/isa"
+	"sdt/internal/machine"
+	"sdt/internal/program"
+	"sdt/internal/randprog"
+)
+
+// Corpus mining for super-op candidates (-mine): execute the differential
+// corpus through the semantic core and count every fusable opcode n-gram
+// by dynamic frequency. A sequence is fusable when its interior is pure
+// ALU and its final op is ALU or memory — the same position rule
+// hostarch.SuperOp validation enforces — and when it never spans a control
+// transfer (superblock parts end at control transfers, so a window that
+// crosses one can never be rewritten). The ranked output is the evidence
+// base for the models' built-in super-op tables.
+
+// mineGram is one candidate sequence with its dynamic execution count.
+type mineGram struct {
+	ops   []isa.Op
+	count uint64
+}
+
+// runMine executes every seed program and prints the top fusable n-grams
+// of lengths 2..maxLen, ranked by dynamic count weighted by the number of
+// fused-away slots (count * (len-1)): the cycles a fusion of that pattern
+// could eliminate, which is what makes a pattern worth a table entry.
+func runMine(seedList string, maxLen, top int, limit uint64) error {
+	if maxLen < 2 {
+		return fmt.Errorf("-len must be >= 2")
+	}
+	counts := make(map[string]*mineGram)
+	var insts uint64
+	seeds := splitList(seedList)
+	for _, s := range seeds {
+		var seed int64
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			return fmt.Errorf("bad seed %q", s)
+		}
+		src := randprog.Generate(randprog.Small(seed))
+		img, err := asm.Assemble(fmt.Sprintf("seed%d.s", seed), src)
+		if err != nil {
+			return err
+		}
+		n, err := mineImage(img, maxLen, limit, counts)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		insts += n
+	}
+
+	grams := make([]*mineGram, 0, len(counts))
+	for _, g := range counts {
+		grams = append(grams, g)
+	}
+	sort.Slice(grams, func(i, j int) bool {
+		wi := grams[i].count * uint64(len(grams[i].ops)-1)
+		wj := grams[j].count * uint64(len(grams[j].ops)-1)
+		if wi != wj {
+			return wi > wj
+		}
+		return gramKey(grams[i].ops) < gramKey(grams[j].ops)
+	})
+	if top > 0 && len(grams) > top {
+		grams = grams[:top]
+	}
+	fmt.Printf("mined %d seeds, %d dynamic instructions, %d distinct fusable n-grams\n",
+		len(seeds), insts, len(counts))
+	fmt.Printf("%-28s %12s %12s\n", "sequence", "count", "fused-slots")
+	for _, g := range grams {
+		fmt.Printf("%-28s %12d %12d\n", gramKey(g.ops), g.count, g.count*uint64(len(g.ops)-1))
+	}
+	return nil
+}
+
+// mineImage interprets img via the shared semantic core, sliding a window
+// over the dynamic instruction stream. The window resets at every control
+// transfer and at every non-fusable instruction; within it, every suffix
+// n-gram whose final op closes a valid fused sequence is counted. Memory
+// ops reset the window after being counted — they may only terminate a
+// sequence, never continue one.
+func mineImage(img *program.Image, maxLen int, limit uint64, counts map[string]*mineGram) (uint64, error) {
+	st, err := machine.NewState(img)
+	if err != nil {
+		return 0, err
+	}
+	code := img.Decoded()
+	pc := img.Entry
+	window := make([]isa.Op, 0, maxLen)
+	for !st.Halted && st.Instret < limit {
+		idx := (pc - program.CodeBase) / isa.WordSize
+		if pc%isa.WordSize != 0 || int(idx) >= len(code) {
+			return st.Instret, fmt.Errorf("pc %#x outside code section", pc)
+		}
+		in := code[idx]
+		out, err := machine.Exec(st, in, pc)
+		if err != nil {
+			return st.Instret, err
+		}
+		switch {
+		case in.Op.IsALU():
+			if len(window) == maxLen {
+				copy(window, window[1:])
+				window = window[:maxLen-1]
+			}
+			window = append(window, in.Op)
+			countSuffixes(window, counts)
+		case in.Op.IsMem():
+			// Valid terminator for any ALU prefix, then the window dies:
+			// nothing fuses past a memory access.
+			if len(window) == maxLen {
+				copy(window, window[1:])
+				window = window[:maxLen-1]
+			}
+			window = append(window, in.Op)
+			countSuffixes(window, counts)
+			window = window[:0]
+		default:
+			// Control transfer, OUT, HALT: ends any fusable run.
+			window = window[:0]
+		}
+		pc = out.Target
+	}
+	return st.Instret, nil
+}
+
+// countSuffixes records every suffix of the window of length >= 2 as one
+// occurrence of that n-gram.
+func countSuffixes(window []isa.Op, counts map[string]*mineGram) {
+	for n := 2; n <= len(window); n++ {
+		seq := window[len(window)-n:]
+		key := gramKey(seq)
+		g := counts[key]
+		if g == nil {
+			g = &mineGram{ops: append([]isa.Op(nil), seq...)}
+			counts[key] = g
+		}
+		g.count++
+	}
+}
+
+func gramKey(ops []isa.Op) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "+")
+}

@@ -53,13 +53,25 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 
-	// Same-line memo: the line touched by the previous access. Consecutive
-	// references to one line (straight-line code, stack traffic) skip the
-	// set scan. The memoized line cannot be evicted between accesses —
-	// eviction only happens inside Access, which re-points the memo — so
-	// taking the fast path leaves identical state to a full scan hit.
-	lastLine  uint32
-	lastEntry *line
+	// Recent-line memo: the last few distinct lines touched. References
+	// to a memoized line (straight-line code, stack traffic, a hot loop
+	// alternating between a superblock body and its side-exit fragments)
+	// skip the set scan. A memoized line cannot have been evicted between
+	// accesses — eviction only happens inside accessSlow, which clears any
+	// memo entry aimed at the victim — so taking the fast path updates the
+	// same LRU word a full scan hit would, leaving identical state.
+	memo     [memoWays]memoEntry
+	memoNext int
+}
+
+// memoWays sizes the recent-line memo: enough to cover the few lines a hot
+// dispatch loop cycles through without making the scan-before-lookup
+// noticeable on misses.
+const memoWays = 4
+
+type memoEntry struct {
+	lineAddr uint32
+	ent      *line
 }
 
 // New builds a cache for the given geometry. It panics if the geometry is
@@ -87,13 +99,22 @@ func (c *Cache) Config() Config { return c.cfg }
 // install the line (allocate-on-miss, for both reads and writes).
 func (c *Cache) Access(addr uint32) bool {
 	lineAddr := addr >> c.lineShift
-	if lineAddr == c.lastLine && c.lastEntry != nil {
-		c.tick++
-		c.lastEntry.lru = c.tick
-		c.hits++
-		return true
+	for i := range c.memo {
+		m := &c.memo[i]
+		if m.ent != nil && m.lineAddr == lineAddr {
+			c.tick++
+			m.ent.lru = c.tick
+			c.hits++
+			return true
+		}
 	}
 	return c.accessSlow(lineAddr)
+}
+
+// memoize records lineAddr → ent in the next memo slot, round-robin.
+func (c *Cache) memoize(lineAddr uint32, ent *line) {
+	c.memo[c.memoNext] = memoEntry{lineAddr: lineAddr, ent: ent}
+	c.memoNext = (c.memoNext + 1) % memoWays
 }
 
 func (c *Cache) accessSlow(lineAddr uint32) bool {
@@ -106,16 +127,23 @@ func (c *Cache) accessSlow(lineAddr uint32) bool {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.tick
 			c.hits++
-			c.lastLine, c.lastEntry = lineAddr, &set[i]
+			c.memoize(lineAddr, &set[i])
 			return true
 		}
 		if set[i].lru < set[victim].lru || !set[i].valid && set[victim].valid {
 			victim = i
 		}
 	}
+	// The victim's old line is gone; any memo entry still aiming at its
+	// slot would resurrect it as a phantom hit.
+	for i := range c.memo {
+		if c.memo[i].ent == &set[victim] {
+			c.memo[i] = memoEntry{}
+		}
+	}
 	set[victim] = line{tag: tag, valid: true, lru: c.tick}
 	c.misses++
-	c.lastLine, c.lastEntry = lineAddr, &set[victim]
+	c.memoize(lineAddr, &set[victim])
 	return false
 }
 
@@ -137,7 +165,8 @@ func (c *Cache) Reset() {
 		c.lines[i] = line{}
 	}
 	c.tick, c.hits, c.misses = 0, 0, 0
-	c.lastLine, c.lastEntry = 0, nil
+	c.memo = [memoWays]memoEntry{}
+	c.memoNext = 0
 }
 
 func popcount(x uint32) int {

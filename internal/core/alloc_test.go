@@ -69,25 +69,25 @@ func allocImage(t *testing.T, iters int) *program.Image {
 }
 
 // runAllocs returns the average allocations of one full construct+run+recycle
-// cycle over the given image under spec.
-func runAllocs(t *testing.T, img *program.Image, spec string) float64 {
+// cycle over the given image under spec. When check is non-nil it receives
+// each finished VM before recycling, so callers can assert the measured runs
+// actually exercised the paths they meant to measure.
+func runAllocs(t *testing.T, img *program.Image, spec string, check func(*core.VM)) float64 {
 	t.Helper()
 	cfg, err := ib.Parse(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := func() {
-		vm, err := core.New(img, core.Options{
-			Model:       hostarch.X86(),
-			Handler:     cfg.Handler,
-			FastReturns: cfg.FastReturns,
-			Traces:      cfg.Traces,
-		})
+		vm, err := core.New(img, cfg.Options(hostarch.X86()))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := vm.Run(0); err != nil {
 			t.Fatal(err)
+		}
+		if check != nil {
+			check(vm)
 		}
 		vm.Recycle()
 	}
@@ -114,13 +114,50 @@ func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
 		"fastret+ibtc:4096",
 		"inline:2+ibtc:4096",
 		"trace+ibtc:4096",
+		"trace:3+ibtc:4096",
+		"trace:3:nosuper+ibtc:4096",
+		"trace:3+fastret+ibtc:4096",
 	} {
 		t.Run(spec, func(t *testing.T) {
-			base := runAllocs(t, short, spec)
-			scaled := runAllocs(t, long, spec)
+			base := runAllocs(t, short, spec, nil)
+			scaled := runAllocs(t, long, spec, nil)
 			if scaled > base {
 				t.Errorf("steady-state dispatch allocates: %.1f allocs/run at 2k iterations, %.1f at 8k (want no growth)", base, scaled)
 			}
 		})
+	}
+}
+
+// TestSuperblockSteadyStateZeroAlloc pins down what the trace rows of the
+// scale-differencing test above actually measured: the runs form
+// superblocks, take guard hits AND side exits — the full superblock dispatch
+// surface — and still allocate nothing per added iteration. Trace
+// materialization itself may allocate (it happens once, in the "setup" both
+// run lengths share); only the steady state must be free.
+func TestSuperblockSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are not meaningful")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	short := allocImage(t, 2_000)
+	long := allocImage(t, 8_000)
+	exercised := func(vm *core.VM) {
+		p := &vm.Prof
+		if p.TracesFormed == 0 || p.SuperblockExecs == 0 {
+			t.Fatalf("run formed %d traces, executed %d superblocks; the measurement is vacuous",
+				p.TracesFormed, p.SuperblockExecs)
+		}
+		if p.TraceGuardHits == 0 {
+			t.Fatal("no guard hits: the in-trace IB guard path went unmeasured")
+		}
+		if p.TraceExits == 0 {
+			t.Fatal("no side exits: the trace-exit path went unmeasured")
+		}
+	}
+	base := runAllocs(t, short, "trace:3+ibtc:4096", exercised)
+	scaled := runAllocs(t, long, "trace:3+ibtc:4096", exercised)
+	if scaled > base {
+		t.Errorf("superblock steady state allocates: %.1f allocs/run at 2k iterations, %.1f at 8k (want no growth)", base, scaled)
 	}
 }

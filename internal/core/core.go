@@ -69,6 +69,11 @@ type Options struct {
 	// recorded continuation — a speculative inline cache that skips the
 	// full lookup while the IB stays monomorphic along the trace.
 	Traces bool
+	// NoSuperOps disables super-op fusion during superblock compilation
+	// while keeping trace formation itself on: trace bodies are priced
+	// instruction-by-instruction instead of through the model's SuperOps
+	// table (ablation; see hostarch.SuperOp and machine.PlanFusedBody).
+	NoSuperOps bool
 	// TraceThreshold is the fragment hotness bar for seeding a trace.
 	// 0 means 64.
 	TraceThreshold int

@@ -91,6 +91,50 @@ const benchLinkedSrc = `
 		halt
 `
 
+const benchGuardThrashSrc = `
+	; megamorphic dispatch loop: a pseudo-random walk over eight targets,
+	; so any trace formed through the indirect jump sees a polymorphic
+	; continuation. Trace guards must prove unprofitable, patch out, and
+	; leave only the side-exit cost behind.
+	main:
+		li r10, 0
+		li r11, 50000
+		li r25, 1
+	loop:
+		li r1, 1103515245
+		mul r25, r25, r1
+		addi r25, r25, 12345
+		srli r2, r25, 9
+		andi r2, r2, 7
+		la r1, table
+		slli r2, r2, 2
+		add r1, r1, r2
+		lw r3, (r1)
+		jr r3
+	c0:	addi r12, r12, 1
+		jmp next
+	c1:	addi r12, r12, 2
+		jmp next
+	c2:	addi r12, r12, 3
+		jmp next
+	c3:	addi r12, r12, 4
+		jmp next
+	c4:	addi r12, r12, 5
+		jmp next
+	c5:	addi r12, r12, 6
+		jmp next
+	c6:	addi r12, r12, 7
+		jmp next
+	c7:	addi r12, r12, 8
+	next:
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	.data
+	table: .word c0, c1, c2, c3, c4, c5, c6, c7
+`
+
 func benchImage(b *testing.B, src string) *program.Image {
 	b.Helper()
 	img, err := asm.Assemble("bench.s", src)
@@ -113,12 +157,7 @@ func runDispatchBench(b *testing.B, src, spec string) {
 	var insts uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vm, err := core.New(img, core.Options{
-			Model:       hostarch.X86(),
-			Handler:     cfg.Handler,
-			FastReturns: cfg.FastReturns,
-			Traces:      cfg.Traces,
-		})
+		vm, err := core.New(img, cfg.Options(hostarch.X86()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,6 +196,26 @@ func BenchmarkRunCallRetInline(b *testing.B) {
 
 func BenchmarkRunLinkedLoop(b *testing.B) {
 	runDispatchBench(b, benchLinkedSrc, "ibtc:4096")
+}
+
+// The BenchmarkRunSuperblock family runs the same guests with trace
+// formation on: steady state executes a fused superblock body instead of
+// chaining fragments. Linked-loop is the pure win case (no indirect
+// branches, every exit elided), call-ret exercises fast calls and return
+// guards inside a trace, and guard-thrash is the adversarial case — a
+// megamorphic dispatch whose guards must patch out, leaving side exits as
+// the dominant path.
+
+func BenchmarkRunSuperblockLinkedLoop(b *testing.B) {
+	runDispatchBench(b, benchLinkedSrc, "trace+ibtc:4096")
+}
+
+func BenchmarkRunSuperblockCallRet(b *testing.B) {
+	runDispatchBench(b, benchCallRetSrc, "trace+fastret+ibtc:4096")
+}
+
+func BenchmarkRunSuperblockGuardThrash(b *testing.B) {
+	runDispatchBench(b, benchGuardThrashSrc, "trace+ibtc:4096")
 }
 
 // BenchmarkFlushStorm squeezes the fragment cache far below the working

@@ -175,13 +175,60 @@ func TestTracesUnderFlushPressure(t *testing.T) {
 	vm := runSDT(t, img, "ibtc:256", func(o *core.Options) {
 		o.Traces = true
 		o.TraceThreshold = 2
-		o.CacheBytes = 400
+		// Small enough that fragment translation alone overflows it: fused
+		// superblock bodies are compact enough that 400 bytes no longer
+		// flushes (materialization abandons instead, see
+		// TraceAbandonedCacheFull).
+		o.CacheBytes = 280
 	})
 	if vm.Prof.Flushes == 0 {
 		t.Fatal("expected flushes")
 	}
 	if vm.Result().Checksum != native.Result().Checksum {
 		t.Error("traces diverged under flush pressure")
+	}
+}
+
+func TestTraceAbandonmentCounted(t *testing.T) {
+	// Cache-full: a fragment cache sized so translation succeeds but at
+	// least one materialization finds no room for its superblock body. The
+	// recording must be dropped (and counted), never half-installed.
+	img := assemble(t, testPrograms["mutual"])
+	native := runNative(t, img)
+	vm := runSDT(t, img, "ibtc:256", func(o *core.Options) {
+		o.Traces = true
+		o.TraceThreshold = 2
+		o.CacheBytes = 320
+	})
+	if vm.Prof.TraceAbandonedCacheFull == 0 {
+		t.Error("no cache-full abandonment at 320 bytes; the counter (or the test's sizing) is wrong")
+	}
+	if vm.Result().Checksum != native.Result().Checksum {
+		t.Error("diverged after abandoning a trace on cache-full")
+	}
+
+	// Short: a loop that is a single self-looping fragment records one part
+	// and has nothing to fuse; the recording is abandoned as too short.
+	short := assemble(t, `
+	main:
+		li r10, 0
+		li r11, 5000
+	loop:
+		addi r12, r12, 1
+		addi r10, r10, 1
+		blt r10, r11, loop
+		out r12
+		halt
+	`)
+	vm = runSDT(t, short, "ibtc:256", func(o *core.Options) {
+		o.Traces = true
+		o.TraceThreshold = 2
+	})
+	if vm.Prof.TraceAbandonedShort == 0 {
+		t.Error("self-looping fragment was not abandoned as a short trace")
+	}
+	if vm.Prof.TracesFormed != 0 {
+		t.Errorf("single-fragment loop formed %d traces", vm.Prof.TracesFormed)
 	}
 }
 

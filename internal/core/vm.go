@@ -444,9 +444,44 @@ func (vm *VM) execBody(f *Fragment, hostBase uint32) (machine.Outcome, error) {
 	env := vm.Env
 	st := vm.State
 	env.Cycles += f.staticCycles
-	cb := uint32(env.Model.CodeBytesPerInst)
+	m := env.Model
+	cb := uint32(m.CodeBytesPerInst)
 	pc := f.GuestPC
-	last := len(f.Insts) - 1
+	n := len(f.Insts)
+
+	// Fast path: the whole body fits in the remaining instruction budget,
+	// so the limit check hoists out of the loop, the I-fetches collapse to
+	// one access per touched line (fetch is sequential, so re-accessing
+	// the current line is an LRU-neutral hit — the distinct-line sequence,
+	// and therefore every miss and every replacement decision, is
+	// unchanged), and the body up to the terminator runs through the
+	// batched machine.ExecStraight.
+	if st.Instret+uint64(n) <= vm.limit {
+		line := uint32(m.ICache.LineBytes)
+		lastAddr := hostBase + uint32(n-1)*cb
+		env.IFetch(hostBase)
+		for a := (hostBase &^ (line - 1)) + line; a <= lastAddr; a += line {
+			env.IFetch(a)
+		}
+		var err error
+		pc, err = machine.ExecStraight(st, env, f.Insts[:n-1], pc)
+		if err != nil {
+			return machine.Outcome{}, fmt.Errorf("core: in fragment %#x: %w", f.GuestPC, err)
+		}
+		term := f.Insts[n-1]
+		if term.Op.IsMem() {
+			env.DTouch(st.Regs[term.Rs1] + uint32(term.Imm))
+		}
+		out, err := machine.Exec(st, term, pc)
+		if err != nil {
+			return machine.Outcome{}, fmt.Errorf("core: in fragment %#x: %w", f.GuestPC, err)
+		}
+		return out, nil
+	}
+
+	// Near the end of the budget the per-instruction loop takes over so
+	// the limit faults at the exact instruction.
+	last := n - 1
 	for i, in := range f.Insts {
 		if st.Instret >= vm.limit {
 			return machine.Outcome{}, fmt.Errorf("%w (%d instructions)", ErrLimit, vm.limit)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"sdt/internal/cache"
+	"sdt/internal/isa"
 	"sdt/internal/predictor"
 )
 
@@ -36,7 +37,12 @@ import (
 //
 // Version 2: parameterized predictor geometries (set-associative/two-level
 // BTB, RAS overflow+repair policies) and the arm model's two-level BTB.
-const CostModelVersion = 2
+//
+// Version 3: superblock compilation — traces execute as fused single-body
+// fragments (direct transfers along the recorded path elided, emitted
+// trace code compacted through per-model super-op tables, I-fetch charged
+// per emitted cache line), so every trace-mode cycle total moved.
+const CostModelVersion = 3
 
 // Model prices host-level operations in cycles.
 type Model struct {
@@ -84,6 +90,12 @@ type Model struct {
 	// I-cache footprint, which is what the sieve trades against the IBTC.
 	CodeBytesPerInst int
 	StubBytes        int
+
+	// SuperOps are the fused multi-instruction sequences this host can
+	// emit as single operations; superblock compilation peephole-rewrites
+	// trace bodies through this table (see SuperOp). Empty disables
+	// fusion for the model.
+	SuperOps []SuperOp
 }
 
 // Validate reports whether every parameter is in a sane range.
@@ -128,7 +140,7 @@ func (m *Model) Validate() error {
 	if m.CodeBytesPerInst <= 0 || m.StubBytes <= 0 {
 		return fmt.Errorf("hostarch: %s code layout sizes must be positive", m.Name)
 	}
-	return nil
+	return m.validateSuperOps()
 }
 
 // X86 returns the deep-pipeline, flags-architecture model.
@@ -148,7 +160,34 @@ func X86() *Model {
 		BTB:              predictor.DirectMapped(512),
 		RAS:              predictor.FixedDepth(16),
 		CodeBytesPerInst: 6, StubBytes: 16,
+		SuperOps:         x86SuperOpsTable,
 	}
+}
+
+// x86SuperOpsTable is the x86 fusion table, mined from the differential
+// corpus (sdtfuzz -mine over 64 seeds, ~111k dynamic instructions). The
+// tables are package-level and shared by every model copy — VM
+// construction is allocation-sensitive — so they are read-only; a caller
+// experimenting with custom fusions must assign a fresh slice, not edit
+// in place. The top host-realizable n-grams and their dynamic counts:
+//
+//	lui+ori      8346   32-bit immediate formation -> mov imm32
+//	lui+xori     3962   address formation ("la")   -> mov imm32
+//	slli+add     3691   scaled index               -> lea
+//	slli+add+lw  2063   scaled indexed load        -> mov r,[b+i*s]
+//	add+lw       2063   base+index load            -> mov r,[b+i]
+//	addi+sw      1077   push idiom (sp adjust+store) -> push
+//
+// The overall top raw pattern (add+xor+addi, 7134) is rejected: no modeled
+// host retires three dependent ALU ops as one — fusion entries must map to
+// a single host instruction or fused pair.
+var x86SuperOpsTable = []SuperOp{
+	{Name: "movimm", Ops: []isa.Op{isa.LUI, isa.ORI}, Cycles: 1, Bytes: 6},
+	{Name: "movimmx", Ops: []isa.Op{isa.LUI, isa.XORI}, Cycles: 1, Bytes: 6},
+	{Name: "lea", Ops: []isa.Op{isa.SLLI, isa.ADD}, Cycles: 1, Bytes: 6},
+	{Name: "loadidx", Ops: []isa.Op{isa.SLLI, isa.ADD, isa.LW}, Cycles: 2, Bytes: 8},
+	{Name: "loadbi", Ops: []isa.Op{isa.ADD, isa.LW}, Cycles: 1, Bytes: 6},
+	{Name: "push", Ops: []isa.Op{isa.ADDI, isa.SW}, Cycles: 1, Bytes: 3},
 }
 
 // ARM returns a third calibration point between the two paper models: an
@@ -189,7 +228,19 @@ func ARM() *Model {
 		RAS:              predictor.RASConfig{Depth: 8, Overflow: predictor.OverflowWrap, Repair: predictor.RepairTop},
 		BTBL2HitPenalty:  2,
 		CodeBytesPerInst: 4, StubBytes: 12,
+		SuperOps:         armSuperOpsTable,
 	}
+}
+
+// armSuperOpsTable is the arm fusion table (same corpus mining and
+// sharing rules as x86SuperOpsTable). Shifted-operand ALU and
+// scaled-register addressing are the signature arm fusions; the immediate
+// pairs model a movw/movt-style fused pair.
+var armSuperOpsTable = []SuperOp{
+	{Name: "movimm", Ops: []isa.Op{isa.LUI, isa.ORI}, Cycles: 1, Bytes: 4},
+	{Name: "movimmx", Ops: []isa.Op{isa.LUI, isa.XORI}, Cycles: 1, Bytes: 4},
+	{Name: "alushift", Ops: []isa.Op{isa.SLLI, isa.ADD}, Cycles: 1, Bytes: 4},
+	{Name: "ldrscaled", Ops: []isa.Op{isa.SLLI, isa.ADD, isa.LW}, Cycles: 2, Bytes: 4},
 }
 
 // SPARC returns the shallow-pipeline, windowed-register model.
@@ -209,7 +260,18 @@ func SPARC() *Model {
 		BTB:              predictor.DirectMapped(128),
 		RAS:              predictor.FixedDepth(8),
 		CodeBytesPerInst: 8, StubBytes: 16,
+		SuperOps:         sparcSuperOpsTable,
 	}
+}
+
+// sparcSuperOpsTable is the sparc fusion table (same corpus mining and
+// sharing rules as x86SuperOpsTable). SPARC has no scaled addressing modes
+// and no shifted-operand ALU, so only the sethi+or immediate-formation
+// pair fuses — fusion benefit is architecture-dependent, like everything
+// else in the paper.
+var sparcSuperOpsTable = []SuperOp{
+	{Name: "sethior", Ops: []isa.Op{isa.LUI, isa.ORI}, Cycles: 1, Bytes: 8},
+	{Name: "sethixor", Ops: []isa.Op{isa.LUI, isa.XORI}, Cycles: 1, Bytes: 8},
 }
 
 // Models returns the built-in models keyed by name.

@@ -1,0 +1,108 @@
+package hostarch
+
+import (
+	"fmt"
+
+	"sdt/internal/isa"
+)
+
+// SuperOp is one fused multi-instruction sequence a superblock compiler may
+// emit as a single host operation. Fusion is a cost-model rewrite: the
+// guest instructions still execute individually for their architectural
+// effect, but a matched sequence is priced at Cycles (replacing the sum of
+// its constituents' static costs) and occupies Bytes of emitted code
+// (replacing len(Ops)*CodeBytesPerInst). Data-dependent costs — the D-cache
+// reference of a load or store constituent — are still charged per
+// instruction, so only the static pipeline cost fuses.
+//
+// Position rule: every constituent except the last must be a pure ALU
+// operation; the final constituent may additionally be a load or store
+// (an address-generation sequence folding into a memory operand). Control
+// transfers never fuse — they end superblock parts.
+//
+// The built-in tables come from corpus mining: `sdtfuzz -mine` executes
+// the differential random-program corpus through the semantic core and
+// ranks recurring fusable op n-grams by dynamic frequency (see the table
+// comments for the measured ranking).
+type SuperOp struct {
+	Name   string   // short mnemonic for profiles and docs, e.g. "lea"
+	Ops    []isa.Op // guest opcode sequence, in order; len >= 2
+	Cycles int      // fused static cost, replacing the constituents' sum
+	Bytes  int      // fused emitted-code size, replacing len(Ops)*CodeBytesPerInst
+}
+
+// StaticOpCycles is the data-independent pipeline cost of one guest
+// instruction under m: the per-op term machine.StaticBodyCost sums.
+// Control transfers are zero here — their cost is charged at the fragment
+// exit (or elided entirely inside a superblock); loads and stores price
+// only the pipeline slot, with the D-cache reference charged at run time.
+func (m *Model) StaticOpCycles(op isa.Op) int {
+	switch {
+	case op == isa.MUL:
+		return m.Mul
+	case op == isa.DIV || op == isa.DIVU || op == isa.REM || op == isa.REMU:
+		return m.Div
+	case op.IsLoad():
+		return m.Load
+	case op.IsStore():
+		return m.Store
+	case op == isa.OUT:
+		return m.Out
+	case op.IsControl():
+		return 0
+	default:
+		return m.ALU
+	}
+}
+
+// validateSuperOps checks the model's super-op table: well-formed sequences
+// (length >= 2, ALU interior, ALU-or-memory final), profitable but
+// non-negative costs (a fused sequence may not cost more cycles or bytes
+// than its unfused form — otherwise the peephole rewriter would be a
+// pessimization — and may not be free), and distinct opcode sequences.
+// Validate runs on every VM construction, so the success path must not
+// allocate; the duplicate check is a direct pairwise comparison (tables
+// are a handful of entries), not a map of formatted keys.
+func (m *Model) validateSuperOps() error {
+	for i, so := range m.SuperOps {
+		if so.Name == "" {
+			return fmt.Errorf("hostarch: %s super-op %d has no name", m.Name, i)
+		}
+		if len(so.Ops) < 2 {
+			return fmt.Errorf("hostarch: %s super-op %q has %d ops (need >= 2)", m.Name, so.Name, len(so.Ops))
+		}
+		unfused := 0
+		for j, op := range so.Ops {
+			last := j == len(so.Ops)-1
+			if !op.IsALU() && !(last && op.IsMem()) {
+				return fmt.Errorf("hostarch: %s super-op %q: op %v not fusable at position %d", m.Name, so.Name, op, j)
+			}
+			unfused += m.StaticOpCycles(op)
+		}
+		if so.Cycles < 1 || so.Cycles > unfused {
+			return fmt.Errorf("hostarch: %s super-op %q: fused cost %d outside [1, %d]", m.Name, so.Name, so.Cycles, unfused)
+		}
+		maxBytes := len(so.Ops) * m.CodeBytesPerInst
+		if so.Bytes < 1 || so.Bytes > maxBytes {
+			return fmt.Errorf("hostarch: %s super-op %q: fused size %d outside [1, %d]", m.Name, so.Name, so.Bytes, maxBytes)
+		}
+		for _, prev := range m.SuperOps[:i] {
+			if sameOps(prev.Ops, so.Ops) {
+				return fmt.Errorf("hostarch: %s super-op %q duplicates sequence %v", m.Name, so.Name, so.Ops)
+			}
+		}
+	}
+	return nil
+}
+
+func sameOps(a, b []isa.Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

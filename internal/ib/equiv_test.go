@@ -52,13 +52,9 @@ func TestMechanismEquivalenceUnderFlush(t *testing.T) {
 				if err != nil {
 					t.Fatalf("parse %q: %v", spec, err)
 				}
-				vm, err := core.New(img, core.Options{
-					Model:       hostarch.X86(),
-					Handler:     cfg.Handler,
-					FastReturns: cfg.FastReturns,
-					Traces:      cfg.Traces,
-					CacheBytes:  c.cache,
-				})
+				opts := cfg.Options(hostarch.X86())
+				opts.CacheBytes = c.cache
+				vm, err := core.New(img, opts)
 				if err != nil {
 					t.Fatal(err)
 				}

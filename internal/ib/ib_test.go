@@ -27,11 +27,7 @@ func runSpec(t *testing.T, src, spec string) *core.VM {
 	if err != nil {
 		t.Fatalf("parse %q: %v", spec, err)
 	}
-	vm, err := core.New(assemble(t, src), core.Options{
-		Model:       hostarch.X86(),
-		Handler:     cfg.Handler,
-		FastReturns: cfg.FastReturns,
-	})
+	vm, err := core.New(assemble(t, src), cfg.Options(hostarch.X86()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,6 +121,51 @@ func TestParseSpecs(t *testing.T) {
 		"sieve:7", "inline:0+ibtc", "inline:65+ibtc", "inline:2",
 		"retcache:64", "fastret", "translator+ibtc", "ibtc+sieve",
 		"translator:3",
+	}
+	for _, spec := range bad {
+		if _, err := ib.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", spec)
+		}
+	}
+}
+
+func TestParseTraceParams(t *testing.T) {
+	good := map[string]struct {
+		threshold, maxFrags int
+		noSuper             bool
+	}{
+		"trace+ibtc:64":            {0, 0, false},
+		"trace:3+ibtc:64":          {3, 0, false},
+		"trace:3:2+ibtc:64":        {3, 2, false},
+		"trace:nosuper+ibtc:64":    {0, 0, true},
+		"trace:3:nosuper+ibtc:64":  {3, 0, true},
+		"trace:3:16:nosuper+ibtc":  {3, 16, true},
+		"trace:nosuper:3:16+ibtc":  {3, 16, true},
+		"trace:128:nosuper:8+ibtc": {128, 8, true},
+	}
+	for spec, want := range good {
+		cfg, err := ib.Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if !cfg.Traces {
+			t.Errorf("Parse(%q).Traces = false", spec)
+		}
+		if cfg.TraceThreshold != want.threshold {
+			t.Errorf("Parse(%q).TraceThreshold = %d, want %d", spec, cfg.TraceThreshold, want.threshold)
+		}
+		if cfg.MaxTraceFrags != want.maxFrags {
+			t.Errorf("Parse(%q).MaxTraceFrags = %d, want %d", spec, cfg.MaxTraceFrags, want.maxFrags)
+		}
+		if cfg.NoSuperOps != want.noSuper {
+			t.Errorf("Parse(%q).NoSuperOps = %v, want %v", spec, cfg.NoSuperOps, want.noSuper)
+		}
+	}
+	bad := []string{
+		"trace:0+ibtc", "trace:-1+ibtc", "trace:3:1+ibtc", "trace:3:0+ibtc",
+		"trace:wat+ibtc", "trace:3:2:4+ibtc", "trace:3:2:nosuper:4+ibtc",
+		"trace:3", "trace", "ibtc+trace",
 	}
 	for _, spec := range bad {
 		if _, err := ib.Parse(spec); err == nil {

@@ -11,21 +11,30 @@ import (
 
 // Config is a parsed mechanism specification: the handler plus the two
 // translation policies (fast returns, trace formation) that are core
-// options rather than handlers.
+// options rather than handlers, and the trace-formation knobs the "trace"
+// component's parameters set.
 type Config struct {
 	Handler     core.IBHandler
 	FastReturns bool
 	Traces      bool
-	Spec        string // the normalized input spec
+	// Trace-formation parameters ("trace[:threshold][:maxfrags][:nosuper]").
+	// Zero values defer to the core defaults.
+	TraceThreshold int
+	MaxTraceFrags  int
+	NoSuperOps     bool
+	Spec           string // the normalized input spec
 }
 
 // Options builds core VM options from the parsed configuration.
 func (c Config) Options(model *hostarch.Model) core.Options {
 	return core.Options{
-		Model:       model,
-		Handler:     c.Handler,
-		FastReturns: c.FastReturns,
-		Traces:      c.Traces,
+		Model:          model,
+		Handler:        c.Handler,
+		FastReturns:    c.FastReturns,
+		Traces:         c.Traces,
+		TraceThreshold: c.TraceThreshold,
+		MaxTraceFrags:  c.MaxTraceFrags,
+		NoSuperOps:     c.NoSuperOps,
 	}
 }
 
@@ -108,11 +117,14 @@ var registry = []*Entry{
 	},
 	{
 		Name:    "trace",
-		Summary: "NET trace formation with speculative IB guards (leading component only)",
+		Summary: "NET traces compiled as superblocks, with speculative IB guards (leading component only)",
 		Chained: true,
 		Policy:  true,
 		Sweep: []string{
 			"trace+ibtc:16",
+			"trace:3+ibtc:16",          // eager formation: traces carry most of the run
+			"trace:3:nosuper+ibtc:16",  // superblocks without super-op fusion (ablation)
+			"trace:3:2+ibtc:16",        // minimum trace length: two-fragment superblocks
 			"trace+retcache:16+sieve:16",
 			"trace+fastret+inline:2+ibtc:16",
 		},
@@ -170,14 +182,25 @@ func SweepSpecs() []string {
 //	inline[:K][:mru]+REST               K inline probes (default 1), then REST
 //	retcache[:N]+REST                   return cache for returns, REST for the rest
 //	fastret+REST                        fast returns, REST for the rest
-//	trace+REST                          NET trace formation, REST as miss path
+//	trace[:T][:F][:nosuper]+REST        NET traces compiled as superblocks,
+//	                                    REST as guard-miss path; T = hotness
+//	                                    threshold (default 64), F = max
+//	                                    fragments per trace (default 8),
+//	                                    nosuper disables super-op fusion
 //
-// Components chain with "+": e.g. "trace+fastret+inline:2+ibtc:16384".
+// Components chain with "+": e.g. "trace:32+fastret+inline:2+ibtc:16384".
 func Parse(spec string) (Config, error) {
 	cfg := Config{Spec: spec}
 	parts := strings.Split(strings.TrimSpace(spec), "+")
-	for len(parts) > 0 && parts[0] == "trace" {
+	for len(parts) > 0 {
+		head := strings.Split(strings.TrimSpace(parts[0]), ":")
+		if head[0] != "trace" {
+			break
+		}
 		cfg.Traces = true
+		if err := cfg.parseTraceArgs(head[1:]); err != nil {
+			return cfg, err
+		}
 		parts = parts[1:]
 	}
 	if cfg.Traces && len(parts) == 0 {
@@ -189,6 +212,40 @@ func Parse(spec string) (Config, error) {
 	}
 	cfg.Handler, cfg.FastReturns = h, fast
 	return cfg, nil
+}
+
+// parseTraceArgs consumes the ":"-separated parameters of one trace
+// component: up to two positional integers (hotness threshold, then max
+// fragments per trace) and the "nosuper" flag, which may appear anywhere
+// among them without taking a position.
+func (cfg *Config) parseTraceArgs(args []string) error {
+	pos := 0
+	for _, a := range args {
+		if a == "nosuper" {
+			cfg.NoSuperOps = true
+			continue
+		}
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return fmt.Errorf("ib: bad trace parameter %q", a)
+		}
+		switch pos {
+		case 0:
+			if v < 1 {
+				return fmt.Errorf("ib: trace threshold %d must be >= 1", v)
+			}
+			cfg.TraceThreshold = v
+		case 1:
+			if v < 2 {
+				return fmt.Errorf("ib: trace max fragments %d must be >= 2", v)
+			}
+			cfg.MaxTraceFrags = v
+		default:
+			return fmt.Errorf("ib: too many trace parameters in %q", strings.Join(append([]string{"trace"}, args...), ":"))
+		}
+		pos++
+	}
+	return nil
 }
 
 // chainParser carries one component's parameters plus the unconsumed rest

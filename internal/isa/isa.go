@@ -225,6 +225,18 @@ func (op Op) IsControl() bool {
 	return op.IsBranch() || op.IsIndirect() || op == JMP || op == JAL || op == HALT
 }
 
+// IsALU reports whether op is a pure register-to-register computation:
+// no memory access, no control transfer, no environment effect. These are
+// the instructions a superblock compiler may fold into fused super-ops at
+// any position; loads and stores may only terminate a fused sequence (the
+// memory access keeps its own D-cache reference).
+func (op Op) IsALU() bool { return op >= ADD && op <= LUI }
+
+// IsFusable reports whether op may appear in a fused super-op sequence at
+// all: pure ALU anywhere, memory ops only as the final constituent (the
+// caller enforces the position rule).
+func (op Op) IsFusable() bool { return op.IsALU() || op.IsMem() }
+
 // IsStore reports whether op writes memory.
 func (op Op) IsStore() bool { return op == SW || op == SH || op == SB }
 

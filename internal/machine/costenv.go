@@ -126,24 +126,77 @@ func (e *CostEnv) ChargeBody(s *State, in isa.Inst) {
 func StaticBodyCost(m *hostarch.Model, insts []isa.Inst) uint64 {
 	var n uint64
 	for _, in := range insts {
-		switch {
-		case in.Op == isa.MUL:
-			n += uint64(m.Mul)
-		case in.Op == isa.DIV || in.Op == isa.DIVU || in.Op == isa.REM || in.Op == isa.REMU:
-			n += uint64(m.Div)
-		case in.Op.IsLoad():
-			n += uint64(m.Load)
-		case in.Op.IsStore():
-			n += uint64(m.Store)
-		case in.Op == isa.OUT:
-			n += uint64(m.Out)
-		case in.Op.IsControl():
-			// Charged by the control-flow accounting at the fragment exit.
-		default:
-			n += uint64(m.ALU)
-		}
+		n += uint64(m.StaticOpCycles(in.Op))
 	}
 	return n
+}
+
+// FusePlan summarizes one superblock part body after super-op rewriting:
+// the fused data-independent cost (the superblock's batch charge), the
+// emitted code size after compaction (which sets the trace's I-cache
+// footprint), and how many super-ops the rewritten body retires per
+// execution (profile accounting).
+type FusePlan struct {
+	Static    uint64 // fused static body cost in cycles
+	EmitBytes uint32 // emitted code bytes after fusion and elision
+	Fused     uint64 // super-ops matched in the body
+}
+
+// PlanFusedBody peephole-rewrites one superblock part body through the
+// model's super-op table and prices the result. Matching is greedy and
+// longest-first: at each position the longest table sequence that matches
+// the upcoming opcodes is fused (charged SuperOp.Cycles and SuperOp.Bytes),
+// and unmatched instructions keep their StaticOpCycles cost and
+// CodeBytesPerInst footprint. table is normally m.SuperOps; nil disables
+// fusion (the NoSuperOps ablation), leaving Static == StaticBodyCost.
+//
+// Direct jumps contribute no bytes: every JMP on a recorded superblock
+// path transfers to the recorded successor, which the compiled body lays
+// out fall-through, so the jump is elided from the emitted code (its
+// static cost is already zero). Control transfers never participate in
+// fusion: no table sequence can contain one, and an elided jump still
+// splits the match window — the retired jump keeps its slot in the
+// instruction stream even though it emits no code.
+func PlanFusedBody(m *hostarch.Model, insts []isa.Inst, table []hostarch.SuperOp) FusePlan {
+	var p FusePlan
+	cb := uint32(m.CodeBytesPerInst)
+	n := len(insts)
+	for i := 0; i < n; {
+		best := -1
+		for t := range table {
+			ops := table[t].Ops
+			if best >= 0 && len(ops) <= len(table[best].Ops) {
+				continue
+			}
+			if i+len(ops) > n {
+				continue
+			}
+			match := true
+			for j, op := range ops {
+				if insts[i+j].Op != op {
+					match = false
+					break
+				}
+			}
+			if match {
+				best = t
+			}
+		}
+		if best >= 0 {
+			so := &table[best]
+			p.Static += uint64(so.Cycles)
+			p.EmitBytes += uint32(so.Bytes)
+			p.Fused++
+			i += len(so.Ops)
+			continue
+		}
+		p.Static += uint64(m.StaticOpCycles(insts[i].Op))
+		if insts[i].Op != isa.JMP {
+			p.EmitBytes += cb
+		}
+		i++
+	}
+	return p
 }
 
 // ChargeControl charges the native cost of a control outcome at pc and

@@ -223,3 +223,218 @@ func b2u(b bool) uint32 {
 	}
 	return 0
 }
+
+// ExecStraight applies a straight-line run of instructions — a superblock
+// part body up to, not including, its control terminator — to s, starting
+// at pc, and returns the pc after the run. It is the batched twin of Exec:
+// semantics are identical instruction-for-instruction (the two switches are
+// kept adjacent in this file and exercised against each other by the
+// differential fuzzer, whose native side runs Exec), but the per-
+// instruction Outcome construction, instret update and pc store are
+// hoisted out of the loop. s.PC is only maintained across instructions
+// that can fault (memory accesses and illegal opcodes) — ALU work cannot
+// observe it mid-run.
+//
+// If env is non-nil, loads and stores charge their D-cache reference
+// through env.DTouch before the access, exactly as ChargeBody orders it;
+// their static pipeline cost is assumed pre-charged (StaticBodyCost or a
+// fused superblock batch).
+//
+// One control transfer is permitted: a direct jump (JMP), whose target is
+// static — the caller guarantees the instruction following it in insts is
+// the instruction at that target, which is exactly the contract of a
+// superblock body whose elided jumps splice the recorded successor in
+// fall-through position. Any other control transfer (or HALT) faults,
+// because silently falling through one would corrupt the caller's notion
+// of where execution is.
+func ExecStraight(s *State, env *CostEnv, insts []isa.Inst, pc uint32) (uint32, error) {
+	r := &s.Regs
+	for i := range insts {
+		in := insts[i]
+		switch in.Op {
+		case isa.ADD:
+			s.SetReg(in.Rd, r[in.Rs1]+r[in.Rs2])
+		case isa.SUB:
+			s.SetReg(in.Rd, r[in.Rs1]-r[in.Rs2])
+		case isa.MUL:
+			s.SetReg(in.Rd, r[in.Rs1]*r[in.Rs2])
+		case isa.DIV:
+			a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
+			switch {
+			case b == 0:
+				s.SetReg(in.Rd, 0xffffffff)
+			case a == -1<<31 && b == -1:
+				s.SetReg(in.Rd, uint32(a))
+			default:
+				s.SetReg(in.Rd, uint32(a/b))
+			}
+		case isa.DIVU:
+			if r[in.Rs2] == 0 {
+				s.SetReg(in.Rd, 0xffffffff)
+			} else {
+				s.SetReg(in.Rd, r[in.Rs1]/r[in.Rs2])
+			}
+		case isa.REM:
+			a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
+			switch {
+			case b == 0:
+				s.SetReg(in.Rd, uint32(a))
+			case a == -1<<31 && b == -1:
+				s.SetReg(in.Rd, 0)
+			default:
+				s.SetReg(in.Rd, uint32(a%b))
+			}
+		case isa.REMU:
+			if r[in.Rs2] == 0 {
+				s.SetReg(in.Rd, r[in.Rs1])
+			} else {
+				s.SetReg(in.Rd, r[in.Rs1]%r[in.Rs2])
+			}
+		case isa.AND:
+			s.SetReg(in.Rd, r[in.Rs1]&r[in.Rs2])
+		case isa.OR:
+			s.SetReg(in.Rd, r[in.Rs1]|r[in.Rs2])
+		case isa.XOR:
+			s.SetReg(in.Rd, r[in.Rs1]^r[in.Rs2])
+		case isa.SLL:
+			s.SetReg(in.Rd, r[in.Rs1]<<(r[in.Rs2]&31))
+		case isa.SRL:
+			s.SetReg(in.Rd, r[in.Rs1]>>(r[in.Rs2]&31))
+		case isa.SRA:
+			s.SetReg(in.Rd, uint32(int32(r[in.Rs1])>>(r[in.Rs2]&31)))
+		case isa.SLT:
+			s.SetReg(in.Rd, b2u(int32(r[in.Rs1]) < int32(r[in.Rs2])))
+		case isa.SLTU:
+			s.SetReg(in.Rd, b2u(r[in.Rs1] < r[in.Rs2]))
+
+		case isa.ADDI:
+			s.SetReg(in.Rd, r[in.Rs1]+uint32(in.Imm))
+		case isa.ANDI:
+			s.SetReg(in.Rd, r[in.Rs1]&uint32(in.Imm))
+		case isa.ORI:
+			s.SetReg(in.Rd, r[in.Rs1]|uint32(in.Imm))
+		case isa.XORI:
+			s.SetReg(in.Rd, r[in.Rs1]^uint32(in.Imm))
+		case isa.SLLI:
+			s.SetReg(in.Rd, r[in.Rs1]<<(uint32(in.Imm)&31))
+		case isa.SRLI:
+			s.SetReg(in.Rd, r[in.Rs1]>>(uint32(in.Imm)&31))
+		case isa.SRAI:
+			s.SetReg(in.Rd, uint32(int32(r[in.Rs1])>>(uint32(in.Imm)&31)))
+		case isa.SLTI:
+			s.SetReg(in.Rd, b2u(int32(r[in.Rs1]) < in.Imm))
+		case isa.SLTIU:
+			s.SetReg(in.Rd, b2u(r[in.Rs1] < uint32(in.Imm)))
+		case isa.LUI:
+			s.SetReg(in.Rd, uint32(in.Imm)<<16)
+
+		case isa.LW:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			v, err := s.LoadWord(addr)
+			if err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+			s.SetReg(in.Rd, v)
+		case isa.LH:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			v, err := s.LoadHalf(addr)
+			if err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+			s.SetReg(in.Rd, uint32(int32(int16(v))))
+		case isa.LHU:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			v, err := s.LoadHalf(addr)
+			if err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+			s.SetReg(in.Rd, uint32(v))
+		case isa.LB:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			v, err := s.LoadByte(addr)
+			if err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+			s.SetReg(in.Rd, uint32(int32(int8(v))))
+		case isa.LBU:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			v, err := s.LoadByte(addr)
+			if err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+			s.SetReg(in.Rd, uint32(v))
+		case isa.SW:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			if err := s.StoreWord(addr, r[in.Rd]); err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+		case isa.SH:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			if err := s.StoreHalf(addr, uint16(r[in.Rd])); err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+		case isa.SB:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			s.PC = pc
+			if env != nil {
+				env.DTouch(addr)
+			}
+			if err := s.StoreByte(addr, byte(r[in.Rd])); err != nil {
+				s.Instret += uint64(i)
+				return pc, err
+			}
+
+		case isa.OUT:
+			s.Out.Emit(r[in.Rs1])
+		case isa.NOP:
+			// nothing
+		case isa.JMP:
+			// Elided on-trace jump: retire it and continue at its static
+			// target, where the caller has placed the next instruction.
+			pc = uint32(in.Imm)*isa.WordSize - isa.WordSize
+		default:
+			s.PC = pc
+			s.Instret += uint64(i)
+			return pc, s.fault(pc, "control transfer or illegal instruction in straight-line body")
+		}
+		pc += isa.WordSize
+	}
+	s.Instret += uint64(len(insts))
+	s.PC = pc
+	return pc, nil
+}

@@ -296,6 +296,24 @@ func (r *Report) checkAccounting() {
 		r.failf("prof.resolved", "hits(%d)+misses(%d)+guardhits(%d) = %d < IB total %d",
 			p.MechHits, p.MechMisses, p.TraceGuardHits, resolved, p.IBTotal())
 	}
+
+	// Superblock counters must be internally consistent: a superblock
+	// execution requires a materialized trace, a retired super-op requires
+	// a superblock execution, and each execution departs the trace at most
+	// once, so side exits can never outnumber entries.
+	if p.SuperblockExecs > 0 && p.TracesFormed == 0 {
+		r.failf("prof.superblock", "%d superblock execs with no traces formed", p.SuperblockExecs)
+	}
+	if p.SuperOpsRetired > 0 && p.SuperblockExecs == 0 {
+		r.failf("prof.superblock", "%d super-ops retired with no superblock execs", p.SuperOpsRetired)
+	}
+	if p.TraceExits > p.SuperblockExecs {
+		r.failf("prof.superblock", "%d trace exits exceed %d superblock execs", p.TraceExits, p.SuperblockExecs)
+	}
+	if p.TraceGuardHits+p.TraceGuardMisses > 0 && p.SuperblockExecs == 0 {
+		r.failf("prof.superblock", "trace guards fired (%d hits, %d misses) with no superblock execs",
+			p.TraceGuardHits, p.TraceGuardMisses)
+	}
 }
 
 // CheckDeterminism is the repeatability half of oracle level 2: two SDT
@@ -364,7 +382,30 @@ func Variants() []Variant {
 		// programs flush the cache repeatedly.
 		{"flushpressure", func(o *core.Options) { o.CacheBytes = 512 }},
 		{"superblocks", func(o *core.Options) { o.Superblocks = true }},
+		// Eager trace formation: threshold 3 makes corpus-scale programs
+		// form superblocks within their short budgets.
 		{"traces", func(o *core.Options) { o.Traces = true; o.TraceThreshold = 3 }},
+		// Super-op fusion ablation: same superblocks, unfused bodies. The
+		// rewrite may only change cycle counts, never guest-visible state.
+		{"traces:nosuper", func(o *core.Options) {
+			o.Traces = true
+			o.TraceThreshold = 3
+			o.NoSuperOps = true
+		}},
+		// Minimum-length traces: MaxTraceFrags at its floor of 2 stresses
+		// the degenerate two-part superblock and its single side exit.
+		{"traces:minfrags", func(o *core.Options) {
+			o.Traces = true
+			o.TraceThreshold = 3
+			o.MaxTraceFrags = 2
+		}},
+		// Superblocks under flush pressure: materialized traces are torn
+		// down by epoch flushes mid-run and must re-form cleanly.
+		{"traces+flushpressure", func(o *core.Options) {
+			o.Traces = true
+			o.TraceThreshold = 3
+			o.CacheBytes = 512
+		}},
 		{"tinyblocks+flush", func(o *core.Options) {
 			o.MaxBlockInsts = 4
 			o.CacheBytes = 1024

@@ -30,11 +30,22 @@ type Profile struct {
 	TransInsts        uint64 // guest instructions translated
 	Flushes           uint64 // fragment cache flushes
 
-	// Trace formation (Options.Traces).
-	TracesFormed     uint64 // traces materialized
+	// Trace formation and superblock execution (Options.Traces).
+	TracesFormed     uint64 // traces materialized as superblocks
 	TraceGuardHits   uint64 // in-trace IB guards that stayed on trace
 	TraceGuardMisses uint64 // in-trace IB guards that left the trace
 	TraceExits       uint64 // early departures from a trace (any exit kind)
+	// Abandoned recordings, by cause: a completed recording shorter than
+	// two parts is not worth a trace; a full fragment cache stops trace
+	// formation rather than forcing flush churn. Before these counters the
+	// second case was invisible — a workload could silently stop forming
+	// traces under cache pressure and the E16 analysis had no way to see it.
+	TraceAbandonedShort     uint64
+	TraceAbandonedCacheFull uint64
+	// Superblock execution: entries from the trace head, and fused
+	// super-ops retired by rewritten trace bodies (see hostarch.SuperOp).
+	SuperblockExecs uint64
+	SuperOpsRetired uint64
 
 	// Cycle breakdown. CyclesIB counts cycles spent in emitted IB-handling
 	// code; CyclesCtx counts context-switch and translator-lookup cycles;
@@ -52,6 +63,15 @@ func (p *Profile) IBTotal() uint64 {
 		t += n
 	}
 	return t
+}
+
+// SideExitRate returns the fraction of superblock executions that left
+// through a side exit rather than a loop closure, in [0,1].
+func (p *Profile) SideExitRate() float64 {
+	if p.SuperblockExecs == 0 {
+		return 0
+	}
+	return float64(p.TraceExits) / float64(p.SuperblockExecs)
 }
 
 // HitRate returns the mechanism fast-path hit rate in [0,1].
@@ -103,9 +123,12 @@ func (p *Profile) Dump(w io.Writer, totalCycles uint64) {
 		p.MechHits, p.MechMisses, p.HitRate(), p.InlineProbes, p.SieveProbes)
 	fmt.Fprintf(w, "translator: entries=%d translations=%d insts=%d flushes=%d\n",
 		p.TranslatorEntries, p.Translations, p.TransInsts, p.Flushes)
-	if p.TracesFormed > 0 {
-		fmt.Fprintf(w, "traces: formed=%d guard-hits=%d guard-misses=%d exits=%d\n",
-			p.TracesFormed, p.TraceGuardHits, p.TraceGuardMisses, p.TraceExits)
+	if p.TracesFormed > 0 || p.TraceAbandonedShort > 0 || p.TraceAbandonedCacheFull > 0 {
+		fmt.Fprintf(w, "traces: formed=%d guard-hits=%d guard-misses=%d exits=%d abandoned(short=%d cache-full=%d)\n",
+			p.TracesFormed, p.TraceGuardHits, p.TraceGuardMisses, p.TraceExits,
+			p.TraceAbandonedShort, p.TraceAbandonedCacheFull)
+		fmt.Fprintf(w, "superblocks: execs=%d side-exit-rate=%.4f super-ops-retired=%d\n",
+			p.SuperblockExecs, p.SideExitRate(), p.SuperOpsRetired)
 	}
 	b := p.Overhead(totalCycles)
 	fmt.Fprintf(w, "cycles: total=%d body=%.1f%% ib=%.1f%% ctx=%.1f%% trans=%.1f%%\n",
