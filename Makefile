@@ -20,7 +20,7 @@ ci:              ## full gate: vet + build + race tests + fuzz/bench smokes
 fuzz:            ## longer fuzz session against the differential oracle
 	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzDifferential -fuzztime=5m
 
-bench:           ## remeasure the dispatch+sweep benchmarks and rewrite the BENCH_5.json baseline
+bench:           ## remeasure the dispatch+sweep benchmarks and rewrite the BENCH_6.json baseline
 	scripts/bench.sh -update
 
 benchgate:       ## compare the dispatch+sweep benchmarks against the committed baseline

@@ -515,10 +515,10 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 		}
 	}()
 
-	// The coordinator's first health probe ran before its peers were
-	// listening, so they start the session marked down; wait for a probe
-	// cycle to see the whole membership up or the sweep degenerates to a
-	// single local shard.
+	// Daemons retry their initial peer probe with short backoff until the
+	// first success, so the membership converges on its own shortly after
+	// the last peer starts listening; this wait just confirms convergence
+	// before the sweep is sharded.
 	if err := nodes[0].waitClusterUp(3, 10*time.Second); err != nil {
 		return err
 	}

@@ -256,10 +256,9 @@ func peerSmoke(bin, tmp string) error {
 		defer nodes[i].kill()
 	}
 
-	// Each daemon's first health probe fires at startup, possibly before
-	// its sibling is listening; a peer marked down then stays down until
-	// the next probe tick, so wait for both views to converge before
-	// relying on the peer tier.
+	// Daemons retry their initial peer probe with short backoff until the
+	// first success, so sequential boot converges on its own; this wait is
+	// only confirmation that both daemons are listening and converged.
 	if err := waitClusterUp(nodes, 10*time.Second); err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ const (
 	SpecSieve    = "sieve:16384"
 	SpecFastRet  = "fastret+ibtc:16384"
 	SpecRetCache = "retcache:16384+ibtc:16384"
+	SpecAdaptive = "adaptive:16384"
 )
 
 // BestSpecs are the per-mechanism configurations compared head-to-head in

@@ -3,9 +3,11 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"sdt/internal/core"
 	"sdt/internal/ib"
+	"sdt/internal/profile"
 	"sdt/internal/textplot"
 )
 
@@ -20,7 +22,104 @@ func init() {
 		Experiment{"E15", "IBTC organization: associativity & hash", "IBTC configuration discussion (extension)", runE15},
 		Experiment{"E16", "Trace formation with IB guards", "Dynamo/Strata trace mode (extension)", runE16},
 		Experiment{"E17", "Per-kind cost attribution", "which IB kind buys what (extension)", runE17},
+		Experiment{"E18", "Adaptive per-site mechanism selection", "online mechanism choice vs every static pick (extension)", runE18},
 	)
+}
+
+// ---- E18: adaptive per-site selection ----------------------------------------
+
+// runE18 races the adaptive mechanism (per-site inline -> IBTC -> sieve
+// promotion with online re-translation) against the best static
+// configuration of every mechanism family, on every host model. Two claims
+// are under test: on the IB-heavy workloads the adaptive pick should match
+// or beat the best static choice without knowing it in advance, and on the
+// monomorphic workloads the exploration cost (the per-promotion
+// re-translation charge) should stay in the noise.
+func runE18(r *Runner, w io.Writer) error {
+	specs := append([]string{SpecAdaptive}, BestSpecs...)
+	names := []string{"adaptive", "naive", "ibtc", "inline+ibtc", "sieve", "fastret+ibtc", "retcache+ibtc"}
+	heavy := make(map[string]bool, len(ibHeavy))
+	for _, wl := range ibHeavy {
+		heavy[wl] = true
+	}
+	for _, arch := range []string{"x86", "sparc", "arm"} {
+		if err := r.grid(r.suite(), []string{arch}, specs); err != nil {
+			return err
+		}
+		headers := append([]string{"workload"}, names...)
+		headers = append(headers, "promo", "demo")
+		var rows [][]string
+		geo := make([][]float64, len(specs))
+		heavyGeo := make([][]float64, len(specs))
+		for _, wl := range r.suite() {
+			row := []string{wl}
+			var prof *profile.Profile
+			for i, spec := range specs {
+				res, err := r.Run(wl, arch, spec)
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					prof = &res.Prof
+				}
+				row = append(row, fmtF(res.Slowdown())+"x")
+				geo[i] = append(geo[i], res.Slowdown())
+				if heavy[wl] {
+					heavyGeo[i] = append(heavyGeo[i], res.Slowdown())
+				}
+			}
+			row = append(row,
+				fmt.Sprintf("%d", prof.AdaptPromotions),
+				fmt.Sprintf("%d", prof.AdaptDemotions))
+			rows = append(rows, row)
+		}
+		for _, g := range []struct {
+			name string
+			geos [][]float64
+		}{{"geomean", geo}, {"geomean(ib-heavy)", heavyGeo}} {
+			row := []string{g.name}
+			for i := range specs {
+				row = append(row, fmtF(Geomean(g.geos[i]))+"x")
+			}
+			rows = append(rows, append(row, "-", "-"))
+		}
+		fmt.Fprintf(w, "adaptive vs best static configuration of each mechanism (%s):\n", arch)
+		textplot.Table(w, headers, rows)
+
+		// The one-line verdict: adaptive against the best static LOOKUP
+		// mechanism, judged on the IB-heavy subset where the choice
+		// matters. fastret+ibtc is reported separately — fast returns are
+		// a translation policy that sacrifices return-address
+		// transparency, so it is not a pick the per-site selector could
+		// have made.
+		bestName, best := "", math.Inf(1)
+		for i := 1; i < len(specs); i++ {
+			if specs[i] == SpecFastRet {
+				continue
+			}
+			if gm := Geomean(heavyGeo[i]); gm < best {
+				bestName, best = names[i], gm
+			}
+		}
+		ad := Geomean(heavyGeo[0])
+		verdict := "matches"
+		switch {
+		case ad < best-0.005:
+			verdict = "beats"
+		case ad > best+0.005:
+			verdict = "trails"
+		}
+		var fr float64
+		for i, spec := range specs {
+			if spec == SpecFastRet {
+				fr = Geomean(heavyGeo[i])
+			}
+		}
+		fmt.Fprintf(w, "\n%s, ib-heavy: adaptive %.2fx %s best static lookup %s (%.2fx); fastret+ibtc %.2fx (transparency-sacrificing)\n\n",
+			arch, ad, verdict, bestName, best, fr)
+	}
+	fmt.Fprintln(w, "(promo/demo columns are the adaptive run's tier changes on that\n workload; each one re-translates a single owning fragment in place)")
+	return nil
 }
 
 // ---- E17: per-kind attribution ----------------------------------------------

@@ -372,6 +372,14 @@ func (c *Cluster) fetchFrom(p *Peer, key string) ([]byte, bool, error) {
 
 // Start launches the background health prober (a no-op when the
 // configured interval is negative or the cluster was already started).
+//
+// Boot phase: peers of a sequentially booting fleet are routinely still
+// coming up when the first probe fires, and a single startup probe would
+// leave them marked down for a whole probe interval (the waitClusterUp
+// race the chaos/smoke drivers used to work around). Peers that fail the
+// initial probe are re-probed with a short doubling backoff until every
+// peer has answered once or the backoff reaches the steady interval;
+// thereafter the ticker takes over.
 func (c *Cluster) Start() {
 	if c.probeEvery < 0 {
 		return
@@ -382,6 +390,14 @@ func (c *Cluster) Start() {
 		t := time.NewTicker(c.probeEvery)
 		defer t.Stop()
 		c.probeAll()
+		for backoff := 25 * time.Millisecond; backoff < c.probeEvery && c.anyPeerDown(); backoff *= 2 {
+			select {
+			case <-c.stop:
+				return
+			case <-time.After(backoff):
+			}
+			c.probeDown()
+		}
 		for {
 			select {
 			case <-c.stop:
@@ -407,6 +423,33 @@ func (c *Cluster) probeAll() {
 	var wg sync.WaitGroup
 	for _, p := range c.members {
 		if p.self {
+			continue
+		}
+		wg.Add(1)
+		go func(p *Peer) {
+			defer wg.Done()
+			p.up.Store(c.probe(p))
+		}(p)
+	}
+	wg.Wait()
+}
+
+// anyPeerDown reports whether any remote peer is currently marked down.
+func (c *Cluster) anyPeerDown() bool {
+	for _, p := range c.members {
+		if !p.self && !p.up.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// probeDown re-probes only the peers currently marked down (the boot-phase
+// retry loop; up peers are left to the steady ticker).
+func (c *Cluster) probeDown() {
+	var wg sync.WaitGroup
+	for _, p := range c.members {
+		if p.self || p.up.Load() {
 			continue
 		}
 		wg.Add(1)

@@ -255,6 +255,53 @@ func TestProber(t *testing.T) {
 	wait(true, "up again")
 }
 
+// A peer that is still booting when Start fires its initial probe must be
+// re-probed with short backoff and marked up as soon as it answers — not
+// after a full probe interval. The interval here is far longer than the
+// test timeout, so only the boot-phase retry loop can flip the peer up.
+func TestProberBootBackoff(t *testing.T) {
+	var ready sync.Map
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := ready.Load("up"); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+	self := "http://127.0.0.1:1"
+	c, err := New(Config{
+		Self:          self,
+		Peers:         []string{self, ts.URL},
+		ProbeInterval: time.Hour, // the steady ticker never fires in-test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+
+	var remote *Peer
+	for _, p := range c.Members() {
+		if !p.Self() {
+			remote = p
+		}
+	}
+	// Let the initial probe see the peer down, then bring it up.
+	deadline := time.Now().Add(5 * time.Second)
+	for remote.Up() {
+		if time.Now().After(deadline) {
+			t.Fatal("initial probe never marked the booting peer down")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ready.Store("up", true)
+	for !remote.Up() {
+		if time.Now().After(deadline) {
+			t.Fatal("boot backoff never re-probed the peer (would have waited a full interval)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // Merge must emit records in global index order no matter the delivery
 // order, matching what a single-node Ordered sweep would stream.
 func TestMergeOrder(t *testing.T) {

@@ -113,6 +113,7 @@ func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
 		"retcache+ibtc:4096",
 		"fastret+ibtc:4096",
 		"inline:2+ibtc:4096",
+		"adaptive:4096",
 		"trace+ibtc:4096",
 		"trace:3+ibtc:4096",
 		"trace:3:nosuper+ibtc:4096",
@@ -159,5 +160,33 @@ func TestSuperblockSteadyStateZeroAlloc(t *testing.T) {
 	scaled := runAllocs(t, long, "trace:3+ibtc:4096", exercised)
 	if scaled > base {
 		t.Errorf("superblock steady state allocates: %.1f allocs/run at 2k iterations, %.1f at 8k (want no growth)", base, scaled)
+	}
+}
+
+// TestAdaptiveSteadyStateZeroAlloc pins down the adaptive row of the
+// scale-differencing test: the runs actually promote (the 4-target
+// dispatch site crosses the x86 polymorphism bar) and re-translate the
+// owning fragment, and the post-stabilization steady state still
+// allocates nothing per added iteration. The promotions themselves happen
+// in the prefix both run lengths share.
+func TestAdaptiveSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are not meaningful")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	short := allocImage(t, 2_000)
+	long := allocImage(t, 8_000)
+	exercised := func(vm *core.VM) {
+		p := &vm.Prof
+		if p.AdaptPromotions == 0 || p.AdaptRetrans == 0 {
+			t.Fatalf("run promoted %d times with %d re-translations; the measurement is vacuous",
+				p.AdaptPromotions, p.AdaptRetrans)
+		}
+	}
+	base := runAllocs(t, short, "adaptive:4096", exercised)
+	scaled := runAllocs(t, long, "adaptive:4096", exercised)
+	if scaled > base {
+		t.Errorf("adaptive steady state allocates: %.1f allocs/run at 2k iterations, %.1f at 8k (want no growth)", base, scaled)
 	}
 }

@@ -181,7 +181,17 @@ type IBSite struct {
 	Kind     isa.IBKind // return / indirect jump / indirect call
 	HostAddr uint32     // address of the emitted handling code for this site
 	Data     any        // mechanism-specific per-site state
+
+	// frag is the fragment whose terminator this site belongs to; set by
+	// the translator for real sites, nil for handler-built shadow sites.
+	frag *Fragment
 }
+
+// Owner returns the fragment whose terminator this site handles, or nil
+// for shadow sites a handler constructed itself (inline-cache fallbacks).
+// Handlers use it to target a single-fragment invalidation (VM.Invalidate)
+// at the code that emitted their lookup sequence.
+func (s *IBSite) Owner() *Fragment { return s.frag }
 
 // IBHandler is an indirect-branch handling mechanism. Implementations
 // charge the VM's cost environment for every host-level operation their

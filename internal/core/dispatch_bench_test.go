@@ -218,6 +218,26 @@ func BenchmarkRunSuperblockGuardThrash(b *testing.B) {
 	runDispatchBench(b, benchGuardThrashSrc, "trace+ibtc:4096")
 }
 
+// The BenchmarkRunAdaptive family runs the same guests under per-site
+// adaptive selection: dispatch is the polymorphic case (the 4-target site
+// promotes to the IBTC tier and re-translates once), call-ret is the
+// monomorphic case (every site stays on the one-compare inline tier), and
+// guard-thrash is the megamorphic adversary. These track both the
+// steady-state cost of the per-resolve policy evaluation and the one-time
+// promotion machinery.
+
+func BenchmarkRunAdaptiveDispatch(b *testing.B) {
+	runDispatchBench(b, benchDispatchSrc, "adaptive:4096")
+}
+
+func BenchmarkRunAdaptiveCallRet(b *testing.B) {
+	runDispatchBench(b, benchCallRetSrc, "adaptive:4096")
+}
+
+func BenchmarkRunAdaptiveGuardThrash(b *testing.B) {
+	runDispatchBench(b, benchGuardThrashSrc, "adaptive:4096")
+}
+
 // BenchmarkFlushStorm squeezes the fragment cache far below the working
 // set, so the VM flushes continuously: it measures the cost of flush +
 // retranslation churn. Flush must be O(live fragments) with no wholesale

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdt/internal/asm"
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+)
+
+// Targeted single-fragment invalidation: the retired fragment must vanish
+// from every lookup surface without disturbing the rest of the cache or
+// bumping the epoch (no flush).
+func TestInvalidateFragment(t *testing.T) {
+	img, err := asm.Assemble("inv.s", `
+	main:
+		call f1
+		call f1
+		out rv
+		halt
+	f1:
+		addi rv, rv, 7
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ib.Parse("ibtc:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := core.New(img, cfg.Options(hostarch.X86()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Prof.Flushes != 0 {
+		t.Fatal("program flushed; the test needs a quiet cache")
+	}
+
+	f := vm.Lookup(img.Entry)
+	if f == nil {
+		t.Fatal("entry fragment not found after run")
+	}
+	host := f.HostAddr
+	epoch := vm.Epoch()
+
+	if !vm.Invalidate(f) {
+		t.Fatal("Invalidate returned false for a live fragment")
+	}
+	if vm.Live(f) {
+		t.Error("fragment still Live after Invalidate")
+	}
+	if vm.Lookup(img.Entry) != nil {
+		t.Error("translation table still resolves the invalidated fragment")
+	}
+	if vm.FragmentByHost(host) != nil {
+		t.Error("host-address index still resolves the invalidated fragment")
+	}
+	if vm.Epoch() != epoch {
+		t.Error("Invalidate bumped the epoch (that is a flush, not a targeted retire)")
+	}
+	if vm.Invalidate(f) {
+		t.Error("second Invalidate of a dead fragment returned true")
+	}
+
+	// Unrelated fragments are untouched.
+	if g := vm.Lookup(img.Entry + 8); g != nil && !vm.Live(g) {
+		t.Error("invalidation leaked onto an unrelated fragment")
+	}
+}

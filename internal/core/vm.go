@@ -102,6 +102,33 @@ func (vm *VM) Epoch() uint64 { return vm.epoch }
 // second flush the fragment's storage may have been reused.
 func (vm *VM) Live(f *Fragment) bool { return f != nil && f.epoch == vm.epoch }
 
+// deadEpoch marks a fragment invalidated mid-epoch (see Invalidate). The
+// VM's epoch counts up from zero, so this value is never a live epoch.
+const deadEpoch = ^uint64(0)
+
+// Invalidate retires a single fragment without flushing the cache: the
+// fragment's epoch is poisoned so every lookup path (translation table,
+// host-address index, patched links, handler-cached pointers revalidated
+// through Live) misses it, and the next execution of its guest block
+// retranslates. The fragment's cache bytes are not reclaimed — like a real
+// SDT's in-place retranslation, the dead code stays resident until the
+// next full flush. Reports whether f was live.
+//
+// This is the re-translation primitive adaptive dispatch uses to swap a
+// site's emitted lookup sequence: invalidate the owning fragment, and the
+// organic retranslation re-attaches the site under the new configuration.
+func (vm *VM) Invalidate(f *Fragment) bool {
+	if !vm.Live(f) {
+		return false
+	}
+	idx := (f.GuestPC - program.CodeBase) / isa.WordSize
+	if int(idx) < len(vm.frags) && vm.frags[idx] == f {
+		vm.frags[idx] = nil
+	}
+	f.epoch = deadEpoch
+	return true
+}
+
 // AllocCode reserves bytes in the fragment cache (for mechanism stubs such
 // as sieve chain entries) and returns their address.
 func (vm *VM) AllocCode(bytes uint32) uint32 {
@@ -280,6 +307,7 @@ func (vm *VM) translate(guest uint32) (*Fragment, error) {
 			GuestPC:  termPC,
 			Kind:     isa.KindOf(term.Op),
 			HostAddr: f.HostAddr + bodyBytes,
+			frag:     f,
 		}
 		f.Site = s
 		vm.opts.Handler.Attach(vm, f.Site)
@@ -361,7 +389,10 @@ func (vm *VM) link(f *Fragment, slot *fragLink, guest uint32, e0 uint64) (*Fragm
 		return vm.EnterTranslator(guest)
 	}
 	trust := vm.opts.Traces || vm.epoch == e0
-	if next := slot.f; trust && next != nil && slot.epoch == vm.epoch && next.GuestPC == guest {
+	// next.epoch must match too: a patch made this epoch may point at a
+	// fragment since retired by a targeted Invalidate (never by a flush,
+	// which would fail the slot.epoch check first).
+	if next := slot.f; trust && next != nil && slot.epoch == vm.epoch && next.epoch == vm.epoch && next.GuestPC == guest {
 		return next, nil
 	}
 	next, err := vm.EnterTranslator(guest)
@@ -577,7 +608,7 @@ const (
 func (vm *VM) retPoint(f *Fragment, guestRet uint32, e0 uint64) (*Fragment, error) {
 	trust := vm.opts.Traces || vm.epoch == e0
 	rl := f.RetFrag
-	if rf := rl.f; trust && rf != nil && rl.epoch == vm.epoch && rf.GuestPC == guestRet {
+	if rf := rl.f; trust && rf != nil && rl.epoch == vm.epoch && rf.epoch == vm.epoch && rf.GuestPC == guestRet {
 		return rf, nil
 	}
 	// First execution (or flushed): materialize the return-point fragment

@@ -42,7 +42,11 @@ import (
 // fragments (direct transfers along the recorded path elided, emitted
 // trace code compacted through per-model super-op tables, I-fetch charged
 // per emitted cache line), so every trace-mode cycle total moved.
-const CostModelVersion = 3
+//
+// Version 4: adaptive dispatch — per-arch AdaptiveParams (promotion and
+// demotion thresholds, per-promotion re-translation charge) join the
+// model, so runs under the "adaptive" mechanism depend on these numbers.
+const CostModelVersion = 4
 
 // Model prices host-level operations in cycles.
 type Model struct {
@@ -96,6 +100,66 @@ type Model struct {
 	// trace bodies through this table (see SuperOp). Empty disables
 	// fusion for the model.
 	SuperOps []SuperOp
+
+	// Adaptive parameterizes adaptive per-site mechanism selection (the
+	// "adaptive" entry in internal/ib): when a site's observed behaviour
+	// crosses these thresholds its emitted lookup sequence is swapped by
+	// re-translating the owning fragment. The thresholds are per-arch
+	// because the crossover points depend on the relative costs of flag
+	// spills, indirect mispredictions and translation work.
+	Adaptive AdaptiveParams
+}
+
+// AdaptiveParams tunes the adaptive mechanism's per-site promotion state
+// machine and prices its re-translations.
+type AdaptiveParams struct {
+	// PromoteExecs is how many executions a site must accumulate before
+	// any tier change is considered (the observation window).
+	PromoteExecs uint64
+	// PolyTargets is the distinct-target count above which a site leaves
+	// the inline tier for the IBTC tier.
+	PolyTargets int
+	// MegaTargets is the distinct-target count above which an IBTC-tier
+	// site is promoted to the sieve tier. Must exceed PolyTargets.
+	MegaTargets int
+	// DemoteRun is the length of a run of consecutive same-target
+	// executions after which a promoted site is demoted back to the
+	// inline tier (the site has gone monomorphic again).
+	DemoteRun uint64
+	// RetransCycles is the charge per tier change: the translator work of
+	// re-emitting the owning fragment with the new lookup sequence. It is
+	// attributed to the translation category.
+	RetransCycles uint64
+	// MissBudget is the number of inline-tier misses a site may take
+	// within one translation tenure (the counter resets on flush and on
+	// tier change) before it is promoted regardless of its distinct-target
+	// count. It catches thrashing sites the polymorphism rule cannot: a
+	// return alternating between two callers never exceeds PolyTargets
+	// distinct targets yet misses a single-slot compare on most
+	// executions, and every such miss costs a full translator entry —
+	// break-even against the IBTC probe sits at a miss rate of a few
+	// percent, so the budget is a count, not a rate.
+	MissBudget uint64
+}
+
+func (a AdaptiveParams) validate(model string) error {
+	if a.PromoteExecs < 1 {
+		return fmt.Errorf("hostarch: %s Adaptive.PromoteExecs = %d must be >= 1", model, a.PromoteExecs)
+	}
+	if a.PolyTargets < 1 {
+		return fmt.Errorf("hostarch: %s Adaptive.PolyTargets = %d must be >= 1", model, a.PolyTargets)
+	}
+	if a.MegaTargets <= a.PolyTargets {
+		return fmt.Errorf("hostarch: %s Adaptive.MegaTargets = %d must exceed PolyTargets = %d",
+			model, a.MegaTargets, a.PolyTargets)
+	}
+	if a.DemoteRun < 1 {
+		return fmt.Errorf("hostarch: %s Adaptive.DemoteRun = %d must be >= 1", model, a.DemoteRun)
+	}
+	if a.MissBudget < 1 {
+		return fmt.Errorf("hostarch: %s Adaptive.MissBudget = %d must be >= 1", model, a.MissBudget)
+	}
+	return nil
 }
 
 // Validate reports whether every parameter is in a sane range.
@@ -140,6 +204,9 @@ func (m *Model) Validate() error {
 	if m.CodeBytesPerInst <= 0 || m.StubBytes <= 0 {
 		return fmt.Errorf("hostarch: %s code layout sizes must be positive", m.Name)
 	}
+	if err := m.Adaptive.validate(m.Name); err != nil {
+		return err
+	}
 	return m.validateSuperOps()
 }
 
@@ -161,6 +228,13 @@ func X86() *Model {
 		RAS:              predictor.FixedDepth(16),
 		CodeBytesPerInst: 6, StubBytes: 16,
 		SuperOps:         x86SuperOpsTable,
+		// Expensive flag spills and indirect mispredictions: tolerate more
+		// distinct targets in the IBTC tier before paying for sieve chains
+		// (every sieve probe saves eflags).
+		Adaptive: AdaptiveParams{
+			PromoteExecs: 16, PolyTargets: 2, MegaTargets: 16,
+			DemoteRun: 64, RetransCycles: 300, MissBudget: 16,
+		},
 	}
 }
 
@@ -229,6 +303,12 @@ func ARM() *Model {
 		BTBL2HitPenalty:  2,
 		CodeBytesPerInst: 4, StubBytes: 12,
 		SuperOps:         armSuperOpsTable,
+		// Cheap mispredictions and small caches: middle ground between the
+		// two paper models.
+		Adaptive: AdaptiveParams{
+			PromoteExecs: 16, PolyTargets: 2, MegaTargets: 8,
+			DemoteRun: 64, RetransCycles: 250, MissBudget: 16,
+		},
 	}
 }
 
@@ -261,6 +341,12 @@ func SPARC() *Model {
 		RAS:              predictor.FixedDepth(8),
 		CodeBytesPerInst: 8, StubBytes: 16,
 		SuperOps:         sparcSuperOpsTable,
+		// Flags are free, so sieve chains are cheap: promote to the sieve
+		// tier at a low distinct-target count.
+		Adaptive: AdaptiveParams{
+			PromoteExecs: 16, PolyTargets: 2, MegaTargets: 4,
+			DemoteRun: 64, RetransCycles: 350, MissBudget: 16,
+		},
 	}
 }
 

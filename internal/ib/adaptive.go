@@ -1,0 +1,296 @@
+package ib
+
+import (
+	"fmt"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/profile"
+)
+
+// AdaptiveConfig configures adaptive per-site mechanism selection.
+type AdaptiveConfig struct {
+	// Entries sizes the promoted tiers: the shared IBTC table and the
+	// sieve bucket array. A positive power of two; default 4096.
+	Entries int
+}
+
+// Adaptive tiers, in promotion order. Every site starts on the inline
+// tier (one compare against the first observed target); sites that prove
+// polymorphic are promoted to an IBTC probe, and megamorphic sites to
+// sieve chains. Sites that go monomorphic again are demoted back.
+type adaptTier uint8
+
+const (
+	tierInline adaptTier = iota
+	tierIBTC
+	tierSieve
+)
+
+func (t adaptTier) String() string {
+	switch t {
+	case tierInline:
+		return "inline"
+	case tierIBTC:
+		return "ibtc"
+	case tierSieve:
+		return "sieve"
+	}
+	return "?"
+}
+
+// adaptSlot is the inline tier's single predicted-target slot.
+type adaptSlot struct {
+	tag   uint32
+	frag  *core.Fragment
+	valid bool
+}
+
+// adaptSite is the per-site state. It is keyed by guest pc and survives
+// both full flushes and the targeted re-translations tier changes trigger:
+// the learned tier and the observation record are properties of the guest
+// site, while the slot and the shadow site's address track the current
+// translation.
+type adaptSite struct {
+	tier   adaptTier
+	stats  *profile.SiteStats
+	slot   adaptSlot
+	fbSite *core.IBSite // shadow site handed to the promoted tiers
+	// tenureMisses counts inline-tier misses in the current translation
+	// tenure (reset on flush and tier change); it backs the
+	// thrash-promotion rule (hostarch.AdaptiveParams.MissBudget). Cold
+	// misses after a flush restart the count, so only sustained
+	// in-tenure thrash spends the budget.
+	tenureMisses uint64
+}
+
+// Adaptive implements per-site mechanism selection with online
+// re-translation: each indirect-branch site's emitted lookup sequence is
+// chosen from its own observed behaviour, and crossing a threshold
+// re-translates the owning fragment in place (core.VM.Invalidate) so the
+// site's next execution runs the new sequence. Thresholds and the
+// re-translation charge come from the host model (hostarch.AdaptiveParams).
+type Adaptive struct {
+	cfg    AdaptiveConfig
+	params hostarch.AdaptiveParams
+
+	ibtc  *IBTC
+	sieve *Sieve
+
+	sites map[uint32]*adaptSite
+	list  []*adaptSite // for Flush
+	table *profile.SiteTable
+}
+
+// NewAdaptive builds an adaptive mechanism. It panics on an invalid
+// configuration; validate external input through the registry (Parse).
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	if cfg.Entries == 0 {
+		cfg.Entries = 4096
+	}
+	if err := checkPow2("adaptive", cfg.Entries); err != nil {
+		panic(err)
+	}
+	return &Adaptive{
+		cfg:   cfg,
+		ibtc:  NewIBTC(IBTCConfig{Entries: cfg.Entries}),
+		sieve: NewSieve(SieveConfig{Buckets: cfg.Entries}),
+		sites: make(map[uint32]*adaptSite),
+	}
+}
+
+// Name implements core.IBHandler.
+func (c *Adaptive) Name() string { return fmt.Sprintf("adaptive(%d)", c.cfg.Entries) }
+
+// Config returns the mechanism's configuration.
+func (c *Adaptive) Config() AdaptiveConfig { return c.cfg }
+
+// SiteTable exposes the per-site observation records (for reporting).
+func (c *Adaptive) SiteTable() *profile.SiteTable { return c.table }
+
+// Init implements core.IBHandler.
+func (c *Adaptive) Init(vm *core.VM) {
+	c.params = vm.Env.Model.Adaptive
+	// Track one target past the megamorphic bar: that answers every
+	// threshold comparison the policy makes, with a bounded record.
+	c.table = profile.NewSiteTable(c.params.MegaTargets + 1)
+	// A handler instance is shared by every VM built from the same parsed
+	// Config. Per-site records from an earlier VM hold fragment pointers
+	// into that VM's cache (whose epoch numbering restarts, so liveness
+	// checks cannot reject them) and tiers learned from a run that no
+	// longer exists — start empty.
+	c.sites = make(map[uint32]*adaptSite, len(c.sites))
+	c.list = c.list[:0]
+	c.ibtc.Init(vm)
+	c.sieve.Init(vm)
+}
+
+// Attach implements core.IBHandler. On a site's first translation it
+// builds the per-site record; on every re-translation (tier change, or
+// organic retranslation after a flush) it re-binds the existing record, so
+// tier memory and observation history persist across translations and the
+// steady state allocates nothing.
+func (c *Adaptive) Attach(vm *core.VM, site *core.IBSite) {
+	s := c.sites[site.GuestPC]
+	if s == nil {
+		s = &adaptSite{
+			stats:  c.table.Obtain(site.GuestPC),
+			fbSite: &core.IBSite{GuestPC: site.GuestPC, Kind: site.Kind},
+		}
+		c.sites[site.GuestPC] = s
+		c.list = append(c.list, s)
+		c.ibtc.Attach(vm, s.fbSite)
+		c.sieve.Attach(vm, s.fbSite)
+	}
+	// The whole lookup sequence is re-emitted per translation, so the
+	// promoted tiers' code sits at the site address itself.
+	s.fbSite.HostAddr = site.HostAddr
+	site.Data = s
+}
+
+// Flush implements core.IBHandler: fragment pointers die with the cache,
+// but tiers and observation records persist — a site's learned behaviour
+// is a property of the guest, not of one translation.
+func (c *Adaptive) Flush(vm *core.VM) {
+	for _, s := range c.list {
+		s.slot = adaptSlot{}
+		s.tenureMisses = 0
+	}
+	c.ibtc.Flush(vm)
+	c.sieve.Flush(vm)
+}
+
+// Resolve implements core.IBHandler: dispatch through the site's current
+// tier, record the observation, and evaluate the promotion policy.
+func (c *Adaptive) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fragment, error) {
+	s := site.Data.(*adaptSite)
+	s.stats.Observe(target)
+
+	var (
+		f   *core.Fragment
+		err error
+		hit bool
+	)
+	switch s.tier {
+	case tierInline:
+		f, hit, err = c.resolveInline(vm, site, s, target)
+		if !hit {
+			s.tenureMisses++
+		}
+	default:
+		inner := core.IBHandler(c.ibtc)
+		if s.tier == tierSieve {
+			inner = c.sieve
+		}
+		hits0 := vm.Prof.MechHits
+		f, err = inner.Resolve(vm, s.fbSite, target)
+		hit = vm.Prof.MechHits > hits0
+	}
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	c.evaluate(vm, site, s)
+	return f, nil
+}
+
+// resolveInline is the inline tier: one flag-guarded compare against the
+// predicted target, a direct jump on hit, translator entry plus slot
+// reseed on miss — the cheapest possible sequence while the site stays
+// monomorphic.
+func (c *Adaptive) resolveInline(vm *core.VM, site *core.IBSite, s *adaptSite, target uint32) (*core.Fragment, bool, error) {
+	env := vm.Env
+	m := env.Model
+	env.IFetch(site.HostAddr)
+	env.Charge(m.FlagsSave + m.CompareBranch)
+	vm.Prof.InlineProbes++
+	if s.slot.valid && s.slot.tag == target && vm.Live(s.slot.frag) {
+		vm.Prof.MechHits++
+		vm.Prof.InlineHits++
+		env.Charge(m.FlagsRestore + m.DirectJump)
+		return s.slot.frag, true, nil
+	}
+	vm.Prof.MechMisses++
+	vm.Prof.IBMiss[site.Kind]++
+	env.Charge(m.FlagsRestore)
+	f, err := vm.EnterTranslator(target)
+	if err != nil {
+		return nil, false, err
+	}
+	// The translator patches the new prediction into the compare, and the
+	// miss path dispatches through the translator's shared exit jump.
+	s.slot = adaptSlot{tag: target, frag: f, valid: true}
+	env.Charge(m.TableStore)
+	env.IndirectTransfer(translatorDispatchAddr, f.HostAddr)
+	return f, false, nil
+}
+
+// evaluate applies the promotion state machine after each execution:
+//
+//	inline --(distinct > PolyTargets, or MissBudget in-tenure misses)--> ibtc
+//	ibtc --(distinct > MegaTargets)--> sieve
+//	ibtc/sieve --(run of DemoteRun same-target executions)--> inline
+//
+// No change is considered before PromoteExecs executions, so short-lived
+// sites never pay a re-translation. The miss-budget rule exists because
+// low polymorphism does not imply inline-friendliness: a site alternating
+// between two targets stays at two distinct targets forever while missing
+// a single-slot compare on most executions, each miss a full translator
+// entry.
+func (c *Adaptive) evaluate(vm *core.VM, site *core.IBSite, s *adaptSite) {
+	p := c.params
+	if s.stats.Execs < p.PromoteExecs {
+		return
+	}
+	switch s.tier {
+	case tierInline:
+		if s.stats.Distinct() > p.PolyTargets || s.tenureMisses >= p.MissBudget {
+			c.retarget(vm, site, s, tierIBTC, true)
+		}
+	case tierIBTC:
+		if s.stats.Distinct() > p.MegaTargets {
+			c.retarget(vm, site, s, tierSieve, true)
+		} else if s.stats.Run >= p.DemoteRun {
+			c.retarget(vm, site, s, tierInline, false)
+		}
+	case tierSieve:
+		if s.stats.Run >= p.DemoteRun {
+			c.retarget(vm, site, s, tierInline, false)
+		}
+	}
+}
+
+// retarget switches the site's tier and re-translates the owning fragment
+// in place: the re-translation charge is attributed to the translation
+// category, and the owner is retired by a targeted invalidation so its
+// next execution re-emits the block with the new lookup sequence. Shadow
+// sites (adaptive composed as another mechanism's fallback) have no owner;
+// the tier still changes, without a re-translation.
+func (c *Adaptive) retarget(vm *core.VM, site *core.IBSite, s *adaptSite, tier adaptTier, promote bool) {
+	s.tier = tier
+	s.slot = adaptSlot{}
+	s.stats.Run = 0
+	s.tenureMisses = 0
+	if promote {
+		vm.Prof.AdaptPromotions++
+	} else {
+		vm.Prof.AdaptDemotions++
+		// Forget stale polymorphism evidence: the demoted site re-learns
+		// its degree from current behaviour, so a single historical phase
+		// change cannot re-promote it forever.
+		s.stats.ResetTargets()
+		// Seed the inline compare from the run that triggered demotion.
+		if f := vm.Lookup(s.stats.LastTarget()); f != nil {
+			s.slot = adaptSlot{tag: s.stats.LastTarget(), frag: f, valid: true}
+		}
+	}
+	vm.Env.Charge(int(c.params.RetransCycles))
+	vm.Prof.CyclesTrans += c.params.RetransCycles
+	if owner := site.Owner(); owner != nil && vm.Invalidate(owner) {
+		vm.Prof.AdaptRetrans++
+	}
+}

@@ -1,0 +1,153 @@
+package ib_test
+
+import (
+	"testing"
+
+	"sdt/internal/core"
+	"sdt/internal/hostarch"
+	"sdt/internal/ib"
+)
+
+// runSpecArch is runSpec with a selectable host model (the adaptive
+// thresholds are per-arch, so several tests need a specific one).
+func runSpecArch(t *testing.T, src, spec string, model *hostarch.Model) *core.VM {
+	t.Helper()
+	cfg, err := ib.Parse(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	vm, err := core.New(assemble(t, src), cfg.Options(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(20_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return vm
+}
+
+// A monomorphic site must stay on the inline tier for the whole run: no
+// tier changes, no re-translations, and near-perfect inline hits.
+func TestAdaptiveMonomorphicStaysInline(t *testing.T) {
+	vm := runSpec(t, polyProg(1, 2000), "adaptive:1024")
+	p := vm.Prof
+	if p.AdaptPromotions != 0 || p.AdaptDemotions != 0 || p.AdaptRetrans != 0 {
+		t.Errorf("monomorphic run changed tiers: promotions=%d demotions=%d retrans=%d",
+			p.AdaptPromotions, p.AdaptDemotions, p.AdaptRetrans)
+	}
+	if p.InlineHits == 0 {
+		t.Error("monomorphic run never hit the inline tier")
+	}
+	if hr := p.HitRate(); hr < 0.99 {
+		t.Errorf("monomorphic hit rate = %.4f, want ~1", hr)
+	}
+}
+
+// A polymorphic site (8 targets on x86, below the megamorphic bar of 16)
+// must be promoted off the inline tier and then resolve through the IBTC,
+// ending with a hit rate an inline compare could never reach.
+func TestAdaptivePolymorphicPromotes(t *testing.T) {
+	vm := runSpec(t, polyProg(8, 4000), "adaptive:1024")
+	p := vm.Prof
+	if p.AdaptPromotions == 0 {
+		t.Fatal("polymorphic site was never promoted")
+	}
+	if p.AdaptRetrans == 0 {
+		t.Error("promotion did not re-translate the owning fragment")
+	}
+	if p.SieveProbes != 0 {
+		t.Errorf("8 targets on x86 (megamorphic bar 16) reached the sieve tier: %d probes", p.SieveProbes)
+	}
+	if hr := p.HitRate(); hr < 0.95 {
+		t.Errorf("post-promotion hit rate = %.4f, want ~1", hr)
+	}
+}
+
+// The same 8-target site on sparc (megamorphic bar 4) must climb through
+// both promotions to the sieve tier.
+func TestAdaptiveMegamorphicReachesSieve(t *testing.T) {
+	vm := runSpecArch(t, polyProg(8, 4000), "adaptive:1024", hostarch.SPARC())
+	p := vm.Prof
+	if p.AdaptPromotions < 2 {
+		t.Fatalf("8 targets on sparc should promote twice (inline->ibtc->sieve), got %d", p.AdaptPromotions)
+	}
+	if p.SieveProbes == 0 {
+		t.Error("megamorphic site never walked a sieve chain")
+	}
+	if hr := p.HitRate(); hr < 0.95 {
+		t.Errorf("sieve-tier hit rate = %.4f, want ~1", hr)
+	}
+}
+
+// A bimodal site (two targets, strictly alternating) sits exactly at the
+// x86 polymorphism bar and would stay inline forever under the
+// distinct-target rule alone — while missing the single-slot compare on
+// every execution. The miss-budget rule must promote it, after which the
+// IBTC tier holds both targets and the hit rate recovers.
+func TestAdaptiveThrashingBimodalPromotes(t *testing.T) {
+	vm := runSpec(t, polyProg(2, 4000), "adaptive:1024")
+	p := vm.Prof
+	if p.AdaptPromotions == 0 {
+		t.Fatal("alternating two-target site was never promoted (miss-budget rule dead)")
+	}
+	if p.AdaptDemotions != 0 {
+		t.Errorf("alternating site demoted %d times; it never goes monomorphic", p.AdaptDemotions)
+	}
+	if p.SieveProbes != 0 {
+		t.Errorf("two targets reached the sieve tier: %d probes", p.SieveProbes)
+	}
+	if hr := p.HitRate(); hr < 0.95 {
+		t.Errorf("post-promotion hit rate = %.4f, want ~1", hr)
+	}
+}
+
+// phasedProg's single site is monomorphic within each 2000-iteration phase
+// but changes target at every phase boundary: the third phase pushes it
+// past the polymorphism bar (promotion), and the long monomorphic run
+// inside that phase must then demote it back to the inline tier.
+func TestAdaptivePhaseChangeDemotes(t *testing.T) {
+	vm := runSpec(t, phasedProg(), "adaptive:1024")
+	p := vm.Prof
+	if p.AdaptPromotions == 0 {
+		t.Fatal("phased site was never promoted")
+	}
+	if p.AdaptDemotions == 0 {
+		t.Fatal("monomorphic phase never demoted the site back to inline")
+	}
+	if p.AdaptRetrans > p.AdaptPromotions+p.AdaptDemotions {
+		t.Errorf("retranslations %d exceed tier changes %d",
+			p.AdaptRetrans, p.AdaptPromotions+p.AdaptDemotions)
+	}
+	if hr := p.HitRate(); hr < 0.95 {
+		t.Errorf("phased hit rate = %.4f, want ~1", hr)
+	}
+}
+
+// Tier memory must survive a fragment-cache flush: after the working set
+// is re-translated, a promoted site resumes on its promoted tier instead
+// of re-learning (and re-paying for) the promotions.
+func TestAdaptiveTierSurvivesFlush(t *testing.T) {
+	cfg, err := ib.Parse("adaptive:1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cfg.Options(hostarch.X86())
+	opts.CacheBytes = 256 // force repeated flushes
+	vm, err := core.New(assemble(t, polyProg(8, 4000)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	p := vm.Prof
+	if p.Flushes == 0 {
+		t.Fatal("run never flushed; the test is vacuous")
+	}
+	// One site, one phase change in its behaviour: exactly one promotion
+	// ever, no matter how many flushes re-translate the fragment.
+	if p.AdaptPromotions != 1 {
+		t.Errorf("promotions = %d across %d flushes, want exactly 1 (tier memory lost?)",
+			p.AdaptPromotions, p.Flushes)
+	}
+}

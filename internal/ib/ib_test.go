@@ -101,6 +101,8 @@ func TestParseSpecs(t *testing.T) {
 		"retcache:64+ibtc:256":       "perkind(ret=retcache(64),jump=ibtc(shared,256),call=ibtc(shared,256))",
 		"fastret+sieve:64":           "sieve(64)",
 		"fastret+inline:3+ibtc:1024": "inline(3)+ibtc(shared,1024)",
+		"adaptive":                   "adaptive(4096)",
+		"adaptive:64":                "adaptive(64)",
 	}
 	for spec, wantName := range good {
 		cfg, err := ib.Parse(spec)
@@ -120,7 +122,7 @@ func TestParseSpecs(t *testing.T) {
 		"", "bogus", "ibtc:0", "ibtc:100", "ibtc:-4", "ibtc:64:wat",
 		"sieve:7", "inline:0+ibtc", "inline:65+ibtc", "inline:2",
 		"retcache:64", "fastret", "translator+ibtc", "ibtc+sieve",
-		"translator:3",
+		"translator:3", "adaptive:7", "adaptive:0", "adaptive+ibtc",
 	}
 	for _, spec := range bad {
 		if _, err := ib.Parse(spec); err == nil {
@@ -166,6 +168,10 @@ func TestParseTraceParams(t *testing.T) {
 		"trace:0+ibtc", "trace:-1+ibtc", "trace:3:1+ibtc", "trace:3:0+ibtc",
 		"trace:wat+ibtc", "trace:3:2:4+ibtc", "trace:3:2:nosuper:4+ibtc",
 		"trace:3", "trace", "ibtc+trace",
+		// Duplicate trace components: the later one used to silently
+		// overwrite the earlier one's parameters.
+		"trace:4+trace:99+ibtc", "trace+trace+ibtc",
+		"trace:nosuper+trace:3+ibtc", "trace+trace",
 	}
 	for _, spec := range bad {
 		if _, err := ib.Parse(spec); err == nil {

@@ -184,7 +184,9 @@ func (c *IBTC) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fra
 	for w := 0; w < c.ways; w++ {
 		env.Charge(m.CompareBranch)
 		e := &tbl.entries[setBase+w]
-		if e.valid && e.tag == tag {
+		// Live rejects entries pointing at fragments retired mid-epoch by
+		// a targeted invalidation (flushes clear the whole table instead).
+		if e.valid && e.tag == tag && vm.Live(e.frag) {
 			e.lru = tbl.tick
 			vm.Prof.MechHits++
 			env.Charge(m.FlagsRestore)

@@ -112,7 +112,7 @@ func (c *Inline) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.F
 		}
 		vm.Prof.InlineProbes++
 		env.Charge(m.CompareBranch)
-		if slot.tag == target {
+		if slot.tag == target && vm.Live(slot.frag) {
 			slot.used = s.tick
 			vm.Prof.MechHits++
 			vm.Prof.InlineHits++

@@ -101,6 +101,12 @@ var registry = []*Entry{
 		parse:   parseInline,
 	},
 	{
+		Name:    "adaptive",
+		Summary: "per-site mechanism selection: inline -> IBTC -> sieve by observed polymorphism, with online re-translation",
+		Sweep:   []string{"adaptive:16", "adaptive:64"},
+		parse:   parseAdaptive,
+	},
+	{
 		Name:    "retcache",
 		Summary: "return cache: call-time-filled table probed by returns",
 		Chained: true,
@@ -179,6 +185,9 @@ func SweepSpecs() []string {
 //	ibtc[:N][:flag...]                  IBTC, N entries (default 4096); flags:
 //	                                    private, sharedjump, fib, 2way/4way/8way
 //	sieve[:N]                           sieve, N buckets (default 1024)
+//	adaptive[:N]                        per-site selection (inline/IBTC/sieve
+//	                                    by observed polymorphism); N sizes
+//	                                    the promoted tiers (default 4096)
 //	inline[:K][:mru]+REST               K inline probes (default 1), then REST
 //	retcache[:N]+REST                   return cache for returns, REST for the rest
 //	fastret+REST                        fast returns, REST for the rest
@@ -189,6 +198,7 @@ func SweepSpecs() []string {
 //	                                    nosuper disables super-op fusion
 //
 // Components chain with "+": e.g. "trace:32+fastret+inline:2+ibtc:16384".
+// At most one trace component is accepted, and only at the front.
 func Parse(spec string) (Config, error) {
 	cfg := Config{Spec: spec}
 	parts := strings.Split(strings.TrimSpace(spec), "+")
@@ -196,6 +206,11 @@ func Parse(spec string) (Config, error) {
 		head := strings.Split(strings.TrimSpace(parts[0]), ":")
 		if head[0] != "trace" {
 			break
+		}
+		if cfg.Traces {
+			// A second trace component would silently overwrite the
+			// first's threshold/frags/nosuper parameters.
+			return cfg, fmt.Errorf("ib: duplicate %q component in %q", "trace", spec)
 		}
 		cfg.Traces = true
 		if err := cfg.parseTraceArgs(head[1:]); err != nil {
@@ -341,6 +356,20 @@ func parseIBTC(p *chainParser) (core.IBHandler, bool, error) {
 		return nil, false, err
 	}
 	return NewIBTC(cfg), false, nil
+}
+
+func parseAdaptive(p *chainParser) (core.IBHandler, bool, error) {
+	n, err := p.intArg(1, 4096, 1, 1<<24, "adaptive")
+	if err != nil {
+		return nil, false, err
+	}
+	if err := p.noFallback(); err != nil {
+		return nil, false, err
+	}
+	if err := checkPow2("adaptive", n); err != nil {
+		return nil, false, err
+	}
+	return NewAdaptive(AdaptiveConfig{Entries: n}), false, nil
 }
 
 func parseSieve(p *chainParser) (core.IBHandler, bool, error) {

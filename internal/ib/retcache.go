@@ -90,7 +90,7 @@ func (c *RetCache) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core
 	env.Charge(m.CompareBranch)
 
 	e := &c.table[idx]
-	if e.valid && e.guestRet == target && e.frag != nil {
+	if e.valid && e.guestRet == target && vm.Live(e.frag) {
 		vm.Prof.MechHits++
 		env.Charge(m.FlagsRestore)
 		env.IndirectTransfer(site.HostAddr, e.frag.HostAddr)

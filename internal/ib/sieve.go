@@ -84,7 +84,10 @@ func (c *Sieve) Resolve(vm *core.VM, site *core.IBSite, target uint32) (*core.Fr
 		vm.Prof.SieveProbes++
 		env.IFetch(walk.addr)
 		env.Charge(m.CompareBranch)
-		if walk.tag == target {
+		// A stub whose fragment was retired by a targeted invalidation
+		// stays in the chain (its compare still executes and misses); the
+		// walk skips it and the chain-exhausted path appends a fresh stub.
+		if walk.tag == target && vm.Live(walk.frag) {
 			vm.Prof.MechHits++
 			env.Charge(m.FlagsRestore + m.BranchTaken)
 			return walk.frag, nil

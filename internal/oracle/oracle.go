@@ -314,6 +314,22 @@ func (r *Report) checkAccounting() {
 		r.failf("prof.superblock", "trace guards fired (%d hits, %d misses) with no superblock execs",
 			p.TraceGuardHits, p.TraceGuardMisses)
 	}
+
+	// Adaptive dispatch: every re-translation was triggered by a tier
+	// change (a change on an ownerless shadow site re-translates nothing,
+	// so the inequality is <=).
+	if p.AdaptRetrans > p.AdaptPromotions+p.AdaptDemotions {
+		r.failf("prof.adaptive", "%d re-translations exceed %d promotions + %d demotions",
+			p.AdaptRetrans, p.AdaptPromotions, p.AdaptDemotions)
+	}
+
+	// Cycle attribution must never exceed the run's own total: every
+	// attributed cycle was also charged to the cost environment the total
+	// comes from, so over-attribution means double counting somewhere.
+	if b := p.Overhead(r.VM.Result().Cycles); b.OverAttributed {
+		r.failf("prof.overattributed", "ib(%d)+ctx(%d)+trans(%d) cycles exceed run total %d",
+			b.IB, b.Ctx, b.Trans, b.Total)
+	}
 }
 
 // CheckDeterminism is the repeatability half of oracle level 2: two SDT

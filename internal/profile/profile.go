@@ -47,6 +47,15 @@ type Profile struct {
 	SuperblockExecs uint64
 	SuperOpsRetired uint64
 
+	// Adaptive dispatch (the "adaptive" mechanism): per-site tier changes
+	// and the targeted re-translations they triggered. A promotion or
+	// demotion re-translates the owning fragment unless the site was a
+	// shadow site with no owner, so AdaptRetrans <= AdaptPromotions +
+	// AdaptDemotions always.
+	AdaptPromotions uint64
+	AdaptDemotions  uint64
+	AdaptRetrans    uint64
+
 	// Cycle breakdown. CyclesIB counts cycles spent in emitted IB-handling
 	// code; CyclesCtx counts context-switch and translator-lookup cycles;
 	// CyclesTrans counts translation work. The remainder of the run's
@@ -83,7 +92,12 @@ func (p *Profile) HitRate() float64 {
 	return float64(p.MechHits) / float64(total)
 }
 
-// Overhead splits totalCycles into the four reporting categories.
+// Overhead splits totalCycles into the four reporting categories. When
+// the attributed categories sum past the run's total — a cost-accounting
+// bug, since every attributed cycle was charged to the same counter the
+// total comes from — Body clamps to 0 and OverAttributed is set so the
+// inconsistency is visible instead of silently absorbed (the oracle
+// asserts it never happens).
 func (p *Profile) Overhead(totalCycles uint64) Breakdown {
 	b := Breakdown{
 		Total: totalCycles,
@@ -94,6 +108,8 @@ func (p *Profile) Overhead(totalCycles uint64) Breakdown {
 	spent := b.IB + b.Ctx + b.Trans
 	if totalCycles >= spent {
 		b.Body = totalCycles - spent
+	} else {
+		b.OverAttributed = true
 	}
 	return b
 }
@@ -105,6 +121,9 @@ type Breakdown struct {
 	IB    uint64 // emitted IB-handling code
 	Ctx   uint64 // context switches + translator lookups
 	Trans uint64 // translation work
+	// OverAttributed reports that IB+Ctx+Trans exceeded Total and Body
+	// was clamped to 0: the attribution double-charged somewhere.
+	OverAttributed bool
 }
 
 // Frac returns part/Total, or 0 for an empty run.
@@ -130,7 +149,14 @@ func (p *Profile) Dump(w io.Writer, totalCycles uint64) {
 		fmt.Fprintf(w, "superblocks: execs=%d side-exit-rate=%.4f super-ops-retired=%d\n",
 			p.SuperblockExecs, p.SideExitRate(), p.SuperOpsRetired)
 	}
+	if p.AdaptPromotions > 0 || p.AdaptDemotions > 0 || p.AdaptRetrans > 0 {
+		fmt.Fprintf(w, "adaptive: promotions=%d demotions=%d retranslations=%d\n",
+			p.AdaptPromotions, p.AdaptDemotions, p.AdaptRetrans)
+	}
 	b := p.Overhead(totalCycles)
 	fmt.Fprintf(w, "cycles: total=%d body=%.1f%% ib=%.1f%% ctx=%.1f%% trans=%.1f%%\n",
 		b.Total, 100*b.Frac(b.Body), 100*b.Frac(b.IB), 100*b.Frac(b.Ctx), 100*b.Frac(b.Trans))
+	if b.OverAttributed {
+		fmt.Fprintf(w, "cycles: WARNING: over-attributed (ib+ctx+trans exceed total)\n")
+	}
 }

@@ -1,0 +1,108 @@
+package profile
+
+// SiteStats is the per-indirect-branch-site observation record adaptive
+// dispatch decides from: executions, fast-path hit/miss tallies, the
+// distinct targets seen (tracked exactly up to a fixed cap), and the
+// length of the current run of consecutive same-target executions. The
+// stats deliberately survive fragment-cache flushes — a site's learned
+// behaviour is a property of the guest, not of any one translation of it.
+type SiteStats struct {
+	PC     uint32 // guest address of the site
+	Execs  uint64 // executions observed
+	Hits   uint64 // fast-path hits at this site
+	Misses uint64 // fast-path misses at this site
+	Run    uint64 // consecutive executions with the same target
+
+	targets    []uint32 // distinct targets, exact up to cap(targets)
+	capped     bool     // true once the target set overflowed its cap
+	lastTarget uint32
+	seenAny    bool
+}
+
+// Observe records one execution with the given resolved target.
+func (s *SiteStats) Observe(target uint32) {
+	s.Execs++
+	if s.seenAny && target == s.lastTarget {
+		s.Run++
+	} else {
+		s.Run = 1
+		s.lastTarget = target
+		s.seenAny = true
+	}
+	if s.capped {
+		return
+	}
+	for _, t := range s.targets {
+		if t == target {
+			return
+		}
+	}
+	if len(s.targets) == cap(s.targets) {
+		s.capped = true
+		return
+	}
+	s.targets = append(s.targets, target)
+}
+
+// Distinct returns the number of distinct targets observed. Once the
+// tracking cap is exceeded the count saturates at cap+1 — enough to answer
+// every threshold comparison the promotion policy makes.
+func (s *SiteStats) Distinct() int {
+	if s.capped {
+		return cap(s.targets) + 1
+	}
+	return len(s.targets)
+}
+
+// LastTarget returns the most recently observed target (valid once
+// Execs > 0).
+func (s *SiteStats) LastTarget() uint32 { return s.lastTarget }
+
+// ResetTargets forgets the accumulated target set (keeping executions and
+// the current run) so a site demoted after a phase change re-learns its
+// polymorphism degree from current behaviour instead of stale history.
+func (s *SiteStats) ResetTargets() {
+	s.targets = s.targets[:0]
+	s.capped = false
+	if s.seenAny {
+		s.targets = append(s.targets, s.lastTarget)
+	}
+}
+
+// SiteTable owns the SiteStats records for every IB site of one run,
+// keyed by the site's guest pc. Records persist across fragment-cache
+// flushes and re-translations.
+type SiteTable struct {
+	sites    map[uint32]*SiteStats
+	trackCap int
+}
+
+// NewSiteTable builds an empty table whose records track up to trackCap
+// distinct targets exactly (beyond that Distinct saturates).
+func NewSiteTable(trackCap int) *SiteTable {
+	if trackCap < 1 {
+		trackCap = 1
+	}
+	return &SiteTable{sites: make(map[uint32]*SiteStats), trackCap: trackCap}
+}
+
+// Obtain returns the record for the site at pc, creating it on first use.
+func (t *SiteTable) Obtain(pc uint32) *SiteStats {
+	if s := t.sites[pc]; s != nil {
+		return s
+	}
+	s := &SiteStats{PC: pc, targets: make([]uint32, 0, t.trackCap)}
+	t.sites[pc] = s
+	return s
+}
+
+// Len returns the number of sites tracked.
+func (t *SiteTable) Len() int { return len(t.sites) }
+
+// Each calls fn for every tracked site (iteration order unspecified;
+// reporting code must sort).
+func (t *SiteTable) Each(fn func(*SiteStats)) {
+	for _, s := range t.sites {
+		fn(s)
+	}
+}

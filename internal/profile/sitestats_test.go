@@ -1,0 +1,85 @@
+package profile
+
+import "testing"
+
+func TestSiteStatsObserve(t *testing.T) {
+	tbl := NewSiteTable(3)
+	s := tbl.Obtain(0x100)
+	if tbl.Obtain(0x100) != s {
+		t.Fatal("Obtain is not idempotent per pc")
+	}
+
+	for _, target := range []uint32{8, 8, 8, 12, 8} {
+		s.Observe(target)
+	}
+	if s.Execs != 5 {
+		t.Errorf("Execs = %d, want 5", s.Execs)
+	}
+	if s.Distinct() != 2 {
+		t.Errorf("Distinct = %d, want 2", s.Distinct())
+	}
+	if s.Run != 1 { // the final observation changed target back to 8
+		t.Errorf("Run = %d, want 1", s.Run)
+	}
+	s.Observe(8)
+	if s.Run != 2 {
+		t.Errorf("Run = %d after repeat, want 2", s.Run)
+	}
+	if s.LastTarget() != 8 {
+		t.Errorf("LastTarget = %d, want 8", s.LastTarget())
+	}
+}
+
+func TestSiteStatsDistinctSaturates(t *testing.T) {
+	s := NewSiteTable(3).Obtain(0)
+	for i := uint32(0); i < 10; i++ {
+		s.Observe(i * 4)
+	}
+	// Exact up to the cap of 3, then saturates at cap+1.
+	if got := s.Distinct(); got != 4 {
+		t.Errorf("Distinct = %d, want saturation at 4", got)
+	}
+	// Re-observing an old target once capped must not grow anything.
+	s.Observe(0)
+	if got := s.Distinct(); got != 4 {
+		t.Errorf("Distinct after capped re-observe = %d, want 4", got)
+	}
+}
+
+func TestSiteStatsResetTargets(t *testing.T) {
+	s := NewSiteTable(4).Obtain(0)
+	for i := uint32(0); i < 6; i++ {
+		s.Observe(i * 4)
+	}
+	execs := s.Execs
+	s.ResetTargets()
+	// The last target is re-seeded so the current behaviour is retained.
+	if got := s.Distinct(); got != 1 {
+		t.Errorf("Distinct after reset = %d, want 1", got)
+	}
+	if s.Execs != execs {
+		t.Errorf("reset clobbered Execs: %d -> %d", execs, s.Execs)
+	}
+	s.Observe(s.LastTarget())
+	if got := s.Distinct(); got != 1 {
+		t.Errorf("re-observing last target after reset grew Distinct to %d", got)
+	}
+}
+
+func TestOverheadOverAttribution(t *testing.T) {
+	p := Profile{CyclesIB: 60, CyclesCtx: 30, CyclesTrans: 20}
+	b := p.Overhead(100)
+	if !b.OverAttributed {
+		t.Error("attributed 110 of 100 cycles without OverAttributed")
+	}
+	if b.Body != 0 {
+		t.Errorf("over-attributed Body = %d, want 0", b.Body)
+	}
+	ok := p.Overhead(200)
+	if ok.OverAttributed {
+		t.Error("clean attribution flagged as over-attributed")
+	}
+	if ok.Body != 90 {
+		t.Errorf("Body = %d, want 90", ok.Body)
+	}
+}

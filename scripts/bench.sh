@@ -4,7 +4,7 @@
 # BenchmarkFlushStorm in internal/core; BenchmarkSweep* and
 # BenchmarkMatrixExpand in internal/sweep, all with -benchmem) several
 # times, reduces to medians, and compares against the committed
-# BENCH_5.json baseline via cmd/benchgate. The two families are gated at
+# BENCH_6.json baseline via cmd/benchgate. The two families are gated at
 # different tolerances: the dispatch family at 5% ns/op (the
 # BenchmarkRunSuperblock* rows joined the family when superblock
 # compilation landed; like the rest they must add zero steady-state
@@ -12,7 +12,7 @@
 # tests), and the sweep-engine family at 10% (it exercises the whole
 # service stack — worker scheduling and channel fan-in make it
 # inherently noisier). BENCH_3.json and BENCH_4.json remain as the
-# historical dispatch-rewrite and predictor-parameterization records.
+# historical records, BENCH_5.json the superblock-compilation one.
 #
 # Usage:
 #   scripts/bench.sh            gate against the committed baseline
@@ -58,16 +58,16 @@ done
 
 if [[ "${1:-}" == "-update" ]]; then
     printf '%s\n%s\n' "$core_out" "$sweep_out" |
-        go run ./cmd/benchgate -baseline BENCH_5.json "$@" >/dev/null
-    echo "benchgate: baseline BENCH_5.json updated"
+        go run ./cmd/benchgate -baseline BENCH_6.json "$@" >/dev/null
+    echo "benchgate: baseline BENCH_6.json updated"
     exit 0
 fi
 
 printf '%s\n' "$core_out" |
-    go run ./cmd/benchgate -baseline BENCH_5.json \
+    go run ./cmd/benchgate -baseline BENCH_6.json \
         -only "$CORE_PATTERN" -threshold "${BENCH_THRESHOLD:-5}" "$@" >/dev/null
-echo "benchgate: dispatch family within ${BENCH_THRESHOLD:-5}% of BENCH_5.json"
+echo "benchgate: dispatch family within ${BENCH_THRESHOLD:-5}% of BENCH_6.json"
 printf '%s\n' "$sweep_out" |
-    go run ./cmd/benchgate -baseline BENCH_5.json \
+    go run ./cmd/benchgate -baseline BENCH_6.json \
         -only "$SWEEP_PATTERN" -threshold "${SWEEP_THRESHOLD:-10}" "$@" >/dev/null
-echo "benchgate: sweep family within ${SWEEP_THRESHOLD:-10}% of BENCH_5.json"
+echo "benchgate: sweep family within ${SWEEP_THRESHOLD:-10}% of BENCH_6.json"

@@ -60,7 +60,7 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 
 # Regression gate: the dispatch-path and sweep-engine benchmarks must
 # stay within BENCH_THRESHOLD percent (default 5) of the committed
-# BENCH_5.json baseline, with zero steady-state allocation growth.
+# BENCH_6.json baseline, with zero steady-state allocation growth.
 # Regenerate the baseline with `make bench` after intentional
 # performance changes. See docs/PERF.md.
 echo "==> bench gate"
