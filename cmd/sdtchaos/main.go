@@ -20,12 +20,20 @@
 //     daemon is SIGKILLed, and a clean daemon resumes the sweep ID. The
 //     journaled cells must be replayed from the store — zero re-executed
 //     runs for them — and the remainder must complete.
-//  5. Cluster kill: three daemons form a cluster (docs/CLUSTER.md), a
-//     /v1/cluster/sweep fans out across them, and one worker node is
-//     SIGKILLed mid-shard. The merged stream must still be byte-identical
-//     to a single-node run of the same matrix, the coordinator must count
-//     reassigned cells, and a follow-up sweep must recompute only the
-//     results that died with the killed node.
+//  5. Cluster kill: three daemons form a replicated cluster
+//     (docs/CLUSTER.md, -replication=2), a /v1/cluster/sweep fans out
+//     across them, and one worker node is SIGKILLed mid-shard after
+//     replication has quiesced. The merged stream must still be
+//     byte-identical to a single-node run of the same matrix, the
+//     coordinator must count reassigned cells, and a follow-up sweep must
+//     recompute nothing: every result the dead node computed survives on
+//     its replica.
+//  6. Coordinator kill: the coordinator of a journaled cluster sweep is
+//     SIGKILLed mid-matrix. A survivor adopts the sweep via the
+//     replicated checkpoint journal (?adopt=<id>), the adopted stream is
+//     byte-identical to the golden one (modulo the start record's resumed
+//     count), and the fleet re-executes exactly the cells whose results
+//     are on no surviving node.
 //
 // The -seed flag fixes every pseudo-random choice in the fault plans, so
 // a failure reproduces exactly. Exit status 0 means all checks passed.
@@ -139,8 +147,12 @@ func run(bin string, seed uint64) error {
 	if err := phaseResume(bin, tmp, seed, golden); err != nil {
 		return fmt.Errorf("kill-resume phase: %w", err)
 	}
-	if err := phaseCluster(bin, tmp, seed); err != nil {
+	goldenStream, keys, err := phaseCluster(bin, tmp, seed)
+	if err != nil {
 		return fmt.Errorf("cluster phase: %w", err)
+	}
+	if err := phaseAdopt(bin, tmp, seed, goldenStream, keys); err != nil {
+		return fmt.Errorf("adopt phase: %w", err)
 	}
 	return nil
 }
@@ -425,12 +437,14 @@ var clusterChaosSweep = service.SweepRequest{
 	Limit:     10_000_000,
 }
 
-// phaseCluster boots a 3-node cluster, SIGKILLs a worker node while its
-// shard of a cluster sweep is mid-cell, and holds the coordinator to the
-// tentpole guarantee: merged output byte-identical to a single node, the
-// dead node's cells reassigned, and a follow-up sweep recomputing only
-// what died with it.
-func phaseCluster(bin, tmp string, seed uint64) error {
+// phaseCluster boots a 3-node replicated cluster (-replication=2),
+// SIGKILLs a worker node while its shard of a cluster sweep is mid-cell,
+// and holds the coordinator to the tentpole guarantee: merged output
+// byte-identical to a single node, the dead node's cells reassigned, and
+// a follow-up sweep recomputing nothing — every result the victim
+// computed before dying survives on its ring replica. Returns the golden
+// stream and cell keys for the coordinator-kill phase that follows.
+func phaseCluster(bin, tmp string, seed uint64) ([]byte, []string, error) {
 	total := len(clusterChaosSweep.Workloads) * len(clusterChaosSweep.Mechs)
 
 	// Golden pass: the same matrix through /v1/cluster/sweep on a lone
@@ -438,17 +452,17 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 	// shard call to learn each cell's content-store key.
 	gd, err := startDaemon(bin, filepath.Join(tmp, "cluster-golden"))
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	goldenStream, recs, err := gd.clusterSweep(clusterChaosSweep, "")
+	goldenStream, recs, err := gd.clusterSweep(clusterChaosSweep, "", "")
 	if err != nil {
 		gd.kill()
-		return fmt.Errorf("golden cluster sweep: %w", err)
+		return nil, nil, fmt.Errorf("golden cluster sweep: %w", err)
 	}
 	for _, rec := range recs {
 		if rec.Type == "cell" && rec.Error != nil {
 			gd.kill()
-			return fmt.Errorf("golden cell %d failed: %+v", rec.Index, rec.Error)
+			return nil, nil, fmt.Errorf("golden cell %d failed: %+v", rec.Index, rec.Error)
 		}
 	}
 	keys := make([]string, total)
@@ -459,7 +473,7 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 	srecs, err := gd.sweepShard(clusterChaosSweep, shardCells)
 	gd.kill()
 	if err != nil {
-		return fmt.Errorf("golden shard: %w", err)
+		return nil, nil, fmt.Errorf("golden shard: %w", err)
 	}
 	for _, rec := range srecs {
 		if rec.Type == "cell" {
@@ -474,11 +488,11 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 	// guaranteed to strand unfinished work.
 	urls, err := reservePorts(3)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	ringView, err := cluster.New(cluster.Config{Self: urls[0], Peers: urls, ProbeInterval: -1})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	owned := map[string]int{}
 	for _, key := range keys {
@@ -489,7 +503,7 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 		victim = 2
 	}
 	if owned[memberName(urls[victim])] < 2 {
-		return fmt.Errorf("ring distribution left the victim %d cells of %d; ephemeral ports made a degenerate ring, rerun", owned[memberName(urls[victim])], total)
+		return nil, nil, fmt.Errorf("ring distribution left the victim %d cells of %d; ephemeral ports made a degenerate ring, rerun", owned[memberName(urls[victim])], total)
 	}
 
 	// The victim runs one worker with injected per-cell latency, so the
@@ -498,13 +512,14 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 	peersArg := strings.Join(urls, ",")
 	nodes := make([]*daemon, 3)
 	for i := range nodes {
-		args := []string{"-addr", memberName(urls[i]), "-peers", peersArg, "-self", urls[i], "-peer-probe", "150ms"}
+		args := []string{"-addr", memberName(urls[i]), "-peers", peersArg, "-self", urls[i],
+			"-peer-probe", "150ms", "-replication", "2"}
 		if i == victim {
 			args = append(args, "-workers", "1", "-fault-plan", plan, "-allow-faults")
 		}
 		nodes[i], err = startDaemon(bin, filepath.Join(tmp, fmt.Sprintf("cluster-%d", i)), args...)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 	}
 	defer func() {
@@ -520,7 +535,7 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 	// the last peer starts listening; this wait just confirms convergence
 	// before the sweep is sharded.
 	if err := nodes[0].waitClusterUp(3, 10*time.Second); err != nil {
-		return err
+		return nil, nil, err
 	}
 
 	type streamResult struct {
@@ -530,56 +545,83 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 	}
 	res := make(chan streamResult, 1)
 	go func() {
-		canonical, recs, err := nodes[0].clusterSweep(clusterChaosSweep, "cluster")
+		canonical, recs, err := nodes[0].clusterSweep(clusterChaosSweep, "cluster", "")
 		res <- streamResult{canonical, recs, err}
 	}()
 
-	// SIGKILL the victim as soon as it has completed one cell: with one
-	// worker and 300ms injected latency it is necessarily mid-way
-	// through its next one.
+	// SIGKILL the victim once it has completed one cell AND replication
+	// has quiesced — every result computed so far has been received by
+	// its ring replica (with RF=2 each run fans out exactly once), so the
+	// kill loses no data. With one worker and 300ms injected latency the
+	// victim is necessarily mid-way through its next cell.
+	quiesced := func() bool {
+		vruns, err := nodes[victim].counterSum("sdtd_runs_total{")
+		if err != nil || vruns < 1 {
+			return false
+		}
+		runs, recv := 0, 0
+		for _, d := range nodes {
+			r, err := d.counterSum("sdtd_runs_total{")
+			if err != nil {
+				return false
+			}
+			v, err := d.counterValue("sdtd_replication_received_total")
+			if err != nil {
+				return false
+			}
+			runs += r
+			recv += v
+		}
+		return runs > 0 && recv == runs
+	}
 	killDeadline := time.Now().Add(60 * time.Second)
-	for {
+	stable := 0
+	for stable < 2 {
 		if time.Now().After(killDeadline) {
-			return errors.New("victim never completed a cell")
+			return nil, nil, errors.New("victim never completed a replicated cell")
 		}
 		select {
 		case r := <-res:
-			return fmt.Errorf("sweep finished before the victim ran a cell (err=%v, %d records, owned=%v, victim=%s)",
+			return nil, nil, fmt.Errorf("sweep finished before the victim could be killed (err=%v, %d records, owned=%v, victim=%s)",
 				r.err, len(r.recs), owned, memberName(urls[victim]))
 		default:
 		}
-		n, err := nodes[victim].counterSum("sdtd_runs_total{")
-		if err == nil && n >= 1 {
-			break
+		if quiesced() {
+			stable++
+		} else {
+			stable = 0
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
 	nodes[victim].kill()
-	log.Printf("cluster: killed %s mid-shard (%d cells owned)", memberName(urls[victim]), owned[memberName(urls[victim])])
+	log.Printf("cluster: killed %s mid-shard after replication quiesced (%d cells owned)",
+		memberName(urls[victim]), owned[memberName(urls[victim])])
 
 	r := <-res
 	if r.err != nil {
-		return fmt.Errorf("cluster sweep through a kill: %w", r.err)
+		return nil, nil, fmt.Errorf("cluster sweep through a kill: %w", r.err)
 	}
 	for _, rec := range r.recs {
 		if rec.Type == "cell" && rec.Error != nil {
-			return fmt.Errorf("cell %d failed after the kill: %+v", rec.Index, rec.Error)
+			return nil, nil, fmt.Errorf("cell %d failed after the kill: %+v", rec.Index, rec.Error)
 		}
 	}
 	if !bytes.Equal(r.canonical, goldenStream) {
-		return fmt.Errorf("merged 3-node stream differs from single-node golden through a kill:\n--- golden\n%s--- merged\n%s", goldenStream, r.canonical)
+		return nil, nil, fmt.Errorf("merged 3-node stream differs from single-node golden through a kill:\n--- golden\n%s--- merged\n%s", goldenStream, r.canonical)
 	}
 	reassigned, err := nodes[0].counterValue("sdtd_cluster_sweep_reassigned_cells_total")
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if reassigned == 0 {
-		return errors.New("a node died mid-shard but no cells were counted reassigned")
+		return nil, nil, errors.New("a node died mid-shard but no cells were counted reassigned")
 	}
 	log.Printf("cluster: merged stream byte-identical through the kill (%d cells reassigned)", reassigned)
 
-	// Every surviving result must be reused: the follow-up sweep may
-	// recompute only the cells whose sole copy died with the victim.
+	// The replication guarantee: nothing died with the victim. Its
+	// pre-kill results live on ring replicas, post-kill results live on
+	// their surviving executors, so the follow-up sweep executes zero
+	// cells fleet-wide.
 	survivorRuns := 0
 	for _, i := range []int{0, 1, 2} {
 		if i == victim {
@@ -587,20 +629,16 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 		}
 		n, err := nodes[i].counterSum("sdtd_runs_total{")
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		survivorRuns += n
 	}
-	lost := total - survivorRuns
-	if lost < 0 {
-		return fmt.Errorf("survivors ran %d cells for a %d-cell matrix: duplicated work", survivorRuns, total)
-	}
-	canonical2, _, err := nodes[0].clusterSweep(clusterChaosSweep, "cluster")
+	canonical2, _, err := nodes[0].clusterSweep(clusterChaosSweep, "cluster", "")
 	if err != nil {
-		return fmt.Errorf("follow-up sweep: %w", err)
+		return nil, nil, fmt.Errorf("follow-up sweep: %w", err)
 	}
 	if !bytes.Equal(canonical2, goldenStream) {
-		return errors.New("follow-up sweep stream differs from golden")
+		return nil, nil, errors.New("follow-up sweep stream differs from golden")
 	}
 	rerun := -survivorRuns
 	for _, i := range []int{0, 1, 2} {
@@ -609,14 +647,233 @@ func phaseCluster(bin, tmp string, seed uint64) error {
 		}
 		n, err := nodes[i].counterSum("sdtd_runs_total{")
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		rerun += n
 	}
-	if rerun != lost {
-		return fmt.Errorf("follow-up recomputed %d cells, want exactly the %d lost with the victim", rerun, lost)
+	if rerun != 0 {
+		return nil, nil, fmt.Errorf("follow-up recomputed %d cells; with replication quiesced before the kill every result must survive", rerun)
 	}
-	log.Printf("cluster OK (recovered %d lost cells, %d served from surviving stores)", lost, total-lost)
+	log.Printf("cluster OK (0 recomputed: all %d results survived the kill on replicas)", total)
+	return goldenStream, keys, nil
+}
+
+// phaseAdopt kills the coordinator of a journaled cluster sweep
+// mid-matrix and has a survivor adopt it through the replicated
+// checkpoint journal.
+func phaseAdopt(bin, tmp string, seed uint64, goldenStream []byte, keys []string) error {
+	total := len(keys)
+	urls, err := reservePorts(3)
+	if err != nil {
+		return err
+	}
+	// Every node runs one worker with injected per-cell latency, so the
+	// matrix is reliably still in flight when the coordinator dies.
+	plan := fmt.Sprintf(`{"seed":%d,"points":[{"site":"sweep.cell","class":"latency","every":1,"latency_ms":300}]}`, seed)
+	peersArg := strings.Join(urls, ",")
+	nodes := make([]*daemon, 3)
+	dirs := make([]string, 3)
+	for i := range nodes {
+		dirs[i] = filepath.Join(tmp, fmt.Sprintf("adopt-%d", i))
+		nodes[i], err = startDaemon(bin, dirs[i],
+			"-addr", memberName(urls[i]), "-peers", peersArg, "-self", urls[i],
+			"-peer-probe", "150ms", "-replication", "2",
+			"-workers", "1", "-fault-plan", plan, "-allow-faults")
+		if err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, d := range nodes {
+			if d != nil {
+				d.kill()
+			}
+		}
+	}()
+	if err := nodes[0].waitClusterUp(3, 10*time.Second); err != nil {
+		return err
+	}
+
+	res := make(chan error, 1)
+	go func() {
+		// The stream dies with the coordinator; the error is expected.
+		_, _, err := nodes[0].clusterSweep(clusterChaosSweep, "adopt", "")
+		res <- err
+	}()
+
+	// SIGKILL the coordinator once a survivor holds a journal replica
+	// that records at least one completed cell — the artifact adoption
+	// depends on.
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			return errors.New("no survivor ever held a non-empty journal replica")
+		}
+		select {
+		case err := <-res:
+			return fmt.Errorf("sweep finished before the coordinator could be killed (err=%v)", err)
+		default:
+		}
+		if j, err := readJournalIndexes(filepath.Join(dirs[1], "sweeps", "adopt.json")); err == nil && len(j) > 0 {
+			break
+		}
+		if j, err := readJournalIndexes(filepath.Join(dirs[2], "sweeps", "adopt.json")); err == nil && len(j) > 0 {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	nodes[0].kill()
+	<-res
+	log.Printf("adopt: killed the coordinator %s mid-sweep", memberName(urls[0]))
+
+	// Let the survivors' replication drain, then take stock: which cells
+	// the replicated journal covers, and which results exist on any
+	// surviving store. The adopted sweep must re-execute exactly the
+	// cells whose bytes are nowhere — the journal gap.
+	if err := waitReplQuiet(nodes[1:], 10*time.Second); err != nil {
+		return err
+	}
+	journaled, err := readJournalIndexes(filepath.Join(dirs[1], "sweeps", "adopt.json"))
+	if err != nil {
+		journaled, err = readJournalIndexes(filepath.Join(dirs[2], "sweeps", "adopt.json"))
+	}
+	if err != nil || len(journaled) == 0 {
+		return fmt.Errorf("journal replica unreadable after the kill: %v", err)
+	}
+	expectRuns := 0
+	for _, key := range keys {
+		if !nodes[1].hasKey(key) && !nodes[2].hasKey(key) {
+			expectRuns++
+		}
+	}
+	runsBefore := 0
+	for _, d := range nodes[1:] {
+		n, err := d.counterSum("sdtd_runs_total{")
+		if err != nil {
+			return err
+		}
+		runsBefore += n
+	}
+
+	canonical, recs, err := nodes[1].clusterSweep(clusterChaosSweep, "adopt", "?adopt=adopt")
+	if err != nil {
+		return fmt.Errorf("adoption sweep: %w", err)
+	}
+	resumed := -1
+	for _, rec := range recs {
+		switch rec.Type {
+		case "start":
+			resumed = rec.Resumed
+		case "cell":
+			if rec.Error != nil {
+				return fmt.Errorf("adopted cell %d failed: %+v", rec.Index, rec.Error)
+			}
+		case "done":
+			if rec.Done != total || rec.Errors != 0 {
+				return fmt.Errorf("adopted sweep done=%d errors=%d, want the full %d-cell matrix", rec.Done, rec.Errors, total)
+			}
+		}
+	}
+	// The adopted stream is byte-identical to the golden one apart from
+	// the start record, whose resumed count reflects the journal replay.
+	if !bytes.Equal(afterFirstLine(canonical), afterFirstLine(goldenStream)) {
+		return fmt.Errorf("adopted stream differs from golden beyond the start record:\n--- golden\n%s--- adopted\n%s", goldenStream, canonical)
+	}
+	if resumed < 0 || resumed > len(journaled) {
+		return fmt.Errorf("adoption resumed %d cells, journal replica held %d", resumed, len(journaled))
+	}
+	runsAfter := 0
+	for _, d := range nodes[1:] {
+		n, err := d.counterSum("sdtd_runs_total{")
+		if err != nil {
+			return err
+		}
+		runsAfter += n
+	}
+	if rerun := runsAfter - runsBefore; rerun != expectRuns {
+		return fmt.Errorf("adoption re-executed %d cells, want exactly the %d held by no survivor", rerun, expectRuns)
+	}
+	adopted, err := nodes[1].counterValue("sdtd_cluster_sweeps_adopted_total")
+	if err != nil {
+		return err
+	}
+	if adopted != 1 {
+		return fmt.Errorf("sdtd_cluster_sweeps_adopted_total = %d on the adopter, want 1", adopted)
+	}
+	log.Printf("adopt OK (journal replica covered %d cells, %d replayed, %d re-executed)",
+		len(journaled), resumed, expectRuns)
+	return nil
+}
+
+// readJournalIndexes parses a checkpoint journal's completed-cell set.
+func readJournalIndexes(path string) (map[int]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var jf struct {
+		Cells []struct {
+			Index int `json:"index"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &jf); err != nil {
+		return nil, err
+	}
+	set := make(map[int]bool, len(jf.Cells))
+	for _, c := range jf.Cells {
+		set[c.Index] = true
+	}
+	return set, nil
+}
+
+// waitReplQuiet polls until every node's replication queue is empty and
+// its counters stop moving — in-flight fan-out has landed (or parked as
+// pending toward dead peers).
+func waitReplQuiet(nodes []*daemon, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	snapshot := func() (int, error) {
+		sum := 0
+		for _, d := range nodes {
+			for _, series := range []string{
+				"sdtd_replication_queue_depth",
+				"sdtd_replication_sent_total",
+				"sdtd_replication_failed_total",
+			} {
+				v, err := d.counterValue(series)
+				if err != nil {
+					return 0, err
+				}
+				if series == "sdtd_replication_queue_depth" && v != 0 {
+					return -1, nil // still draining
+				}
+				sum += v
+			}
+		}
+		return sum, nil
+	}
+	prev := -2
+	for {
+		cur, err := snapshot()
+		if err != nil {
+			return err
+		}
+		if cur >= 0 && cur == prev {
+			return nil
+		}
+		prev = cur
+		if time.Now().After(deadline) {
+			return errors.New("replication never quiesced")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// afterFirstLine drops a stream's first record (the start line, which
+// legitimately differs between a fresh and an adopted sweep).
+func afterFirstLine(stream []byte) []byte {
+	if i := bytes.IndexByte(stream, '\n'); i >= 0 {
+		return stream[i+1:]
+	}
 	return nil
 }
 
@@ -808,13 +1065,13 @@ func (d *daemon) sweep(req service.SweepRequest, id string) ([]chaosRec, error) 
 // clusterSweep streams one /v1/cluster/sweep request and returns the
 // canonical bytes (heartbeat progress records filtered out, per
 // docs/CLUSTER.md) plus every non-progress record.
-func (d *daemon) clusterSweep(req service.SweepRequest, id string) ([]byte, []chaosRec, error) {
+func (d *daemon) clusterSweep(req service.SweepRequest, id, query string) ([]byte, []chaosRec, error) {
 	req.ID = id
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := http.Post(d.base+"/v1/cluster/sweep", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(d.base+"/v1/cluster/sweep"+query, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -845,6 +1102,19 @@ func (d *daemon) clusterSweep(req service.SweepRequest, id string) ([]byte, []ch
 		recs = append(recs, rec)
 	}
 	return canonical.Bytes(), recs, sc.Err()
+}
+
+// hasKey reports whether this node serves the sealed result frame for a
+// content-store key from its own tiers.
+func (d *daemon) hasKey(key string) bool {
+	resp, err := http.Get(d.base + "/v1/peer/result/" + key)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	data := new(bytes.Buffer)
+	data.ReadFrom(resp.Body)
+	return resp.StatusCode == http.StatusOK
 }
 
 // sweepShard streams one /v1/sweep/shard request; its cell records

@@ -11,13 +11,19 @@
 //	     [-breaker-threshold n] [-breaker-cooldown d]
 //	     [-peers url,url,... -self url] [-peer-probe d]
 //	     [-peer-breaker-threshold n] [-peer-breaker-cooldown d]
+//	     [-replication n] [-admin-token secret]
 //	     [-fault-plan file|json -allow-faults]
 //
-// -peers joins a static-membership cluster (see docs/CLUSTER.md): the
-// comma-separated base URLs name every member, -self says which one this
-// daemon is, and must appear in the list. Clustered daemons serve results
-// from each other's stores and accept /v1/cluster/sweep, which fans a
-// sweep matrix out across the fleet.
+// -peers joins a cluster (see docs/CLUSTER.md): the comma-separated base
+// URLs name every boot member, -self says which one this daemon is, and
+// must appear in the list. Clustered daemons serve results from each
+// other's stores and accept /v1/cluster/sweep, which fans a sweep matrix
+// out across the fleet. -replication=N fans each freshly computed result
+// out to the first N ring successors, so any single member can die
+// without taking the sole copy of its keys. -admin-token enables the
+// POST /v1/cluster/join and /leave endpoints, which rebuild the ring at
+// runtime without restarting any daemon (every member must be given the
+// same token).
 //
 // -fault-plan arms deterministic fault injection (see docs/ROBUSTNESS.md
 // for the plan format and site names). It deliberately makes the daemon
@@ -77,6 +83,8 @@ func main() {
 		peerProbe    = flag.Duration("peer-probe", 0, "peer health probe interval (0 = default 2s, < 0 = disabled)")
 		peerBreakerN = flag.Int("peer-breaker-threshold", 0, "consecutive fetch failures that open a peer's circuit (0 = default 3)")
 		peerBreakerW = flag.Duration("peer-breaker-cooldown", 0, "peer breaker open -> half-open wait (0 = default 1s)")
+		replication  = flag.Int("replication", 1, "ring successors holding each result, owner included (1 = no replication)")
+		adminToken   = flag.String("admin-token", "", "token guarding the membership endpoints (empty = join/leave disabled)")
 	)
 	flag.Parse()
 
@@ -101,9 +109,10 @@ func main() {
 		logger.Printf("fault injection armed: seed=%d points=%d", plan.Seed, len(plan.Points))
 	}
 
-	// Cluster membership is static and named by URL, so it is resolved
-	// here, before the service exists; the server takes lifecycle
-	// ownership (arms the peer store tier, starts and stops the prober).
+	// The -peers list is only the boot-time membership (ring epoch 0);
+	// it is resolved here, before the service exists, and the server
+	// takes lifecycle ownership (arms the peer store tier, starts and
+	// stops the prober, applies runtime join/leave updates).
 	var cl *cluster.Cluster
 	if *peers != "" {
 		if *self == "" {
@@ -118,6 +127,7 @@ func main() {
 		c, err := cluster.New(cluster.Config{
 			Self:             *self,
 			Peers:            members,
+			Replication:      *replication,
 			ProbeInterval:    *peerProbe,
 			BreakerThreshold: *peerBreakerN,
 			BreakerCooldown:  *peerBreakerW,
@@ -127,7 +137,7 @@ func main() {
 			logger.Fatalf("forming cluster: %v", err)
 		}
 		cl = c
-		logger.Printf("cluster member %s of %d peers", cl.SelfName(), cl.Size())
+		logger.Printf("cluster member %s of %d peers, replication=%d", cl.SelfName(), cl.Size(), cl.ReplicationFactor())
 	} else if *self != "" {
 		logger.Fatal("-self is meaningless without -peers")
 	}
@@ -145,6 +155,7 @@ func main() {
 		StoreBreakerCooldown:  *breakerWait,
 		Faults:                inj,
 		Cluster:               cl,
+		AdminToken:            *adminToken,
 		Log:                   reqLog,
 	})
 	if err != nil {

@@ -18,7 +18,12 @@
 //  6. forms a two-node cluster (docs/CLUSTER.md) and asserts the peer
 //     store tier: results computed on one node are served by the other
 //     as byte-identical cache hits, and killing a peer leaves the
-//     survivor degraded but serving.
+//     survivor degraded but serving;
+//  7. forms a three-node replicated fleet (-replication=2), joins a
+//     fourth node mid-cluster-sweep (the in-flight sweep stays pinned
+//     to its ring epoch and streams byte-identical output), then
+//     removes and drains one original member; every surviving /healthz
+//     reports the new ring and a final sweep is still byte-identical.
 //
 // Exit status 0 means all checks passed.
 package main
@@ -226,6 +231,11 @@ func run(bin string) error {
 	if err := peerSmoke(bin, tmp); err != nil {
 		return fmt.Errorf("peer tier: %w", err)
 	}
+
+	// 7. Replication and runtime membership changes.
+	if err := membershipSmoke(bin, tmp); err != nil {
+		return fmt.Errorf("membership: %w", err)
+	}
 	return nil
 }
 
@@ -342,6 +352,265 @@ func peerSmoke(bin, tmp string) error {
 		return fmt.Errorf("node B stopped serving after its peer died: %w", err)
 	}
 	log.Print("peer outage OK (survivor degraded but serving)")
+	return nil
+}
+
+// membershipSmoke drives the replicated-fleet surface: a 3-node
+// -replication=2 cluster sweeps the matrix while a fourth node joins
+// mid-stream (the sweep is pinned to its ring epoch, so the output is
+// unaffected), then one original member is removed and drained. The
+// fleet's output must match a single-node golden byte for byte at every
+// step, and every member must converge on each new ring.
+func membershipSmoke(bin, tmp string) error {
+	const adminToken = "smoke-admin-token"
+	req := service.SweepRequest{
+		Workloads: []string{"gzip", "vpr", "gcc"},
+		Mechs:     []string{"ibtc:4096", "sieve:1024"},
+		Limit:     20_000_000,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+
+	// Golden: the same matrix through /v1/cluster/sweep on a lone daemon
+	// (it degenerates to one local shard).
+	gd, err := startDaemon(bin, tmp, "-store", filepath.Join(tmp, "member-golden"))
+	if err != nil {
+		return err
+	}
+	golden, _, err := clusterStream(gd.base, body)
+	gd.kill()
+	if err != nil {
+		return fmt.Errorf("golden cluster sweep: %w", err)
+	}
+
+	// Three replicated members on fixed ports, plus a reserved port for
+	// the joiner.
+	var urls []string
+	for i := 0; i < 4; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		urls = append(urls, "http://"+ln.Addr().String())
+		ln.Close()
+	}
+	peersArg := strings.Join(urls[:3], ",")
+	nodes := make([]*daemon, 4)
+	defer func() {
+		for _, d := range nodes {
+			if d != nil {
+				d.kill()
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		nodes[i], err = startDaemon(bin, tmp,
+			"-addr", strings.TrimPrefix(urls[i], "http://"),
+			"-store", filepath.Join(tmp, fmt.Sprintf("member-%d", i)),
+			"-peers", peersArg, "-self", urls[i], "-peer-probe", "100ms",
+			"-replication", "2", "-admin-token", adminToken)
+		if err != nil {
+			return err
+		}
+	}
+	if err := waitClusterUp(nodes[:3], 10*time.Second); err != nil {
+		return err
+	}
+
+	// Stream the fleet sweep and, as soon as the first cell lands, boot
+	// a fourth node (a solo cluster of itself) and join it through the
+	// admin endpoint. The in-flight sweep is pinned to the epoch-0 ring;
+	// its stream must come out byte-identical to the golden anyway.
+	resp, err := http.Post(nodes[0].base+"/v1/cluster/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("cluster sweep status %d: %s", resp.StatusCode, data)
+	}
+	var canonical bytes.Buffer
+	joined := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec sweepRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("decoding %q: %w", sc.Text(), err)
+		}
+		if rec.Type == "progress" {
+			continue
+		}
+		canonical.Write(line)
+		canonical.WriteByte('\n')
+		if rec.Type == "cell" && !joined {
+			joined = true
+			nodes[3], err = startDaemon(bin, tmp,
+				"-addr", strings.TrimPrefix(urls[3], "http://"),
+				"-store", filepath.Join(tmp, "member-3"),
+				"-peers", urls[3], "-self", urls[3], "-peer-probe", "100ms",
+				"-replication", "2", "-admin-token", adminToken)
+			if err != nil {
+				return fmt.Errorf("booting the joiner: %w", err)
+			}
+			mr, err := postAdmin(nodes[0].base+"/v1/cluster/join", adminToken, service.MemberChange{URL: urls[3]})
+			if err != nil {
+				return fmt.Errorf("joining mid-sweep: %w", err)
+			}
+			if mr.Epoch != 1 || len(mr.Members) != 4 {
+				return fmt.Errorf("join answered epoch=%d members=%v, want epoch 1 with 4 members", mr.Epoch, mr.Members)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !joined {
+		return fmt.Errorf("sweep stream carried no cell records")
+	}
+	if !bytes.Equal(canonical.Bytes(), golden) {
+		return fmt.Errorf("fleet sweep spanning a join differs from golden:\n--- golden\n%s--- fleet\n%s", golden, canonical.Bytes())
+	}
+	log.Print("membership join OK (4th node joined mid-sweep, stream byte-identical)")
+
+	// Every member — the joiner included — must converge on the new ring.
+	if err := waitRing(nodes[:4], 1, 4, 10*time.Second); err != nil {
+		return err
+	}
+
+	// Remove an original member and drain it; the survivors converge on
+	// epoch 2 and the matrix still streams byte-identically (its share of
+	// results lives on ring replicas).
+	mr, err := postAdmin(nodes[0].base+"/v1/cluster/leave", adminToken, service.MemberChange{URL: urls[1]})
+	if err != nil {
+		return fmt.Errorf("leave: %w", err)
+	}
+	if mr.Epoch != 2 || len(mr.Members) != 3 {
+		return fmt.Errorf("leave answered epoch=%d members=%v, want epoch 2 with 3 members", mr.Epoch, mr.Members)
+	}
+	if err := nodes[1].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("draining the removed member: %w", err)
+	}
+	if err := nodes[1].waitExit(20 * time.Second); err != nil {
+		return err
+	}
+	survivors := []*daemon{nodes[0], nodes[2], nodes[3]}
+	if err := waitRing(survivors, 2, 3, 10*time.Second); err != nil {
+		return err
+	}
+	final, _, err := clusterStream(nodes[0].base, body)
+	if err != nil {
+		return fmt.Errorf("post-leave sweep: %w", err)
+	}
+	if !bytes.Equal(final, golden) {
+		return fmt.Errorf("post-leave sweep differs from golden:\n--- golden\n%s--- fleet\n%s", golden, final)
+	}
+	log.Print("membership leave OK (member drained, new ring everywhere, stream byte-identical)")
+	return nil
+}
+
+// clusterStream posts one /v1/cluster/sweep body and returns the
+// canonical stream (progress heartbeats filtered out) plus the records.
+func clusterStream(base string, body []byte) ([]byte, []sweepRec, error) {
+	resp, err := http.Post(base+"/v1/cluster/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var canonical bytes.Buffer
+	var recs []sweepRec
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec sweepRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("decoding %q: %w", sc.Text(), err)
+		}
+		if rec.Type == "progress" {
+			continue
+		}
+		canonical.Write(line)
+		canonical.WriteByte('\n')
+		recs = append(recs, rec)
+	}
+	return canonical.Bytes(), recs, sc.Err()
+}
+
+// postAdmin posts a JSON body with the admin token and decodes the
+// membership response.
+func postAdmin(url, token string, v any) (*service.MembershipResponse, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Admin-Token", token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var mr service.MembershipResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		return nil, fmt.Errorf("decoding %q: %w", data, err)
+	}
+	return &mr, nil
+}
+
+// waitRing blocks until every node's /healthz reports the given ring
+// epoch with the given member count, all up.
+func waitRing(nodes []*daemon, epoch uint64, members int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, d := range nodes {
+		for {
+			var h service.Health
+			resp, err := http.Get(d.base + "/healthz")
+			if err == nil {
+				err = json.NewDecoder(resp.Body).Decode(&h)
+				resp.Body.Close()
+			}
+			up := 0
+			for _, p := range h.Cluster {
+				if p.Up {
+					up++
+				}
+			}
+			if err == nil && h.ClusterEpoch == epoch && len(h.Cluster) == members && up == members {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s never converged on epoch %d with %d members up (last: epoch=%d members=%d up=%d err=%v)",
+					d.base, epoch, members, h.ClusterEpoch, len(h.Cluster), up, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 	return nil
 }
 

@@ -2,11 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,10 +30,18 @@ const (
 )
 
 // PeerResultPath is the local-only sealed-entry endpoint prefix peers
-// fetch from (the key is appended). The handler serves via the strictly
-// local ByteStore.Get, so a fetch can never cascade into further peer
-// fetches.
+// fetch from and replicate to (the key is appended). The GET handler
+// serves via the strictly local ByteStore.Get, so a fetch can never
+// cascade into further peer fetches; the PUT handler verifies the seal
+// and stores locally without re-replicating, so a replica write can
+// never cascade into further replication.
 const PeerResultPath = "/v1/peer/result/"
+
+// PeerJournalPath is the peer endpoint prefix for replicated sweep
+// checkpoint journals (the sweep id is appended): the coordinator PUTs
+// its journal to ring successors as it checkpoints, and a survivor
+// GETs it back when adopting an orphaned sweep.
+const PeerJournalPath = "/v1/peer/journal/"
 
 // maxEntryBytes bounds a fetched sealed entry. Results are small JSON
 // documents; anything near this size is a protocol error, not data.
@@ -45,9 +53,14 @@ type Config struct {
 	// every member must agree on the membership list or consistent
 	// hashing would send keys to different owners on different nodes.
 	Self string
-	// Peers is the full static membership, Self included, as base URLs
-	// (e.g. http://10.0.0.1:8080). Order is irrelevant.
+	// Peers is the boot membership, Self included, as base URLs
+	// (e.g. http://10.0.0.1:8080). Order is irrelevant. Join/Leave/
+	// Apply rebuild the membership at runtime (ring epochs).
 	Peers []string
+	// Replication is how many distinct ring successors hold each sealed
+	// entry (the owner included). 0 or 1 means no replication; values
+	// above the fleet size are clamped per view.
+	Replication int
 	// BreakerThreshold is how many consecutive fetch failures open a
 	// peer's circuit breaker (0 = 3, < 0 = breakers disabled).
 	BreakerThreshold int
@@ -57,7 +70,7 @@ type Config struct {
 	// peer's /healthz (0 = 2s, < 0 = no prober; fetch and dispatch
 	// outcomes still update liveness).
 	ProbeInterval time.Duration
-	// FetchTimeout bounds one peer fetch or probe (0 = 5s).
+	// FetchTimeout bounds one peer fetch, replica push or probe (0 = 5s).
 	FetchTimeout time.Duration
 	// VNodes is the virtual nodes per member on the ring (0 = 64).
 	// All members must use the same value.
@@ -69,7 +82,9 @@ type Config struct {
 	Faults store.Faults
 }
 
-// Peer is one fleet member as seen from the local node.
+// Peer is one fleet member as seen from the local node. Peer objects
+// survive membership changes: a member present in consecutive views
+// keeps its breaker state, liveness and counters.
 type Peer struct {
 	name string // host:port, the ring identity
 	url  string // normalized base URL
@@ -79,9 +94,9 @@ type Peer struct {
 	up atomic.Bool // last probe/dispatch verdict; optimistic start
 
 	hits    atomic.Uint64 // fetches that returned a verified entry
-	misses  atomic.Uint64 // fetches the owner answered 404
+	misses  atomic.Uint64 // fetches the peer answered 404
 	errors  atomic.Uint64 // fetches that failed (network, status, corrupt)
-	skipped atomic.Uint64 // fetches refused by the open breaker
+	skipped atomic.Uint64 // fetches refused (down peer or open breaker)
 }
 
 // Name returns the peer's ring identity (host:port of its URL).
@@ -125,17 +140,27 @@ type PeerHealth struct {
 	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
 }
 
-// Cluster is the local node's view of the fleet: the ring, one Peer
-// per member, and the fetch/probe machinery. It implements
-// store.Remote, so it slots directly into ByteStore as the tier behind
-// disk.
+// Cluster is the local node's view of the fleet: the current View
+// (members + ring at one epoch), the fetch/replication machinery and
+// the background prober. It implements store.Remote and
+// store.Replicator, so it slots directly into ByteStore as the tier
+// behind disk and the write fan-out.
 type Cluster struct {
-	self    *Peer
-	members []*Peer // sorted by name; indices match the ring
-	ring    *ring
-	client  *http.Client
-	timeout time.Duration
-	faults  store.Faults
+	selfName string
+	rf       int // configured replication factor (clamped per view)
+	vnodes   int
+	brN      int
+	brWait   time.Duration
+	client   *http.Client
+	timeout  time.Duration
+	faults   store.Faults
+	local    Local // strictly-local store for anti-entropy re-reads
+
+	mu   sync.Mutex // serializes membership changes
+	cur  atomic.Pointer[View]
+	prev atomic.Pointer[View] // one epoch back; the lazy-migration fetch source
+
+	repl *replicator
 
 	probeEvery time.Duration
 	stop       chan struct{}
@@ -159,8 +184,8 @@ func peerName(raw string) (name, normalized string, err error) {
 }
 
 // New builds the local node's view of the fleet. Self must be one of
-// Peers; names (host:port) must be distinct. The prober is not started
-// until Start.
+// Peers; names (host:port) must be distinct. The prober and replication
+// workers are not started until Start.
 func New(cfg Config) (*Cluster, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("cluster: empty membership")
@@ -168,42 +193,6 @@ func New(cfg Config) (*Cluster, error) {
 	selfName, _, err := peerName(cfg.Self)
 	if err != nil {
 		return nil, err
-	}
-	threshold := cfg.BreakerThreshold
-	if threshold == 0 {
-		threshold = 3
-	}
-	seen := make(map[string]bool, len(cfg.Peers))
-	members := make([]*Peer, 0, len(cfg.Peers))
-	for _, raw := range cfg.Peers {
-		name, normalized, err := peerName(raw)
-		if err != nil {
-			return nil, err
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("cluster: duplicate peer %s", name)
-		}
-		seen[name] = true
-		p := &Peer{
-			name: name,
-			url:  normalized,
-			self: name == selfName,
-			br:   store.NewBreaker(threshold, cfg.BreakerCooldown),
-		}
-		p.up.Store(true) // optimistic: usable before the first probe lands
-		members = append(members, p)
-	}
-	if !seen[selfName] {
-		return nil, fmt.Errorf("cluster: self %s is not in the peer list (every member must share one membership list)", selfName)
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
-	names := make([]string, len(members))
-	var self *Peer
-	for i, p := range members {
-		names[i] = p.name
-		if p.self {
-			self = p
-		}
 	}
 	client := cfg.Client
 	if client == nil {
@@ -217,57 +206,243 @@ func New(cfg Config) (*Cluster, error) {
 	if probe == 0 {
 		probe = 2 * time.Second
 	}
-	return &Cluster{
-		self:       self,
-		members:    members,
-		ring:       newRing(names, cfg.VNodes),
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	rf := cfg.Replication
+	if rf < 1 {
+		rf = 1
+	}
+	c := &Cluster{
+		selfName:   selfName,
+		rf:         rf,
+		vnodes:     cfg.VNodes,
+		brN:        threshold,
+		brWait:     cfg.BreakerCooldown,
 		client:     client,
 		timeout:    timeout,
 		faults:     cfg.Faults,
+		repl:       newReplicator(),
 		probeEvery: probe,
 		stop:       make(chan struct{}),
-	}, nil
+	}
+	v, err := c.makeView(0, cfg.Peers, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !v.self.self || v.self.name != selfName {
+		return nil, fmt.Errorf("cluster: self %s is not in the peer list (every member must share one membership list)", selfName)
+	}
+	c.cur.Store(v)
+	return c, nil
 }
+
+// makeView builds a View at epoch over urls, reusing Peer objects from
+// reuse (by name) so surviving members keep their state. Self must be
+// derivable from c.selfName; if self is absent from urls the error is
+// reported by the caller's policy (Apply tolerates it, New does not).
+func (c *Cluster) makeView(epoch uint64, urls []string, reuse *View) (*View, error) {
+	seen := make(map[string]bool, len(urls))
+	byName := make(map[string]*Peer)
+	if reuse != nil {
+		for _, p := range reuse.members {
+			byName[p.name] = p
+		}
+	}
+	members := make([]*Peer, 0, len(urls))
+	selfSeen := false
+	for _, raw := range urls {
+		name, normalized, err := peerName(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate peer %s", name)
+		}
+		seen[name] = true
+		if name == c.selfName {
+			selfSeen = true
+		}
+		if p, ok := byName[name]; ok {
+			members = append(members, p)
+			continue
+		}
+		p := &Peer{
+			name: name,
+			url:  normalized,
+			self: name == c.selfName,
+			br:   store.NewBreaker(c.brN, c.brWait),
+		}
+		p.up.Store(true) // optimistic: usable before the first probe lands
+		members = append(members, p)
+	}
+	if !selfSeen {
+		return nil, errSelfExcluded
+	}
+	return buildView(epoch, members, c.vnodes, c.rf)
+}
+
+// errSelfExcluded marks a membership update that does not contain the
+// local node — the shape a leave broadcast has from the leaver's own
+// point of view.
+var errSelfExcluded = errors.New("cluster: membership update excludes self")
 
 // SetFaults arms the cluster's fault-injection seam (nil disarms). Not
 // safe to call concurrently with Fetch.
 func (c *Cluster) SetFaults(f store.Faults) { c.faults = f }
 
+// SetLocal wires the strictly-local store the replicator re-reads
+// payloads from (anti-entropy). Call before Start, like SetRemote on
+// the store side.
+func (c *Cluster) SetLocal(l Local) { c.local = l }
+
 // SelfName returns the local node's ring identity.
-func (c *Cluster) SelfName() string { return c.self.name }
+func (c *Cluster) SelfName() string { return c.selfName }
 
 // HTTPClient returns the client used for all peer traffic.
 func (c *Cluster) HTTPClient() *http.Client { return c.client }
 
-// Size returns the number of members, self included.
-func (c *Cluster) Size() int { return len(c.members) }
+// CurrentView returns the membership at the current ring epoch.
+// Work that must stay coherent across membership changes (a sweep's
+// partitioning) captures this once and uses the View throughout.
+func (c *Cluster) CurrentView() *View { return c.cur.Load() }
 
-// Members returns the fleet sorted by name. The slice is shared and
-// must not be mutated.
-func (c *Cluster) Members() []*Peer { return c.members }
+// Epoch returns the current ring epoch (0 at boot; each membership
+// change increments it).
+func (c *Cluster) Epoch() uint64 { return c.cur.Load().epoch }
 
-// Owner returns the peer owning key on the ring.
-func (c *Cluster) Owner(key string) *Peer { return c.members[c.ring.owner(key)] }
+// ReplicationFactor returns the configured replication factor (>= 1).
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// Size returns the number of members in the current view, self included.
+func (c *Cluster) Size() int { return c.cur.Load().Size() }
+
+// Members returns the current view's fleet sorted by name. The slice is
+// shared and must not be mutated.
+func (c *Cluster) Members() []*Peer { return c.cur.Load().Members() }
+
+// Owner returns the peer owning key on the current view's ring.
+func (c *Cluster) Owner(key string) *Peer { return c.cur.Load().Owner(key) }
 
 // Assign returns the first peer in key's deterministic failover order
-// accepted by ok. With a nil ok it is Owner. It falls back to self if
-// ok rejects every member, so work always has somewhere to run.
+// accepted by ok, on the current view. See View.Assign.
 func (c *Cluster) Assign(key string, ok func(*Peer) bool) *Peer {
-	if ok == nil {
-		return c.Owner(key)
-	}
-	for _, m := range c.ring.successors(key) {
-		if ok(c.members[m]) {
-			return c.members[m]
-		}
-	}
-	return c.self
+	return c.cur.Load().Assign(key, ok)
 }
 
-// Health returns a per-peer snapshot, sorted by name.
+// Join adds a member by URL and installs the new view at epoch+1.
+// The caller (the service's admin handler) broadcasts the resulting
+// membership to the rest of the fleet.
+func (c *Cluster) Join(raw string) (*View, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name, _, err := peerName(raw)
+	if err != nil {
+		return nil, err
+	}
+	old := c.cur.Load()
+	for _, p := range old.members {
+		if p.name == name {
+			return nil, fmt.Errorf("cluster: %s is already a member", name)
+		}
+	}
+	urls := append(old.MemberURLs(), raw)
+	v, err := c.makeView(old.epoch+1, urls, old)
+	if err != nil {
+		return nil, err
+	}
+	c.install(old, v)
+	return v, nil
+}
+
+// Leave removes a member by URL (or bare host:port name) and installs
+// the new view at epoch+1. Removing self yields a solo view: the node
+// keeps serving (so migrating keys can still be pulled from it) but no
+// longer participates in the ring.
+func (c *Cluster) Leave(raw string) (*View, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := raw
+	if strings.Contains(raw, "://") {
+		var err error
+		if name, _, err = peerName(raw); err != nil {
+			return nil, err
+		}
+	}
+	old := c.cur.Load()
+	urls := make([]string, 0, len(old.members))
+	found := false
+	for _, p := range old.members {
+		if p.name == name {
+			found = true
+			continue
+		}
+		urls = append(urls, p.url)
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: %s is not a member", name)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: refusing to remove the last member")
+	}
+	v, err := c.makeView(old.epoch+1, urls, old)
+	if errors.Is(err, errSelfExcluded) {
+		v, err = c.soloView(old.epoch + 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.install(old, v)
+	return v, nil
+}
+
+// Apply installs a broadcast membership (epoch, member URLs) if it is
+// newer than the current view. It returns the view now in effect and
+// whether it changed. A membership that excludes self installs a solo
+// view: this node has been removed and should expect to be drained, but
+// keeps serving its store so migrating keys can be pulled from it.
+func (c *Cluster) Apply(epoch uint64, urls []string) (*View, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.cur.Load()
+	if epoch <= old.epoch {
+		return old, false, nil
+	}
+	v, err := c.makeView(epoch, urls, old)
+	if errors.Is(err, errSelfExcluded) {
+		v, err = c.soloView(epoch)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	c.install(old, v)
+	return v, true, nil
+}
+
+// soloView is the view a removed node adopts: itself, alone, at the
+// broadcast epoch.
+func (c *Cluster) soloView(epoch uint64) (*View, error) {
+	old := c.cur.Load()
+	return c.makeView(epoch, []string{old.self.url}, old)
+}
+
+// install swaps in a new view, keeping the outgoing one as the
+// lazy-migration fetch source. Only keys whose owner set differs
+// between prev and cur ever move, and they move lazily: the first
+// local miss on the new owner pulls the entry from a previous-epoch
+// replica through the ordinary peer tier.
+func (c *Cluster) install(old, v *View) {
+	c.prev.Store(old)
+	c.cur.Store(v)
+}
+
+// Health returns a per-peer snapshot of the current view, sorted by
+// name.
 func (c *Cluster) Health() []PeerHealth {
-	out := make([]PeerHealth, len(c.members))
-	for i, p := range c.members {
+	members := c.cur.Load().members
+	out := make([]PeerHealth, len(members))
+	for i, p := range members {
 		out[i] = PeerHealth{
 			Name:     p.name,
 			URL:      p.url,
@@ -286,33 +461,85 @@ func (c *Cluster) Health() []PeerHealth {
 	return out
 }
 
-// Fetch implements store.Remote: it asks the consistent-hash owner of
-// key for its sealed entry. Keys owned locally (or by a peer whose
-// breaker is open) miss without an RPC; a fetched entry is verified
-// with store.OpenEntry before it is returned, so a corrupt peer
-// response is rejected exactly like local disk rot — an availability
-// Success (the peer answered) but a fetch error, leaving the caller to
-// recompute.
+// Fetch implements store.Remote: it walks key's replica set in
+// successor order, skipping down peers and open breakers, until a
+// verified sealed entry turns up. A 404 is a clean per-peer miss (the
+// peer answered; try the next replica); a transport error feeds that
+// peer's breaker and the walk continues. If any replica had to be
+// skipped or errored, the walk extends past the replica set to the
+// remaining successors — reassignment during an outage can leave
+// fallback copies there. Finally, after a membership change, the
+// previous epoch's replica set is consulted: that is the lazy key
+// migration path, and a hit there is counted as a migrated key before
+// the caller promotes it into the local tiers of its new owner.
+//
+// Entries are verified with store.OpenEntry before being returned, so a
+// corrupt peer response is rejected exactly like local disk rot — an
+// availability Success (the peer answered) but a fetch error, leaving
+// the caller to try elsewhere or recompute.
 func (c *Cluster) Fetch(key string) ([]byte, bool, error) {
-	p := c.Owner(key)
-	if p.self {
-		return nil, false, nil
-	}
-	if !p.br.Allow() {
-		p.skipped.Add(1)
-		return nil, false, nil
-	}
-	data, ok, err := c.fetchFrom(p, key)
-	if err != nil {
-		p.errors.Add(1)
-		return nil, false, fmt.Errorf("cluster: fetch %s from %s: %w", key, p.name, err)
-	}
-	if ok {
+	v := c.cur.Load()
+	var (
+		errs    []error
+		blocked bool // some replica was unreachable: its copy may exist but can't be read
+		tried   = make(map[string]bool, v.rf+1)
+	)
+	attempt := func(p *Peer, migration bool) ([]byte, bool) {
+		tried[p.name] = true
+		if p.self {
+			return nil, false
+		}
+		if !p.Up() || !p.br.Allow() {
+			p.skipped.Add(1)
+			blocked = true
+			return nil, false
+		}
+		data, ok, err := c.fetchFrom(p, key)
+		if err != nil {
+			p.errors.Add(1)
+			blocked = true
+			errs = append(errs, fmt.Errorf("cluster: fetch %s from %s: %w", key, p.name, err))
+			return nil, false
+		}
+		if !ok {
+			p.misses.Add(1)
+			return nil, false
+		}
 		p.hits.Add(1)
-	} else {
-		p.misses.Add(1)
+		if migration {
+			c.repl.migrated.Add(1)
+		}
+		return data, true
 	}
-	return data, ok, nil
+	for _, p := range v.Replicas(key) {
+		if data, ok := attempt(p, false); ok {
+			return data, true, nil
+		}
+	}
+	if blocked {
+		for _, p := range v.Successors(key) {
+			if tried[p.name] {
+				continue
+			}
+			if data, ok := attempt(p, false); ok {
+				return data, true, nil
+			}
+		}
+	}
+	if pv := c.prev.Load(); pv != nil {
+		for _, p := range pv.Replicas(key) {
+			if tried[p.name] {
+				continue
+			}
+			if data, ok := attempt(p, true); ok {
+				return data, true, nil
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, false, errors.Join(errs...)
+	}
+	return nil, false, nil
 }
 
 // fetchFrom performs one peer fetch, feeding p's breaker.
@@ -346,7 +573,7 @@ func (c *Cluster) fetchFrom(p *Peer, key string) ([]byte, bool, error) {
 		return nil, false, nil
 	default:
 		p.br.Failure()
-		return nil, false, fmt.Errorf("owner answered %s", resp.Status)
+		return nil, false, fmt.Errorf("peer answered %s", resp.Status)
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
 	if err != nil {
@@ -370,8 +597,9 @@ func (c *Cluster) fetchFrom(p *Peer, key string) ([]byte, bool, error) {
 	return payload, true, nil
 }
 
-// Start launches the background health prober (a no-op when the
-// configured interval is negative or the cluster was already started).
+// Start launches the background health prober and the replication
+// workers (probing is a no-op when the configured interval is negative;
+// calling Start twice is not supported).
 //
 // Boot phase: peers of a sequentially booting fleet are routinely still
 // coming up when the first probe fires, and a single startup probe would
@@ -381,6 +609,10 @@ func (c *Cluster) fetchFrom(p *Peer, key string) ([]byte, bool, error) {
 // peer has answered once or the backoff reaches the steady interval;
 // thereafter the ticker takes over.
 func (c *Cluster) Start() {
+	for i := 0; i < replWorkers; i++ {
+		c.wg.Add(1)
+		go c.replLoop()
+	}
 	if c.probeEvery < 0 {
 		return
 	}
@@ -409,10 +641,22 @@ func (c *Cluster) Start() {
 	}()
 }
 
-// Close stops the prober and waits for it to exit.
+// Close stops the prober and replication workers and waits for them to
+// exit.
 func (c *Cluster) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
+}
+
+// probeOne probes p, updates its liveness, and triggers anti-entropy
+// when it is reachable and has a replication backlog (both the down->up
+// transition and retries of transiently failed pushes).
+func (c *Cluster) probeOne(p *Peer) {
+	alive := c.probe(p)
+	p.up.Store(alive)
+	if alive {
+		c.recoverPeer(p)
+	}
 }
 
 // probeAll checks every remote peer's /healthz concurrently. Any HTTP
@@ -421,14 +665,14 @@ func (c *Cluster) Close() {
 // down so the sweep coordinator stops assigning it new work.
 func (c *Cluster) probeAll() {
 	var wg sync.WaitGroup
-	for _, p := range c.members {
+	for _, p := range c.cur.Load().members {
 		if p.self {
 			continue
 		}
 		wg.Add(1)
 		go func(p *Peer) {
 			defer wg.Done()
-			p.up.Store(c.probe(p))
+			c.probeOne(p)
 		}(p)
 	}
 	wg.Wait()
@@ -436,7 +680,7 @@ func (c *Cluster) probeAll() {
 
 // anyPeerDown reports whether any remote peer is currently marked down.
 func (c *Cluster) anyPeerDown() bool {
-	for _, p := range c.members {
+	for _, p := range c.cur.Load().members {
 		if !p.self && !p.up.Load() {
 			return true
 		}
@@ -448,14 +692,14 @@ func (c *Cluster) anyPeerDown() bool {
 // retry loop; up peers are left to the steady ticker).
 func (c *Cluster) probeDown() {
 	var wg sync.WaitGroup
-	for _, p := range c.members {
+	for _, p := range c.cur.Load().members {
 		if p.self || p.up.Load() {
 			continue
 		}
 		wg.Add(1)
 		go func(p *Peer) {
 			defer wg.Done()
-			p.up.Store(c.probe(p))
+			c.probeOne(p)
 		}(p)
 	}
 	wg.Wait()

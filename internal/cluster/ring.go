@@ -1,12 +1,19 @@
-// Package cluster lets N sdtd nodes form a cooperating fleet with
-// static membership. It provides three things:
+// Package cluster lets N sdtd nodes form a cooperating fleet. It
+// provides four things:
 //
 //   - A consistent-hash ring over the content-addressed key space, so
-//     every store key has exactly one owning node and ownership moves
-//     minimally when the member list changes between deployments.
-//   - A peer tier for store.ByteStore: Fetch asks the owner of a key
-//     for its sealed entry over HTTP, guarded by a per-peer circuit
-//     breaker (reusing store.Breaker) and a background health prober.
+//     every store key has a deterministic replica set and ownership
+//     moves minimally when the membership changes. Membership is
+//     versioned: each change installs a new immutable View at the next
+//     ring epoch (see view.go), and in-flight work completes against
+//     the epoch it started under.
+//   - A peer tier for store.ByteStore: Fetch walks a key's replica set
+//     in successor order for its sealed entry over HTTP, guarded by
+//     per-peer circuit breakers (reusing store.Breaker) and a
+//     background health prober.
+//   - Asynchronous replication: freshly computed entries fan out to the
+//     first RF ring successors through a bounded queue, with
+//     anti-entropy retries when a down peer comes back (replicate.go).
 //   - An ordered-merge helper the sweep coordinator uses to interleave
 //     per-shard NDJSON streams back into matrix order, preserving the
 //     byte-identity of single-node Ordered output.
@@ -32,8 +39,8 @@ const defaultVNodes = 128
 // ring maps keys to member indices by consistent hashing: each member
 // contributes vnode points at fnv64a("name#i"), keys hash with the
 // same function, and a key is owned by the first point clockwise from
-// its hash. Membership is static per process, so the ring is built
-// once and read-only afterwards.
+// its hash. A ring is immutable once built; membership changes build a
+// fresh ring inside a new View rather than mutating this one.
 type ring struct {
 	points  []ringPoint // sorted by hash
 	members int

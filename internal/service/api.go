@@ -191,6 +191,8 @@ const (
 	CodeLimitExceeded    = "limit_exceeded"    // instruction budget exhausted
 	CodeRunFailed        = "run_failed"        // guest faulted
 	CodeDivergence       = "divergence"        // SDT result != native result (a bug)
+	CodeForbidden        = "forbidden"         // admin endpoint without a valid admin token
+	CodeNotFound         = "not_found"         // referenced object does not exist
 	CodeInternal         = "internal"          // panic or other server-side failure
 )
 
@@ -227,6 +229,37 @@ type Health struct {
 	// the node degraded: it keeps serving, but results owned elsewhere
 	// may be recomputed locally instead of fetched.
 	Cluster []cluster.PeerHealth `json:"cluster,omitempty"`
+	// ClusterEpoch is the ring epoch of this node's current membership
+	// view (0 at boot; every join or leave increments it). All members
+	// report the same epoch once a membership change has converged.
+	ClusterEpoch uint64 `json:"cluster_epoch,omitempty"`
+	// Replication is the configured replication factor (clustered only;
+	// 1 = no replication).
+	Replication int `json:"replication,omitempty"`
+	// ReplStats snapshots the replication counters (clustered only).
+	ReplStats *cluster.ReplStats `json:"replication_stats,omitempty"`
+}
+
+// MemberChange is the body of POST /v1/cluster/join and /leave: the
+// base URL of the member being added or removed.
+type MemberChange struct {
+	URL string `json:"url"`
+}
+
+// MembershipUpdate is the body of POST /v1/cluster/membership — the
+// authoritative membership at one ring epoch, broadcast by whichever
+// node served a join or leave. Nodes apply it only if the epoch is
+// newer than their current view.
+type MembershipUpdate struct {
+	Epoch uint64   `json:"epoch"`
+	Peers []string `json:"peers"`
+}
+
+// MembershipResponse answers the membership endpoints with the view now
+// in effect on the serving node.
+type MembershipResponse struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
 }
 
 // ErrorInfo is the machine-readable error in an ErrorResponse.

@@ -27,10 +27,15 @@ import (
 // ShardRequest is the body of POST /v1/sweep/shard: the coordinator's
 // full sweep request plus the global matrix indices this node should
 // execute. Every node expands the matrix with the same deterministic
-// code, so indices are a complete cell description.
+// code, so indices are a complete cell description. RingEpoch pins the
+// membership view the coordinator partitioned under: a sweep spanning a
+// join or leave completes against the epoch it started under (the
+// shard executes by index and needs no ring, so the epoch is carried
+// for observability and never rejected — epochs converge lazily).
 type ShardRequest struct {
-	Sweep SweepRequest `json:"sweep"`
-	Cells []int        `json:"cells"`
+	Sweep     SweepRequest `json:"sweep"`
+	Cells     []int        `json:"cells"`
+	RingEpoch uint64       `json:"ring_epoch,omitempty"`
 }
 
 // Coordinator stream records. Unlike /v1/sweep, the cluster stream is
@@ -306,15 +311,32 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := m.Cells()
 
+	// Pin the membership view for the whole sweep: partitioning,
+	// liveness seeding and shard dispatch all use this epoch, so a join
+	// or leave mid-sweep never re-routes in-flight work (new sweeps see
+	// the new ring; this one completes under the ring it started with).
+	var view *cluster.View
+	if c := s.cfg.Cluster; c != nil {
+		view = c.CurrentView()
+	}
+
 	// Checkpointing works exactly as on /v1/sweep: the journal lives on
 	// the coordinator, binding cell indices to store keys. Keys are
 	// location-independent, so a resumed coordinator replays what it
 	// holds locally and lets the content-addressed store (local tiers,
-	// then peers) absorb the rest without re-execution.
+	// then peers) absorb the rest without re-execution. ?adopt=<id>
+	// additionally pulls a dead coordinator's replicated journal from
+	// the fleet, letting a survivor take the sweep over (the client
+	// resubmits the same request body to the survivor).
 	if id := r.URL.Query().Get("resume"); id != "" {
 		req.ID = id
 	}
+	adopt := r.URL.Query().Get("adopt")
+	if adopt != "" {
+		req.ID = adopt
+	}
 	var jr *sweepJournal
+	var shipper *journalShipper
 	if req.ID != "" {
 		if !validSweepID(req.ID) {
 			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest,
@@ -326,12 +348,32 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 				"sweep checkpointing requires an on-disk store")
 			return
 		}
+		if adopt != "" {
+			if err := s.adoptJournal(adopt); err != nil {
+				status, code := http.StatusInternalServerError, CodeInternal
+				if errors.Is(err, errNoJournal) {
+					status, code = http.StatusNotFound, CodeNotFound
+				}
+				s.writeError(w, r, status, code, fmt.Sprintf("adopting sweep %s: %v", adopt, err))
+				return
+			}
+		}
 		var jerr error
 		jr, jerr = openSweepJournal(filepath.Join(s.cfg.StoreDir, "sweeps"),
 			req.ID, sweepDigest(m, req.Seed, req.Limit), s.cfg.Faults, s.journalError)
 		if jerr != nil {
 			s.writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, jerr.Error())
 			return
+		}
+		if adopt != "" {
+			s.met.sweepsAdopted.Inc()
+		}
+		if view != nil {
+			// Replicate the journal as it checkpoints, so this sweep is
+			// in turn adoptable if this coordinator dies.
+			if shipper = s.newJournalShipper(view, req.ID); shipper != nil {
+				jr.onPersist = shipper.push
+			}
 		}
 	}
 
@@ -481,9 +523,9 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 	alive := make(map[string]bool)
 	peerByName := make(map[string]*cluster.Peer)
 	selfName := ""
-	if c := s.cfg.Cluster; c != nil {
-		selfName = c.SelfName()
-		for _, p := range c.Members() {
+	if view != nil {
+		selfName = view.Self().Name()
+		for _, p := range view.Members() {
 			alive[p.Name()] = p.Up()
 			peerByName[p.Name()] = p
 		}
@@ -508,8 +550,8 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 		for _, i := range idxs {
 			pc := pending[i]
 			name := selfName
-			if c := s.cfg.Cluster; c != nil {
-				name = c.Assign(pc.key, func(p *cluster.Peer) bool { return p.Self() || alive[p.Name()] }).Name()
+			if view != nil {
+				name = view.Assign(pc.key, func(p *cluster.Peer) bool { return p.Self() || alive[p.Name()] }).Name()
 			}
 			shards[name] = append(shards[name], pc)
 		}
@@ -517,7 +559,7 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 
 		var wg sync.WaitGroup
 		for name, batch := range shards {
-			if s.cfg.Cluster == nil || name == selfName {
+			if view == nil || name == selfName {
 				wg.Add(1)
 				go func(batch []plannedCell) {
 					defer wg.Done()
@@ -528,7 +570,7 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(p *cluster.Peer, batch []plannedCell) {
 				defer wg.Done()
-				if err := s.dispatchShard(ctx, p, &req, batch, finalize); err != nil {
+				if err := s.dispatchShard(ctx, p, &req, batch, view.Epoch(), finalize); err != nil {
 					s.cfg.Log.Printf("cluster sweep: shard on %s failed: %v", p.Name(), err)
 					p.MarkDown()
 					mu.Lock()
@@ -542,8 +584,9 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 	close(hbStop)
 
 	mu.Lock()
+	complete := done == len(cells)
 	if jr != nil {
-		if done == len(cells) {
+		if complete {
 			jr.remove()
 		} else {
 			jr.persist()
@@ -551,6 +594,11 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	final := clusterDone{Type: "done", Done: done, Errors: errCount, Canceled: canceled, Total: len(cells)}
 	mu.Unlock()
+	if shipper != nil {
+		// Flush the final journal state to the successors (or, on full
+		// completion, tombstone their copies) before answering.
+		shipper.finish(complete)
+	}
 	writeRec(final)
 	s.met.clusterSweeps.get(outcomeLabel(context.Cause(ctx))).Inc()
 	s.cfg.Log.Printf("cluster sweep %d cells: done=%d errors=%d canceled=%d replayed=%d reassigned=%d elapsed=%s",
@@ -605,7 +653,7 @@ func (s *Server) runShardLocal(ctx context.Context, req *SweepRequest, batch []p
 // reassignment — unless this coordinator itself is shutting down. Any
 // error return means the peer should be distrusted for the rest of the
 // sweep.
-func (s *Server) dispatchShard(ctx context.Context, p *cluster.Peer, req *SweepRequest, batch []plannedCell, finalize func(plannedCell, json.RawMessage, *ErrorInfo)) error {
+func (s *Server) dispatchShard(ctx context.Context, p *cluster.Peer, req *SweepRequest, batch []plannedCell, epoch uint64, finalize func(plannedCell, json.RawMessage, *ErrorInfo)) error {
 	if s.cfg.Faults != nil {
 		if err := s.cfg.Faults.Fail(cluster.SiteShard); err != nil {
 			return err
@@ -617,7 +665,7 @@ func (s *Server) dispatchShard(ctx context.Context, p *cluster.Peer, req *SweepR
 		byIdx[pc.idx] = pc
 		indices[i] = pc.idx
 	}
-	shardReq := ShardRequest{Sweep: *req, Cells: indices}
+	shardReq := ShardRequest{Sweep: *req, Cells: indices, RingEpoch: epoch}
 	shardReq.Sweep.ID = "" // journaling is the coordinator's job
 	body, err := json.Marshal(shardReq)
 	if err != nil {

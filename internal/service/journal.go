@@ -50,6 +50,12 @@ type sweepJournal struct {
 	have   map[int]string // index -> store key, for resume replay
 	faults *faultinject.Injector
 	onErr  func(error) // receives persistence failures (metrics + log)
+
+	// onPersist receives the marshalled journal after each successful
+	// local write. The cluster coordinator hooks it to replicate the
+	// journal to ring successors, making the checkpoint adoptable by a
+	// survivor if this coordinator dies (docs/CLUSTER.md).
+	onPersist func(data []byte)
 }
 
 // sweepDigest canonically hashes the request fields that define cell
@@ -161,6 +167,10 @@ func (j *sweepJournal) persist() {
 	}
 	if err != nil {
 		j.onErr(fmt.Errorf("writing sweep journal %s: %w", j.state.ID, err))
+		return
+	}
+	if j.onPersist != nil {
+		j.onPersist(data)
 	}
 }
 

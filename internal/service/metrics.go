@@ -176,6 +176,9 @@ type metrics struct {
 	clusterSweeps     *counterVec // outcome — one increment per coordinated sweep
 	clusterCells      *counterVec // outcome — one increment per merged cell record
 	clusterReassigned *counter    // cells reassigned away from a failed shard
+	sweepsAdopted     *counter    // orphaned cluster sweeps taken over via a replicated journal
+	membershipChanges *counterVec // op = join / leave / apply — ring rebuilds on this node
+	journalPushes     *counterVec // outcome — coordinator journal replications to successors
 }
 
 func newMetrics() *metrics {
@@ -195,6 +198,9 @@ func newMetrics() *metrics {
 		clusterSweeps:     newCounterVec(),
 		clusterCells:      newCounterVec(),
 		clusterReassigned: &counter{},
+		sweepsAdopted:     &counter{},
+		membershipChanges: newCounterVec(),
+		journalPushes:     newCounterVec(),
 	}
 }
 
@@ -223,6 +229,11 @@ func (m *metrics) render(w io.Writer, gauges func(w io.Writer)) {
 	fmt.Fprint(w, "# TYPE sdtd_cluster_sweep_cells_total counter\n")
 	m.clusterCells.render(w, "sdtd_cluster_sweep_cells_total")
 	fmt.Fprintf(w, "# TYPE sdtd_cluster_sweep_reassigned_cells_total counter\nsdtd_cluster_sweep_reassigned_cells_total %d\n", m.clusterReassigned.Value())
+	fmt.Fprintf(w, "# TYPE sdtd_cluster_sweeps_adopted_total counter\nsdtd_cluster_sweeps_adopted_total %d\n", m.sweepsAdopted.Value())
+	fmt.Fprint(w, "# TYPE sdtd_cluster_membership_changes_total counter\n")
+	m.membershipChanges.render(w, "sdtd_cluster_membership_changes_total")
+	fmt.Fprint(w, "# TYPE sdtd_replication_journal_pushes_total counter\n")
+	m.journalPushes.render(w, "sdtd_replication_journal_pushes_total")
 	if gauges != nil {
 		gauges(w)
 	}

@@ -80,6 +80,13 @@ type Config struct {
 	// it. It is caller-constructed because membership (the node's own
 	// URL) is only known once the listener is bound.
 	Cluster *cluster.Cluster
+	// AdminToken guards the membership endpoints (POST
+	// /v1/cluster/join, /leave, /membership): requests must carry it in
+	// X-Admin-Token or as an Authorization bearer token. Empty disables
+	// those endpoints entirely (403) — membership then only changes by
+	// restart, as before. Every fleet member must share one token,
+	// since membership broadcasts authenticate with it.
+	AdminToken string
 	// Faults arms deterministic fault injection across the store, the
 	// sweep engine, the job boundary, sweep-journal persistence and the
 	// cluster's peer fetch/dispatch seams (nil = no injection; the hot
@@ -177,13 +184,24 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep/shard", s.handleSweepShard)
 	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResult)
+	s.mux.HandleFunc("PUT /v1/peer/result/{key}", s.handlePeerResultPut)
+	s.mux.HandleFunc("GET /v1/peer/journal/{id}", s.handlePeerJournalGet)
+	s.mux.HandleFunc("PUT /v1/peer/journal/{id}", s.handlePeerJournalPut)
+	s.mux.HandleFunc("DELETE /v1/peer/journal/{id}", s.handlePeerJournalDelete)
+	s.mux.HandleFunc("POST /v1/cluster/join", s.handleJoin)
+	s.mux.HandleFunc("POST /v1/cluster/leave", s.handleLeave)
+	s.mux.HandleFunc("POST /v1/cluster/membership", s.handleMembership)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Cluster != nil {
 		// The cluster becomes the store's remote tier (mem -> disk ->
-		// peer) and starts probing. Single-node servers never pay more
-		// than a nil check for this.
+		// peer) and its write fan-out; the store becomes the cluster's
+		// local re-read source for anti-entropy. Then probing and the
+		// replication workers start. Single-node servers never pay more
+		// than a nil check for any of this.
 		st.SetRemote(cfg.Cluster)
+		st.SetReplicator(cfg.Cluster)
+		cfg.Cluster.SetLocal(st)
 		cfg.Cluster.Start()
 	}
 	return s, nil
@@ -346,6 +364,10 @@ func (s *Server) health() Health {
 	}
 	if c := s.cfg.Cluster; c != nil {
 		h.Cluster = c.Health()
+		h.ClusterEpoch = c.Epoch()
+		h.Replication = c.ReplicationFactor()
+		rs := c.ReplStats()
+		h.ReplStats = &rs
 		// A down or breaker-guarded peer degrades this node's report:
 		// results owned elsewhere may have to be recomputed locally.
 		for _, p := range h.Cluster {
@@ -424,6 +446,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 					fmt.Fprintf(w, "sdtd_peer_breaker_trips_total{peer=%q} %d\n", p.Name, p.BreakerTrips)
 				}
 			}
+			fmt.Fprintf(w, "# TYPE sdtd_cluster_ring_epoch gauge\nsdtd_cluster_ring_epoch %d\n", c.Epoch())
+			fmt.Fprintf(w, "# TYPE sdtd_replication_factor gauge\nsdtd_replication_factor %d\n", c.ReplicationFactor())
+			rs := c.ReplStats()
+			fmt.Fprintf(w, "# TYPE sdtd_replication_sent_total counter\nsdtd_replication_sent_total %d\n", rs.Sent)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_received_total counter\nsdtd_replication_received_total %d\n", rs.Received)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_failed_total counter\nsdtd_replication_failed_total %d\n", rs.Failed)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_dropped_total counter\nsdtd_replication_dropped_total %d\n", rs.Dropped)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_requeued_total counter\nsdtd_replication_requeued_total %d\n", rs.Requeued)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_migrated_keys_total counter\nsdtd_replication_migrated_keys_total %d\n", rs.Migrated)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_pending gauge\nsdtd_replication_pending %d\n", rs.Pending)
+			fmt.Fprintf(w, "# TYPE sdtd_replication_queue_depth gauge\nsdtd_replication_queue_depth %d\n", rs.Queue)
 		}
 		if s.cfg.Faults != nil {
 			fmt.Fprint(w, "# TYPE sdtd_faults_injected_total counter\n")
@@ -633,6 +666,9 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 func endpoint(r *http.Request) string {
 	if strings.HasPrefix(r.URL.Path, "/v1/peer/result/") {
 		return "/v1/peer/result"
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/peer/journal/") {
+		return "/v1/peer/journal"
 	}
 	if strings.HasPrefix(r.URL.Path, "/v1/result/") {
 		return "/v1/result"

@@ -20,6 +20,18 @@ type Remote interface {
 	Fetch(key string) ([]byte, bool, error)
 }
 
+// Replicator is an optional write fan-out consulted by Do after a fresh
+// computation: the cluster layer pushes the new entry to the other
+// members of its replica set, asynchronously and best-effort. It fires
+// only for values this node actually computed — never for peer-tier
+// hits or replica writes accepted from peers, which is what keeps a
+// replicating fleet from echoing entries back and forth.
+// Implementations must be safe for concurrent calls and must not mutate
+// or retain-and-modify data.
+type Replicator interface {
+	Replicate(key string, data []byte)
+}
+
 // ByteStore is the content-addressed result store: a single-flight Group
 // in front of an in-memory LRU in front of an optional on-disk layer,
 // with an optional remote peer tier behind both. Lookups try memory,
@@ -43,6 +55,7 @@ type ByteStore struct {
 	group  *Group[[]byte]
 	br     *Breaker
 	remote Remote
+	repl   Replicator
 
 	peerHits atomic.Uint64
 	peerErrs atomic.Uint64
@@ -133,6 +146,10 @@ func OpenByteStoreWith(o Options) (*ByteStore, error) {
 // before the store serves traffic.
 func (s *ByteStore) SetRemote(r Remote) { s.remote = r }
 
+// SetReplicator arms (or with nil disarms) the write fan-out. Same
+// wiring contract as SetRemote: call before the store serves traffic.
+func (s *ByteStore) SetReplicator(r Replicator) { s.repl = r }
+
 // tiered adapts the two storage layers to the Group's Backend interface
 // without exposing Backend methods on ByteStore itself (ByteStore.Get/Put
 // are the synchronized public equivalents).
@@ -203,7 +220,11 @@ func (s *ByteStore) Put(key string, data []byte) {
 // fails the request. See Group.Do for the cancellation contract.
 func (s *ByteStore) Do(ctx context.Context, key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
 	if s.remote == nil {
-		return s.group.Do(ctx, key, compute)
+		data, hit, err = s.group.Do(ctx, key, compute)
+		if !hit && err == nil && s.repl != nil {
+			s.repl.Replicate(key, data)
+		}
+		return data, hit, err
 	}
 	fromPeer := false
 	data, hit, err = s.group.Do(ctx, key, func() ([]byte, error) {
@@ -215,7 +236,12 @@ func (s *ByteStore) Do(ctx context.Context, key string, compute func() ([]byte, 
 	})
 	// Only the leader's closure can set fromPeer, and it is only read
 	// after that leader's Do returns: a peer hit is a cache hit to the
-	// caller, not a computation.
+	// caller, not a computation. Replication fires exactly when this
+	// call ran compute — a peer hit means the value's replica set
+	// already holds it (or is receiving it from its computer).
+	if !hit && !fromPeer && err == nil && s.repl != nil {
+		s.repl.Replicate(key, data)
+	}
 	if fromPeer {
 		hit = true
 	}
